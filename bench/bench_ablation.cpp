@@ -1,0 +1,118 @@
+// Ablation studies for the design choices DESIGN.md calls out (not a
+// paper figure — library extensions):
+//   A. resync period: sync-maintenance duty cycle vs throughput
+//   B. repetition factor: rate vs BER/packet-delivery diversity gain
+//   C. adjacent-channel rejection (ACIR): the close-range SNR ceiling
+//   D. preamble search range: tail losses when it under-covers the
+//      residual sync error distribution
+
+#include <cstdio>
+
+#include "baselines/wifi_unit_level.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace lscatter;
+  benchutil::print_header("Ablations: schedule / repetition / ACIR / search",
+                          "library design choices (DESIGN.md §4)");
+  const std::uint64_t seed = 777;
+  std::printf("seed=%llu, smart home\n\n",
+              static_cast<unsigned long long>(seed));
+
+  std::printf("--- A. resync period (subframes) vs throughput ---\n");
+  std::printf("%8s %14s %12s\n", "period", "tput (Mbps)", "detect");
+  for (const std::size_t period : {2, 5, 10, 20, 50}) {
+    core::LinkConfig cfg = core::make_scenario(core::Scene::kSmartHome,
+                                               {.seed = seed + period});
+    cfg.schedule.resync_period_subframes = period;
+    const auto p = benchutil::run_drops(cfg, 4, 2 * period);
+    std::printf("%8zu %14.2f %12.3f\n", period,
+                p.mean_throughput_bps / 1e6, p.detect);
+  }
+  std::printf("(longer periods raise the PHY rate ceiling but let clock "
+              "drift eat the offset margin)\n\n");
+
+  std::printf("--- B. repetition factor at 16 ft / 12 ft ---\n");
+  std::printf("%4s %14s %10s %8s\n", "r", "tput (Mbps)", "BER", "PDR");
+  for (const std::size_t rep : {1, 2, 4, 8, 16}) {
+    core::LinkConfig cfg = core::make_scenario(core::Scene::kSmartHome,
+                                               {.seed = seed + 31 * rep});
+    cfg.geometry.enb_tag_ft = 16.0;
+    cfg.geometry.tag_ue_ft = 12.0;
+    cfg.schedule.repetition = rep;
+    const auto p = benchutil::run_drops(cfg, 6, 10);
+    std::printf("%4zu %14.3f %10.2e %8.3f\n", rep,
+                p.mean_throughput_bps / 1e6, p.ber, p.pdr);
+  }
+  std::printf("(r=1 is the paper's scheme; soft-combining trades rate 1/r "
+              "for a Gamma(r) diversity\n gain against the OFDM-envelope "
+              "BER floor — CRC packets only survive mid-range with r>1)\n\n");
+
+  std::printf("--- C. ACIR (adjacent-channel rejection) at 3 ft / 3 ft ---\n");
+  std::printf("%8s %10s %14s\n", "ACIR dB", "BER", "tput (Mbps)");
+  for (const double acir : {40.0, 50.0, 60.0, 70.0, 80.0}) {
+    core::LinkConfig cfg = core::make_scenario(
+        core::Scene::kSmartHome,
+        {.seed = seed + static_cast<std::uint64_t>(acir)});
+    cfg.env.acir_db = acir;
+    const auto p = benchutil::run_drops(cfg, 4, 10);
+    std::printf("%8.0f %10.2e %14.2f\n", acir, p.ber,
+                p.mean_throughput_bps / 1e6);
+  }
+  std::printf("(the original band's residue — not thermal noise — caps "
+              "close-range SNR;\n commodity-UE filtering (~45 dB) would "
+              "cost two orders of magnitude in BER)\n\n");
+
+  std::printf("--- D. preamble search range vs sync sigma 2 us ---\n");
+  std::printf("%12s %10s %10s\n", "range(units)", "detect", "BER");
+  for (const std::size_t range : {32, 64, 128, 256, 512}) {
+    core::LinkConfig cfg = core::make_scenario(core::Scene::kSmartHome,
+                                               {.seed = seed + range});
+    cfg.search.range_units = range;
+    const auto p = benchutil::run_drops(cfg, 6, 20);
+    std::printf("%12zu %10.3f %10.2e\n", range, p.detect, p.ber);
+  }
+  std::printf("(the search must cover the residual-sync tails: 2 us sigma "
+              "= 61 units at 30.72 Msps;\n under-covering silently drops "
+              "whole packets)\n\n");
+
+  std::printf("--- E'. modulation window placement (paper §3.2.3 / "
+              "Fig. 10) ---\n");
+  std::printf("%14s %10s %10s\n", "offset(units)", "BER", "PDR");
+  for (const std::ptrdiff_t off : {-724, -524, -424, -200, 0, 200, 424}) {
+    core::LinkConfig cfg = core::make_scenario(core::Scene::kSmartHome,
+                                               {.seed = seed + 5});
+    cfg.env.pathloss.shadowing_sigma_db = 0.0;
+    cfg.schedule.window_offset_units = off;
+    cfg.sync.sigma_s = 0.2e-6;
+    cfg.search.range_units = 80;
+    const auto p = benchutil::run_drops(cfg, 3, 8);
+    std::printf("%14td %10.2e %10.2f\n", off, p.ber, p.pdr);
+  }
+  std::printf("(offset -424 puts the window flush against the CP; beyond "
+              "that, modulated units fall\n into the CP and are discarded "
+              "by the UE's FFT window — why the paper centers the\n window "
+              "and reserves 38.8%% of the symbol as slack)\n\n");
+
+  std::printf("--- E. generalization: unit-level modulation on WiFi OFDM "
+              "(paper SS6) ---\n");
+  {
+    baselines::WifiUnitLevelConfig wcfg;
+    wcfg.pathloss.exponent = 2.0;
+    wcfg.seed = seed;
+    baselines::WifiUnitLevelLink wifi(wcfg);
+    const auto m = wifi.run_burst(60);
+    std::printf("instantaneous rate: %.1f Mbps  burst BER: %.2e\n",
+                wifi.instantaneous_rate_bps() / 1e6, m.ber());
+    std::printf("%10s %16s\n", "occupancy", "avg tput (Mbps)");
+    for (const double occ : {0.1, 0.3, 0.6, 1.0}) {
+      std::printf("%10.1f %16.2f\n", occ,
+                  wifi.hourly_throughput_bps(occ, 60) / 1e6);
+    }
+    std::printf("(the same basic-timing-unit scheme hits 13 Mbps on "
+                "802.11g symbols, but bursty\n ambient WiFi gates the "
+                "average — the quantified reason the paper builds on "
+                "LTE)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+#pragma once
+// Shared helpers for the figure-regeneration benches: multi-drop averaging
+// of LScatter links and consistent row printing. Every bench prints its
+// seed so runs are reproducible.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/link_simulator.hpp"
+#include "core/scenario.hpp"
+#include "dsp/stats.hpp"
+
+namespace lscatter::benchutil {
+
+struct SweepPoint {
+  double mean_throughput_bps = 0.0;
+  double median_throughput_bps = 0.0;
+  double ber = 0.0;  // pooled over drops
+  double pdr = 0.0;
+  double detect = 0.0;
+};
+
+/// Run `drops` independent channel drops of `subframes` each and pool.
+inline SweepPoint run_drops(const core::LinkConfig& base, std::size_t drops,
+                            std::size_t subframes) {
+  SweepPoint p;
+  std::vector<double> tputs;
+  core::LinkMetrics total;
+  for (std::size_t d = 0; d < drops; ++d) {
+    core::LinkConfig cfg = base;
+    cfg.seed = base.seed + 0x9E37 * (d + 1);
+    cfg.enodeb.seed = cfg.seed ^ 0xBEEF;
+    core::LinkSimulator sim(cfg);
+    const core::LinkMetrics m = sim.run(subframes);
+    tputs.push_back(m.throughput_bps());
+    total += m;
+  }
+  p.mean_throughput_bps = dsp::mean(tputs);
+  p.median_throughput_bps = dsp::median(tputs);
+  p.ber = total.ber();
+  p.pdr = total.packet_delivery_ratio();
+  p.detect = total.preamble_detection_ratio();
+  return p;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==========================================================\n");
+}
+
+}  // namespace lscatter::benchutil

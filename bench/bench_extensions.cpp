@@ -1,0 +1,123 @@
+// Library extensions beyond the paper's evaluation (all flagged as such):
+//   A. multi-tag TDMA: per-tag and aggregate throughput vs slot count,
+//      plus the collision/capture case that motivates slotting
+//   B. ambient reconstruction: genie vs decode-and-regenerate UE
+//   C. FEC: uncoded vs rate-1/2 convolutional at increasing distance
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/multi_tag.hpp"
+
+int main() {
+  using namespace lscatter;
+  benchutil::print_header("Extensions: multi-tag / reconstruction / FEC",
+                          "library extensions (DESIGN.md §6)");
+  const std::uint64_t seed = 888;
+  std::printf("seed=%llu\n\n", static_cast<unsigned long long>(seed));
+
+  std::printf("--- A. multi-tag TDMA (smart home, tags at 3-6 ft) ---\n");
+  std::printf("%7s %7s %16s %16s\n", "slots", "tags", "per-tag (Mbps)",
+              "aggregate (Mbps)");
+  for (const std::size_t n : {1u, 2u, 4u}) {
+    core::MultiTagConfig cfg;
+    cfg.base = core::make_scenario(core::Scene::kSmartHome, {.seed = seed});
+    cfg.base.env.pathloss.shadowing_sigma_db = 0.0;
+    cfg.n_slots = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      cfg.tags.push_back({{3.0 + static_cast<double>(i), 3.0, -1.0}, i});
+    }
+    const auto res = core::run_multi_tag(cfg, 20);
+    double per_tag = 0.0;
+    for (const auto& p : res.per_tag) {
+      per_tag += p.metrics.throughput_bps() /
+                 static_cast<double>(res.per_tag.size());
+    }
+    std::printf("%7zu %7zu %16.2f %16.2f\n", n, n, per_tag / 1e6,
+                res.aggregate_throughput_bps() / 1e6);
+  }
+  {
+    core::MultiTagConfig cfg;
+    cfg.base = core::make_scenario(core::Scene::kSmartHome, {.seed = seed});
+    cfg.base.env.pathloss.shadowing_sigma_db = 0.0;
+    cfg.n_slots = 1;
+    cfg.tags.push_back({{3.0, 3.0, -1.0}, 0});
+    cfg.tags.push_back({{4.0, 4.0, -1.0}, 0});  // collision
+    const auto res = core::run_multi_tag(cfg, 20);
+    std::printf("collision (2 tags, 1 slot): BER %.2e / %.2e, PDR %.2f / "
+                "%.2f — capture effect;\nslot assignment is what makes "
+                "dense deployments work\n\n",
+                res.per_tag[0].metrics.ber(), res.per_tag[1].metrics.ber(),
+                res.per_tag[0].metrics.packet_delivery_ratio(),
+                res.per_tag[1].metrics.packet_delivery_ratio());
+  }
+
+  std::printf("--- B. ambient source: genie vs reconstructed vs blind ---\n");
+  std::printf("%16s %14s %10s\n", "ambient", "tput (Mbps)", "BER");
+  const core::AmbientSource sources[] = {
+      core::AmbientSource::kGenie, core::AmbientSource::kReconstructed,
+      core::AmbientSource::kBlind};
+  const char* names[] = {"genie", "reconstructed", "blind (DCI)"};
+  for (int i = 0; i < 3; ++i) {
+    core::LinkConfig cfg =
+        core::make_scenario(core::Scene::kSmartHome, {.seed = seed + 1});
+    cfg.env.pathloss.shadowing_sigma_db = 0.0;
+    cfg.ambient = sources[i];
+    const auto p = benchutil::run_drops(cfg, 4, 10);
+    std::printf("%16s %14.2f %10.2e\n", names[i],
+                p.mean_throughput_bps / 1e6, p.ber);
+  }
+  std::printf("(blind = the UE derives everything — RE layout, MCS, known "
+              "signals — from its own\n PSS/SSS/PBCH/PDCCH decode; the "
+              "paper's record-and-playback genie is a fair proxy)\n\n");
+
+  std::printf("--- C. FEC at increasing range (full-subframe packets) ---\n");
+  std::printf("%7s | %12s %8s | %12s %8s\n", "d2(ft)", "uncoded Mbps",
+              "PDR", "conv Mbps", "PDR");
+  for (const double d : {6.0, 12.0, 16.0, 20.0}) {
+    double tput[2];
+    double pdr[2];
+    for (const bool coded : {false, true}) {
+      core::LinkConfig cfg = core::make_scenario(
+          core::Scene::kSmartHome,
+          {.seed = seed + static_cast<std::uint64_t>(d)});
+      cfg.env.pathloss.shadowing_sigma_db = 0.0;
+      cfg.geometry.enb_tag_ft = 14.0;
+      cfg.geometry.tag_ue_ft = d;
+      cfg.fec = coded ? core::Fec::kConvolutional : core::Fec::kNone;
+      const auto p = benchutil::run_drops(cfg, 4, 10);
+      tput[coded] = p.mean_throughput_bps;
+      pdr[coded] = p.pdr;
+    }
+    std::printf("%7.0f | %12.2f %8.2f | %12.2f %8.2f\n", d,
+                tput[0] / 1e6, pdr[0], tput[1] / 1e6, pdr[1]);
+  }
+  std::printf("(rate 1/2 halves the ceiling but keeps CRC-clean packets "
+              "flowing well past the\n point where uncoded full-subframe "
+              "packets die — complementary to repetition)\n\n");
+
+  std::printf("--- D. frequency-selective channel + per-subcarrier "
+              "equalization (paper §3.3.1) ---\n");
+  std::printf("%22s %14s %10s\n", "config", "tput (Mbps)", "BER");
+  struct Case {
+    const char* name;
+    bool selective;
+    std::size_t eq_taps;
+  };
+  for (const Case c : {Case{"flat (DESIGN §4)", false, 0},
+                       Case{"multipath, no EQ", true, 0},
+                       Case{"multipath + 8-tap EQ", true, 8}}) {
+    core::LinkConfig cfg =
+        core::make_scenario(core::Scene::kSmartHome, {.seed = seed + 9});
+    cfg.env.pathloss.shadowing_sigma_db = 0.0;
+    cfg.env.frequency_selective = c.selective;
+    cfg.search.equalizer_taps = c.eq_taps;
+    const auto p = benchutil::run_drops(cfg, 4, 8);
+    std::printf("%22s %14.2f %10.2e\n", c.name,
+                p.mean_throughput_bps / 1e6, p.ber);
+  }
+  std::printf("(per-unit BPSK cannot survive even 50 ns of delay spread "
+              "raw; the preamble-trained\n frequency-domain equalizer — "
+              "the paper's per-subcarrier correction — restores it)\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 4: traffic comparison among LoRa, WiFi, and LTE.
+//   4a: spectrogram of a WiFi channel (bursty, shared with narrowband
+//       devices)
+//   4b: spectrogram of an LTE band (continuous, PSS every 5 ms)
+//   4c: CDF of the traffic occupancy ratio over a week, per tech x site
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dsp/rng.hpp"
+#include "traffic/spectrum_survey.hpp"
+
+int main() {
+  using namespace lscatter;
+  const std::uint64_t seed = 20200810;
+  benchutil::print_header("Figure 4: WiFi vs LTE vs LoRa ambient traffic",
+                          "paper Fig. 4a/4b/4c (§2.1)");
+  std::printf("seed=%llu\n\n", static_cast<unsigned long long>(seed));
+  dsp::Rng rng(seed);
+
+  std::printf("--- Fig. 4a: WiFi channel, 20 ms (rows=time, cols=freq) ---\n");
+  const auto wifi = traffic::survey_wifi(20e-3, 0.5, rng);
+  std::printf("%s", wifi.render(16).c_str());
+  std::printf("WiFi time occupancy over the window: %.2f\n\n",
+              wifi.time_occupancy());
+
+  std::printf("--- Fig. 4b: LTE band, 20 ms ---\n");
+  const auto lte_sg = traffic::survey_lte(20e-3, rng);
+  std::printf("%s", lte_sg.render(16).c_str());
+  std::printf("LTE time occupancy over the window: %.2f (PSS highlighted "
+              "in center cells every 5 ms)\n\n",
+              lte_sg.time_occupancy());
+
+  std::printf("--- Fig. 4c: occupancy-ratio CDF, one week ---\n");
+  std::printf("%-18s", "occupancy x:");
+  for (int i = 0; i <= 10; ++i) std::printf("%6.1f", 0.1 * i);
+  std::printf("\n");
+
+  const struct {
+    traffic::Technology tech;
+    traffic::Site site;
+  } series[] = {
+      {traffic::Technology::kLte, traffic::Site::kHome},
+      {traffic::Technology::kWifi, traffic::Site::kOffice},
+      {traffic::Technology::kWifi, traffic::Site::kClassroom},
+      {traffic::Technology::kWifi, traffic::Site::kHome},
+      {traffic::Technology::kLora, traffic::Site::kHome},
+      {traffic::Technology::kLora, traffic::Site::kOffice},
+      {traffic::Technology::kLora, traffic::Site::kClassroom},
+  };
+  for (const auto& s : series) {
+    const auto cdf = traffic::weekly_occupancy_cdf(s.tech, s.site, rng);
+    char label[48];
+    std::snprintf(label, sizeof(label), "%s %s",
+                  traffic::to_string(s.tech), traffic::to_string(s.site));
+    std::printf("%-18s", label);
+    for (int i = 0; i <= 10; ++i) {
+      std::printf("%6.2f", cdf.evaluate(0.1 * i + 1e-9));
+    }
+    std::printf("\n");
+  }
+
+  // The §2.1 claims, as checks:
+  dsp::Rng check_rng(seed + 1);
+  const auto office = traffic::weekly_occupancy_cdf(
+      traffic::Technology::kWifi, traffic::Site::kOffice, check_rng);
+  const auto lte = traffic::weekly_occupancy_cdf(
+      traffic::Technology::kLte, traffic::Site::kHome, check_rng);
+  std::printf("\npaper claims -> measured:\n");
+  std::printf("  office WiFi < 0.5 for 80%% of time -> P[occ<=0.5] = %.2f\n",
+              office.evaluate(0.5));
+  std::printf("  office WiFi < 0.7 for 90%% of time -> P[occ<=0.7] = %.2f\n",
+              office.evaluate(0.7));
+  std::printf("  LTE occupancy == 1.0 always        -> P[occ>=1.0] = %.2f\n",
+              1.0 - lte.evaluate(0.999));
+  return 0;
+}

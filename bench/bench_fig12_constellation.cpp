@@ -1,0 +1,93 @@
+// Figure 12: the demodulated backscatter constellation rotates by the
+// phase offset phi (tag switching delay + channel response); eliminating
+// it with reference units (Eq. 6) restores the ideal BPSK constellation.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "channel/awgn.hpp"
+#include "core/lscatter_rx.hpp"
+#include "core/phase_offset.hpp"
+#include "lte/enodeb.hpp"
+#include "lte/ofdm.hpp"
+#include "tag/modulator.hpp"
+#include "tag/tag_controller.hpp"
+
+int main() {
+  using namespace lscatter;
+  using dsp::cf32;
+  const std::uint64_t seed = 1212;
+  benchutil::print_header("Figure 12: phase offset on the constellation",
+                          "paper Fig. 12 (§3.3.1) + Eq. 5/6");
+  std::printf("seed=%llu\n\n", static_cast<unsigned long long>(seed));
+
+  lte::Enodeb::Config ecfg;
+  ecfg.cell.bandwidth = lte::Bandwidth::kMHz20;
+  ecfg.seed = seed;
+  lte::Enodeb enb(ecfg);
+  const auto cell = ecfg.cell;
+
+  tag::TagScheduleConfig sched;
+  tag::TagController ctl(cell, sched);
+
+  for (const double phi_deg : {0.0, 25.0, 60.0, -40.0}) {
+    const double phi = phi_deg * dsp::kPi / 180.0;
+    const cf32 gain{static_cast<float>(1e-3 * std::cos(phi)),
+                    static_cast<float>(1e-3 * std::sin(phi))};
+
+    const auto tx = enb.make_subframe(1);
+    const std::size_t cap = ctl.packet_raw_bits(1);
+    const core::PacketCodec codec(cap);
+    dsp::Rng prng(seed + 7);
+    const auto payload = prng.bits(codec.payload_bits());
+    const auto chunks =
+        core::split_bits(codec.encode(payload), ctl.bits_per_symbol());
+    const auto plan = ctl.plan_subframe(1, true, chunks);
+    const auto pattern = tag::expand_to_units(cell, plan);
+    auto rx = tag::apply_pattern(tx.samples, pattern, 0, gain);
+    dsp::Rng nrng(seed + 9);
+    channel::add_awgn(rx, 1e-10, nrng);
+
+    // Products over the first data symbol's modulation window.
+    const std::size_t l = 1;  // symbol 0 carries the preamble
+    const std::size_t useful =
+        lte::symbol_offset_in_subframe(cell, l) + cell.cp_samples();
+    const std::size_t w0 = useful + ctl.modulation_start_unit();
+
+    // Mean angle of the '1' (theta=0) cluster before correction.
+    dsp::cf64 centroid{};
+    for (std::size_t n = 0; n < ctl.units_per_symbol(); ++n) {
+      const cf32 z = rx[w0 + n] * std::conj(tx.samples[w0 + n]);
+      const bool bit_one = plan.symbols[l].bits[n] != 0;
+      const dsp::cf64 zz{z.real(), z.imag()};
+      centroid += bit_one ? zz : -zz;
+    }
+    const double measured_deg =
+        std::atan2(centroid.imag(), centroid.real()) * 180.0 / dsp::kPi;
+
+    // Eliminate with the filler-unit gain estimate (Eq. 6 equivalent).
+    dsp::cvec z_ref;
+    for (std::size_t n = 0;
+         n < static_cast<std::size_t>(ctl.modulation_start_unit()); ++n) {
+      z_ref.push_back(rx[useful + n] * std::conj(tx.samples[useful + n]));
+    }
+    const cf32 g_hat = core::estimate_gain(z_ref);
+    dsp::cf64 corrected = centroid;
+    {
+      const cf32 unit = std::conj(g_hat) / std::abs(g_hat);
+      corrected *= dsp::cf64{unit.real(), unit.imag()};
+    }
+    const double residual_deg =
+        std::atan2(corrected.imag(), corrected.real()) * 180.0 / dsp::kPi;
+
+    std::printf("injected phi = %+7.1f deg -> constellation rotated by "
+                "%+7.1f deg; after Eq.6 elimination: %+6.2f deg residual\n",
+                phi_deg, measured_deg, residual_deg);
+  }
+
+  std::printf("\nthe ideal constellation (Fig. 12a) is recovered to within "
+              "a fraction of a degree,\nso UE slicing operates on axis-"
+              "aligned BPSK exactly as §3.3.3 assumes.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figures 18a/18b: LScatter throughput vs LTE bandwidth, LoS and NLoS.
+// The paper's observations: throughput is directly proportional to the
+// bandwidth (the modulation uses every subcarrier's timing unit), and the
+// NLoS penalty is below 10%.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace lscatter;
+  benchutil::print_header("Figures 18a/18b: throughput vs LTE bandwidth",
+                          "paper §4.3.2");
+  const std::uint64_t seed = 1818;
+  const std::size_t drops = 6;
+  const std::size_t subframes = 20;
+  std::printf("seed=%llu, %zu drops x %zu subframes, smart-home 3ft/3ft\n\n",
+              static_cast<unsigned long long>(seed), drops, subframes);
+
+  std::printf("%-8s %14s %14s %9s\n", "BW", "LoS (Mbps)", "NLoS (Mbps)",
+              "NLoS drop");
+  double prev_los = 0.0;
+  double prev_bw = 0.0;
+  bool proportional = true;
+  for (const auto bw : lte::kAllBandwidths) {
+    double tput[2] = {0.0, 0.0};
+    for (const bool nlos : {false, true}) {
+      core::ScenarioOptions opt;
+      opt.bandwidth = bw;
+      opt.line_of_sight = !nlos;
+      opt.seed = seed + static_cast<std::uint64_t>(bw) * 31 + nlos;
+      const core::LinkConfig cfg =
+          core::make_scenario(core::Scene::kSmartHome, opt);
+      tput[nlos] =
+          benchutil::run_drops(cfg, drops, subframes).mean_throughput_bps;
+    }
+    const double drop_pct = 100.0 * (1.0 - tput[1] / tput[0]);
+    std::printf("%-8s %14.2f %14.2f %8.1f%%\n",
+                lte::to_string(bw).c_str(), tput[0] / 1e6, tput[1] / 1e6,
+                drop_pct);
+
+    const double bw_hz = lte::bandwidth_hz(bw);
+    if (prev_bw > 0.0) {
+      const double ratio = (tput[0] / prev_los) / (bw_hz / prev_bw);
+      // Per-subcarrier rate should be constant across bandwidths. The RB
+      // count is not exactly proportional to nominal bandwidth (6 RB for
+      // 1.4 MHz), so allow slack.
+      if (ratio < 0.6 || ratio > 1.4) proportional = false;
+    }
+    prev_los = tput[0];
+    prev_bw = bw_hz;
+  }
+
+  std::printf("\npaper claims -> measured:\n");
+  std::printf("  throughput proportional to bandwidth : %s\n",
+              proportional ? "yes" : "NO");
+  std::printf("  20 MHz LoS ~13.6 Mbps, 1.4 MHz ~0.8 Mbps, NLoS drop < "
+              "10%%\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 19: throughput matrix over (eNodeB-to-tag) x (tag-to-UE)
+// distances in the smart home, 10 dBm. The paper: 4-13 Mbps as long as
+// the tag is within ~15 ft of either end; quick drop beyond.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace lscatter;
+  benchutil::print_header(
+      "Figure 19: throughput vs eNB-tag x tag-UE distance",
+      "paper §4.3.3 (smart home, 10 dBm)");
+  const std::uint64_t seed = 1919;
+  const double dists[] = {1, 5, 10, 15, 20, 25};
+  const std::size_t drops = 6;
+  std::printf("seed=%llu, %zu drops x 10 subframes per cell, Mbps\n\n",
+              static_cast<unsigned long long>(seed), drops);
+
+  std::printf("tag-to-UE \\ eNB-to-tag (ft)\n%8s", "");
+  for (const double d1 : dists) std::printf("%7.0f", d1);
+  std::printf("\n");
+
+  double near_min = 1e12;
+  double corner = 0.0;
+  for (const double d2 : dists) {
+    std::printf("%8.0f", d2);
+    for (const double d1 : dists) {
+      core::ScenarioOptions opt;
+      opt.seed = seed + static_cast<std::uint64_t>(d1 * 131 + d2 * 17);
+      core::LinkConfig cfg =
+          core::make_scenario(core::Scene::kSmartHome, opt);
+      cfg.geometry.enb_tag_ft = d1;
+      cfg.geometry.tag_ue_ft = d2;
+      const auto p = benchutil::run_drops(cfg, drops, 10);
+      std::printf("%7.2f", p.mean_throughput_bps / 1e6);
+      if ((d1 <= 15.0 || d2 <= 15.0) && d1 <= 15.0 && d2 <= 15.0) {
+        near_min = std::min(near_min, p.mean_throughput_bps);
+      }
+      if (d1 == 25.0 && d2 == 25.0) corner = p.mean_throughput_bps;
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npaper: 4-13 Mbps while within 15 ft of either end; "
+              "quick drop at the far corner.\nours : the gradient runs "
+              "the same way but is shallower — our chance-corrected\n"
+              "throughput metric only collapses once BER nears 0.5, while "
+              "the paper's testbed\nloses packets earlier (see "
+              "EXPERIMENTS.md).\n");
+  std::printf("ours : min within the 15 ft box = %.2f Mbps; far corner "
+              "(25,25) = %.2f Mbps\n",
+              near_min / 1e6, corner / 1e6);
+  return 0;
+}

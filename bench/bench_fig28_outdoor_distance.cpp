@@ -1,0 +1,79 @@
+// Figures 28/29: outdoor street, throughput and BER vs tag-to-UE distance
+// (10 dBm). Paper shapes: higher throughput than indoors at the same
+// distance (less multipath), WiFi backscatter's BER blows up past ~120 ft
+// while both LTE systems stay under 1% out to ~200 ft.
+
+#include <cstdio>
+
+#include "baselines/symbol_level_lte.hpp"
+#include "baselines/wifi_backscatter.hpp"
+#include "bench_common.hpp"
+#include "traffic/occupancy_model.hpp"
+
+int main() {
+  using namespace lscatter;
+  benchutil::print_header(
+      "Figures 28/29: outdoor, 3 systems vs distance, 10 dBm",
+      "paper §4.5.2/§4.5.3 (eNB/WiFi sender ~10 ft from tag)");
+  const std::uint64_t seed = 2828;
+  const double kEnbTagFt = 10.0;
+  const std::size_t drops = 5;
+  std::printf("seed=%llu\n\n", static_cast<unsigned long long>(seed));
+
+  const traffic::OccupancyModel wifi_occ(traffic::Technology::kWifi,
+                                         traffic::Site::kOutdoor);
+  const double occupancy = wifi_occ.mean_occupancy(17);
+
+  std::printf("%6s | %12s %12s %12s | %10s %10s %10s\n", "d(ft)",
+              "WiFi(kbps)", "symLTE(kbps)", "LScat(Mbps)", "WiFi BER",
+              "symLTE BER", "LScat BER");
+
+  for (const double d :
+       {20.0, 50.0, 80.0, 120.0, 160.0, 200.0, 250.0, 300.0}) {
+    core::ScenarioOptions opt;
+    opt.seed = seed + static_cast<std::uint64_t>(d * 13);
+    core::LinkConfig cfg = core::make_scenario(core::Scene::kOutdoor, opt);
+    cfg.geometry.enb_tag_ft = kEnbTagFt;
+    cfg.geometry.tag_ue_ft = d;
+    const auto ls = benchutil::run_drops(cfg, drops, 10);
+
+    baselines::WifiBackscatterConfig wcfg;
+    wcfg.pathloss = cfg.env.pathloss;
+    wcfg.pathloss.exponent = cfg.env.pathloss.exponent + 0.5;  // 2.4 GHz
+    wcfg.budget = cfg.env.budget;
+    wcfg.enb_tag_ft = kEnbTagFt;
+    wcfg.tag_ue_ft = d;
+    wcfg.rician_k_db = 4.0;
+    wcfg.seed = opt.seed ^ 0xAAAA;
+    baselines::WifiBackscatterLink wifi(wcfg);
+    core::LinkMetrics wm;
+    double wifi_bps = 0.0;
+    for (std::size_t k = 0; k < 8; ++k) {
+      wifi_bps += wifi.hourly_throughput_bps(occupancy, 1200) / 8.0;
+      wm += wifi.run_burst(400);
+    }
+
+    baselines::SymbolLevelLteConfig scfg;
+    scfg.enodeb = cfg.enodeb;
+    scfg.pathloss = cfg.env.pathloss;
+    scfg.budget = cfg.env.budget;
+    scfg.enb_tag_ft = kEnbTagFt;
+    scfg.tag_ue_ft = d;
+    scfg.rician_k_db = cfg.env.fading.rician_k_db;
+    scfg.seed = opt.seed ^ 0x5555;
+    baselines::SymbolLevelLteLink sym(scfg);
+    core::LinkMetrics sm;
+    for (std::size_t k = 0; k < drops; ++k) sm += sym.run(10);
+    const double sym_bps = sym.instantaneous_rate_bps() *
+                           std::max(0.0, 1.0 - 2.0 * sm.ber());
+
+    std::printf("%6.0f | %12.2f %12.2f %12.3f | %10.2e %10.2e %10.2e\n", d,
+                wifi_bps / 1e3, sym_bps / 1e3,
+                ls.mean_throughput_bps / 1e6, wm.ber(), sm.ber(), ls.ber);
+  }
+
+  std::printf("\nexpected: WiFi backscatter BER spikes past ~120 ft "
+              "(2.4 GHz); LTE systems < 1%%\nto ~200 ft; LScatter "
+              "throughput 2-3 orders above both at every distance.\n");
+  return 0;
+}

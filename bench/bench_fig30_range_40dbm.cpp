@@ -1,0 +1,64 @@
+// Figure 30: maximum tag-to-UE distance vs eNodeB-to-tag distance with the
+// RF5110 power amplifier (40 dBm). Paper anchors: eNB-tag 2 ft -> tag-UE
+// 320 ft; eNB-tag 24 ft -> tag-UE 160 ft.
+//
+// "Maximum" = largest distance where the link still delivers (mean BER
+// under 10% and most preambles detected), found by walking the tag-UE
+// distance outward.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace lscatter;
+
+bool link_alive(double enb_tag_ft, double tag_ue_ft, std::uint64_t seed) {
+  core::ScenarioOptions opt;
+  opt.tx_power_dbm = 40.0;  // RF5110 PA
+  opt.seed = seed;
+  core::LinkConfig cfg = core::make_scenario(core::Scene::kOutdoor, opt);
+  cfg.geometry.enb_tag_ft = enb_tag_ft;
+  cfg.geometry.tag_ue_ft = tag_ue_ft;
+  const auto p = benchutil::run_drops(cfg, 4, 8);
+  return p.ber < 0.02 && p.detect > 0.8;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lscatter;
+  benchutil::print_header(
+      "Figure 30: eNB-to-tag vs max tag-to-UE distance @ 40 dBm",
+      "paper §4.5.4");
+  const std::uint64_t seed = 3030;
+  std::printf("seed=%llu, outdoor, alive = BER<2%% and detect>80%%\n\n",
+              static_cast<unsigned long long>(seed));
+
+  std::printf("%14s %20s\n", "eNB-tag (ft)", "max tag-UE (ft)");
+  for (const double d1 : {2.0, 8.0, 16.0, 24.0, 32.0, 40.0}) {
+    // Walk outward in 60 ft steps until the link dies twice in a row.
+    double best = 0.0;
+    int dead = 0;
+    for (double d2 = 60.0; d2 <= 2400.0 && dead < 2; d2 += 60.0) {
+      if (link_alive(d1, d2,
+                     seed + static_cast<std::uint64_t>(d1 * 997 + d2))) {
+        best = d2;
+        dead = 0;
+      } else {
+        ++dead;
+      }
+    }
+    std::printf("%14.0f %20.0f\n", d1, best);
+  }
+
+  std::printf("\npaper anchors: (2 ft -> 320 ft), (24 ft -> 160 ft). The "
+              "*shape* to reproduce is the\nmonotone tradeoff from the "
+              "double path loss of passive links. Our absolute ranges\n"
+              "run longer: the simulated front end has no saturation or "
+              "self-interference at\n+40 dBm (see EXPERIMENTS.md). "
+              "Small-cell deployments put eNodeBs close enough for\n"
+              "this range to cover homes and offices.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Figure 32: impact of the backscatter on the original LTE transmission.
+// LTE downlink throughput CDFs with and without an active LScatter tag,
+// for 1.4 / 5 / 20 MHz. The scattered signal lives at f_c + 1/Ts (outside
+// the band) and is far below the direct signal, so the curves should
+// overlap — "negligible impact".
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "channel/awgn.hpp"
+#include "channel/link_budget.hpp"
+#include "channel/pathloss.hpp"
+#include "dsp/db.hpp"
+#include "lte/enodeb.hpp"
+#include "lte/ue_rx.hpp"
+#include "tag/modulator.hpp"
+#include "tag/tag_controller.hpp"
+
+namespace {
+
+using namespace lscatter;
+
+// LTE throughput over `n_sf` subframes at the given direct SNR, with an
+// optional backscatter interferer `int_power` (relative to direct power 1).
+double lte_throughput_bps(lte::Bandwidth bw, double snr_db,
+                          lte::Modulation mcs, bool with_backscatter,
+                          double int_rel_power, std::uint64_t seed) {
+  lte::Enodeb::Config ecfg;
+  ecfg.cell.bandwidth = bw;
+  ecfg.modulation = mcs;
+  ecfg.seed = seed;
+  lte::Enodeb enb(ecfg);
+  lte::UeReceiver ue(ecfg.cell);
+  tag::TagScheduleConfig sched;
+  tag::TagController ctl(ecfg.cell, sched);
+  dsp::Rng noise_rng(seed ^ 0x32);
+  dsp::Rng pattern_rng(seed ^ 0x64);
+
+  std::size_t delivered = 0;
+  const std::size_t n_sf = 10;
+  for (std::size_t sf = 0; sf < n_sf; ++sf) {
+    lte::SubframeTx tx = enb.next_subframe();
+    dsp::cvec rx = tx.samples;
+
+    if (with_backscatter) {
+      // In-band residue of the scattered signal: the wanted sideband sits
+      // 1/Ts away; what lands in-band is the un-cancelled image plus
+      // switching spectral splatter, all far below the direct signal.
+      std::vector<std::uint8_t> pattern(
+          ecfg.cell.samples_per_subframe());
+      for (auto& b : pattern)
+        b = static_cast<std::uint8_t>(pattern_rng.next_u32() & 1u);
+      const float amp = static_cast<float>(std::sqrt(int_rel_power));
+      const dsp::cvec scat = tag::apply_pattern(
+          tx.samples, pattern, 0, dsp::cf32{amp, 0.0f});
+      for (std::size_t n = 0; n < rx.size(); ++n) rx[n] += scat[n];
+    }
+
+    channel::add_awgn_snr(rx, snr_db, noise_rng);
+    const auto res = ue.receive_subframe(rx, tx, mcs);
+    delivered += res.bits_delivered;  // per-code-block accounting
+  }
+  return static_cast<double>(delivered) /
+         (static_cast<double>(n_sf) * 1e-3);
+}
+
+}  // namespace
+
+int main() {
+  using namespace lscatter;
+  benchutil::print_header(
+      "Figure 32: LTE throughput with/without backscatter",
+      "paper §4.7");
+  const std::uint64_t seed = 3232;
+  // Backscatter-to-direct in-band power ratio at the UE: double path loss
+  // + tag losses + image rejection put it ~45 dB under the direct signal.
+  const double int_rel = dsp::db_to_lin(-45.0);
+  std::printf("seed=%llu, in-band backscatter residue at -45 dB rel. "
+              "direct\n\n",
+              static_cast<unsigned long long>(seed));
+
+  for (const auto bw :
+       {lte::Bandwidth::kMHz1_4, lte::Bandwidth::kMHz5,
+        lte::Bandwidth::kMHz20}) {
+    std::vector<double> without;
+    std::vector<double> with_bs;
+    dsp::Rng snr_rng(seed + static_cast<std::uint64_t>(bw));
+    for (int run = 0; run < 15; ++run) {
+      // The UE moves around, so SNR and the scheduled MCS vary run to
+      // run: QPSK at low SNR, up to 64QAM when the link is good.
+      const double snr = snr_rng.uniform(10.0, 30.0);
+      const lte::Modulation mcs =
+          snr < 14.0 ? lte::Modulation::kQpsk
+          : snr < 22.0 ? lte::Modulation::kQam16
+                       : lte::Modulation::kQam64;
+      const std::uint64_t s = seed + 100 * run;
+      without.push_back(
+          lte_throughput_bps(bw, snr, mcs, false, int_rel, s) / 1e6);
+      with_bs.push_back(
+          lte_throughput_bps(bw, snr, mcs, true, int_rel, s) / 1e6);
+    }
+    const auto b0 = dsp::box_stats(without);
+    const auto b1 = dsp::box_stats(with_bs);
+    std::printf("%-7s w/o backscatter: %s Mbps\n",
+                lte::to_string(bw).c_str(),
+                dsp::format_box(b0).c_str());
+    std::printf("%-7s w/  backscatter: %s Mbps\n",
+                lte::to_string(bw).c_str(), dsp::format_box(b1).c_str());
+    std::printf("        median delta: %+.2f%%\n\n",
+                100.0 * (b1.median - b0.median) /
+                    (b0.median > 0 ? b0.median : 1.0));
+  }
+
+  std::printf("paper: the CDF pairs overlap (negligible impact), because "
+              "the scattered signal is\nshifted out of band and is much "
+              "weaker than the direct transmission.\n");
+  return 0;
+}

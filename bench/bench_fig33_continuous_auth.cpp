@@ -1,0 +1,55 @@
+// Figure 33b: continuous-authentication update rate (EMG samples/s
+// delivered) vs tag-to-source distance. Paper: 136 sps at 2 ft, ~5 sps at
+// 40 ft.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace lscatter;
+  benchutil::print_header(
+      "Figure 33b: continuous-auth update rate vs distance",
+      "paper §5 (EMG wearable, one-symbol packets)");
+  const std::uint64_t seed = 3333;
+  constexpr double kSensorRateSps = 136.0;
+  const std::size_t drops = 12;
+  std::printf("seed=%llu, sensor rate %.0f sps, %zu drops per point\n\n",
+              static_cast<unsigned long long>(seed), kSensorRateSps,
+              drops);
+
+  std::printf("%14s %10s %14s\n", "tag-src (ft)", "PDR", "update (sps)");
+  double first = 0.0;
+  double last = 0.0;
+  for (const double d : {2.0, 8.0, 16.0, 24.0, 32.0, 40.0}) {
+    core::ScenarioOptions opt;
+    opt.seed = seed + static_cast<std::uint64_t>(d * 37);
+    core::LinkConfig cfg = core::make_scenario(core::Scene::kSmartHome, opt);
+    cfg.geometry.enb_tag_ft = d;
+    cfg.geometry.tag_ue_ft = 4.0;
+    cfg.schedule.max_data_symbols_per_packet = 1;
+
+    std::size_t sent = 0;
+    std::size_t ok = 0;
+    for (std::size_t k = 0; k < drops; ++k) {
+      core::LinkConfig c = cfg;
+      c.seed = cfg.seed + 7919 * (k + 1);
+      core::LinkSimulator sim(c);
+      const auto m = sim.run(20);
+      sent += m.packets_sent;
+      ok += m.packets_ok;
+    }
+    const double pdr =
+        sent == 0 ? 0.0 : static_cast<double>(ok) / static_cast<double>(sent);
+    const double sps = kSensorRateSps * pdr;
+    std::printf("%14.0f %10.3f %14.1f\n", d, pdr, sps);
+    if (d == 2.0) first = sps;
+    if (d == 40.0) last = sps;
+  }
+
+  std::printf("\npaper: 136 sps at 2 ft -> ~5 sps at 40 ft. ours: %.0f -> "
+              "%.0f sps. A handful of samples\nper second still "
+              "re-authenticates the wearer several times a second.\n",
+              first, last);
+  return 0;
+}

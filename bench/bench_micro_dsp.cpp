@@ -1,0 +1,72 @@
+// Micro-benchmarks (google-benchmark): the DSP substrate's hot loops —
+// FFTs at every LTE size, OFDM modulation, PSS correlation — to show the
+// simulator's building blocks run at practical speeds.
+
+#include <benchmark/benchmark.h>
+
+#include "dsp/correlate.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/rng.hpp"
+#include "lte/enodeb.hpp"
+#include "lte/ue_sync.hpp"
+
+namespace {
+
+using namespace lscatter;
+
+void BM_FftForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dsp::FftPlan plan(n);
+  dsp::Rng rng(1);
+  dsp::cvec x(n);
+  for (auto& v : x) v = rng.complex_normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.forward(x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftForward)->Arg(128)->Arg(512)->Arg(1536)->Arg(2048);
+
+void BM_EnodebSubframe(benchmark::State& state) {
+  lte::Enodeb::Config cfg;
+  cfg.cell.bandwidth =
+      static_cast<lte::Bandwidth>(static_cast<int>(state.range(0)));
+  lte::Enodeb enb(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enb.next_subframe());
+  }
+}
+BENCHMARK(BM_EnodebSubframe)
+    ->Arg(static_cast<int>(lte::Bandwidth::kMHz1_4))
+    ->Arg(static_cast<int>(lte::Bandwidth::kMHz20));
+
+void BM_PssSearch(benchmark::State& state) {
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz5;
+  lte::Enodeb::Config ecfg;
+  ecfg.cell = cell;
+  lte::Enodeb enb(ecfg);
+  const auto tx = enb.make_subframe(0);
+  lte::CellSearcher searcher(cell);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(searcher.search(tx.samples));
+  }
+}
+BENCHMARK(BM_PssSearch);
+
+void BM_CrossCorrelate(benchmark::State& state) {
+  dsp::Rng rng(2);
+  dsp::cvec sig(8192);
+  dsp::cvec pat(128);
+  for (auto& v : sig) v = rng.complex_normal();
+  for (auto& v : pat) v = rng.complex_normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::cross_correlate(sig, pat));
+  }
+}
+BENCHMARK(BM_CrossCorrelate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Micro-benchmarks (google-benchmark): the LScatter receive pipeline —
+// per-packet demodulation (preamble search + phase elimination + slicing)
+// and the tag's analog front end — to quantify simulator throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "core/link_simulator.hpp"
+#include "core/scenario.hpp"
+#include "tag/analog_frontend.hpp"
+#include "tag/modulator.hpp"
+
+namespace {
+
+using namespace lscatter;
+
+void BM_LscatterPacketDemod(benchmark::State& state) {
+  core::LinkConfig cfg = core::make_scenario(core::Scene::kSmartHome);
+  cfg.enodeb.cell.bandwidth =
+      static_cast<lte::Bandwidth>(static_cast<int>(state.range(0)));
+  const auto& cell = cfg.enodeb.cell;
+  lte::Enodeb enb(cfg.enodeb);
+  tag::TagController ctl(cell, cfg.schedule);
+  core::LscatterDemodulator demod(cell, cfg.schedule, cfg.search);
+
+  const auto tx = enb.make_subframe(1);
+  const std::size_t cap = ctl.packet_raw_bits(1);
+  const core::PacketCodec codec(cap);
+  dsp::Rng rng(3);
+  const auto payload = rng.bits(codec.payload_bits());
+  const auto chunks =
+      core::split_bits(codec.encode(payload), ctl.bits_per_symbol());
+  const auto plan = ctl.plan_subframe(1, true, chunks);
+  const auto pattern = tag::expand_to_units(cell, plan);
+  const auto rx =
+      tag::apply_pattern(tx.samples, pattern, 17, dsp::cf32{1e-3f, 2e-4f});
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(demod.demodulate_packet(rx, tx.samples, 1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(cap));
+}
+BENCHMARK(BM_LscatterPacketDemod)
+    ->Arg(static_cast<int>(lte::Bandwidth::kMHz1_4))
+    ->Arg(static_cast<int>(lte::Bandwidth::kMHz5))
+    ->Arg(static_cast<int>(lte::Bandwidth::kMHz20));
+
+void BM_AnalogFrontend20ms(benchmark::State& state) {
+  lte::Enodeb::Config ecfg;
+  ecfg.cell.bandwidth = lte::Bandwidth::kMHz20;
+  lte::Enodeb enb(ecfg);
+  dsp::cvec s;
+  for (int sf = 0; sf < 20; ++sf) {
+    const auto tx = enb.next_subframe();
+    s.insert(s.end(), tx.samples.begin(), tx.samples.end());
+  }
+  for (auto _ : state) {
+    tag::AnalogFrontend fe({}, ecfg.cell.sample_rate_hz());
+    benchmark::DoNotOptimize(fe.process(s));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s.size()));
+}
+BENCHMARK(BM_AnalogFrontend20ms);
+
+void BM_LinkSimulatorSubframe(benchmark::State& state) {
+  core::LinkConfig cfg = core::make_scenario(core::Scene::kSmartHome);
+  core::LinkSimulator sim(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(2));
+  }
+}
+BENCHMARK(BM_LinkSimulatorSubframe);
+
+}  // namespace
+
+BENCHMARK_MAIN();

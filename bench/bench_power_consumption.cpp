@@ -1,0 +1,61 @@
+// §4.8 power-consumption table: component-level tag energy budget per LTE
+// bandwidth, for both the crystal-oscillator prototype and the
+// ring-oscillator IC option. Anchors from the paper: comparator 10 uW,
+// RF switch 57 uW @20 MHz, FPGA 82 uW, LTC6990 588 uW @1.92 MHz,
+// CSX-252F 4.5 mW @30.72 MHz, ring oscillators 4 uW @30 MHz.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "channel/pathloss.hpp"
+#include "tag/power_model.hpp"
+
+int main() {
+  using namespace lscatter;
+  benchutil::print_header("Tag power consumption", "paper §4.8");
+
+  const tag::PowerModel model;
+  for (const auto clock :
+       {tag::ClockSource::kCrystal, tag::ClockSource::kRingOscillator}) {
+    for (const auto bw : lte::kAllBandwidths) {
+      const auto p = model.breakdown(bw, clock);
+      std::printf("%s\n", tag::format_power_row(bw, clock, p).c_str());
+    }
+    std::printf("\n");
+  }
+
+  const auto p20 =
+      model.breakdown(lte::Bandwidth::kMHz20, tag::ClockSource::kCrystal);
+  const auto p14 =
+      model.breakdown(lte::Bandwidth::kMHz1_4, tag::ClockSource::kCrystal);
+  std::printf("paper anchors: 20 MHz crystal clock = 4.5 mW (ours: %.2f mW); "
+              "1.4 MHz clock = 588 uW (ours: %.0f uW)\n",
+              p20.clock_uw / 1e3, p14.clock_uw);
+  std::printf("ring-oscillator total @20 MHz: %.1f uW — tens of microwatts, "
+              "~1000x below an active radio\n",
+              model.breakdown(lte::Bandwidth::kMHz20,
+                              tag::ClockSource::kRingOscillator)
+                  .total_uw());
+
+  // Extension: can the tag be battery-free from harvested LTE energy?
+  std::printf("\n--- battery-free budget (extension): harvest vs distance "
+              "from a 10 dBm eNodeB ---\n");
+  const tag::HarvestModel harvest;
+  const auto p_ring = model.breakdown(lte::Bandwidth::kMHz20,
+                                      tag::ClockSource::kRingOscillator);
+  channel::PathLossModel pl;
+  pl.exponent = 2.5;  // smart home
+  std::printf("%10s %14s %14s %12s\n", "d (ft)", "incident dBm",
+              "harvest (uW)", "duty cycle");
+  for (const double d_ft : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double incident =
+        10.0 + 2.0 - pl.median_db(d_ft * 0.3048, 680e6);  // 2 dBi antenna
+    std::printf("%10.0f %14.1f %14.2f %12.2f\n", d_ft, incident,
+                harvest.harvested_uw(incident),
+                harvest.sustainable_duty_cycle(incident, p_ring));
+  }
+  std::printf("(with the ring-oscillator budget the tag runs battery-free "
+              "within a few feet of a\n small cell; beyond that it duty-"
+              "cycles — the deployment model §4.5.4 anticipates)\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Warehouse asset tracking over ambient LTE (multi-tag + streaming API).
+//
+// A warehouse near a cell tower sticks an LScatter tag on every pallet.
+// All tags ride the same downlink: each is assigned a TDMA slot derived
+// from the PSS frame cadence, sends a heartbeat packet (asset id +
+// sequence number) in its slot, and the dock reader demodulates them all
+// from one antenna. Pallets that stop heartbeating are flagged.
+//
+// Demonstrates the two extension APIs: core::run_multi_tag (slotted
+// coexistence) and core::StreamingReceiver (chunked stream consumption —
+// shown on a single-tag feed the way an SDR app would use it).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/multi_tag.hpp"
+#include "core/scenario.hpp"
+#include "core/streaming_receiver.hpp"
+#include "lte/enodeb.hpp"
+#include "tag/modulator.hpp"
+
+namespace {
+
+using namespace lscatter;
+
+struct Pallet {
+  std::string label;
+  double enb_tag_ft;
+  double tag_ue_ft;
+};
+
+}  // namespace
+
+int main() {
+  using namespace lscatter;
+
+  const std::vector<Pallet> pallets = {
+      {"pallet-A (dock)", 6.0, 4.0},
+      {"pallet-B (aisle 1)", 9.0, 7.0},
+      {"pallet-C (aisle 2)", 12.0, 9.0},
+      {"pallet-D (deep rack)", 15.0, 12.0},
+  };
+
+  std::printf("Warehouse asset tracking: %zu tags share one LTE downlink\n\n",
+              pallets.size());
+
+  // --- Slotted multi-tag heartbeats -------------------------------------
+  core::MultiTagConfig cfg;
+  cfg.base = core::make_scenario(core::Scene::kMall, {.seed = 1234});
+  // Deep racks: short packets with repetition so far pallets stay heard.
+  cfg.base.schedule.max_data_symbols_per_packet = 1;
+  cfg.base.schedule.repetition = 8;
+  cfg.n_slots = pallets.size();
+  for (std::size_t i = 0; i < pallets.size(); ++i) {
+    cfg.tags.push_back({{pallets[i].enb_tag_ft, pallets[i].tag_ue_ft, -1.0},
+                        i});
+  }
+
+  const auto res = core::run_multi_tag(cfg, 80);  // 80 ms of traffic
+  std::printf("%-22s %-7s %-12s %-10s %s\n", "asset", "slot", "heartbeats",
+              "PDR", "status");
+  for (std::size_t i = 0; i < pallets.size(); ++i) {
+    const auto& m = res.per_tag[i].metrics;
+    const bool present = m.packet_delivery_ratio() > 0.5;
+    std::printf("%-22s %-7zu %zu/%-10zu %-10.2f %s\n",
+                pallets[i].label.c_str(), i, m.packets_ok, m.packets_sent,
+                m.packet_delivery_ratio(),
+                present ? "present" : "MISSING?");
+  }
+  std::printf("aggregate backscatter goodput: %.2f Mbps shared by %zu "
+              "tags, zero infrastructure\n\n",
+              res.aggregate_throughput_bps() / 1e6, pallets.size());
+
+  // --- Streaming consumption at the dock reader -------------------------
+  // One tag's slot, consumed from a continuous sample stream in 2048-
+  // sample chunks, the way an SDR front end delivers them.
+  lte::CellConfig cell = cfg.base.enodeb.cell;
+  lte::Enodeb::Config ecfg = cfg.base.enodeb;
+  lte::Enodeb enb(ecfg);
+  tag::TagScheduleConfig sched;  // full-rate single tag
+  tag::TagController ctl(cell, sched);
+  dsp::Rng prng(55);
+
+  core::StreamingReceiver::Config rx_cfg;
+  rx_cfg.cell = cell;
+  rx_cfg.schedule = sched;
+  core::StreamingReceiver reader(rx_cfg);
+
+  std::size_t delivered = 0;
+  std::size_t events = 0;
+  for (std::size_t sf = 0; sf < 10; ++sf) {
+    const auto tx = enb.next_subframe();
+    const std::size_t cap = ctl.packet_raw_bits(sf);
+    tag::SubframePlan plan;
+    if (!ctl.is_listening_subframe(sf) && cap > 32) {
+      const core::PacketCodec codec(cap);
+      const auto payload = prng.bits(codec.payload_bits());
+      plan = ctl.plan_subframe(
+          sf, true,
+          core::split_bits(codec.encode(payload), ctl.bits_per_symbol()));
+    } else {
+      plan = ctl.plan_subframe(sf, false, {});
+    }
+    const auto pattern = tag::expand_to_units(cell, plan);
+    const auto scat = tag::apply_pattern(tx.samples, pattern, 11,
+                                         dsp::cf32{1e-3f, 2e-4f});
+    // Feed in SDR-sized chunks.
+    for (std::size_t pos = 0; pos < scat.size(); pos += 2048) {
+      const std::size_t n = std::min<std::size_t>(2048, scat.size() - pos);
+      for (const auto& ev : reader.feed(
+               std::span<const dsp::cf32>(scat).subspan(pos, n),
+               std::span<const dsp::cf32>(tx.samples).subspan(pos, n))) {
+        ++events;
+        if (ev.result.payload) delivered += ev.result.payload->size();
+      }
+    }
+  }
+  std::printf("streaming reader: %zu packet events, %.0f kbit delivered "
+              "from 10 ms of chunked samples\n",
+              events, static_cast<double>(delivered) / 1e3);
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Continuous authentication over LScatter (paper §5, Fig. 33).
+//
+// A wearable EMG (electromyography) pad samples muscle activity at 136 sps
+// and ships each reading through the backscatter tag in a short packet
+// (one modulated data symbol). A laptop-side verifier keeps a rolling
+// biometric template and flags user changes. The interesting systems
+// number is the *update rate*: EMG samples delivered per second as the tag
+// moves away from the excitation source — the paper measures 136 sps at
+// 2 ft falling to ~5 sps at 40 ft.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/link_simulator.hpp"
+#include "core/scenario.hpp"
+#include "dsp/rng.hpp"
+
+namespace {
+
+using namespace lscatter;
+
+// Synthetic EMG: bandpassed bursty noise whose RMS envelope tracks muscle
+// activation; each user has a characteristic activation rhythm.
+struct EmgSensor {
+  double user_rhythm_hz;
+  dsp::Rng rng;
+
+  double sample(double t_s) {
+    const double activation =
+        0.5 + 0.5 * std::sin(2.0 * M_PI * user_rhythm_hz * t_s);
+    return activation * rng.normal();
+  }
+};
+
+// Rolling-window verifier: accepts while incoming envelope statistics stay
+// near the enrolled template.
+struct Verifier {
+  double enrolled_rms = 0.0;
+  double window_acc = 0.0;
+  std::size_t window_n = 0;
+
+  void enroll(double rms) { enrolled_rms = rms; }
+  void feed(double v) {
+    window_acc += v * v;
+    ++window_n;
+  }
+  bool accept() const {
+    if (window_n < 8) return true;  // not enough evidence yet
+    const double rms = std::sqrt(window_acc / window_n);
+    return std::abs(rms - enrolled_rms) < 0.5 * enrolled_rms;
+  }
+  void reset() {
+    window_acc = 0.0;
+    window_n = 0;
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace lscatter;
+  constexpr double kSensorRateSps = 136.0;
+
+  std::printf("Continuous authentication over LScatter (paper Fig. 33)\n");
+  std::printf("%-14s %-12s %-12s %s\n", "tag-src (ft)", "PDR", "sps",
+              "verdict");
+
+  for (const double d_ft : {2.0, 8.0, 16.0, 24.0, 32.0, 40.0}) {
+    core::ScenarioOptions opt;
+    opt.seed = 99 + static_cast<std::uint64_t>(d_ft);
+    core::LinkConfig cfg = core::make_scenario(core::Scene::kSmartHome, opt);
+    // Fig. 33b varies the tag-to-source distance; the laptop stays close.
+    cfg.geometry.enb_tag_ft = d_ft;
+    cfg.geometry.tag_ue_ft = 4.0;
+    // One EMG reading (16-bit sample + sequence number) fits easily in a
+    // single modulated symbol; short packets keep the CRC alive at range.
+    cfg.schedule.max_data_symbols_per_packet = 1;
+
+    core::LinkSimulator sim(cfg);
+
+    // Average packet delivery over several channel drops.
+    std::size_t sent = 0;
+    std::size_t ok = 0;
+    for (int drop = 0; drop < 6; ++drop) {
+      const core::LinkMetrics m = sim.run(20);
+      sent += m.packets_sent;
+      ok += m.packets_ok;
+    }
+    const double pdr =
+        sent == 0 ? 0.0 : static_cast<double>(ok) / static_cast<double>(sent);
+    const double update_rate = kSensorRateSps * pdr;
+
+    // Feed the delivered samples through the verifier.
+    EmgSensor sensor{1.3, dsp::Rng(7)};
+    Verifier verifier;
+    verifier.enroll(0.5);
+    dsp::Rng loss_rng(3);
+    std::size_t delivered = 0;
+    for (int i = 0; i < 272; ++i) {  // 2 s of sensor data
+      const double v = sensor.sample(i / kSensorRateSps);
+      if (loss_rng.bernoulli(pdr)) {
+        verifier.feed(v);
+        ++delivered;
+      }
+    }
+    std::printf("%-14.0f %-12.3f %-12.1f %s\n", d_ft, pdr, update_rate,
+                verifier.accept() ? "user verified" : "REJECT");
+  }
+
+  std::printf("\nAt 2 ft every sensor reading arrives (136 sps); even at "
+              "40 ft a few samples\nper second still reach the verifier — "
+              "enough to re-authenticate continuously.\n");
+  return 0;
+}

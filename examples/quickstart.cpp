@@ -1,0 +1,43 @@
+// Quickstart: send bits over an ambient-LTE backscatter link.
+//
+// Builds the paper's smart-home setup (20 MHz LTE cell at 680 MHz, tag 3 ft
+// from the eNodeB, UE 3 ft from the tag), runs 50 ms of traffic, and prints
+// the link metrics. This touches the whole public API surface:
+//
+//   core::make_scenario  -> calibrated LinkConfig
+//   core::LinkSimulator  -> eNodeB + channel + tag + UE end to end
+//   core::LinkMetrics    -> BER / throughput / packet statistics
+
+#include <cstdio>
+
+#include "core/link_simulator.hpp"
+#include "core/scenario.hpp"
+
+int main() {
+  using namespace lscatter;
+
+  core::ScenarioOptions options;
+  options.bandwidth = lte::Bandwidth::kMHz20;
+  options.tx_power_dbm = 10.0;  // a USRP-class eNodeB, not a macro tower
+  options.seed = 2020;
+
+  core::LinkConfig config =
+      core::make_scenario(core::Scene::kSmartHome, options);
+  std::printf("cell   : %s\n", config.enodeb.cell.describe().c_str());
+
+  core::LinkSimulator sim(config);
+  std::printf("PHY    : scheduled rate %.2f Mbps (paper: 13.63 Mbps)\n",
+              sim.scheduled_phy_rate_bps() / 1e6);
+
+  const core::LinkMetrics m = sim.run(/*n_subframes=*/50);
+  const core::DropState& drop = sim.last_drop();
+
+  std::printf("budget : backscatter rx %.1f dBm, noise %.1f dBm, "
+              "SNR %.1f dB\n",
+              drop.backscatter_rx_dbm, drop.noise_dbm, drop.mean_snr_db);
+  std::printf("link   : %s\n", m.describe().c_str());
+  std::printf("\nLScatter moved %.0f kbit over 50 ms of ambient LTE — no "
+              "radio of its own.\n",
+              static_cast<double>(m.bits_delivered) / 1e3);
+  return 0;
+}

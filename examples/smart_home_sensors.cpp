@@ -1,0 +1,88 @@
+// Smart-home sensor network over ambient LTE (paper §1 motivation +
+// §4.3 setup): a thermostat, two motion sensors, and a door sensor share
+// one LScatter uplink from different rooms of an 800 sqft apartment. The
+// example runs a simulated evening hour and reports per-sensor delivery —
+// contrast it with a WiFi-backscatter deployment, which at 7 pm would be
+// fighting for ~60% channel occupancy.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/wifi_backscatter.hpp"
+#include "core/link_simulator.hpp"
+#include "core/scenario.hpp"
+#include "traffic/occupancy_model.hpp"
+
+namespace {
+
+struct Sensor {
+  std::string name;
+  double tag_ue_ft;       // distance from the sensor's tag to the hub
+  double enb_tag_ft;      // distance from the window-side eNB signal
+  double report_hz;       // application reporting rate
+  std::size_t report_bits;
+};
+
+}  // namespace
+
+int main() {
+  using namespace lscatter;
+
+  const std::vector<Sensor> sensors = {
+      {"thermostat (hall)", 6.0, 7.0, 0.2, 64},
+      {"motion (living)", 4.0, 5.0, 2.0, 32},
+      {"motion (bedroom)", 8.0, 9.0, 2.0, 32},
+      {"door (far corner)", 12.0, 14.0, 0.5, 48},
+  };
+
+  std::printf("Smart-home LScatter sensor network — one simulated evening "
+              "hour (7 pm)\n\n");
+  std::printf("%-20s %-9s %-8s %-9s %-12s %s\n", "sensor", "d_eNB", "d_hub",
+              "BER", "PDR", "reports/h delivered");
+
+  double total_reports = 0.0;
+  for (std::size_t i = 0; i < sensors.size(); ++i) {
+    const Sensor& s = sensors[i];
+    core::ScenarioOptions opt;
+    opt.seed = 500 + i;
+    core::LinkConfig cfg = core::make_scenario(core::Scene::kSmartHome, opt);
+    cfg.geometry.enb_tag_ft = s.enb_tag_ft;
+    cfg.geometry.tag_ue_ft = s.tag_ue_ft;
+    cfg.schedule.max_data_symbols_per_packet = 1;  // short reports
+    // Sensors don't need Mbps: trade rate for diversity so reports
+    // survive the per-unit BER floor deep into the apartment.
+    cfg.schedule.repetition = 8;
+
+    core::LinkSimulator sim(cfg);
+    core::LinkMetrics m;
+    for (int drop = 0; drop < 5; ++drop) m += sim.run(20);
+
+    const double reports_per_hour =
+        s.report_hz * 3600.0 * m.packet_delivery_ratio();
+    total_reports += reports_per_hour;
+    std::printf("%-20s %-9.0f %-8.0f %-9.1e %-12.3f %.0f of %.0f\n",
+                s.name.c_str(), s.enb_tag_ft, s.tag_ue_ft, m.ber(),
+                m.packet_delivery_ratio(), reports_per_hour,
+                s.report_hz * 3600.0);
+  }
+
+  // What the same hour looks like for a WiFi-backscatter deployment.
+  const traffic::OccupancyModel wifi_occ(traffic::Technology::kWifi,
+                                         traffic::Site::kHome);
+  core::LinkConfig base = core::make_scenario(core::Scene::kSmartHome);
+  baselines::WifiBackscatterConfig wcfg;
+  wcfg.pathloss = base.env.pathloss;
+  wcfg.budget = base.env.budget;
+  wcfg.enb_tag_ft = 8.0;
+  wcfg.tag_ue_ft = 6.0;
+  baselines::WifiBackscatterLink wifi(wcfg);
+  const double occ = wifi_occ.mean_occupancy(19);
+  std::printf("\nFor reference, ambient-WiFi backscatter at 7 pm (occupancy "
+              "%.2f): %.1f kbps\nshared by all sensors, and zero when the "
+              "channel goes quiet after midnight.\n",
+              occ, wifi.hourly_throughput_bps(occ, 1000) / 1e3);
+  std::printf("Total sensor reports delivered over LScatter: %.0f/hour.\n",
+              total_reports);
+  return 0;
+}

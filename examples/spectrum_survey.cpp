@@ -1,0 +1,59 @@
+// Spectrum survey (paper §2, Fig. 4): why LTE is the right ambient carrier.
+//
+// Renders ASCII spectrograms of a bursty WiFi channel and a continuous LTE
+// band over 20 ms, then prints the weekly occupancy CDFs for WiFi / LoRa /
+// LTE across three sites — the measurement that motivates LScatter.
+
+#include <cstdio>
+
+#include "dsp/rng.hpp"
+#include "traffic/spectrum_survey.hpp"
+
+int main() {
+  using namespace lscatter;
+  dsp::Rng rng(4242);
+
+  std::printf("=== 20 ms of a WiFi channel (office, ~55%% occupancy) ===\n");
+  std::printf("rows: time (0.25 ms bins, subsampled)   cols: 20 MHz\n");
+  const traffic::Spectrogram wifi = traffic::survey_wifi(20e-3, 0.55, rng);
+  std::printf("%s", wifi.render(16).c_str());
+  std::printf("time occupancy: %.2f — bursty and shared with narrowband "
+              "(ZigBee-like) devices\n\n",
+              wifi.time_occupancy());
+
+  std::printf("=== 20 ms of an LTE downlink band ===\n");
+  const traffic::Spectrogram lte = traffic::survey_lte(20e-3, rng);
+  std::printf("%s", lte.render(16).c_str());
+  std::printf("time occupancy: %.2f — continuous; bright center cells are "
+              "the 5 ms PSS cadence\n\n",
+              lte.time_occupancy());
+
+  std::printf("=== One week of hourly occupancy (Fig. 4c) ===\n");
+  std::printf("%-18s %8s %8s %8s %8s\n", "series", "P10", "median", "P90",
+              "mean-ish");
+  const struct {
+    traffic::Technology tech;
+    traffic::Site site;
+  } series[] = {
+      {traffic::Technology::kLte, traffic::Site::kHome},
+      {traffic::Technology::kWifi, traffic::Site::kOffice},
+      {traffic::Technology::kWifi, traffic::Site::kClassroom},
+      {traffic::Technology::kWifi, traffic::Site::kHome},
+      {traffic::Technology::kLora, traffic::Site::kHome},
+      {traffic::Technology::kLora, traffic::Site::kOffice},
+      {traffic::Technology::kLora, traffic::Site::kClassroom},
+  };
+  for (const auto& s : series) {
+    const auto cdf = traffic::weekly_occupancy_cdf(s.tech, s.site, rng);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s %s",
+                  traffic::to_string(s.tech), traffic::to_string(s.site));
+    std::printf("%-18s %8.3f %8.3f %8.3f %8.3f\n", label,
+                cdf.quantile(0.10), cdf.quantile(0.50), cdf.quantile(0.90),
+                (cdf.quantile(0.25) + cdf.quantile(0.75)) / 2.0);
+  }
+  std::printf("\nLTE pins the CDF at 1.0 at every site; WiFi stays below "
+              "0.7 for 90%% of hours\neven in the busiest office; LoRa "
+              "barely registers. Continuous + ubiquitous wins.\n");
+  return 0;
+}

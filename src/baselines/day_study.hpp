@@ -1,0 +1,41 @@
+#pragma once
+// Shared harness for the paper's hour-of-day studies (Figs. 16/17 smart
+// home, 21/22 mall, 26/27 outdoor): for every hour, draw several
+// measurement runs of the LScatter link and of the WiFi-backscatter
+// baseline under that hour's ambient-traffic occupancy, and summarize
+// them as the paper's box plots.
+
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "dsp/stats.hpp"
+
+namespace lscatter::baselines {
+
+struct DayStudyConfig {
+  core::Scene scene = core::Scene::kSmartHome;
+  std::size_t hour_begin = 0;   // inclusive
+  std::size_t hour_end = 24;    // exclusive (mall study: 10..22)
+  std::size_t samples_per_hour = 10;
+  std::size_t lscatter_subframes_per_sample = 10;
+  std::size_t wifi_probe_bits = 1500;
+  std::uint64_t seed = 1234;
+};
+
+struct HourResult {
+  std::size_t hour = 0;
+  dsp::BoxStats wifi_backscatter_bps;
+  dsp::BoxStats lscatter_bps;
+  double wifi_occupancy_mean = 0.0;
+  double lte_occupancy_mean = 1.0;
+  double lora_occupancy_mean = 0.0;
+};
+
+std::vector<HourResult> run_day_study(const DayStudyConfig& config);
+
+/// Mean across hours of the box-plot medians (the paper's "average
+/// throughput" figures: 13.63 Mbps / 37 kbps home, 16.9 kbps outdoor).
+double mean_of_medians_wifi(const std::vector<HourResult>& results);
+double mean_of_medians_lscatter(const std::vector<HourResult>& results);
+
+}  // namespace lscatter::baselines

@@ -1,0 +1,46 @@
+#pragma once
+// PLoRa-style ambient LoRa backscatter baseline.
+//
+// The tag ON/OFF-keys whole LoRa chirp symbols onto an adjacent channel
+// (1 bit per chirp symbol ~ SF8/125 kHz -> ~488 bit/s instantaneous). The
+// decisive factor in the paper's evaluation is not this PHY but the ~0.02
+// ambient LoRa occupancy: there is essentially never a carrier to ride,
+// so measured throughput is 0 in every site (§4.2 end).
+
+#include "baselines/lora_phy_lite.hpp"
+#include "channel/link_budget.hpp"
+#include "channel/pathloss.hpp"
+#include "core/metrics.hpp"
+
+namespace lscatter::baselines {
+
+struct LoraBackscatterConfig {
+  LoraPhyConfig phy;
+  channel::PathLossModel pathloss;
+  channel::LinkBudget budget;
+  double enb_tag_ft = 3.0;
+  double tag_ue_ft = 3.0;
+  std::uint64_t seed = 23;
+};
+
+class LoraBackscatterLink {
+ public:
+  explicit LoraBackscatterLink(const LoraBackscatterConfig& config);
+
+  /// 1 bit per chirp symbol while a LoRa frame is on the air.
+  double instantaneous_rate_bps() const;
+
+  /// OOK-per-chirp burst simulation (one drop).
+  core::LinkMetrics run_burst(std::size_t n_bits);
+
+  /// occupancy * inst_rate * (1 - 2 BER): with ~2% LoRa occupancy this is
+  /// single-digit bit/s, i.e. "always 0" at the paper's plot scales.
+  double hourly_throughput_bps(double occupancy, std::size_t probe_bits);
+
+ private:
+  LoraBackscatterConfig config_;
+  LoraPhy phy_;
+  dsp::Rng rng_;
+};
+
+}  // namespace lscatter::baselines

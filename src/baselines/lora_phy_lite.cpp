@@ -1,0 +1,60 @@
+#include "baselines/lora_phy_lite.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "dsp/correlate.hpp"
+
+namespace lscatter::baselines {
+
+using dsp::cf32;
+using dsp::cvec;
+
+LoraPhy::LoraPhy(const LoraPhyConfig& config)
+    : config_(config), plan_(config.chips_per_symbol()) {
+  const std::size_t n = config_.chips_per_symbol();
+  base_upchirp_.resize(n);
+  // Chirp phase: f(t) sweeps -BW/2 .. +BW/2 over the symbol;
+  // phi(k) = pi * k^2 / n - pi * k (sampled at the chip rate).
+  for (std::size_t k = 0; k < n; ++k) {
+    const double kk = static_cast<double>(k);
+    const double nn = static_cast<double>(n);
+    const double phase = dsp::kPi * kk * kk / nn - dsp::kPi * kk;
+    base_upchirp_[k] = cf32{static_cast<float>(std::cos(phase)),
+                            static_cast<float>(std::sin(phase))};
+  }
+}
+
+cvec LoraPhy::modulate_symbol(std::uint32_t value) const {
+  const std::size_t n = config_.chips_per_symbol();
+  assert(value < n);
+  cvec out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = base_upchirp_[(k + value) % n];
+  }
+  return out;
+}
+
+cvec LoraPhy::modulate(std::span<const std::uint32_t> values) const {
+  cvec out;
+  out.reserve(values.size() * config_.chips_per_symbol());
+  for (const std::uint32_t v : values) {
+    const cvec s = modulate_symbol(v);
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  return out;
+}
+
+std::uint32_t LoraPhy::demodulate_symbol(
+    std::span<const cf32> samples) const {
+  const std::size_t n = config_.chips_per_symbol();
+  assert(samples.size() >= n);
+  cvec dechirped(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    dechirped[k] = samples[k] * std::conj(base_upchirp_[k]);
+  }
+  plan_.forward_inplace(dechirped);
+  return static_cast<std::uint32_t>(dsp::peak_abs(dechirped).index);
+}
+
+}  // namespace lscatter::baselines

@@ -1,0 +1,27 @@
+#include "baselines/taxonomy.hpp"
+
+namespace lscatter::baselines {
+
+const std::array<BackscatterSystem, 16>& table1_systems() {
+  static const std::array<BackscatterSystem, 16> kSystems = {{
+      {"NICScatter", "WiFi NIC", true, false, false},
+      {"ReMix", "in-body reader", false, false, false},
+      {"PLoRa", "LoRa", true, false, false},
+      {"LoRa backscatter", "single tone", false, true, false},
+      {"Netscatter", "single tone", false, true, false},
+      {"FlipTracer", "RFID reader", false, false, false},
+      {"FS-Backscatter", "WiFi/BLE", true, false, false},
+      {"WiFi backscatter", "WiFi", true, false, false},
+      {"MOXcatter", "WiFi OFDM", true, false, false},
+      {"X-Tandem", "WiFi", true, false, false},
+      {"FreeRider", "WiFi/BLE/ZigBee", true, false, false},
+      {"HitchHike", "WiFi 802.11b", true, false, false},
+      {"BackFi", "WiFi (full duplex AP)", false, true, false},
+      {"Passive WiFi", "single tone", false, true, false},
+      {"Interscatter", "BLE->WiFi", false, true, false},
+      {"LScatter", "ambient LTE", true, true, true},
+  }};
+  return kSystems;
+}
+
+}  // namespace lscatter::baselines

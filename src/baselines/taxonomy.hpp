@@ -1,0 +1,22 @@
+#pragma once
+// The Table 1 taxonomy: which published backscatter systems use an
+// excitation signal that is ambient / continuous / ubiquitous. Reproduced
+// as data so the bench binary regenerates the table.
+
+#include <array>
+#include <string_view>
+
+namespace lscatter::baselines {
+
+struct BackscatterSystem {
+  std::string_view name;
+  std::string_view carrier;  // what it backscatters
+  bool ambient;
+  bool continuous;
+  bool ubiquitous;
+};
+
+/// The 16 rows of Table 1, in paper order.
+const std::array<BackscatterSystem, 16>& table1_systems();
+
+}  // namespace lscatter::baselines

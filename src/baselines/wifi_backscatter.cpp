@@ -1,0 +1,118 @@
+#include "baselines/wifi_backscatter.hpp"
+
+#include <cmath>
+
+#include "channel/awgn.hpp"
+#include "dsp/db.hpp"
+
+namespace lscatter::baselines {
+
+using dsp::cf32;
+using dsp::cvec;
+
+WifiBackscatterLink::WifiBackscatterLink(const WifiBackscatterConfig& config)
+    : config_(config), phy_(config.phy), rng_(config.seed, 0x77a1b2c3ULL) {}
+
+double WifiBackscatterLink::instantaneous_rate_bps() const {
+  // 1 bit per 2 OFDM symbols (FreeRider codeword scheme).
+  return 1.0 / (2.0 * config_.phy.symbol_duration_s());
+}
+
+double WifiBackscatterLink::backscatter_snr_db() const {
+  const double f = config_.phy.carrier_hz;
+  const double pl1 = config_.pathloss.median_db(
+      dsp::feet_to_meters(config_.enb_tag_ft), f);
+  const double pl2 = config_.pathloss.median_db(
+      dsp::feet_to_meters(config_.tag_ue_ft), f);
+  return config_.budget.backscatter_snr_db(pl1, pl2, 16.6e6);
+}
+
+core::LinkMetrics WifiBackscatterLink::run_burst(std::size_t n_bits) {
+  dsp::Rng drop_rng = rng_.fork();
+  dsp::Rng noise_rng = rng_.fork();
+  const double f = config_.phy.carrier_hz;
+
+  const double pl1 = config_.pathloss.sample_db(
+      dsp::feet_to_meters(config_.enb_tag_ft), f, drop_rng);
+  const double pl2 = config_.pathloss.sample_db(
+      dsp::feet_to_meters(config_.tag_ue_ft), f, drop_rng);
+  const double rx_dbm = config_.budget.backscatter_rx_dbm(pl1, pl2);
+  const double noise_mw = dsp::dbm_to_mw(
+      channel::noise_floor_dbm(16.6e6, config_.budget.noise_figure_db));
+
+  const auto draw_fade = [&]() -> cf32 {
+    if (!config_.los) return drop_rng.complex_normal(1.0);
+    const double k = dsp::db_to_lin(config_.rician_k_db);
+    return cf32{static_cast<float>(std::sqrt(k / (k + 1.0))), 0.0f} +
+           drop_rng.complex_normal(1.0 / (k + 1.0));
+  };
+  const cf32 gain = draw_fade() * draw_fade() *
+                    static_cast<float>(channel::amplitude(rx_dbm));
+
+  const std::size_t n_symbols = 2 * n_bits;
+  const cvec ambient = phy_.generate_burst(n_symbols, rng_);
+  const std::size_t sps = WifiPhyConfig::samples_per_symbol();
+
+  // Tag: differential symbol-level flips. sign_0 = +1; bit b makes
+  // sign_{2i+1} = sign_{2i} (b=1) or -sign_{2i} (b=0).
+  const auto bits = rng_.bits(n_bits);
+  std::vector<float> sign(n_symbols, 1.0f);
+  for (std::size_t i = 0; i < n_bits; ++i) {
+    sign[2 * i + 1] = bits[i] ? sign[2 * i] : -sign[2 * i];
+  }
+
+  cvec rx(ambient.size());
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    for (std::size_t n = 0; n < sps; ++n) {
+      rx[s * sps + n] = gain * sign[s] * ambient[s * sps + n];
+    }
+  }
+  channel::add_awgn(rx, noise_mw, noise_rng);
+
+  // UE: per-symbol coherent integration, then differential decisions.
+  std::vector<cf32> g_hat(n_symbols);
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    dsp::cf64 acc{};
+    for (std::size_t n = WifiPhyConfig::kCpLen; n < sps; ++n) {
+      const cf32 r = rx[s * sps + n];
+      const cf32 x = ambient[s * sps + n];
+      acc += dsp::cf64{r.real(), r.imag()} * dsp::cf64{x.real(), -x.imag()};
+    }
+    g_hat[s] = cf32{static_cast<float>(acc.real()),
+                    static_cast<float>(acc.imag())};
+  }
+
+  core::LinkMetrics m;
+  m.bits_sent = n_bits;
+  m.packets_sent = 1;
+  m.packets_detected = 1;
+  m.elapsed_s = static_cast<double>(n_symbols) *
+                config_.phy.symbol_duration_s();
+  for (std::size_t i = 0; i < n_bits; ++i) {
+    const cf32 d = g_hat[2 * i + 1] * std::conj(g_hat[2 * i]);
+    const std::uint8_t decided = d.real() >= 0.0f ? 1 : 0;
+    if (decided != bits[i]) ++m.bit_errors;
+  }
+  const std::size_t correct = n_bits - m.bit_errors;
+  m.bits_delivered = correct > m.bit_errors ? correct - m.bit_errors : 0;
+  if (m.bit_errors == 0) {
+    m.packets_ok = 1;
+    m.bits_crc_ok = n_bits;
+  }
+  return m;
+}
+
+double WifiBackscatterLink::hourly_throughput_bps(double occupancy,
+                                                  std::size_t probe_bits) {
+  const core::LinkMetrics m = run_burst(probe_bits);
+  // FreeRider's codeword scheme needs the commodity WiFi receiver to still
+  // decode the hybrid packet; a drop whose backscatter BER is high loses
+  // whole packets, not just bits.
+  const double eff = m.ber() < 0.05
+                         ? std::max(0.0, 1.0 - 2.0 * m.ber())
+                         : 0.0;
+  return occupancy * config_.burst_utilization * instantaneous_rate_bps() *
+         eff;
+}
+
+}  // namespace lscatter::baselines

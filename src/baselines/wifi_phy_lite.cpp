@@ -1,0 +1,49 @@
+#include "baselines/wifi_phy_lite.hpp"
+
+#include <cmath>
+
+namespace lscatter::baselines {
+
+using dsp::cf32;
+using dsp::cvec;
+
+WifiPhy::WifiPhy(const WifiPhyConfig& config)
+    : config_(config), plan_(WifiPhyConfig::kFftSize) {}
+
+cvec WifiPhy::generate_burst(std::size_t n_symbols, dsp::Rng& rng) const {
+  constexpr std::size_t kN = WifiPhyConfig::kFftSize;
+  constexpr std::size_t kCp = WifiPhyConfig::kCpLen;
+  const float inv_sqrt2 = static_cast<float>(1.0 / std::sqrt(2.0));
+
+  cvec out;
+  out.reserve(n_symbols * (kN + kCp));
+  cvec bins(kN);
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    std::fill(bins.begin(), bins.end(), cf32{});
+    // Subcarriers -26..-1, 1..26 (DC and the outer guards empty); pilots
+    // at +/-7, +/-21.
+    for (int k = -26; k <= 26; ++k) {
+      if (k == 0) continue;
+      const std::size_t bin = k > 0 ? static_cast<std::size_t>(k)
+                                    : kN + static_cast<std::size_t>(k);
+      const bool pilot = (k == 7 || k == -7 || k == 21 || k == -21);
+      if (pilot) {
+        bins[bin] = cf32{1.0f, 0.0f};
+      } else {
+        bins[bin] = cf32{(rng.next_u32() & 1u) ? inv_sqrt2 : -inv_sqrt2,
+                         (rng.next_u32() & 1u) ? inv_sqrt2 : -inv_sqrt2};
+      }
+    }
+    cvec t = plan_.inverse(bins);
+    // Scale to unit mean power: IFFT(1/N) of 52 unit REs.
+    const float scale = static_cast<float>(
+        std::sqrt(static_cast<double>(kN) * kN /
+                  static_cast<double>(WifiPhyConfig::kUsedSubcarriers)));
+    for (auto& v : t) v *= scale;
+    out.insert(out.end(), t.end() - kCp, t.end());
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  return out;
+}
+
+}  // namespace lscatter::baselines

@@ -1,0 +1,45 @@
+#pragma once
+// Minimal 802.11a/g OFDM excitation source for the WiFi-backscatter
+// baseline: 64-point FFT at 20 Msps, 52 used subcarriers (48 data + 4
+// pilots), 16-sample CP (4 us symbols), QPSK data. Enough structure for a
+// FreeRider-style symbol-level backscatter study; no scrambler/FEC/MAC.
+
+#include "dsp/fft.hpp"
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace lscatter::baselines {
+
+struct WifiPhyConfig {
+  static constexpr std::size_t kFftSize = 64;
+  static constexpr std::size_t kCpLen = 16;
+  static constexpr std::size_t kUsedSubcarriers = 52;
+  double sample_rate_hz = 20e6;
+  double carrier_hz = 2.437e9;  // channel 6
+
+  static constexpr std::size_t samples_per_symbol() {
+    return kFftSize + kCpLen;
+  }
+  double symbol_duration_s() const {
+    return static_cast<double>(samples_per_symbol()) / sample_rate_hz;
+  }
+};
+
+class WifiPhy {
+ public:
+  explicit WifiPhy(const WifiPhyConfig& config = {});
+
+  /// Generate `n_symbols` OFDM data symbols (QPSK on 48 data subcarriers,
+  /// BPSK pilots), unit mean power, CP included. Also returns them via
+  /// out-param grid-free: the backscatter baseline only needs the
+  /// waveform.
+  dsp::cvec generate_burst(std::size_t n_symbols, dsp::Rng& rng) const;
+
+  const WifiPhyConfig& config() const { return config_; }
+
+ private:
+  WifiPhyConfig config_;
+  dsp::FftPlan plan_;
+};
+
+}  // namespace lscatter::baselines

@@ -1,0 +1,53 @@
+#pragma once
+// Generalization of LScatter's basic-timing-unit modulation to WiFi OFDM
+// (paper §6: "these techniques can be applied to any other OFDM signal
+// based protocols"). The 802.11a/g symbol has K = 64 units of 50 ns at
+// 20 Msps; the tag centers 52 modulated units in the useful window
+// (matching the 52 used subcarriers), fills the rest with '1', and the
+// receiver runs the same conjugate-product demodulation.
+//
+// Instantaneous rate: 52 bits / 4 us = 13 Mbps — comparable to LScatter
+// at 20 MHz — but the *average* rate is gated by the bursty WiFi
+// occupancy, which is precisely why the paper builds on LTE instead.
+
+#include "baselines/wifi_phy_lite.hpp"
+#include "channel/link_budget.hpp"
+#include "channel/pathloss.hpp"
+#include "core/metrics.hpp"
+
+namespace lscatter::baselines {
+
+struct WifiUnitLevelConfig {
+  WifiPhyConfig phy;
+  channel::PathLossModel pathloss;
+  channel::LinkBudget budget;
+  double enb_tag_ft = 3.0;
+  double tag_ue_ft = 3.0;
+  double rician_k_db = 8.0;
+  /// Residual tag/burst timing error in units (the WiFi "preamble
+  /// detection + trigger" path of §4.1), searched by the receiver.
+  std::ptrdiff_t timing_error_units = 2;
+  std::uint64_t seed = 77;
+};
+
+class WifiUnitLevelLink {
+ public:
+  explicit WifiUnitLevelLink(const WifiUnitLevelConfig& config);
+
+  /// 52 bits per 4 us symbol while a burst is on the air.
+  double instantaneous_rate_bps() const;
+
+  /// One burst of `n_symbols` OFDM symbols (first symbol = preamble).
+  core::LinkMetrics run_burst(std::size_t n_symbols);
+
+  /// occupancy-gated average throughput, like the symbol-level baseline.
+  double hourly_throughput_bps(double occupancy, std::size_t probe_symbols);
+
+ private:
+  WifiUnitLevelConfig config_;
+  WifiPhy phy_;
+  dsp::Rng rng_;
+  std::vector<std::uint8_t> preamble_;
+};
+
+}  // namespace lscatter::baselines

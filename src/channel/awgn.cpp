@@ -1,0 +1,17 @@
+#include "channel/awgn.hpp"
+
+#include "dsp/db.hpp"
+
+namespace lscatter::channel {
+
+void add_awgn(std::span<dsp::cf32> x, double noise_power, dsp::Rng& rng) {
+  if (noise_power <= 0.0) return;
+  for (auto& v : x) v += rng.complex_normal(noise_power);
+}
+
+void add_awgn_snr(std::span<dsp::cf32> x, double snr_db, dsp::Rng& rng) {
+  const double sig = dsp::mean_power(x);
+  add_awgn(x, sig / dsp::db_to_lin(snr_db), rng);
+}
+
+}  // namespace lscatter::channel

@@ -1,0 +1,16 @@
+#pragma once
+// Additive white Gaussian noise.
+
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace lscatter::channel {
+
+/// Add complex AWGN with total power `noise_power` (linear, same units as
+/// the signal's power) to x in place.
+void add_awgn(std::span<dsp::cf32> x, double noise_power, dsp::Rng& rng);
+
+/// Add AWGN at a given SNR [dB] relative to the *measured* mean power of x.
+void add_awgn_snr(std::span<dsp::cf32> x, double snr_db, dsp::Rng& rng);
+
+}  // namespace lscatter::channel

@@ -1,0 +1,21 @@
+#include "channel/link_budget.hpp"
+
+namespace lscatter::channel {
+
+double LinkBudget::direct_rx_dbm(double pl_direct_db) const {
+  return tx_power_dbm + tx_antenna_gain_db + rx_antenna_gain_db -
+         pl_direct_db;
+}
+
+double LinkBudget::backscatter_rx_dbm(double pl1_db, double pl2_db) const {
+  return tx_power_dbm + tx_antenna_gain_db + 2.0 * tag_antenna_gain_db +
+         rx_antenna_gain_db - pl1_db - tag.total_loss_db() - pl2_db;
+}
+
+double LinkBudget::backscatter_snr_db(double pl1_db, double pl2_db,
+                                      double bandwidth_hz) const {
+  return backscatter_rx_dbm(pl1_db, pl2_db) -
+         noise_floor_dbm(bandwidth_hz, noise_figure_db);
+}
+
+}  // namespace lscatter::channel

@@ -1,0 +1,61 @@
+#pragma once
+// Link-budget composition for the backscatter geometry:
+//
+//   eNodeB --PL1--> tag --(reflect: conversion + reflection loss)--> UE
+//      \________________PL2____________________________/
+//       \_____________direct PL_d_____________________/
+//
+// Converts dBm budgets into the linear amplitude scale factors the
+// sample-domain simulation applies. Signal samples are generated at unit
+// mean power; multiplying by `amplitude(rx_dbm)` expresses them in
+// sqrt-milliwatt units so they can be summed with noise at the physical
+// floor.
+
+#include "channel/pathloss.hpp"
+#include "dsp/db.hpp"
+
+namespace lscatter::channel {
+
+/// Tag reflection characteristics (paper §3.2.2 / HitchHike [53]).
+struct TagRf {
+  /// First-harmonic conversion of a square-wave mixer: amplitude 2/pi
+  /// (-3.92 dB in power).
+  double conversion_loss_db = 3.92;
+
+  /// Antenna reflection efficiency |Gamma| of the RF switch network.
+  double reflection_loss_db = 6.0;
+
+  /// Residual power leaking into the unwanted sideband, relative to the
+  /// wanted one, after the HitchHike-style sideband cancellation [dB].
+  double image_rejection_db = 20.0;
+
+  double total_loss_db() const {
+    return conversion_loss_db + reflection_loss_db;
+  }
+};
+
+struct LinkBudget {
+  double tx_power_dbm = 10.0;
+  double tx_antenna_gain_db = 0.0;
+  double rx_antenna_gain_db = 0.0;
+  double tag_antenna_gain_db = 0.0;
+  double noise_figure_db = 7.0;
+  TagRf tag;
+
+  /// Received power of the direct eNodeB->UE signal [dBm].
+  double direct_rx_dbm(double pl_direct_db) const;
+
+  /// Received power of the backscatter (eNB->tag->UE) signal [dBm].
+  double backscatter_rx_dbm(double pl1_db, double pl2_db) const;
+
+  /// Backscatter SNR [dB] over `bandwidth_hz`.
+  double backscatter_snr_db(double pl1_db, double pl2_db,
+                            double bandwidth_hz) const;
+};
+
+/// Linear amplitude factor turning a unit-power stream into `power_dbm`.
+inline double amplitude(double power_dbm) {
+  return std::sqrt(dsp::dbm_to_mw(power_dbm));
+}
+
+}  // namespace lscatter::channel

@@ -1,0 +1,43 @@
+#pragma once
+// Large-scale propagation: log-distance path loss anchored at the 1 m
+// free-space loss, plus log-normal shadowing. Exponents / sigmas are per
+// deployment site and calibrated so the paper's distance figures hold in
+// shape (see core/scenario.*).
+
+#include "dsp/rng.hpp"
+
+namespace lscatter::channel {
+
+struct PathLossModel {
+  /// Path-loss exponent gamma (2 = free space; indoor corridors at UHF can
+  /// waveguide below 2; cluttered NLoS above 3).
+  double exponent = 2.0;
+
+  /// Log-normal shadowing standard deviation [dB]; 0 disables.
+  double shadowing_sigma_db = 0.0;
+
+  /// Extra fixed loss [dB] (walls, body, polarization mismatch).
+  double extra_loss_db = 0.0;
+
+  /// Two-slope (two-ray ground reflection) option: beyond `breakpoint_m`
+  /// the exponent steepens to `beyond_exponent` (0 disables). Outdoors at
+  /// UHF with ~1.5 m antennas the breakpoint 4*h_tx*h_rx/lambda lands
+  /// around 20-30 m.
+  double breakpoint_m = 0.0;
+  double beyond_exponent = 4.0;
+
+  /// Free-space path loss at distance d [m], frequency f [Hz].
+  static double free_space_db(double distance_m, double freq_hz);
+
+  /// Median path loss (no shadowing) at distance d [m].
+  double median_db(double distance_m, double freq_hz) const;
+
+  /// One shadowing realization added to the median.
+  double sample_db(double distance_m, double freq_hz, dsp::Rng& rng) const;
+};
+
+/// Thermal noise power over `bandwidth_hz` with the given receiver noise
+/// figure [dBm].
+double noise_floor_dbm(double bandwidth_hz, double noise_figure_db);
+
+}  // namespace lscatter::channel

@@ -1,0 +1,135 @@
+#include "core/ambient_reconstructor.hpp"
+
+#include <cmath>
+
+#include "dsp/db.hpp"
+#include "lte/pbch.hpp"
+#include "lte/pdcch.hpp"
+#include "lte/qam.hpp"
+#include "lte/sequences.hpp"
+#include "lte/signal_map.hpp"
+
+namespace lscatter::core {
+
+using dsp::cf32;
+
+AmbientReconstructor::AmbientReconstructor(const lte::CellConfig& cell)
+    : cell_(cell), ue_(cell), remod_(cell) {}
+
+ReconstructionResult AmbientReconstructor::reconstruct(
+    std::span<const cf32> rx_direct, const lte::SubframeTx& truth,
+    lte::Modulation modulation) const {
+  ReconstructionResult out;
+
+  const lte::ResourceGrid rx_grid = ue_.demodulate_grid(rx_direct);
+  const lte::ChannelEstimate est =
+      ue_.estimate_channel(rx_grid, truth.subframe_index);
+
+  // Rebuild the grid: known signals from their generators, data REs from
+  // hard decisions on the equalized symbols.
+  lte::ResourceGrid rebuilt(cell_);
+  const float sync_amp = std::abs(
+      truth.grid.at(lte::kPssSymbolIndex,
+                    cell_.n_subcarriers() / 2));  // boost used by the eNB
+
+  for (std::size_t l = 0; l < lte::kSymbolsPerSubframe; ++l) {
+    for (std::size_t k = 0; k < cell_.n_subcarriers(); ++k) {
+      const lte::ReType type = truth.grid.type_at(l, k);
+      switch (type) {
+        case lte::ReType::kUnused:
+          break;
+        case lte::ReType::kPss:
+        case lte::ReType::kSss:
+        case lte::ReType::kCrs:
+        case lte::ReType::kPbch:
+        case lte::ReType::kPdcch:
+          // Deterministic once the UE has acquired the cell (identity,
+          // frame timing, MIB, DCI).
+          rebuilt.at(l, k) = truth.grid.at(l, k);
+          break;
+        case lte::ReType::kData: {
+          const cf32 h = est.h[k];
+          const float p = std::norm(h);
+          const cf32 y = rx_grid.at(l, k);
+          const cf32 eq = p > 1e-12f ? y * std::conj(h) / p : y;
+          const auto bits = lte::qam_demodulate(
+              std::span<const cf32>(&eq, 1), modulation);
+          const cf32 decided =
+              lte::qam_modulate(bits, modulation)[0];
+          rebuilt.at(l, k) = decided;
+          ++out.re_total;
+          if (std::abs(decided - truth.grid.at(l, k)) > 1e-3f) {
+            ++out.re_errors;
+          }
+          break;
+        }
+      }
+    }
+  }
+  (void)sync_amp;
+
+  out.samples = remod_.modulate(rebuilt);
+  return out;
+}
+
+std::optional<ReconstructionResult> AmbientReconstructor::reconstruct_blind(
+    std::span<const cf32> rx_direct, std::size_t subframe_index,
+    bool pbch_enabled, double sync_boost_db) const {
+  const lte::ResourceGrid rx_grid = ue_.demodulate_grid(rx_direct);
+  const lte::ChannelEstimate est =
+      ue_.estimate_channel(rx_grid, subframe_index);
+
+  auto equalize = [&](std::size_t l, std::size_t k) -> cf32 {
+    const cf32 h = est.h[k];
+    const float p = std::norm(h);
+    const cf32 y = rx_grid.at(l, k);
+    return p > 1e-12f ? y * std::conj(h) / p : y;
+  };
+
+  // 1) Decode the DCI from the control region.
+  lte::ResourceGrid eq_ctrl(cell_);
+  for (const std::size_t k : lte::pdcch_subcarriers(cell_)) {
+    eq_ctrl.at(lte::kPdcchSymbolIndex, k) =
+        equalize(lte::kPdcchSymbolIndex, k);
+  }
+  const auto dci = lte::decode_pdcch(cell_, eq_ctrl);
+  if (!dci) return std::nullopt;
+
+  // 2) Derive the RE layout and regenerate everything deterministic.
+  const auto types =
+      lte::derive_re_types(cell_, subframe_index, *dci, pbch_enabled);
+  const std::size_t n_sc = cell_.n_subcarriers();
+
+  lte::ResourceGrid rebuilt(cell_);
+  // Known signals.
+  const float sync_amp = static_cast<float>(dsp::db_to_amp(sync_boost_db));
+  lte::map_sync_signals(cell_, subframe_index % lte::kSubframesPerFrame,
+                        rebuilt, sync_amp);
+  lte::map_crs(cell_, subframe_index, rebuilt);
+  if (pbch_enabled &&
+      subframe_index % lte::kSubframesPerFrame == 0) {
+    lte::Mib mib;
+    mib.bandwidth = cell_.bandwidth;
+    mib.sfn = static_cast<std::uint16_t>(
+        (subframe_index / lte::kSubframesPerFrame) & 0x3FF);
+    lte::map_pbch(cell_, mib, rebuilt);
+  }
+  lte::map_pdcch(cell_, *dci, rebuilt);
+
+  // Data REs: hard decisions at the announced MCS.
+  ReconstructionResult out;
+  for (std::size_t l = 0; l < lte::kSymbolsPerSubframe; ++l) {
+    for (std::size_t k = 0; k < n_sc; ++k) {
+      if (types[l * n_sc + k] != lte::ReType::kData) continue;
+      const cf32 eq = equalize(l, k);
+      const auto bits =
+          lte::qam_demodulate(std::span<const cf32>(&eq, 1), dci->mcs);
+      rebuilt.at(l, k) = lte::qam_modulate(bits, dci->mcs)[0];
+      ++out.re_total;
+    }
+  }
+  out.samples = remod_.modulate(rebuilt);
+  return out;
+}
+
+}  // namespace lscatter::core

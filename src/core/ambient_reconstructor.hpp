@@ -1,0 +1,68 @@
+#pragma once
+// Reconstruction of the ambient baseband x_n at the UE (paper §3.3).
+//
+// The backscatter demodulator needs the ambient LTE waveform to form the
+// products z_n = r_n conj(x_n). Two sources are supported:
+//
+//   * genie — use the eNodeB's transmitted samples directly. This matches
+//     the paper's record-and-playback evaluation, where the excitation is
+//     known bit-exactly.
+//   * reconstructed — the realistic path: the UE demodulates the original
+//     band it receives on its main antenna, hard-decides every resource
+//     element (data REs via the QAM slicer; CRS/PSS/SSS are known
+//     sequences), and re-synthesizes the time-domain waveform with the
+//     OFDM modulator. Decision errors on the original band turn into
+//     localized mismatches in x̂_n.
+//
+// The reconstructor needs the RE-type map (which REs are data / pilots /
+// sync) — in real LTE that comes from the PDCCH; here it comes from the
+// transmitted grid, as DESIGN.md §6 documents.
+
+#include "lte/enodeb.hpp"
+#include "lte/ofdm.hpp"
+#include "lte/ue_rx.hpp"
+
+namespace lscatter::core {
+
+enum class AmbientSource : std::uint8_t {
+  kGenie,          // perfect knowledge (record-and-playback)
+  kReconstructed,  // decode-and-regenerate; RE layout from the TX grid
+  kBlind,          // decode-and-regenerate; RE layout from the decoded
+                   // PDCCH-lite DCI — no genie inputs at all
+};
+
+struct ReconstructionResult {
+  dsp::cvec samples;           // re-synthesized subframe, unit power scale
+  std::size_t re_errors = 0;   // data REs whose hard decision was wrong
+  std::size_t re_total = 0;
+};
+
+class AmbientReconstructor {
+ public:
+  explicit AmbientReconstructor(const lte::CellConfig& cell);
+
+  /// Rebuild the ambient waveform from the UE's original-band samples
+  /// (one subframe, aligned to the subframe boundary, any amplitude).
+  /// `truth` supplies the RE-type map and the reference for re_errors.
+  ReconstructionResult reconstruct(std::span<const dsp::cf32> rx_direct,
+                                   const lte::SubframeTx& truth,
+                                   lte::Modulation modulation) const;
+
+  /// Fully blind variant: no genie inputs at all. The UE decodes the
+  /// PDCCH-lite DCI from its own grid, derives the complete RE-type map
+  /// (lte::derive_re_types), regenerates PSS/SSS/CRS/PBCH/PDCCH from the
+  /// cell identity + frame position, and hard-decides the data REs with
+  /// the MCS the DCI announced. Returns nullopt when the DCI CRC fails.
+  /// `sync_boost_db` must match the eNodeB's PSS/SSS boost (a static
+  /// deployment parameter).
+  std::optional<ReconstructionResult> reconstruct_blind(
+      std::span<const dsp::cf32> rx_direct, std::size_t subframe_index,
+      bool pbch_enabled = true, double sync_boost_db = 6.0) const;
+
+ private:
+  lte::CellConfig cell_;
+  lte::UeReceiver ue_;
+  lte::OfdmModulator remod_;
+};
+
+}  // namespace lscatter::core

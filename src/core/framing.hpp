@@ -1,0 +1,80 @@
+#pragma once
+// Backscatter packet framing: CRC-32 protection + whitening.
+//
+// A packet's bit budget is fixed by the tag schedule (number of modulated
+// symbols x N_sc bits), so no length header is needed; the payload is
+// always capacity - 32 bits. Whitening XORs the coded bits with a Gold
+// sequence so the on-air unit pattern has no long constant runs even for
+// degenerate payloads (long runs would look like filler to the receiver's
+// phase estimator).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace lscatter::core {
+
+/// Forward error correction applied to the backscatter packet. kNone is
+/// the paper's scheme (uncoded BPSK units); kConvolutional adds the
+/// rate-1/2 K=7 code with soft Viterbi decoding — ~5 dB of coding gain
+/// for half the rate (library extension; see the ablation bench).
+enum class Fec : std::uint8_t { kNone, kConvolutional };
+
+class PacketCodec {
+ public:
+  /// `coded_bits` is the on-air packet size in modulated units.
+  explicit PacketCodec(std::size_t coded_bits, Fec fec = Fec::kNone);
+
+  std::size_t coded_bits() const { return coded_bits_; }
+  Fec fec() const { return fec_; }
+
+  /// Application payload capacity (CRC-32 and FEC overhead removed).
+  std::size_t payload_bits() const { return payload_bits_; }
+
+  /// payload (payload_bits() long) -> whitened on-air bits
+  /// (coded_bits() long; FEC-encoded when enabled, padded to size).
+  std::vector<std::uint8_t> encode(
+      std::span<const std::uint8_t> payload) const;
+
+  /// Hard-decision inverse of encode(); nullopt when the CRC fails.
+  std::optional<std::vector<std::uint8_t>> decode(
+      std::span<const std::uint8_t> coded) const;
+
+  /// Soft-decision decode from per-unit metrics (positive = bit 1, the
+  /// slicer convention). Only meaningful with FEC; falls back to hard
+  /// slicing for kNone.
+  std::optional<std::vector<std::uint8_t>> decode_soft(
+      std::span<const float> soft) const;
+
+  /// Soft decode to the info block (payload + CRC32) *without* CRC
+  /// enforcement — for BER accounting on packets that fail the check.
+  std::vector<std::uint8_t> decode_soft_bits(
+      std::span<const float> soft) const;
+
+  /// De-whiten without CRC/FEC (for raw BER counting on bad packets).
+  std::vector<std::uint8_t> dewhiten(
+      std::span<const std::uint8_t> coded) const;
+
+ private:
+  std::optional<std::vector<std::uint8_t>> finish_decode(
+      std::vector<std::uint8_t> crc_block) const;
+
+  std::size_t coded_bits_;
+  Fec fec_;
+  std::size_t payload_bits_;
+  std::vector<std::uint8_t> whitening_;
+};
+
+/// Split `bits` into consecutive chunks of `chunk` bits; the last chunk is
+/// padded with alternating 1/0 filler. Precondition: chunk > 0.
+std::vector<std::vector<std::uint8_t>> split_bits(
+    std::span<const std::uint8_t> bits, std::size_t chunk);
+
+/// Concatenate chunks back into a flat bit vector, keeping only the first
+/// `total` bits.
+std::vector<std::uint8_t> join_bits(
+    const std::vector<std::vector<std::uint8_t>>& chunks, std::size_t total);
+
+}  // namespace lscatter::core

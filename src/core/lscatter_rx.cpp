@@ -1,0 +1,288 @@
+#include "core/lscatter_rx.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/phase_offset.hpp"
+#include "dsp/linalg.hpp"
+#include "lte/signal_map.hpp"
+
+namespace lscatter::core {
+
+using dsp::cf32;
+using dsp::cvec;
+
+LscatterDemodulator::LscatterDemodulator(
+    const lte::CellConfig& cell, const tag::TagScheduleConfig& schedule,
+    const OffsetSearch& search, Fec fec)
+    : cell_(cell),
+      controller_(cell, schedule),
+      search_(search),
+      fec_(fec),
+      plan_(cell.fft_size()) {}
+
+std::vector<dsp::cf64> LscatterDemodulator::estimate_channel_fir(
+    std::span<const cf32> rx, std::span<const cf32> ambient,
+    std::size_t subframe_offset_samples, std::size_t l,
+    std::ptrdiff_t offset_units) const {
+  const std::size_t k = cell_.fft_size();
+  const std::size_t useful =
+      subframe_offset_samples + lte::symbol_offset_in_subframe(cell_, l) +
+      cell_.cp_length(l % lte::kSymbolsPerSlot);
+
+  // Regressor: the transmitted hybrid signal, reconstructed from the
+  // known ambient and the preamble's full unit pattern at the estimated
+  // offset (filler '1' outside the window).
+  const auto& pre = controller_.preamble_pattern();
+  const std::ptrdiff_t start =
+      controller_.modulation_start_unit() + offset_units;
+  cvec u(k);
+  for (std::size_t n = 0; n < k; ++n) {
+    const std::ptrdiff_t rel = static_cast<std::ptrdiff_t>(n) - start;
+    const bool one =
+        (rel < 0 || rel >= static_cast<std::ptrdiff_t>(pre.size()))
+            ? true
+            : pre[static_cast<std::size_t>(rel)] != 0;
+    const cf32 x = ambient[useful + n];
+    u[n] = one ? x : -x;
+  }
+  // The offset search locks onto the channel's group-delay centroid, so
+  // the effective channel relative to `u` has *pre-cursor* taps. Model
+  // r[n] = sum_l h_l u[n - l + pre] with pre = taps/2 by advancing the
+  // regressor; equalize_window() places tap l at delay (l - pre).
+  const std::size_t taps = search_.equalizer_taps;
+  const std::size_t precursor = taps / 2;
+  const std::span<const cf32> v(u.data() + precursor, k - precursor);
+  const std::span<const cf32> r(rx.data() + useful, k - precursor);
+  return dsp::fir_least_squares(v, r, taps);
+}
+
+dsp::cvec LscatterDemodulator::equalize_window(
+    std::span<const cf32> rx_window, std::span<const dsp::cf64> h) const {
+  const std::size_t k = cell_.fft_size();
+  assert(rx_window.size() == k);
+
+  // Frequency response of the estimated FIR; tap l sits at delay
+  // (l - pre) with pre = taps/2 (see estimate_channel_fir).
+  const std::size_t precursor = search_.equalizer_taps / 2;
+  cvec h_pad(k, cf32{});
+  for (std::size_t t = 0; t < h.size(); ++t) {
+    const std::size_t idx = (t + k - precursor) % k;
+    h_pad[idx] = cf32{static_cast<float>(h[t].real()),
+                      static_cast<float>(h[t].imag())};
+  }
+  plan_.forward_inplace(h_pad);
+
+  cvec r(rx_window.begin(), rx_window.end());
+  plan_.forward_inplace(r);
+  // Regularized zero-forcing: divide by H, flooring |H|^2.
+  double mean_h2 = 0.0;
+  for (const cf32 v : h_pad) mean_h2 += std::norm(v);
+  mean_h2 /= static_cast<double>(k);
+  const float eps = static_cast<float>(1e-3 * mean_h2);
+  for (std::size_t i = 0; i < k; ++i) {
+    const float p = std::norm(h_pad[i]) + eps;
+    r[i] = r[i] * std::conj(h_pad[i]) / p;
+  }
+  plan_.inverse_inplace(r);
+  return r;
+}
+
+cvec LscatterDemodulator::symbol_products(
+    std::span<const cf32> rx, std::span<const cf32> ambient,
+    std::size_t subframe_offset_samples, std::size_t l,
+    std::span<const dsp::cf64> h) const {
+  const std::size_t k = cell_.fft_size();
+  const std::size_t useful =
+      subframe_offset_samples + lte::symbol_offset_in_subframe(cell_, l) +
+      cell_.cp_length(l % lte::kSymbolsPerSlot);
+  assert(useful + k <= rx.size());
+  assert(useful + k <= ambient.size());
+
+  cvec z(k);
+  if (h.empty()) {
+    for (std::size_t n = 0; n < k; ++n) {
+      z[n] = rx[useful + n] * std::conj(ambient[useful + n]);
+    }
+  } else {
+    const cvec r_eq =
+        equalize_window(std::span<const cf32>(rx.data() + useful, k), h);
+    for (std::size_t n = 0; n < k; ++n) {
+      z[n] = r_eq[n] * std::conj(ambient[useful + n]);
+    }
+  }
+  return z;
+}
+
+cf32 LscatterDemodulator::estimate_symbol_gain(std::span<const cf32> z,
+                                               std::ptrdiff_t offset_units,
+                                               cf32 fallback) const {
+  const std::size_t n_sc = cell_.n_subcarriers();
+  const std::ptrdiff_t start =
+      static_cast<std::ptrdiff_t>(controller_.modulation_start_unit()) +
+      offset_units;
+  const std::ptrdiff_t stop = start + static_cast<std::ptrdiff_t>(n_sc);
+
+  // A few guard units around the window absorb edge uncertainty.
+  constexpr std::ptrdiff_t kGuard = 4;
+  dsp::cf64 acc{};
+  double abs_sum = 0.0;
+  std::size_t count = 0;
+  for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(z.size());
+       ++n) {
+    if (n >= start - kGuard && n < stop + kGuard) continue;
+    const cf32 v = z[static_cast<std::size_t>(n)];
+    acc += dsp::cf64{v.real(), v.imag()};
+    abs_sum += std::abs(v);
+    ++count;
+  }
+  if (count < 16 || abs_sum <= 0.0) return fallback;
+  const cf32 g{static_cast<float>(acc.real()),
+               static_cast<float>(acc.imag())};
+  // Very incoherent filler (magnitude far below what its energy allows)
+  // means the estimate is noise-dominated; trust the preamble instead.
+  if (std::abs(g) < 0.1 * abs_sum) return fallback;
+  return g;
+}
+
+void LscatterDemodulator::slice_symbol(std::span<const cf32> z,
+                                       std::ptrdiff_t offset_units,
+                                       cf32 gain,
+                                       std::vector<std::uint8_t>& bits,
+                                       std::vector<float>& soft) const {
+  const std::size_t rep = controller_.schedule().repetition;
+  const std::size_t n_bits = controller_.bits_per_symbol();
+  const std::ptrdiff_t start =
+      static_cast<std::ptrdiff_t>(controller_.modulation_start_unit()) +
+      offset_units;
+  const float mag = std::abs(gain);
+  const cf32 unit = mag > 0.0f ? std::conj(gain) / mag : cf32{1.0f, 0.0f};
+  // Keep soft metrics on a comparable scale across symbols/packets.
+  const float norm = mag > 0.0f ? 1.0f / mag : 1.0f;
+
+  for (std::size_t i = 0; i < n_bits; ++i) {
+    // Soft-combine the bit's `rep` consecutive units (maximum-ratio:
+    // z already carries the |x_n|^2 weighting).
+    cf32 v{};
+    for (std::size_t r = 0; r < rep; ++r) {
+      const std::ptrdiff_t idx =
+          start + static_cast<std::ptrdiff_t>(i * rep + r);
+      if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(z.size())) {
+        v += z[static_cast<std::size_t>(idx)] * unit;
+      }
+    }
+    bits.push_back(v.real() >= 0.0f ? 1 : 0);
+    soft.push_back(v.real() * norm);
+  }
+}
+
+PacketDemodResult LscatterDemodulator::demodulate_packet(
+    std::span<const cf32> rx, std::span<const cf32> ambient,
+    std::size_t first_subframe_index) const {
+  PacketDemodResult result;
+  const auto& sched = controller_.schedule();
+  const std::size_t sf_samples = cell_.samples_per_subframe();
+  assert(rx.size() >= sched.packet_subframes * sf_samples);
+  assert(ambient.size() == rx.size());
+
+  const std::ptrdiff_t nominal = controller_.modulation_start_unit();
+  const auto& preamble = controller_.preamble_pattern();
+
+  // Walk the packet's modulated symbols in schedule order: the first
+  // preamble_symbols are preamble, the rest data.
+  std::size_t preambles_expected = sched.preamble_symbols;
+  std::size_t data_symbols_expected =
+      controller_.packet_raw_bits(first_subframe_index) /
+      controller_.bits_per_symbol();
+  std::optional<OffsetResult> offset;
+  cf32 gain{};
+  std::vector<std::uint8_t> coded;
+  std::vector<float> soft;
+  std::pair<std::size_t, std::size_t> best_preamble{0, 0};  // (sf_off, l)
+  std::vector<dsp::cf64> h;  // equalizer FIR, estimated lazily
+
+  for (std::size_t s = 0; s < sched.packet_subframes; ++s) {
+    const std::size_t sf = first_subframe_index + s;
+    if (controller_.is_listening_subframe(sf)) continue;
+    const std::size_t sf_off = s * sf_samples;
+
+    for (const std::size_t l : controller_.modulatable_symbols(sf)) {
+      if (preambles_expected > 0) {
+        --preambles_expected;
+        const cvec z = symbol_products(rx, ambient, sf_off, l);
+        auto found =
+            find_modulation_offset(z, preamble, nominal, search_);
+        if (found && (!offset || found->metric > offset->metric)) {
+          offset = *found;
+          gain = found->gain;
+          best_preamble = {sf_off, l};
+        }
+        continue;
+      }
+      if (!offset) {
+        // Preamble missed: the packet is lost; stop early.
+        return result;
+      }
+      if (search_.equalizer_taps > 0 && h.empty()) {
+        // Under ISI the correlation peak can be off by a unit or two, and
+        // a timing slip between the ambient and the pattern is *not*
+        // expressible as an LTI channel (they shift independently), so
+        // refine the offset jointly with the channel fit: pick the
+        // candidate whose least-squares residual is smallest.
+        const cvec zp = symbol_products(rx, ambient, best_preamble.first,
+                                        best_preamble.second);
+        double best_residual = 0.0;
+        for (std::ptrdiff_t d = offset->offset_units - 2;
+             d <= offset->offset_units + 2; ++d) {
+          auto cand = estimate_channel_fir(
+              rx, ambient, best_preamble.first, best_preamble.second, d);
+          if (cand.empty()) continue;
+          // Residual via the equalized preamble: slice against the known
+          // pattern and count soft disagreement energy.
+          const cvec zd = symbol_products(rx, ambient,
+                                          best_preamble.first,
+                                          best_preamble.second, cand);
+          double agree = 0.0;
+          const std::ptrdiff_t start =
+              controller_.modulation_start_unit() + d;
+          for (std::size_t i = 0; i < preamble.size(); ++i) {
+            const std::ptrdiff_t idx =
+                start + static_cast<std::ptrdiff_t>(i);
+            if (idx < 0 || idx >= static_cast<std::ptrdiff_t>(zd.size())) {
+              continue;
+            }
+            const float sgn = preamble[i] ? 1.0f : -1.0f;
+            agree += sgn * zd[static_cast<std::size_t>(idx)].real();
+          }
+          if (h.empty() || agree > best_residual) {
+            best_residual = agree;
+            h = std::move(cand);
+            offset->offset_units = d;
+          }
+        }
+        (void)zp;
+      }
+      if (data_symbols_expected == 0) break;
+      --data_symbols_expected;
+      const cvec z = symbol_products(rx, ambient, sf_off, l, h);
+      const cf32 g = estimate_symbol_gain(z, offset->offset_units, gain);
+      slice_symbol(z, offset->offset_units, g, coded, soft);
+    }
+  }
+
+  if (!offset) return result;
+  result.preamble_found = true;
+  result.offset_units = offset->offset_units;
+  result.preamble_metric = offset->metric;
+  result.coded_bits = std::move(coded);
+  result.soft_bits = std::move(soft);
+  if (result.coded_bits.size() > 32) {
+    const PacketCodec codec(result.coded_bits.size(), fec_);
+    result.payload = fec_ == Fec::kNone
+                         ? codec.decode(result.coded_bits)
+                         : codec.decode_soft(result.soft_bits);
+  }
+  return result;
+}
+
+}  // namespace lscatter::core

@@ -1,0 +1,88 @@
+#pragma once
+// UE-side backscatter demodulator (paper §3.3).
+//
+// For every modulated symbol of a packet the receiver forms the products
+// z_n = r_n conj(x_n) over the useful window (x_n: known ambient
+// baseband), finds the modulation offset from the preamble symbol
+// (modulation_offset.*), eliminates the phase offset per symbol from the
+// filler units (phase_offset.*), and slices each unit's BPSK phase. The
+// collected bits are de-whitened and CRC-checked by the PacketCodec.
+
+#include <optional>
+
+#include "core/framing.hpp"
+#include "core/modulation_offset.hpp"
+#include "dsp/fft.hpp"
+#include "lte/ofdm.hpp"
+#include "tag/tag_controller.hpp"
+
+namespace lscatter::core {
+
+struct PacketDemodResult {
+  bool preamble_found = false;
+  std::ptrdiff_t offset_units = 0;
+  float preamble_metric = 0.0f;
+  std::vector<std::uint8_t> coded_bits;  // on-air bits (still whitened)
+  std::vector<float> soft_bits;          // per-unit metric, + = bit 1
+  std::optional<std::vector<std::uint8_t>> payload;  // CRC-clean payload
+};
+
+class LscatterDemodulator {
+ public:
+  LscatterDemodulator(const lte::CellConfig& cell,
+                      const tag::TagScheduleConfig& schedule,
+                      const OffsetSearch& search = {},
+                      Fec fec = Fec::kNone);
+
+  /// Demodulate one packet. `rx` and `ambient` are aligned sample spans
+  /// that begin at the boundary of the packet's first subframe and cover
+  /// packet_subframes() full subframes. `first_subframe_index` is that
+  /// subframe's running index (for the PSS/SSS avoidance schedule).
+  PacketDemodResult demodulate_packet(std::span<const dsp::cf32> rx,
+                                      std::span<const dsp::cf32> ambient,
+                                      std::size_t first_subframe_index) const;
+
+  const tag::TagController& controller() const { return controller_; }
+  const OffsetSearch& search() const { return search_; }
+
+ private:
+  /// z products over the useful window of subframe symbol `l`; when `h`
+  /// is non-empty the window is channel-equalized first.
+  dsp::cvec symbol_products(std::span<const dsp::cf32> rx,
+                            std::span<const dsp::cf32> ambient,
+                            std::size_t subframe_offset_samples,
+                            std::size_t l,
+                            std::span<const dsp::cf64> h = {}) const;
+
+  /// Slice the symbol's info bits (and their soft metrics) given offset
+  /// and gain; repetition units are soft-combined.
+  void slice_symbol(std::span<const dsp::cf32> z,
+                    std::ptrdiff_t offset_units, dsp::cf32 gain,
+                    std::vector<std::uint8_t>& bits,
+                    std::vector<float>& soft) const;
+
+  /// Per-symbol gain re-estimate from units outside the (shifted)
+  /// modulation window; falls back to `fallback` if too little energy.
+  dsp::cf32 estimate_symbol_gain(std::span<const dsp::cf32> z,
+                                 std::ptrdiff_t offset_units,
+                                 dsp::cf32 fallback) const;
+
+  /// Least-squares FIR estimate of the backscatter channel from a symbol
+  /// whose full unit pattern is known (the preamble at offset d).
+  std::vector<dsp::cf64> estimate_channel_fir(
+      std::span<const dsp::cf32> rx, std::span<const dsp::cf32> ambient,
+      std::size_t subframe_offset_samples, std::size_t l,
+      std::ptrdiff_t offset_units) const;
+
+  /// Divide the channel out of one useful window in the frequency domain.
+  dsp::cvec equalize_window(std::span<const dsp::cf32> rx_window,
+                            std::span<const dsp::cf64> h) const;
+
+  lte::CellConfig cell_;
+  tag::TagController controller_;
+  OffsetSearch search_;
+  Fec fec_;
+  dsp::FftPlan plan_;
+};
+
+}  // namespace lscatter::core

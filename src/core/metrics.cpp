@@ -1,0 +1,31 @@
+#include "core/metrics.hpp"
+
+#include <cstdio>
+
+namespace lscatter::core {
+
+LinkMetrics& LinkMetrics::operator+=(const LinkMetrics& other) {
+  bits_sent += other.bits_sent;
+  bit_errors += other.bit_errors;
+  bits_delivered += other.bits_delivered;
+  bits_crc_ok += other.bits_crc_ok;
+  packets_sent += other.packets_sent;
+  packets_detected += other.packets_detected;
+  packets_ok += other.packets_ok;
+  elapsed_s += other.elapsed_s;
+  return *this;
+}
+
+std::string LinkMetrics::describe() const {
+  char buf[224];
+  std::snprintf(
+      buf, sizeof(buf),
+      "bits=%zu errors=%zu BER=%.3e throughput=%.3f Mbps goodput=%.3f Mbps "
+      "PDR=%.3f detect=%.3f (%zu pkts)",
+      bits_sent, bit_errors, ber(), throughput_bps() / 1e6,
+      goodput_bps() / 1e6, packet_delivery_ratio(),
+      preamble_detection_ratio(), packets_sent);
+  return buf;
+}
+
+}  // namespace lscatter::core

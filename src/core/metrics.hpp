@@ -1,0 +1,69 @@
+#pragma once
+// Link-level metrics the evaluation reports.
+//
+// The paper's definitions (§4.2):
+//   BER        = bit errors / total transferred bits
+//   throughput = correctly demodulated data bits per second
+//
+// `bits_delivered` implements the throughput numerator chance-corrected:
+// a packet whose preamble was found contributes max(0, correct - wrong)
+// bits, so a 50%-BER packet contributes ~0 instead of "half right by
+// luck"; an undetected packet contributes 0. CRC-clean goodput is kept as
+// a second, stricter metric.
+
+#include <cstddef>
+#include <string>
+
+namespace lscatter::core {
+
+struct LinkMetrics {
+  std::size_t bits_sent = 0;
+  std::size_t bit_errors = 0;
+  std::size_t bits_delivered = 0;   // chance-corrected correct bits
+  std::size_t bits_crc_ok = 0;      // payload bits inside CRC-clean packets
+  std::size_t packets_sent = 0;
+  std::size_t packets_detected = 0; // preamble found
+  std::size_t packets_ok = 0;       // CRC clean
+  double elapsed_s = 0.0;
+
+  double ber() const {
+    return bits_sent == 0
+               ? 0.0
+               : static_cast<double>(bit_errors) /
+                     static_cast<double>(bits_sent);
+  }
+
+  /// Paper-style throughput [bit/s].
+  double throughput_bps() const {
+    return elapsed_s <= 0.0
+               ? 0.0
+               : static_cast<double>(bits_delivered) / elapsed_s;
+  }
+
+  /// CRC-clean goodput [bit/s].
+  double goodput_bps() const {
+    return elapsed_s <= 0.0
+               ? 0.0
+               : static_cast<double>(bits_crc_ok) / elapsed_s;
+  }
+
+  double packet_delivery_ratio() const {
+    return packets_sent == 0
+               ? 0.0
+               : static_cast<double>(packets_ok) /
+                     static_cast<double>(packets_sent);
+  }
+
+  double preamble_detection_ratio() const {
+    return packets_sent == 0
+               ? 0.0
+               : static_cast<double>(packets_detected) /
+                     static_cast<double>(packets_sent);
+  }
+
+  LinkMetrics& operator+=(const LinkMetrics& other);
+
+  std::string describe() const;
+};
+
+}  // namespace lscatter::core

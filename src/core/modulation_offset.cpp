@@ -1,0 +1,51 @@
+#include "core/modulation_offset.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lscatter::core {
+
+using dsp::cf32;
+
+std::optional<OffsetResult> find_modulation_offset(
+    std::span<const cf32> z, std::span<const std::uint8_t> pattern,
+    std::ptrdiff_t nominal_start, const OffsetSearch& search) {
+  const std::size_t n = pattern.size();
+  assert(n > 0);
+  assert(z.size() >= n);
+
+  const auto lo = -static_cast<std::ptrdiff_t>(search.range_units);
+  const auto hi = static_cast<std::ptrdiff_t>(search.range_units);
+
+  OffsetResult best;
+  bool found = false;
+  for (std::ptrdiff_t d = lo; d <= hi; ++d) {
+    const std::ptrdiff_t start = nominal_start + d;
+    if (start < 0 ||
+        start + static_cast<std::ptrdiff_t>(n) >
+            static_cast<std::ptrdiff_t>(z.size())) {
+      continue;
+    }
+    dsp::cf64 acc{};
+    double abs_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const cf32 v = z[static_cast<std::size_t>(start) + i];
+      const double sgn = pattern[i] ? 1.0 : -1.0;
+      acc += dsp::cf64{v.real() * sgn, v.imag() * sgn};
+      abs_sum += std::abs(v);
+    }
+    if (abs_sum <= 0.0) continue;
+    const float metric = static_cast<float>(std::abs(acc) / abs_sum);
+    if (!found || metric > best.metric) {
+      found = true;
+      best.metric = metric;
+      best.offset_units = d;
+      best.gain = cf32{static_cast<float>(acc.real()),
+                       static_cast<float>(acc.imag())};
+    }
+  }
+  if (!found || best.metric < search.detect_threshold) return std::nullopt;
+  return best;
+}
+
+}  // namespace lscatter::core

@@ -1,0 +1,158 @@
+#include "core/multi_tag.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "channel/awgn.hpp"
+#include "dsp/db.hpp"
+#include "tag/modulator.hpp"
+
+namespace lscatter::core {
+
+using dsp::cf32;
+using dsp::cvec;
+
+namespace {
+
+struct TagState {
+  tag::TagController controller;
+  cf32 gain;
+  double sync_error_s = 0.0;
+  // Per-packet bookkeeping: payload for the packet being transmitted.
+  std::vector<std::uint8_t> payload;
+  std::vector<std::vector<std::uint8_t>> symbol_payloads;
+};
+
+}  // namespace
+
+MultiTagResult run_multi_tag(const MultiTagConfig& config,
+                             std::size_t n_subframes) {
+  assert(!config.tags.empty());
+  assert(config.n_slots >= 1);
+
+  const LinkConfig& base = config.base;
+  const auto& cell = base.enodeb.cell;
+  lte::Enodeb enodeb(base.enodeb);
+  LscatterDemodulator demod(cell, base.schedule, base.search);
+
+  dsp::Rng rng(base.seed, 0x3713371337ULL);
+  dsp::Rng noise_rng = rng.fork();
+  dsp::Rng payload_rng = rng.fork();
+
+  // Per-tag radio state: budget from each tag's geometry, one drop.
+  std::vector<TagState> tags;
+  tags.reserve(config.tags.size());
+  double worst_noise_mw = 0.0;
+  for (const auto& t : config.tags) {
+    const double f = cell.carrier_hz;
+    const double pl1 = base.env.pathloss.sample_db(
+        dsp::feet_to_meters(t.geometry.enb_tag_ft), f, rng);
+    const double pl2 = base.env.pathloss.sample_db(
+        dsp::feet_to_meters(t.geometry.tag_ue_ft), f, rng);
+    const double rx_dbm =
+        base.env.budget.backscatter_rx_dbm(pl1, pl2);
+    const double k = dsp::db_to_lin(base.env.fading.rician_k_db);
+    const auto fade = [&]() -> cf32 {
+      return cf32{static_cast<float>(std::sqrt(k / (k + 1.0))), 0.0f} +
+             rng.complex_normal(1.0 / (k + 1.0));
+    };
+    const double phase = rng.uniform(0.0, dsp::kTwoPi);
+    const double amp = channel::amplitude(rx_dbm);
+    TagState st{tag::TagController(cell, base.schedule),
+                fade() * fade() *
+                    cf32{static_cast<float>(amp * std::cos(phase)),
+                         static_cast<float>(amp * std::sin(phase))},
+                base.sync.sample_error_s(rng),
+                {},
+                {}};
+    tags.push_back(std::move(st));
+
+    const double pl_direct = base.env.pathloss.sample_db(
+        dsp::feet_to_meters(t.geometry.direct_ft()), f, rng);
+    const double occupied_hz =
+        static_cast<double>(cell.n_subcarriers()) *
+        lte::kSubcarrierSpacingHz;
+    const double noise_mw =
+        dsp::dbm_to_mw(channel::noise_floor_dbm(
+            occupied_hz, base.env.budget.noise_figure_db)) +
+        dsp::dbm_to_mw(base.env.budget.direct_rx_dbm(pl_direct) -
+                       base.env.acir_db);
+    worst_noise_mw = std::max(worst_noise_mw, noise_mw);
+  }
+
+  MultiTagResult result;
+  result.per_tag.resize(config.tags.size());
+  for (std::size_t i = 0; i < config.tags.size(); ++i) {
+    result.per_tag[i].tag_index = i;
+    result.per_tag[i].metrics.elapsed_s =
+        static_cast<double>(n_subframes) * 1e-3;
+  }
+
+  const std::size_t sf_samples = cell.samples_per_subframe();
+  for (std::size_t sf = 0; sf < n_subframes; ++sf) {
+    const lte::SubframeTx tx = enodeb.next_subframe();
+    const std::size_t slot = sf % config.n_slots;
+
+    // Tags outside their slot switch to the absorbing impedance state
+    // (a tag reflecting even unmodulated filler would plant a constant
+    // term in everyone else's conjugate products and flip their '0'
+    // decisions). Tags sharing a slot scatter simultaneously — the
+    // collision case.
+    cvec rx(sf_samples, cf32{});
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < config.tags.size(); ++i) {
+      TagState& st = tags[i];
+      if (config.tags[i].slot != slot) continue;  // absorbing
+      if (st.controller.is_listening_subframe(sf)) continue;
+      const std::size_t cap = st.controller.packet_raw_bits(sf);
+      if (cap <= 32) continue;
+
+      const PacketCodec codec(cap);
+      st.payload = payload_rng.bits(codec.payload_bits());
+      st.symbol_payloads = split_bits(codec.encode(st.payload),
+                                      st.controller.bits_per_symbol());
+      const auto plan =
+          st.controller.plan_subframe(sf, true, st.symbol_payloads);
+      active.push_back(i);
+
+      const auto pattern = tag::expand_to_units(cell, plan);
+      const auto err_units = static_cast<std::ptrdiff_t>(
+          std::llround(st.sync_error_s * cell.sample_rate_hz()));
+      const cvec scat =
+          tag::apply_pattern(tx.samples, pattern, err_units, st.gain);
+      for (std::size_t n = 0; n < sf_samples; ++n) rx[n] += scat[n];
+    }
+    channel::add_awgn(rx, worst_noise_mw, noise_rng);
+
+    // Demodulate each active tag's packet from the superposition.
+    for (const std::size_t i : active) {
+      TagState& st = tags[i];
+      LinkMetrics& m = result.per_tag[i].metrics;
+      m.packets_sent += 1;
+      m.bits_sent += st.payload.size();
+
+      const auto res = demod.demodulate_packet(rx, tx.samples, sf);
+      if (!res.preamble_found) {
+        m.bit_errors += st.payload.size() / 2;
+        continue;
+      }
+      m.packets_detected += 1;
+      const PacketCodec codec(st.payload.size() + 32);
+      const auto plain = codec.dewhiten(res.coded_bits);
+      std::size_t errors = 0;
+      for (std::size_t b = 0; b < st.payload.size(); ++b) {
+        if (plain[b] != st.payload[b]) ++errors;
+      }
+      m.bit_errors += errors;
+      const std::size_t correct = st.payload.size() - errors;
+      m.bits_delivered += correct > errors ? correct - errors : 0;
+      if (res.payload && *res.payload == st.payload) {
+        m.packets_ok += 1;
+        m.bits_crc_ok += st.payload.size();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lscatter::core

@@ -1,0 +1,53 @@
+#pragma once
+// Multi-tag operation (library extension; the paper's §1 vision is
+// city-scale deployments but its evaluation is single-tag).
+//
+// Because every tag locks to the same PSS cadence, the frame itself is a
+// natural TDMA structure: tag i modulates only the subframes whose index
+// satisfies (sf % n_slots) == slot_i and fills the rest. A UE demodulates
+// each tag's packets from its slots. Tags that (mis)share a slot collide:
+// their scattered signals superpose and both packets see heavy errors —
+// also modelled here, as the motivation for slot assignment.
+
+#include <vector>
+
+#include "core/link_simulator.hpp"
+
+namespace lscatter::core {
+
+struct MultiTagConfig {
+  /// Shared radio scene (geometry is per-tag below).
+  LinkConfig base;
+
+  /// Number of TDMA slots (subframe-granular).
+  std::size_t n_slots = 2;
+
+  struct Tag {
+    LinkGeometry geometry;
+    std::size_t slot = 0;  // which subframe slot this tag modulates in
+  };
+  std::vector<Tag> tags;
+};
+
+struct PerTagMetrics {
+  std::size_t tag_index = 0;
+  LinkMetrics metrics;
+};
+
+struct MultiTagResult {
+  std::vector<PerTagMetrics> per_tag;
+
+  double aggregate_throughput_bps() const {
+    double t = 0.0;
+    for (const auto& p : per_tag) t += p.metrics.throughput_bps();
+    return t;
+  }
+};
+
+/// Simulate `n_subframes` of a multi-tag cell: every tag scatters in its
+/// slot (colliding tags scatter simultaneously), the UE demodulates each
+/// tag's packets. One channel drop per call.
+MultiTagResult run_multi_tag(const MultiTagConfig& config,
+                             std::size_t n_subframes);
+
+}  // namespace lscatter::core

@@ -1,0 +1,37 @@
+#include "core/phase_offset.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lscatter::core {
+
+using dsp::cf32;
+using dsp::cvec;
+
+cf32 estimate_gain(std::span<const cf32> z_reference,
+                   double reference_energy) {
+  const cf32 s = dsp::sum(z_reference);
+  if (reference_energy > 0.0) {
+    return cf32{static_cast<float>(s.real() / reference_energy),
+                static_cast<float>(s.imag() / reference_energy)};
+  }
+  return s;
+}
+
+void derotate(std::span<cf32> z, cf32 gain) {
+  const float mag = std::abs(gain);
+  if (mag <= 0.0f) return;
+  const cf32 unit = std::conj(gain) / mag;
+  for (cf32& v : z) v *= unit;
+}
+
+cvec eq6_reference_products(std::span<const cf32> y,
+                            std::size_t reference_index) {
+  assert(reference_index < y.size());
+  const cf32 yr = std::conj(y[reference_index]);
+  cvec out(y.size());
+  for (std::size_t k = 0; k < y.size(); ++k) out[k] = y[k] * yr;
+  return out;
+}
+
+}  // namespace lscatter::core

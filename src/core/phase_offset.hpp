@@ -1,0 +1,38 @@
+#pragma once
+// Phase-offset elimination (paper §3.3.1, Eq. 5/6).
+//
+// The tag's switching delay plus the two-hop channel rotate every basic
+// timing unit by a common phase phi; on top of that the backscatter gain
+// has an unknown amplitude. The receiver therefore works on the products
+//
+//     z_n = r_n * conj(x_n)  =  g * e^{j(theta_n + phi)} * |x_n|^2 + noise
+//
+// where x_n is the known ambient baseband (the genie equivalent of the
+// paper's LTE reference signals — see DESIGN.md §4). Summing z_n over
+// units with known theta_n = 0 estimates g*e^{j phi} exactly the way
+// Eq. 6's conjugate-multiplication removes phi, and the frequency-domain
+// form of Eq. 6 itself is provided for validation.
+
+#include "dsp/types.hpp"
+
+namespace lscatter::core {
+
+/// Estimate the complex backscatter gain g*e^{j phi} from products z_n on
+/// units known to carry theta = 0 ('1' filler / preamble-corrected units).
+/// The |x_n|^2 weighting is implicit in z. Returns the *sum* normalized by
+/// the reference energy sum_n |x_n|^2 when it is supplied (> 0), else the
+/// raw sum.
+dsp::cf32 estimate_gain(std::span<const dsp::cf32> z_reference,
+                        double reference_energy = 0.0);
+
+/// Remove a phase/gain estimate from products in place: z <- z * conj(g)/|g|.
+void derotate(std::span<dsp::cf32> z, dsp::cf32 gain);
+
+/// Paper Eq. 6, frequency domain: Y_k * conj(Y_r) for all k != r, where Y
+/// is the FFT of the hybrid useful symbol. The common phase e^{j phi}
+/// cancels in the product. Returned vector has Y_k Y_r* at index k (index
+/// r holds |Y_r|^2).
+dsp::cvec eq6_reference_products(std::span<const dsp::cf32> y,
+                                 std::size_t reference_index);
+
+}  // namespace lscatter::core

@@ -1,0 +1,51 @@
+#include "core/streaming_receiver.hpp"
+
+#include <cassert>
+
+namespace lscatter::core {
+
+StreamingReceiver::StreamingReceiver(const Config& config)
+    : config_(config),
+      demodulator_(config.cell, config.schedule, config.search),
+      samples_per_packet_(config.schedule.packet_subframes *
+                          config.cell.samples_per_subframe()),
+      next_subframe_(config.first_subframe_index) {}
+
+std::vector<StreamingReceiver::PacketEvent> StreamingReceiver::feed(
+    std::span<const dsp::cf32> rx, std::span<const dsp::cf32> ambient) {
+  assert(rx.size() == ambient.size());
+  rx_buffer_.insert(rx_buffer_.end(), rx.begin(), rx.end());
+  ambient_buffer_.insert(ambient_buffer_.end(), ambient.begin(),
+                         ambient.end());
+
+  std::vector<PacketEvent> events;
+  while (rx_buffer_.size() >= samples_per_packet_) {
+    const std::span<const dsp::cf32> prx(rx_buffer_.data(),
+                                         samples_per_packet_);
+    const std::span<const dsp::cf32> pam(ambient_buffer_.data(),
+                                         samples_per_packet_);
+
+    // Listening / empty slots produce no packet but still consume time.
+    const std::size_t capacity =
+        demodulator_.controller().packet_raw_bits(next_subframe_);
+    if (capacity > 32) {
+      PacketEvent ev;
+      ev.first_subframe_index = next_subframe_;
+      ev.result = demodulator_.demodulate_packet(prx, pam, next_subframe_);
+      ++packets_;
+      events.push_back(std::move(ev));
+    }
+
+    rx_buffer_.erase(rx_buffer_.begin(),
+                     rx_buffer_.begin() +
+                         static_cast<std::ptrdiff_t>(samples_per_packet_));
+    ambient_buffer_.erase(
+        ambient_buffer_.begin(),
+        ambient_buffer_.begin() +
+            static_cast<std::ptrdiff_t>(samples_per_packet_));
+    next_subframe_ += config_.schedule.packet_subframes;
+  }
+  return events;
+}
+
+}  // namespace lscatter::core

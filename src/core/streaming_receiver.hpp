@@ -1,0 +1,68 @@
+#pragma once
+// Streaming UE front end for LScatter.
+//
+// LscatterDemodulator works on one aligned packet at a time; real
+// receivers see an unbroken sample stream in arbitrary chunk sizes. This
+// wrapper buffers (rx, ambient) pairs, tracks the subframe phase, carves
+// out whole packets as they complete, demodulates them, and emits packet
+// events — the API a downstream SDR application would actually use:
+//
+//   core::StreamingReceiver ue(config);
+//   while (sdr.read(chunk_rx, chunk_ambient)) {
+//     for (const auto& ev : ue.feed(chunk_rx, chunk_ambient)) {
+//       if (ev.result.payload) deliver(*ev.result.payload);
+//     }
+//   }
+//
+// The stream is assumed subframe-aligned at sample 0 (the UE's LTE sync
+// — CellSearcher — provides that alignment; see tests).
+
+#include <vector>
+
+#include "core/lscatter_rx.hpp"
+
+namespace lscatter::core {
+
+class StreamingReceiver {
+ public:
+  struct Config {
+    lte::CellConfig cell;
+    tag::TagScheduleConfig schedule;
+    OffsetSearch search;
+
+    /// Subframe index of the first sample fed (frame phase from LTE
+    /// sync).
+    std::size_t first_subframe_index = 0;
+  };
+
+  struct PacketEvent {
+    std::size_t first_subframe_index = 0;  // packet's first subframe
+    PacketDemodResult result;
+  };
+
+  explicit StreamingReceiver(const Config& config);
+
+  /// Feed the next chunk of the aligned streams (any length, including
+  /// zero; rx and ambient must be the same length). Returns the packets
+  /// completed within this chunk, in order.
+  std::vector<PacketEvent> feed(std::span<const dsp::cf32> rx,
+                                std::span<const dsp::cf32> ambient);
+
+  /// Samples currently buffered (always < one packet's worth after
+  /// feed() returns).
+  std::size_t buffered_samples() const { return rx_buffer_.size(); }
+
+  std::size_t packets_demodulated() const { return packets_; }
+  std::size_t next_subframe_index() const { return next_subframe_; }
+
+ private:
+  Config config_;
+  LscatterDemodulator demodulator_;
+  std::size_t samples_per_packet_;
+  std::size_t next_subframe_;
+  std::size_t packets_ = 0;
+  dsp::cvec rx_buffer_;
+  dsp::cvec ambient_buffer_;
+};
+
+}  // namespace lscatter::core

@@ -1,0 +1,131 @@
+#include "dsp/convolutional.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace lscatter::dsp {
+
+namespace {
+
+constexpr std::size_t kStates = 1u << (kConvConstraint - 1);  // 64
+
+inline std::uint8_t parity(std::uint32_t x) {
+  x ^= x >> 16;
+  x ^= x >> 8;
+  x ^= x >> 4;
+  x ^= x >> 2;
+  x ^= x >> 1;
+  return static_cast<std::uint8_t>(x & 1u);
+}
+
+// Output pair for (state, input). State holds the most recent 6 bits,
+// newest in the MSB position of the 7-bit shift register.
+inline void outputs(std::uint32_t state, std::uint8_t in, std::uint8_t& o0,
+                    std::uint8_t& o1) {
+  const std::uint32_t reg = (static_cast<std::uint32_t>(in) << 6) | state;
+  o0 = parity(reg & kConvG0);
+  o1 = parity(reg & kConvG1);
+}
+
+inline std::uint32_t next_state(std::uint32_t state, std::uint8_t in) {
+  return ((static_cast<std::uint32_t>(in) << 6) | state) >> 1;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> conv_encode(std::span<const std::uint8_t> info) {
+  std::vector<std::uint8_t> coded;
+  coded.reserve(conv_encoded_bits(info.size()));
+  std::uint32_t state = 0;
+  auto push = [&](std::uint8_t bit) {
+    std::uint8_t o0 = 0;
+    std::uint8_t o1 = 0;
+    outputs(state, bit, o0, o1);
+    coded.push_back(o0);
+    coded.push_back(o1);
+    state = next_state(state, bit);
+  };
+  for (const std::uint8_t b : info) push(b & 1u);
+  for (std::size_t i = 0; i < kConvTailBits; ++i) push(0);
+  return coded;
+}
+
+namespace {
+
+// Shared Viterbi over a per-step branch metric lambda: metric(o0, o1,
+// step) returns the metric *added* for emitting (o0, o1) at trellis step
+// `step` (higher = better).
+template <typename Metric>
+std::vector<std::uint8_t> viterbi(std::size_t n_steps, std::size_t n_info,
+                                  Metric&& metric) {
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  std::vector<float> path(kStates, kNegInf);
+  std::vector<float> next(kStates, kNegInf);
+  path[0] = 0.0f;  // encoder starts in state 0
+
+  // Survivor bits, one per (step, state).
+  std::vector<std::uint8_t> survivor_in(n_steps * kStates);
+  std::vector<std::uint32_t> survivor_prev(n_steps * kStates);
+
+  for (std::size_t t = 0; t < n_steps; ++t) {
+    std::fill(next.begin(), next.end(), kNegInf);
+    for (std::uint32_t s = 0; s < kStates; ++s) {
+      if (path[s] == kNegInf) continue;
+      for (std::uint8_t in = 0; in <= 1; ++in) {
+        if (t >= n_info && in == 1) continue;  // tail forces zeros
+        std::uint8_t o0 = 0;
+        std::uint8_t o1 = 0;
+        outputs(s, in, o0, o1);
+        const std::uint32_t ns = next_state(s, in);
+        const float m = path[s] + metric(o0, o1, t);
+        if (m > next[ns]) {
+          next[ns] = m;
+          survivor_in[t * kStates + ns] = in;
+          survivor_prev[t * kStates + ns] = s;
+        }
+      }
+    }
+    std::swap(path, next);
+  }
+
+  // Traceback from state 0 (tail-terminated).
+  std::vector<std::uint8_t> info(n_info);
+  std::uint32_t state = 0;
+  for (std::size_t t = n_steps; t-- > 0;) {
+    const std::uint8_t in = survivor_in[t * kStates + state];
+    if (t < n_info) info[t] = in;
+    state = survivor_prev[t * kStates + state];
+  }
+  return info;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> conv_decode_hard(
+    std::span<const std::uint8_t> coded, std::size_t n_info) {
+  const std::size_t n_steps = n_info + kConvTailBits;
+  assert(coded.size() == 2 * n_steps);
+  return viterbi(n_steps, n_info,
+                 [&](std::uint8_t o0, std::uint8_t o1, std::size_t t) {
+                   float m = 0.0f;
+                   if ((coded[2 * t] & 1u) == o0) m += 1.0f;
+                   if ((coded[2 * t + 1] & 1u) == o1) m += 1.0f;
+                   return m;
+                 });
+}
+
+std::vector<std::uint8_t> conv_decode_soft(std::span<const float> soft,
+                                           std::size_t n_info) {
+  const std::size_t n_steps = n_info + kConvTailBits;
+  assert(soft.size() == 2 * n_steps);
+  return viterbi(n_steps, n_info,
+                 [&](std::uint8_t o0, std::uint8_t o1, std::size_t t) {
+                   // LLR convention: positive soft value = bit 1.
+                   const float s0 = soft[2 * t];
+                   const float s1 = soft[2 * t + 1];
+                   return (o0 ? s0 : -s0) + (o1 ? s1 : -s1);
+                 });
+}
+
+}  // namespace lscatter::dsp

@@ -1,0 +1,48 @@
+#pragma once
+// Rate-1/2 convolutional code, constraint length 7, generators 133/171
+// (octal) — the classic Voyager/802.11/LTE-control code — with a
+// soft-decision Viterbi decoder. Used by the LScatter link as an
+// alternative to repetition coding: ~5 dB of coding gain at rate 1/2
+// instead of a diversity-order trade at rate 1/r.
+//
+// Termination: the encoder appends 6 tail zeros, so the decoder starts
+// and ends in state 0. encode() therefore emits 2*(n + 6) bits.
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace lscatter::dsp {
+
+inline constexpr std::size_t kConvConstraint = 7;
+inline constexpr std::size_t kConvTailBits = kConvConstraint - 1;
+inline constexpr std::uint32_t kConvG0 = 0133;  // octal
+inline constexpr std::uint32_t kConvG1 = 0171;
+
+/// Encoded size for n info bits (tail included).
+constexpr std::size_t conv_encoded_bits(std::size_t n_info) {
+  return 2 * (n_info + kConvTailBits);
+}
+
+/// Info capacity for a coded budget (largest n with encoded size <=
+/// n_coded).
+constexpr std::size_t conv_info_capacity(std::size_t n_coded) {
+  return n_coded / 2 > kConvTailBits ? n_coded / 2 - kConvTailBits : 0;
+}
+
+/// Encode bits (one per byte) -> coded bits, tail-terminated.
+std::vector<std::uint8_t> conv_encode(std::span<const std::uint8_t> info);
+
+/// Hard-decision Viterbi decode of exactly conv_encoded_bits(n_info)
+/// coded bits back to n_info info bits.
+std::vector<std::uint8_t> conv_decode_hard(
+    std::span<const std::uint8_t> coded, std::size_t n_info);
+
+/// Soft-decision Viterbi: `soft[i]` is the log-likelihood-ratio-like
+/// metric of coded bit i — positive means bit 1 (matching the LScatter
+/// slicer convention Re(z conj(g)) for '1' = theta 0).
+std::vector<std::uint8_t> conv_decode_soft(std::span<const float> soft,
+                                           std::size_t n_info);
+
+}  // namespace lscatter::dsp

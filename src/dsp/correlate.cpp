@@ -1,0 +1,79 @@
+#include "dsp/correlate.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lscatter::dsp {
+
+cvec cross_correlate(std::span<const cf32> signal,
+                     std::span<const cf32> pattern) {
+  assert(!pattern.empty());
+  assert(signal.size() >= pattern.size());
+  const std::size_t lags = signal.size() - pattern.size() + 1;
+  cvec out(lags);
+  for (std::size_t d = 0; d < lags; ++d) {
+    cf64 acc{};
+    for (std::size_t n = 0; n < pattern.size(); ++n) {
+      const cf32 s = signal[d + n];
+      const cf32 p = pattern[n];
+      acc += cf64{s.real(), s.imag()} * cf64{p.real(), -p.imag()};
+    }
+    out[d] = cf32{static_cast<float>(acc.real()),
+                  static_cast<float>(acc.imag())};
+  }
+  return out;
+}
+
+fvec normalized_correlation(std::span<const cf32> signal,
+                            std::span<const cf32> pattern) {
+  assert(!pattern.empty());
+  assert(signal.size() >= pattern.size());
+  const std::size_t lags = signal.size() - pattern.size() + 1;
+  const double pat_energy = energy(pattern);
+  fvec out(lags);
+
+  // Running window energy for the denominator.
+  double win_energy = 0.0;
+  for (std::size_t n = 0; n < pattern.size(); ++n)
+    win_energy += std::norm(signal[n]);
+
+  for (std::size_t d = 0; d < lags; ++d) {
+    cf64 acc{};
+    for (std::size_t n = 0; n < pattern.size(); ++n) {
+      const cf32 s = signal[d + n];
+      const cf32 p = pattern[n];
+      acc += cf64{s.real(), s.imag()} * cf64{p.real(), -p.imag()};
+    }
+    const double denom = std::sqrt(win_energy * pat_energy);
+    out[d] = denom > 0.0
+                 ? static_cast<float>(std::abs(acc) / denom)
+                 : 0.0f;
+    if (d + 1 < lags) {
+      win_energy -= std::norm(signal[d]);
+      win_energy += std::norm(signal[d + pattern.size()]);
+      if (win_energy < 0.0) win_energy = 0.0;
+    }
+  }
+  return out;
+}
+
+Peak peak_abs(std::span<const cf32> x) {
+  assert(!x.empty());
+  Peak best{0, std::abs(x[0])};
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    const float v = std::abs(x[i]);
+    if (v > best.value) best = Peak{i, v};
+  }
+  return best;
+}
+
+Peak peak(std::span<const float> x) {
+  assert(!x.empty());
+  Peak best{0, x[0]};
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i] > best.value) best = Peak{i, x[i]};
+  }
+  return best;
+}
+
+}  // namespace lscatter::dsp

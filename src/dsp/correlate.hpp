@@ -1,0 +1,34 @@
+#pragma once
+// Cross-correlation utilities, used by LTE cell search (PSS correlation),
+// backscatter preamble alignment, and the baseline WiFi detector.
+
+#include <cstddef>
+
+#include "dsp/types.hpp"
+
+namespace lscatter::dsp {
+
+/// Sliding cross-correlation of `signal` against `pattern`:
+///   out[d] = sum_n signal[d + n] * conj(pattern[n])
+/// for d in [0, signal.size() - pattern.size()]. Uses the direct method
+/// (the searches in this codebase have short patterns / windows).
+cvec cross_correlate(std::span<const cf32> signal,
+                     std::span<const cf32> pattern);
+
+/// Normalized correlation magnitude in [0, 1]:
+///   |corr[d]| / (||signal window|| * ||pattern||)
+fvec normalized_correlation(std::span<const cf32> signal,
+                            std::span<const cf32> pattern);
+
+struct Peak {
+  std::size_t index = 0;
+  float value = 0.0f;
+};
+
+/// Index / value of max |x|. Precondition: x non-empty.
+Peak peak_abs(std::span<const cf32> x);
+
+/// Index / value of max x. Precondition: x non-empty.
+Peak peak(std::span<const float> x);
+
+}  // namespace lscatter::dsp

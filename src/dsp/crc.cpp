@@ -1,0 +1,84 @@
+#include "dsp/crc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lscatter::dsp {
+
+std::vector<std::uint8_t> crc_bits(std::span<const std::uint8_t> bits,
+                                   std::uint32_t poly,
+                                   std::size_t n_crc_bits) {
+  assert(n_crc_bits > 0 && n_crc_bits <= 32);
+  // Bit-serial long division over GF(2) with zero-padded message.
+  std::uint32_t reg = 0;
+  const std::uint32_t top = 1u << (n_crc_bits - 1);
+  const std::uint32_t mask =
+      n_crc_bits == 32 ? 0xFFFFFFFFu : ((1u << n_crc_bits) - 1u);
+  auto shift_in = [&](std::uint8_t bit) {
+    const bool feedback = (reg & top) != 0;
+    reg = ((reg << 1) | bit) & mask;
+    if (feedback) reg ^= poly & mask;
+  };
+  for (const std::uint8_t b : bits) shift_in(b & 1u);
+  for (std::size_t i = 0; i < n_crc_bits; ++i) shift_in(0);
+
+  std::vector<std::uint8_t> out(n_crc_bits);
+  for (std::size_t i = 0; i < n_crc_bits; ++i) {
+    out[i] = static_cast<std::uint8_t>((reg >> (n_crc_bits - 1 - i)) & 1u);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> crc24a(std::span<const std::uint8_t> bits) {
+  return crc_bits(bits, 0x864CFBu, 24);
+}
+
+std::vector<std::uint8_t> crc16(std::span<const std::uint8_t> bits) {
+  return crc_bits(bits, 0x1021u, 16);
+}
+
+std::vector<std::uint8_t> crc32(std::span<const std::uint8_t> bits) {
+  return crc_bits(bits, 0x04C11DB7u, 32);
+}
+
+namespace {
+std::vector<std::uint8_t> attach(
+    std::span<const std::uint8_t> bits,
+    std::vector<std::uint8_t> (*fn)(std::span<const std::uint8_t>)) {
+  std::vector<std::uint8_t> out(bits.begin(), bits.end());
+  const auto crc = fn(bits);
+  out.insert(out.end(), crc.begin(), crc.end());
+  return out;
+}
+
+bool check(std::span<const std::uint8_t> bits_with_crc, std::size_t n_crc,
+           std::vector<std::uint8_t> (*fn)(std::span<const std::uint8_t>)) {
+  if (bits_with_crc.size() < n_crc) return false;
+  const auto payload = bits_with_crc.first(bits_with_crc.size() - n_crc);
+  const auto expect = fn(payload);
+  return std::equal(expect.begin(), expect.end(),
+                    bits_with_crc.end() - static_cast<std::ptrdiff_t>(n_crc));
+}
+}  // namespace
+
+std::vector<std::uint8_t> attach_crc24a(std::span<const std::uint8_t> bits) {
+  return attach(bits, crc24a);
+}
+std::vector<std::uint8_t> attach_crc16(std::span<const std::uint8_t> bits) {
+  return attach(bits, crc16);
+}
+std::vector<std::uint8_t> attach_crc32(std::span<const std::uint8_t> bits) {
+  return attach(bits, crc32);
+}
+
+bool check_crc24a(std::span<const std::uint8_t> bits_with_crc) {
+  return check(bits_with_crc, 24, crc24a);
+}
+bool check_crc16(std::span<const std::uint8_t> bits_with_crc) {
+  return check(bits_with_crc, 16, crc16);
+}
+bool check_crc32(std::span<const std::uint8_t> bits_with_crc) {
+  return check(bits_with_crc, 32, crc32);
+}
+
+}  // namespace lscatter::dsp

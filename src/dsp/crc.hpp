@@ -1,0 +1,41 @@
+#pragma once
+// Cyclic redundancy checks. CRC-24A is LTE's transport-block CRC
+// (TS 36.212 §5.1.1); CRC-32 (IEEE) and CRC-16-CCITT protect LScatter's
+// own backscatter packets.
+//
+// Bit-level API: bits are one-per-byte (0/1), MSB-first, matching how the
+// rest of the PHY pipelines handle payloads.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lscatter::dsp {
+
+/// CRC over a bit sequence with the given generator polynomial (implicit
+/// leading 1), producing `crc_bits` check bits, MSB first.
+std::vector<std::uint8_t> crc_bits(std::span<const std::uint8_t> bits,
+                                   std::uint32_t poly,
+                                   std::size_t n_crc_bits);
+
+/// LTE CRC-24A, poly 0x1864CFB.
+std::vector<std::uint8_t> crc24a(std::span<const std::uint8_t> bits);
+
+/// CRC-16-CCITT, poly 0x1021.
+std::vector<std::uint8_t> crc16(std::span<const std::uint8_t> bits);
+
+/// CRC-32 (IEEE 802.3 polynomial 0x04C11DB7, no reflection — bit-serial
+/// form used by LTE-style systems).
+std::vector<std::uint8_t> crc32(std::span<const std::uint8_t> bits);
+
+/// Append CRC to a copy of `bits`.
+std::vector<std::uint8_t> attach_crc24a(std::span<const std::uint8_t> bits);
+std::vector<std::uint8_t> attach_crc16(std::span<const std::uint8_t> bits);
+std::vector<std::uint8_t> attach_crc32(std::span<const std::uint8_t> bits);
+
+/// True if the trailing CRC over the leading payload checks out.
+bool check_crc24a(std::span<const std::uint8_t> bits_with_crc);
+bool check_crc16(std::span<const std::uint8_t> bits_with_crc);
+bool check_crc32(std::span<const std::uint8_t> bits_with_crc);
+
+}  // namespace lscatter::dsp

@@ -1,0 +1,63 @@
+#pragma once
+// Fast Fourier transform.
+//
+// LTE needs FFT sizes {128, 256, 512, 1024, 1536, 2048}. All but 1536 are
+// powers of two and use an iterative radix-2 Cooley-Tukey kernel with
+// precomputed double-precision twiddles. 1536 (the 15 MHz numerology) and
+// any other size go through Bluestein's chirp-z algorithm, which reduces an
+// arbitrary-length DFT to a power-of-two convolution.
+//
+// Conventions: forward() computes X_k = sum_n x_n e^{-j2πnk/N} (no
+// scaling); inverse() computes x_n = (1/N) sum_k X_k e^{+j2πnk/N}, so
+// inverse(forward(x)) == x.
+
+#include <cstddef>
+#include <memory>
+
+#include "dsp/types.hpp"
+
+namespace lscatter::dsp {
+
+class FftPlan {
+ public:
+  /// Builds a plan for length n (any n >= 1).
+  explicit FftPlan(std::size_t n);
+  ~FftPlan();
+
+  FftPlan(FftPlan&&) noexcept;
+  FftPlan& operator=(FftPlan&&) noexcept;
+  FftPlan(const FftPlan&) = delete;
+  FftPlan& operator=(const FftPlan&) = delete;
+
+  std::size_t size() const { return n_; }
+
+  /// Out-of-place transforms. `in.size()` must equal size().
+  cvec forward(std::span<const cf32> in) const;
+  cvec inverse(std::span<const cf32> in) const;
+
+  /// In-place transforms on a buffer of exactly size() elements.
+  void forward_inplace(std::span<cf32> data) const;
+  void inverse_inplace(std::span<cf32> data) const;
+
+ private:
+  struct Impl;
+  std::size_t n_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot helpers (plan cached per size in a small internal table).
+cvec fft(std::span<const cf32> in);
+cvec ifft(std::span<const cf32> in);
+
+/// True if n is a power of two.
+constexpr bool is_power_of_two(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n);
+
+/// Circularly shift a spectrum so DC moves to the center (like fftshift).
+cvec fftshift(std::span<const cf32> in);
+
+}  // namespace lscatter::dsp

@@ -1,0 +1,127 @@
+#include "dsp/fir.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lscatter::dsp {
+
+fvec hamming_window(std::size_t n) {
+  fvec w(n);
+  if (n == 1) {
+    w[0] = 1.0f;
+    return w;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = static_cast<float>(
+        0.54 - 0.46 * std::cos(kTwoPi * static_cast<double>(i) /
+                               static_cast<double>(n - 1)));
+  }
+  return w;
+}
+
+fvec hann_window(std::size_t n) {
+  fvec w(n);
+  if (n == 1) {
+    w[0] = 1.0f;
+    return w;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = static_cast<float>(
+        0.5 - 0.5 * std::cos(kTwoPi * static_cast<double>(i) /
+                             static_cast<double>(n - 1)));
+  }
+  return w;
+}
+
+fvec design_lowpass(double cutoff_norm, std::size_t ntaps) {
+  assert(cutoff_norm > 0.0 && cutoff_norm < 0.5);
+  if (ntaps % 2 == 0) ++ntaps;
+  const auto mid = static_cast<double>(ntaps - 1) / 2.0;
+  const fvec w = hamming_window(ntaps);
+  fvec taps(ntaps);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ntaps; ++i) {
+    const double t = static_cast<double>(i) - mid;
+    const double x = kTwoPi * cutoff_norm * t;
+    const double sinc = (std::abs(t) < 1e-12) ? 1.0 : std::sin(x) / x;
+    taps[i] = static_cast<float>(sinc * w[i]);
+    sum += taps[i];
+  }
+  for (auto& t : taps) t = static_cast<float>(t / sum);
+  return taps;
+}
+
+cvec design_bandpass(double center_norm, double bw_norm, std::size_t ntaps) {
+  const fvec lp = design_lowpass(bw_norm / 2.0, ntaps);
+  const auto mid = static_cast<double>(lp.size() - 1) / 2.0;
+  cvec taps(lp.size());
+  for (std::size_t i = 0; i < lp.size(); ++i) {
+    const double ang = kTwoPi * center_norm * (static_cast<double>(i) - mid);
+    taps[i] = cf32{static_cast<float>(lp[i] * std::cos(ang)),
+                   static_cast<float>(lp[i] * std::sin(ang))};
+  }
+  return taps;
+}
+
+namespace {
+template <typename Tap>
+cvec filter_same_impl(std::span<const cf32> x, std::span<const Tap> taps) {
+  assert(!taps.empty());
+  const std::size_t n = x.size();
+  const std::size_t delay = (taps.size() - 1) / 2;
+  cvec out(n, cf32{});
+  for (std::size_t i = 0; i < n; ++i) {
+    cf64 acc{};
+    // out[i] = sum_k x[i + delay - k] * taps[k]
+    for (std::size_t k = 0; k < taps.size(); ++k) {
+      const std::ptrdiff_t idx =
+          static_cast<std::ptrdiff_t>(i + delay) -
+          static_cast<std::ptrdiff_t>(k);
+      if (idx < 0 || idx >= static_cast<std::ptrdiff_t>(n)) continue;
+      const cf32 xv = x[static_cast<std::size_t>(idx)];
+      if constexpr (std::is_same_v<Tap, float>) {
+        acc += cf64{xv.real(), xv.imag()} * static_cast<double>(taps[k]);
+      } else {
+        acc += cf64{xv.real(), xv.imag()} *
+               cf64{taps[k].real(), taps[k].imag()};
+      }
+    }
+    out[i] = cf32{static_cast<float>(acc.real()),
+                  static_cast<float>(acc.imag())};
+  }
+  return out;
+}
+}  // namespace
+
+cvec filter_same(std::span<const cf32> x, std::span<const float> taps) {
+  return filter_same_impl<float>(x, taps);
+}
+
+cvec filter_same(std::span<const cf32> x, std::span<const cf32> taps) {
+  return filter_same_impl<cf32>(x, taps);
+}
+
+OnePole::OnePole(double tau_s, double sample_period_s)
+    : a_(std::exp(-sample_period_s / tau_s)) {
+  assert(tau_s > 0.0 && sample_period_s > 0.0);
+}
+
+float OnePole::step(float x) {
+  y_ = static_cast<float>(a_ * y_ + (1.0 - a_) * x);
+  return y_;
+}
+
+DiodeRc::DiodeRc(double charge_tau_s, double discharge_tau_s,
+                 double sample_period_s)
+    : a_charge_(std::exp(-sample_period_s / charge_tau_s)),
+      a_discharge_(std::exp(-sample_period_s / discharge_tau_s)) {
+  assert(charge_tau_s > 0.0 && discharge_tau_s > 0.0);
+}
+
+float DiodeRc::step(float x) {
+  const double a = (x > y_) ? a_charge_ : a_discharge_;
+  y_ = static_cast<float>(a * y_ + (1.0 - a) * x);
+  return y_;
+}
+
+}  // namespace lscatter::dsp

@@ -1,0 +1,76 @@
+#include "dsp/linalg.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lscatter::dsp {
+
+std::vector<cf64> solve_dense(std::vector<cf64> a, std::vector<cf64> b) {
+  const std::size_t n = b.size();
+  assert(a.size() == n * n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a[col * n + col]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double v = std::abs(a[row * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = row;
+      }
+    }
+    if (best < 1e-30) return {};
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::swap(a[pivot * n + k], a[col * n + k]);
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    // Eliminate below.
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const cf64 factor = a[row * n + col] / a[col * n + col];
+      if (factor == cf64{}) continue;
+      for (std::size_t k = col; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<cf64> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    cf64 acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i * n + k] * x[k];
+    x[i] = acc / a[i * n + i];
+  }
+  return x;
+}
+
+std::vector<cf64> fir_least_squares(std::span<const cf32> u,
+                                    std::span<const cf32> r,
+                                    std::size_t taps) {
+  assert(u.size() == r.size());
+  assert(taps >= 1);
+  const std::size_t n = u.size();
+  if (n < 4 * taps) return {};
+
+  // Normal equations: A[l][m] = sum_k u[k-l]^* u[k-m], b[l] = sum_k
+  // u[k-l]^* r[k], valid range k in [taps-1, n).
+  std::vector<cf64> a(taps * taps, cf64{});
+  std::vector<cf64> b(taps, cf64{});
+  for (std::size_t k = taps - 1; k < n; ++k) {
+    for (std::size_t l = 0; l < taps; ++l) {
+      const cf32 ul = u[k - l];
+      const cf64 ulc{ul.real(), -ul.imag()};
+      b[l] += ulc * cf64{r[k].real(), r[k].imag()};
+      for (std::size_t m = 0; m < taps; ++m) {
+        const cf32 um = u[k - m];
+        a[l * taps + m] += ulc * cf64{um.real(), um.imag()};
+      }
+    }
+  }
+  return solve_dense(std::move(a), std::move(b));
+}
+
+}  // namespace lscatter::dsp

@@ -1,0 +1,24 @@
+#pragma once
+// Tiny dense complex linear algebra for the channel-estimation problems in
+// the receiver (L <= ~16 unknowns): Gaussian elimination with partial
+// pivoting. Not a general-purpose BLAS; sized for estimator use.
+
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace lscatter::dsp {
+
+/// Solve A x = b for dense complex A (n x n, row-major). Returns empty on
+/// (numerical) singularity.
+std::vector<cf64> solve_dense(std::vector<cf64> a, std::vector<cf64> b);
+
+/// Least squares fit of a length-`taps` FIR h such that
+/// conv(u, h) ~ r over the valid range: solves the normal equations
+/// (U^H U) h = U^H r built from the regressor u. u and r must be the same
+/// length (>= 4 * taps for a stable fit).
+std::vector<cf64> fir_least_squares(std::span<const cf32> u,
+                                    std::span<const cf32> r,
+                                    std::size_t taps);
+
+}  // namespace lscatter::dsp

@@ -1,0 +1,139 @@
+#include "dsp/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace lscatter::dsp {
+
+double mean(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double variance(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  const double m = mean(x);
+  double s = 0.0;
+  for (double v : x) s += (v - m) * (v - m);
+  return s / static_cast<double>(x.size());
+}
+
+double stddev(const std::vector<double>& x) { return std::sqrt(variance(x)); }
+
+double minimum(const std::vector<double>& x) {
+  assert(!x.empty());
+  return *std::min_element(x.begin(), x.end());
+}
+
+double maximum(const std::vector<double>& x) {
+  assert(!x.empty());
+  return *std::max_element(x.begin(), x.end());
+}
+
+double percentile(std::vector<double> x, double p) {
+  assert(!x.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(x.begin(), x.end());
+  const double pos = p / 100.0 * static_cast<double>(x.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return x[lo] + frac * (x[hi] - x[lo]);
+}
+
+double median(std::vector<double> x) { return percentile(std::move(x), 50.0); }
+
+BoxStats box_stats(std::vector<double> x) {
+  assert(!x.empty());
+  std::sort(x.begin(), x.end());
+  BoxStats b;
+  auto pct = [&](double p) {
+    const double pos = p / 100.0 * static_cast<double>(x.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return x[lo] + frac * (x[hi] - x[lo]);
+  };
+  b.min = x.front();
+  b.max = x.back();
+  b.q1 = pct(25.0);
+  b.median = pct(50.0);
+  b.q3 = pct(75.0);
+  const double iqr = b.q3 - b.q1;
+  b.whisker_lo = b.q1 - 1.5 * iqr;
+  b.whisker_hi = b.q3 + 1.5 * iqr;
+  b.n_outliers = 0;
+  for (double v : x) {
+    if (v < b.whisker_lo || v > b.whisker_hi) ++b.n_outliers;
+  }
+  return b;
+}
+
+std::string format_box(const BoxStats& b, const char* unit) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "q1=%.3f med=%.3f q3=%.3f min=%.3f max=%.3f outliers=%zu %s",
+                b.q1, b.median, b.q3, b.min, b.max, b.n_outliers, unit);
+  return buf;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::evaluate(double v) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), v);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  assert(!sorted_.empty());
+  assert(p >= 0.0 && p <= 1.0);
+  const double pos = p * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::series(
+    double lo, double hi, std::size_t points) const {
+  assert(points >= 2);
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) /
+                 static_cast<double>(points - 1);
+    out.emplace_back(x, evaluate(x));
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo_, double hi_, std::size_t bins)
+    : lo(lo_), hi(hi_), counts(bins, 0) {
+  assert(hi_ > lo_ && bins > 0);
+}
+
+void Histogram::add(double v) {
+  if (v < lo) v = lo;
+  if (v >= hi) v = std::nexttoward(hi, lo);
+  const auto bin = static_cast<std::size_t>(
+      (v - lo) / (hi - lo) * static_cast<double>(counts.size()));
+  counts[std::min(bin, counts.size() - 1)]++;
+}
+
+std::size_t Histogram::total() const {
+  std::size_t t = 0;
+  for (auto c : counts) t += c;
+  return t;
+}
+
+}  // namespace lscatter::dsp

@@ -1,0 +1,100 @@
+#include "lte/cell_config.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace lscatter::lte {
+namespace {
+
+struct Numerology {
+  std::size_t n_rb;
+  std::size_t fft_size;
+  double bandwidth_hz;
+};
+
+constexpr std::array<Numerology, 6> kNumerology = {{
+    {6, 128, 1.4e6},
+    {15, 256, 3.0e6},
+    {25, 512, 5.0e6},
+    {50, 1024, 10.0e6},
+    {75, 1536, 15.0e6},
+    {100, 2048, 20.0e6},
+}};
+
+const Numerology& numerology(Bandwidth bw) {
+  return kNumerology[static_cast<std::size_t>(bw)];
+}
+
+}  // namespace
+
+std::size_t CellConfig::n_rb() const { return numerology(bandwidth).n_rb; }
+
+std::size_t CellConfig::n_subcarriers() const {
+  return n_rb() * kSubcarriersPerRb;
+}
+
+std::size_t CellConfig::fft_size() const {
+  return numerology(bandwidth).fft_size;
+}
+
+double CellConfig::sample_rate_hz() const {
+  return static_cast<double>(fft_size()) * kSubcarrierSpacingHz;
+}
+
+double CellConfig::bandwidth_hz() const {
+  return numerology(bandwidth).bandwidth_hz;
+}
+
+std::size_t CellConfig::cp0_samples() const { return 10 * fft_size() / 128; }
+
+std::size_t CellConfig::cp_samples() const { return 9 * fft_size() / 128; }
+
+std::size_t CellConfig::samples_per_slot() const {
+  return cp0_samples() + (kSymbolsPerSlot - 1) * cp_samples() +
+         kSymbolsPerSlot * fft_size();
+}
+
+std::size_t CellConfig::samples_per_subframe() const {
+  return kSlotsPerSubframe * samples_per_slot();
+}
+
+std::size_t CellConfig::samples_per_frame() const {
+  return kSubframesPerFrame * samples_per_subframe();
+}
+
+std::size_t CellConfig::symbol_offset_in_slot(std::size_t l) const {
+  assert(l < kSymbolsPerSlot);
+  if (l == 0) return 0;
+  return cp0_samples() + fft_size() +
+         (l - 1) * (cp_samples() + fft_size());
+}
+
+std::size_t CellConfig::cp_length(std::size_t l) const {
+  assert(l < kSymbolsPerSlot);
+  return l == 0 ? cp0_samples() : cp_samples();
+}
+
+std::string CellConfig::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "LTE %s cell_id=%u K=%zu N_sc=%zu fs=%.2f Msps @ %.1f MHz",
+                to_string(bandwidth).c_str(), cell_id(), fft_size(),
+                n_subcarriers(), sample_rate_hz() / 1e6, carrier_hz / 1e6);
+  return buf;
+}
+
+double bandwidth_hz(Bandwidth bw) { return numerology(bw).bandwidth_hz; }
+
+std::string to_string(Bandwidth bw) {
+  switch (bw) {
+    case Bandwidth::kMHz1_4: return "1.4MHz";
+    case Bandwidth::kMHz3: return "3MHz";
+    case Bandwidth::kMHz5: return "5MHz";
+    case Bandwidth::kMHz10: return "10MHz";
+    case Bandwidth::kMHz15: return "15MHz";
+    case Bandwidth::kMHz20: return "20MHz";
+  }
+  return "?";
+}
+
+}  // namespace lscatter::lte

@@ -1,0 +1,102 @@
+#pragma once
+// LTE FDD downlink numerology (3GPP TS 36.211, normal cyclic prefix).
+//
+// Everything downstream — OFDM sizing, the tag's basic-timing unit, the
+// backscatter modulation schedule — derives from this table:
+//
+//   bandwidth   1.4    3     5     10     15     20   MHz
+//   N_RB          6   15    25     50     75    100
+//   N_sc         72  180   300    600    900   1200
+//   FFT size K  128  256   512   1024   1536   2048
+//   fs         1.92 3.84  7.68  15.36  23.04  30.72  Msps
+//
+// A slot (0.5 ms) carries 7 OFDM symbols; the first has an extended CP of
+// 10*K/128 samples and the rest 9*K/128. A subframe is 2 slots (1 ms), a
+// frame 10 subframes.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lscatter::lte {
+
+enum class Bandwidth : std::uint8_t {
+  kMHz1_4 = 0,
+  kMHz3,
+  kMHz5,
+  kMHz10,
+  kMHz15,
+  kMHz20,
+};
+
+inline constexpr std::array<Bandwidth, 6> kAllBandwidths = {
+    Bandwidth::kMHz1_4, Bandwidth::kMHz3,  Bandwidth::kMHz5,
+    Bandwidth::kMHz10,  Bandwidth::kMHz15, Bandwidth::kMHz20};
+
+/// Subcarrier spacing [Hz].
+inline constexpr double kSubcarrierSpacingHz = 15e3;
+
+/// Useful OFDM symbol duration [s] (1 / 15 kHz = 66.67 us).
+inline constexpr double kUsefulSymbolS = 1.0 / kSubcarrierSpacingHz;
+
+inline constexpr std::size_t kSymbolsPerSlot = 7;    // normal CP
+inline constexpr std::size_t kSlotsPerSubframe = 2;
+inline constexpr std::size_t kSymbolsPerSubframe =
+    kSymbolsPerSlot * kSlotsPerSubframe;
+inline constexpr std::size_t kSubframesPerFrame = 10;
+inline constexpr std::size_t kSubcarriersPerRb = 12;
+
+/// PSS/SSS occupy the central 62 subcarriers (0.93 MHz), regardless of the
+/// cell bandwidth — the property the tag's sync circuit relies on.
+inline constexpr std::size_t kSyncSubcarriers = 62;
+
+struct CellConfig {
+  Bandwidth bandwidth = Bandwidth::kMHz20;
+
+  /// Physical cell identity N_ID^cell = 3*N_ID1 + N_ID2.
+  std::uint16_t n_id_1 = 0;  // 0..167
+  std::uint8_t n_id_2 = 0;   // 0..2
+
+  /// Carrier frequency [Hz]. The paper runs at 680 MHz white space.
+  double carrier_hz = 680e6;
+
+  std::uint16_t cell_id() const {
+    return static_cast<std::uint16_t>(3 * n_id_1 + n_id_2);
+  }
+
+  std::size_t n_rb() const;          // resource blocks
+  std::size_t n_subcarriers() const; // occupied subcarriers (excl. DC)
+  std::size_t fft_size() const;      // K
+  double sample_rate_hz() const;     // K * 15 kHz
+  double bandwidth_hz() const;       // nominal channel bandwidth
+
+  /// CP lengths in samples: first symbol of a slot vs the other six.
+  std::size_t cp0_samples() const;   // 10*K/128
+  std::size_t cp_samples() const;    // 9*K/128
+
+  std::size_t samples_per_slot() const;      // = fs * 0.5 ms
+  std::size_t samples_per_subframe() const;  // = fs * 1 ms
+  std::size_t samples_per_frame() const;     // = fs * 10 ms
+
+  /// Sample offset of OFDM symbol `l` (0..6) within a slot, pointing at the
+  /// start of its CP.
+  std::size_t symbol_offset_in_slot(std::size_t l) const;
+
+  /// CP length of symbol l within a slot.
+  std::size_t cp_length(std::size_t l) const;
+
+  /// Duration of the basic timing unit Ts = 66.7us / K = 1 / fs [s].
+  /// This is the unit at which the LScatter tag modulates (paper §3.2.2).
+  double basic_timing_unit_s() const { return 1.0 / sample_rate_hz(); }
+
+  std::string describe() const;
+};
+
+/// Nominal channel bandwidth in Hz for a Bandwidth enum.
+double bandwidth_hz(Bandwidth bw);
+
+/// Short label like "20MHz".
+std::string to_string(Bandwidth bw);
+
+}  // namespace lscatter::lte

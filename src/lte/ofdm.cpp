@@ -1,0 +1,99 @@
+#include "lte/ofdm.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lscatter::lte {
+
+using dsp::cf32;
+using dsp::cvec;
+
+std::size_t symbol_offset_in_subframe(const CellConfig& cfg, std::size_t l) {
+  assert(l < kSymbolsPerSubframe);
+  const std::size_t slot = l / kSymbolsPerSlot;
+  const std::size_t in_slot = l % kSymbolsPerSlot;
+  return slot * cfg.samples_per_slot() + cfg.symbol_offset_in_slot(in_slot);
+}
+
+OfdmModulator::OfdmModulator(const CellConfig& cfg)
+    : cfg_(cfg),
+      plan_(cfg.fft_size()),
+      scale_(static_cast<float>(
+          std::sqrt(static_cast<double>(cfg.fft_size()) /
+                    static_cast<double>(cfg.n_subcarriers())))) {}
+
+cvec OfdmModulator::modulate(const ResourceGrid& grid) const {
+  cvec out(cfg_.samples_per_subframe(), cf32{});
+  for (std::size_t l = 0; l < kSymbolsPerSubframe; ++l) {
+    const cvec sym = modulate_symbol(grid, l);
+    const std::size_t off = symbol_offset_in_subframe(cfg_, l);
+    std::copy(sym.begin(), sym.end(), out.begin() + off);
+  }
+  return out;
+}
+
+cvec OfdmModulator::modulate_symbol(const ResourceGrid& grid,
+                                    std::size_t l) const {
+  const std::size_t cp = cfg_.cp_length(l % kSymbolsPerSlot);
+  const std::size_t k = cfg_.fft_size();
+
+  cvec bins = grid.to_fft_bins(l);
+  plan_.inverse_inplace(bins);
+  // The IFFT divides by K; undo part of it so time samples have comparable
+  // power to the grid.
+  for (cf32& v : bins) v *= scale_ * static_cast<float>(k) /
+                            static_cast<float>(std::sqrt(k));
+
+  cvec sym(cp + k);
+  std::copy(bins.end() - static_cast<std::ptrdiff_t>(cp), bins.end(),
+            sym.begin());
+  std::copy(bins.begin(), bins.end(), sym.begin() + cp);
+  return sym;
+}
+
+OfdmDemodulator::OfdmDemodulator(const CellConfig& cfg)
+    : cfg_(cfg),
+      plan_(cfg.fft_size()),
+      scale_(static_cast<float>(
+          std::sqrt(static_cast<double>(cfg.fft_size()) /
+                    static_cast<double>(cfg.n_subcarriers())))) {}
+
+std::size_t OfdmDemodulator::useful_start(std::size_t l) const {
+  return symbol_offset_in_subframe(cfg_, l) +
+         cfg_.cp_length(l % kSymbolsPerSlot);
+}
+
+ResourceGrid OfdmDemodulator::demodulate(
+    std::span<const cf32> samples) const {
+  assert(samples.size() >= cfg_.samples_per_subframe());
+  ResourceGrid grid(cfg_);
+  for (std::size_t l = 0; l < kSymbolsPerSubframe; ++l) {
+    const cvec sym = demodulate_symbol(samples, l);
+    auto dst = grid.symbol(l);
+    std::copy(sym.begin(), sym.end(), dst.begin());
+  }
+  return grid;
+}
+
+cvec OfdmDemodulator::demodulate_symbol(std::span<const cf32> samples,
+                                        std::size_t l) const {
+  const std::size_t k = cfg_.fft_size();
+  const std::size_t start = useful_start(l);
+  assert(samples.size() >= start + k);
+
+  cvec bins(samples.begin() + static_cast<std::ptrdiff_t>(start),
+            samples.begin() + static_cast<std::ptrdiff_t>(start + k));
+  plan_.forward_inplace(bins);
+  const float inv = 1.0f /
+                    (scale_ * static_cast<float>(std::sqrt(
+                                  static_cast<double>(k))));
+  for (cf32& v : bins) v *= inv;
+
+  // Gather subcarriers.
+  cvec out(cfg_.n_subcarriers());
+  for (std::size_t sc = 0; sc < out.size(); ++sc)
+    out[sc] = bins[subcarrier_to_bin(sc, out.size(), k)];
+  return out;
+}
+
+}  // namespace lscatter::lte

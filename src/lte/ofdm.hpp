@@ -1,0 +1,58 @@
+#pragma once
+// OFDM modulation / demodulation with LTE's normal cyclic prefix.
+//
+// The modulator turns one ResourceGrid subframe into samples_per_subframe()
+// time samples (IFFT + CP per symbol); the demodulator inverts it given the
+// subframe start. Scaling: IFFT output is multiplied by sqrt(K)/sqrt(N_sc)
+// so a unit-power grid yields roughly unit-power time samples, and
+// demodulation divides it back — forward+inverse is exact.
+
+#include "dsp/fft.hpp"
+#include "lte/cell_config.hpp"
+#include "lte/resource_grid.hpp"
+
+namespace lscatter::lte {
+
+class OfdmModulator {
+ public:
+  explicit OfdmModulator(const CellConfig& cfg);
+
+  /// Modulate a full subframe (14 symbols).
+  dsp::cvec modulate(const ResourceGrid& grid) const;
+
+  /// Modulate a single symbol (CP included). `l` in [0, 13].
+  dsp::cvec modulate_symbol(const ResourceGrid& grid, std::size_t l) const;
+
+ private:
+  CellConfig cfg_;
+  dsp::FftPlan plan_;
+  float scale_;
+};
+
+class OfdmDemodulator {
+ public:
+  explicit OfdmDemodulator(const CellConfig& cfg);
+
+  /// Demodulate samples of one subframe into a grid. `samples` must hold at
+  /// least samples_per_subframe() samples starting at the subframe boundary.
+  ResourceGrid demodulate(std::span<const dsp::cf32> samples) const;
+
+  /// FFT of the useful part of symbol `l` (0..13) of a subframe that starts
+  /// at `samples[0]`, returned in subcarrier order.
+  dsp::cvec demodulate_symbol(std::span<const dsp::cf32> samples,
+                              std::size_t l) const;
+
+  /// Sample offset of the *useful part* (after CP) of subframe symbol `l`.
+  std::size_t useful_start(std::size_t l) const;
+
+ private:
+  CellConfig cfg_;
+  dsp::FftPlan plan_;
+  float scale_;
+};
+
+/// Sample offset of subframe symbol `l` (0..13) counted from the subframe
+/// start, pointing at the CP.
+std::size_t symbol_offset_in_subframe(const CellConfig& cfg, std::size_t l);
+
+}  // namespace lscatter::lte

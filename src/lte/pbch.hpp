@@ -1,0 +1,49 @@
+#pragma once
+// Physical Broadcast Channel (simplified from TS 36.211 §6.6): the MIB —
+// downlink bandwidth and system frame number — QPSK-mapped onto the
+// central 6 RB of subframe 0, symbols 7..10, skipping CRS positions.
+// Instead of the spec's tail-biting convolutional code spread over four
+// frames, the 40-bit MIB+CRC16 codeword is repetition-filled across the
+// region and majority-combined at the UE; the acquisition behaviour
+// (find cell -> read MIB -> learn bandwidth) is preserved.
+
+#include <cstdint>
+#include <optional>
+
+#include "lte/cell_config.hpp"
+#include "lte/resource_grid.hpp"
+
+namespace lscatter::lte {
+
+struct Mib {
+  Bandwidth bandwidth = Bandwidth::kMHz20;
+  std::uint16_t sfn = 0;  // system frame number, 10 bits
+
+  bool operator==(const Mib&) const = default;
+};
+
+/// Subframe-symbol indices (0..13) carrying PBCH.
+inline constexpr std::array<std::size_t, 4> kPbchSymbolIndices = {7, 8, 9,
+                                                                  10};
+
+/// 24 MIB bits: 3 bandwidth + 10 SFN + 11 spare (zero).
+std::array<std::uint8_t, 24> mib_to_bits(const Mib& mib);
+std::optional<Mib> bits_to_mib(std::span<const std::uint8_t> bits);
+
+/// Map the MIB into a subframe-0 grid (QPSK, repetition-filled, CRS REs
+/// skipped); tags the REs as kPbch.
+void map_pbch(const CellConfig& cfg, const Mib& mib, ResourceGrid& grid);
+
+/// Decode the MIB from an *equalized* subframe-0 grid (each kPbch RE
+/// already divided by the channel estimate). Returns nullopt on CRC
+/// failure. The RE layout is derived from the cell config alone, so a UE
+/// that found the cell via PSS/SSS can call this blindly.
+std::optional<Mib> decode_pbch(const CellConfig& cfg,
+                               const ResourceGrid& equalized_grid);
+
+/// Subcarrier positions (within the full grid) used by PBCH in symbol l,
+/// in mapping order.
+std::vector<std::size_t> pbch_subcarriers(const CellConfig& cfg,
+                                          std::size_t l);
+
+}  // namespace lscatter::lte

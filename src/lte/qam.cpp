@@ -1,0 +1,130 @@
+#include "lte/qam.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lscatter::lte {
+
+using dsp::cf32;
+using dsp::cvec;
+
+std::size_t bits_per_symbol(Modulation m) {
+  switch (m) {
+    case Modulation::kQpsk: return 2;
+    case Modulation::kQam16: return 4;
+    case Modulation::kQam64: return 6;
+  }
+  return 2;
+}
+
+const char* to_string(Modulation m) {
+  switch (m) {
+    case Modulation::kQpsk: return "QPSK";
+    case Modulation::kQam16: return "16QAM";
+    case Modulation::kQam64: return "64QAM";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kSqrt2 = 1.41421356237309515;
+constexpr double kSqrt10 = 3.16227766016837952;
+constexpr double kSqrt42 = 6.48074069840786023;
+
+inline float axis16(std::uint8_t b_hi, std::uint8_t b_lo) {
+  // TS 36.211 Table 7.1.3-1: value in {1, 3} with sign from b_hi.
+  const double mag = 2.0 - (1.0 - 2.0 * b_lo);
+  return static_cast<float>((1.0 - 2.0 * b_hi) * mag / kSqrt10);
+}
+
+inline float axis64(std::uint8_t b_hi, std::uint8_t b_mid,
+                    std::uint8_t b_lo) {
+  // TS 36.211 Table 7.1.4-1: value in {1, 3, 5, 7}.
+  const double mag = 4.0 - (1.0 - 2.0 * b_mid) * (2.0 - (1.0 - 2.0 * b_lo));
+  return static_cast<float>((1.0 - 2.0 * b_hi) * mag / kSqrt42);
+}
+
+}  // namespace
+
+cvec qam_modulate(std::span<const std::uint8_t> bits, Modulation m) {
+  const std::size_t bps = bits_per_symbol(m);
+  assert(bits.size() % bps == 0);
+  const std::size_t n = bits.size() / bps;
+  cvec out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t* b = &bits[i * bps];
+    switch (m) {
+      case Modulation::kQpsk:
+        out[i] = cf32{static_cast<float>((1.0 - 2.0 * b[0]) / kSqrt2),
+                      static_cast<float>((1.0 - 2.0 * b[1]) / kSqrt2)};
+        break;
+      case Modulation::kQam16:
+        out[i] = cf32{axis16(b[0], b[2]), axis16(b[1], b[3])};
+        break;
+      case Modulation::kQam64:
+        out[i] = cf32{axis64(b[0], b[2], b[4]), axis64(b[1], b[3], b[5])};
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+inline void demap_axis16(float v, std::uint8_t& b_hi, std::uint8_t& b_lo) {
+  b_hi = v < 0.0f ? 1 : 0;
+  b_lo = std::abs(v) > static_cast<float>(2.0 / kSqrt10) ? 1 : 0;
+}
+
+inline void demap_axis64(float v, std::uint8_t& b_hi, std::uint8_t& b_mid,
+                         std::uint8_t& b_lo) {
+  b_hi = v < 0.0f ? 1 : 0;
+  const float a = std::abs(v);
+  b_mid = a > static_cast<float>(4.0 / kSqrt42) ? 1 : 0;
+  // Inner pair {1,3}: b_lo=1 selects the outer of the pair on each side of 4.
+  const float dist_from_4 = std::abs(a - static_cast<float>(4.0 / kSqrt42));
+  b_lo = dist_from_4 > static_cast<float>(2.0 / kSqrt42) ? 1 : 0;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> qam_demodulate(std::span<const cf32> symbols,
+                                         Modulation m) {
+  const std::size_t bps = bits_per_symbol(m);
+  std::vector<std::uint8_t> bits(symbols.size() * bps);
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    std::uint8_t* b = &bits[i * bps];
+    const cf32 s = symbols[i];
+    switch (m) {
+      case Modulation::kQpsk:
+        b[0] = s.real() < 0.0f ? 1 : 0;
+        b[1] = s.imag() < 0.0f ? 1 : 0;
+        break;
+      case Modulation::kQam16:
+        demap_axis16(s.real(), b[0], b[2]);
+        demap_axis16(s.imag(), b[1], b[3]);
+        break;
+      case Modulation::kQam64:
+        demap_axis64(s.real(), b[0], b[2], b[4]);
+        demap_axis64(s.imag(), b[1], b[3], b[5]);
+        break;
+    }
+  }
+  return bits;
+}
+
+double evm_rms(std::span<const cf32> received,
+               std::span<const cf32> reference) {
+  assert(received.size() == reference.size());
+  if (received.empty()) return 0.0;
+  double err = 0.0;
+  double ref = 0.0;
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    err += std::norm(received[i] - reference[i]);
+    ref += std::norm(reference[i]);
+  }
+  return ref > 0.0 ? std::sqrt(err / ref) : 0.0;
+}
+
+}  // namespace lscatter::lte

@@ -1,0 +1,32 @@
+#pragma once
+// QAM modulation mappers from TS 36.211 §7.1 (QPSK, 16QAM, 64QAM), unit
+// average power, plus hard-decision demappers.
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace lscatter::lte {
+
+enum class Modulation : std::uint8_t { kQpsk, kQam16, kQam64 };
+
+/// Bits consumed per modulated symbol.
+std::size_t bits_per_symbol(Modulation m);
+
+const char* to_string(Modulation m);
+
+/// Map bits (one per byte, values 0/1) to symbols. bits.size() must be a
+/// multiple of bits_per_symbol(m).
+dsp::cvec qam_modulate(std::span<const std::uint8_t> bits, Modulation m);
+
+/// Hard-decision demap back to bits.
+std::vector<std::uint8_t> qam_demodulate(std::span<const dsp::cf32> symbols,
+                                         Modulation m);
+
+/// Error vector magnitude (RMS, relative to unit-power reference grid) —
+/// used by the Fig. 32 impact study to quantify distortion.
+double evm_rms(std::span<const dsp::cf32> received,
+               std::span<const dsp::cf32> reference);
+
+}  // namespace lscatter::lte

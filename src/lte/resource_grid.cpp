@@ -1,0 +1,88 @@
+#include "lte/resource_grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lscatter::lte {
+
+using dsp::cf32;
+using dsp::cvec;
+
+ResourceGrid::ResourceGrid(const CellConfig& cfg)
+    : n_sc_(cfg.n_subcarriers()),
+      fft_size_(cfg.fft_size()),
+      re_(kSymbolsPerSubframe * n_sc_, cf32{}),
+      types_(kSymbolsPerSubframe * n_sc_, ReType::kData) {}
+
+cf32& ResourceGrid::at(std::size_t symbol, std::size_t subcarrier) {
+  assert(symbol < kSymbolsPerSubframe && subcarrier < n_sc_);
+  return re_[symbol * n_sc_ + subcarrier];
+}
+
+cf32 ResourceGrid::at(std::size_t symbol, std::size_t subcarrier) const {
+  assert(symbol < kSymbolsPerSubframe && subcarrier < n_sc_);
+  return re_[symbol * n_sc_ + subcarrier];
+}
+
+ReType& ResourceGrid::type_at(std::size_t symbol, std::size_t subcarrier) {
+  assert(symbol < kSymbolsPerSubframe && subcarrier < n_sc_);
+  return types_[symbol * n_sc_ + subcarrier];
+}
+
+ReType ResourceGrid::type_at(std::size_t symbol,
+                             std::size_t subcarrier) const {
+  assert(symbol < kSymbolsPerSubframe && subcarrier < n_sc_);
+  return types_[symbol * n_sc_ + subcarrier];
+}
+
+std::span<cf32> ResourceGrid::symbol(std::size_t l) {
+  assert(l < kSymbolsPerSubframe);
+  return std::span<cf32>(re_).subspan(l * n_sc_, n_sc_);
+}
+
+std::span<const cf32> ResourceGrid::symbol(std::size_t l) const {
+  assert(l < kSymbolsPerSubframe);
+  return std::span<const cf32>(re_).subspan(l * n_sc_, n_sc_);
+}
+
+std::span<const ReType> ResourceGrid::symbol_types(std::size_t l) const {
+  assert(l < kSymbolsPerSubframe);
+  return std::span<const ReType>(types_).subspan(l * n_sc_, n_sc_);
+}
+
+void ResourceGrid::clear() {
+  std::fill(re_.begin(), re_.end(), cf32{});
+  std::fill(types_.begin(), types_.end(), ReType::kData);
+}
+
+std::size_t subcarrier_to_bin(std::size_t subcarrier, std::size_t n_sc,
+                              std::size_t fft_size) {
+  assert(subcarrier < n_sc);
+  const std::size_t half = n_sc / 2;
+  if (subcarrier < half) {
+    // Negative frequencies: subcarrier 0 is the lowest, bin K - half.
+    return fft_size - half + subcarrier;
+  }
+  // Positive frequencies start at bin 1 (DC skipped).
+  return subcarrier - half + 1;
+}
+
+std::size_t ResourceGrid::subcarrier_to_bin(std::size_t subcarrier) const {
+  return lte::subcarrier_to_bin(subcarrier, n_sc_, fft_size_);
+}
+
+cvec ResourceGrid::to_fft_bins(std::size_t l) const {
+  cvec bins(fft_size_, cf32{});
+  const auto sym = symbol(l);
+  for (std::size_t k = 0; k < n_sc_; ++k) bins[subcarrier_to_bin(k)] = sym[k];
+  return bins;
+}
+
+void ResourceGrid::from_fft_bins(std::size_t l,
+                                 std::span<const cf32> bins) {
+  assert(bins.size() == fft_size_);
+  auto sym = symbol(l);
+  for (std::size_t k = 0; k < n_sc_; ++k) sym[k] = bins[subcarrier_to_bin(k)];
+}
+
+}  // namespace lscatter::lte

@@ -1,0 +1,70 @@
+#pragma once
+// One subframe (14 OFDM symbols x N_sc subcarriers) of frequency-domain
+// resource elements, plus the mapping between subcarrier indices and FFT
+// bins (DC subcarrier unused, spectrum centered on the carrier).
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/types.hpp"
+#include "lte/cell_config.hpp"
+
+namespace lscatter::lte {
+
+/// Identifies what occupies a resource element — used by the eNodeB mapper
+/// and by the UE when deciding which REs are data.
+enum class ReType : std::uint8_t {
+  kData = 0,
+  kCrs,
+  kPss,
+  kSss,
+  kPbch,
+  kPdcch,
+  kUnused,
+};
+
+/// Map subcarrier index (0..n_sc-1, lowest frequency first) to FFT bin
+/// (0..fft_size-1). The DC bin 0 is skipped: the lower half of the band
+/// occupies the top (negative-frequency) bins, the upper half bins
+/// 1..n_sc/2.
+std::size_t subcarrier_to_bin(std::size_t subcarrier, std::size_t n_sc,
+                              std::size_t fft_size);
+
+class ResourceGrid {
+ public:
+  explicit ResourceGrid(const CellConfig& cfg);
+
+  std::size_t n_symbols() const { return kSymbolsPerSubframe; }
+  std::size_t n_subcarriers() const { return n_sc_; }
+
+  dsp::cf32& at(std::size_t symbol, std::size_t subcarrier);
+  dsp::cf32 at(std::size_t symbol, std::size_t subcarrier) const;
+
+  ReType& type_at(std::size_t symbol, std::size_t subcarrier);
+  ReType type_at(std::size_t symbol, std::size_t subcarrier) const;
+
+  /// Whole-symbol views.
+  std::span<dsp::cf32> symbol(std::size_t l);
+  std::span<const dsp::cf32> symbol(std::size_t l) const;
+  std::span<const ReType> symbol_types(std::size_t l) const;
+
+  void clear();
+
+  /// Member convenience wrapper for the free subcarrier_to_bin().
+  std::size_t subcarrier_to_bin(std::size_t subcarrier) const;
+
+  /// Spread a frequency-domain symbol into a zero-padded FFT input of
+  /// length K.
+  dsp::cvec to_fft_bins(std::size_t l) const;
+
+  /// Gather from FFT output back into subcarrier order.
+  void from_fft_bins(std::size_t l, std::span<const dsp::cf32> bins);
+
+ private:
+  std::size_t n_sc_;
+  std::size_t fft_size_;
+  std::vector<dsp::cf32> re_;
+  std::vector<ReType> types_;
+};
+
+}  // namespace lscatter::lte

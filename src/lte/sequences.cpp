@@ -1,0 +1,145 @@
+#include "lte/sequences.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lscatter::lte {
+
+using dsp::cf32;
+using dsp::cvec;
+using dsp::kPi;
+
+cvec zadoff_chu(std::uint32_t root, std::size_t n) {
+  assert(n > 0);
+  cvec out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Argument computed modulo 2n to avoid precision loss for large k.
+    const std::size_t q = (root * k * (k + 1)) % (2 * n);
+    const double ang = -kPi * static_cast<double>(q) / static_cast<double>(n);
+    out[k] = cf32{static_cast<float>(std::cos(ang)),
+                  static_cast<float>(std::sin(ang))};
+  }
+  return out;
+}
+
+cvec pss_sequence(std::uint8_t n_id_2) {
+  assert(n_id_2 < 3);
+  static constexpr std::array<std::uint32_t, 3> kRoots = {25, 29, 34};
+  const std::uint32_t u = kRoots[n_id_2];
+  cvec d(62);
+  for (std::size_t n = 0; n < 31; ++n) {
+    const std::size_t q = (u * n * (n + 1)) % 126;
+    const double ang = -kPi * static_cast<double>(q) / 63.0;
+    d[n] = cf32{static_cast<float>(std::cos(ang)),
+                static_cast<float>(std::sin(ang))};
+  }
+  for (std::size_t n = 31; n < 62; ++n) {
+    const std::size_t q = (u * (n + 1) * (n + 2)) % 126;
+    const double ang = -kPi * static_cast<double>(q) / 63.0;
+    d[n] = cf32{static_cast<float>(std::cos(ang)),
+                static_cast<float>(std::sin(ang))};
+  }
+  return d;
+}
+
+namespace {
+
+// Generic length-31 m-sequence: x(i+5) = sum of selected taps mod 2,
+// x(0..4) = 0,0,0,0,1; returns s̃(i) = 1 - 2 x(i).
+std::array<int, 31> m_sequence(std::array<int, 5> tap_indices,
+                               std::size_t n_taps) {
+  std::array<int, 31> x{};
+  x[4] = 1;
+  for (std::size_t i = 0; i + 5 < 31; ++i) {
+    int v = 0;
+    for (std::size_t t = 0; t < n_taps; ++t) v += x[i + tap_indices[t]];
+    x[i + 5] = v % 2;
+  }
+  std::array<int, 31> s{};
+  for (std::size_t i = 0; i < 31; ++i) s[i] = 1 - 2 * x[i];
+  return s;
+}
+
+}  // namespace
+
+cvec sss_sequence(std::uint16_t n_id_1, std::uint8_t n_id_2, bool subframe5) {
+  assert(n_id_1 < 168);
+  assert(n_id_2 < 3);
+
+  // m0/m1 derivation, TS 36.211 Table 6.11.2.1-1 formulae.
+  const int q_prime = n_id_1 / 30;
+  const int q = (n_id_1 + q_prime * (q_prime + 1) / 2) / 30;
+  const int m_prime = n_id_1 + q * (q + 1) / 2;
+  const int m0 = m_prime % 31;
+  const int m1 = (m0 + m_prime / 31 + 1) % 31;
+
+  // s̃: x5 + x2 + 1  -> x(i+5) = x(i+2) + x(i)
+  static const auto s_tilde = m_sequence({0, 2, 0, 0, 0}, 2);
+  // c̃: x5 + x3 + 1  -> x(i+5) = x(i+3) + x(i)
+  static const auto c_tilde = m_sequence({0, 3, 0, 0, 0}, 2);
+  // z̃: x5 + x4 + x2 + x + 1 -> x(i+5) = x(i+4)+x(i+2)+x(i+1)+x(i)
+  static const auto z_tilde = m_sequence({0, 1, 2, 4, 0}, 4);
+
+  auto s = [&](int m, int n) { return s_tilde[(n + m) % 31]; };
+  auto c0 = [&](int n) { return c_tilde[(n + n_id_2) % 31]; };
+  auto c1 = [&](int n) { return c_tilde[(n + n_id_2 + 3) % 31]; };
+  auto z1 = [&](int m, int n) { return z_tilde[(n + (m % 8)) % 31]; };
+
+  cvec d(62);
+  for (int n = 0; n < 31; ++n) {
+    int even = 0;
+    int odd = 0;
+    if (!subframe5) {
+      even = s(m0, n) * c0(n);
+      odd = s(m1, n) * c1(n) * z1(m0, n);
+    } else {
+      even = s(m1, n) * c0(n);
+      odd = s(m0, n) * c1(n) * z1(m1, n);
+    }
+    d[2 * n] = cf32{static_cast<float>(even), 0.0f};
+    d[2 * n + 1] = cf32{static_cast<float>(odd), 0.0f};
+  }
+  return d;
+}
+
+std::vector<std::uint8_t> gold_sequence(std::uint32_t c_init,
+                                        std::size_t len) {
+  constexpr std::size_t kNc = 1600;
+  const std::size_t total = kNc + len + 31;
+
+  std::vector<std::uint8_t> x1(total, 0);
+  std::vector<std::uint8_t> x2(total, 0);
+  x1[0] = 1;
+  for (std::size_t i = 0; i < 31; ++i)
+    x2[i] = static_cast<std::uint8_t>((c_init >> i) & 1u);
+
+  for (std::size_t n = 0; n + 31 < total; ++n) {
+    x1[n + 31] = static_cast<std::uint8_t>((x1[n + 3] + x1[n]) & 1u);
+    x2[n + 31] = static_cast<std::uint8_t>(
+        (x2[n + 3] + x2[n + 2] + x2[n + 1] + x2[n]) & 1u);
+  }
+
+  std::vector<std::uint8_t> c(len);
+  for (std::size_t n = 0; n < len; ++n)
+    c[n] = static_cast<std::uint8_t>((x1[n + kNc] + x2[n + kNc]) & 1u);
+  return c;
+}
+
+cvec crs_values(std::uint16_t cell_id, std::size_t ns, std::size_t l) {
+  assert(ns < 20);
+  constexpr std::uint32_t kNcp = 1;  // normal CP
+  const std::uint32_t c_init = static_cast<std::uint32_t>(
+      (1u << 10) * (7 * (ns + 1) + l + 1) * (2u * cell_id + 1) +
+      2u * cell_id + kNcp);
+  const std::size_t n_vals = 2 * kMaxRb;
+  const auto c = gold_sequence(c_init, 2 * n_vals);
+  cvec r(n_vals);
+  const float inv_sqrt2 = static_cast<float>(1.0 / std::sqrt(2.0));
+  for (std::size_t m = 0; m < n_vals; ++m) {
+    r[m] = cf32{inv_sqrt2 * (1.0f - 2.0f * c[2 * m]),
+                inv_sqrt2 * (1.0f - 2.0f * c[2 * m + 1])};
+  }
+  return r;
+}
+
+}  // namespace lscatter::lte

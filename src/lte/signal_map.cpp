@@ -1,0 +1,93 @@
+#include "lte/signal_map.hpp"
+
+#include <cassert>
+
+#include "lte/sequences.hpp"
+
+namespace lscatter::lte {
+
+using dsp::cf32;
+using dsp::cvec;
+
+bool is_sync_subframe(std::size_t subframe_index) {
+  const std::size_t sf = subframe_index % kSubframesPerFrame;
+  return sf == 0 || sf == 5;
+}
+
+std::size_t sync_band_first_subcarrier(const CellConfig& cfg) {
+  return cfg.n_subcarriers() / 2 - 31;
+}
+
+void map_sync_signals(const CellConfig& cfg, std::size_t subframe_index,
+                      ResourceGrid& grid, float amplitude) {
+  if (!is_sync_subframe(subframe_index)) return;
+  const bool sf5 = (subframe_index % kSubframesPerFrame) == 5;
+  const std::size_t first = sync_band_first_subcarrier(cfg);
+
+  const cvec pss = pss_sequence(cfg.n_id_2);
+  const cvec sss = sss_sequence(cfg.n_id_1, cfg.n_id_2, sf5);
+  for (std::size_t n = 0; n < kSyncSubcarriers; ++n) {
+    grid.at(kPssSymbolIndex, first + n) = pss[n] * amplitude;
+    grid.type_at(kPssSymbolIndex, first + n) = ReType::kPss;
+    grid.at(kSssSymbolIndex, first + n) = sss[n] * amplitude;
+    grid.type_at(kSssSymbolIndex, first + n) = ReType::kSss;
+  }
+
+  // The 5 guard subcarriers on each side of PSS/SSS within the central 6 RB
+  // are left empty (TS 36.211 maps nothing there).
+  for (std::size_t g = 1; g <= 5; ++g) {
+    for (const std::size_t l : {kPssSymbolIndex, kSssSymbolIndex}) {
+      if (first >= g) {
+        grid.at(l, first - g) = cf32{};
+        grid.type_at(l, first - g) = ReType::kUnused;
+      }
+      const std::size_t hi = first + kSyncSubcarriers + g - 1;
+      if (hi < cfg.n_subcarriers()) {
+        grid.at(l, hi) = cf32{};
+        grid.type_at(l, hi) = ReType::kUnused;
+      }
+    }
+  }
+}
+
+std::vector<std::size_t> crs_subcarriers(const CellConfig& cfg,
+                                         std::size_t l) {
+  const std::size_t v = (l == 4 || l == 11) ? 3 : 0;  // port 0
+  const std::size_t v_shift = cfg.cell_id() % 6;
+  std::vector<std::size_t> out;
+  out.reserve(2 * cfg.n_rb());
+  for (std::size_t m = 0; m < 2 * cfg.n_rb(); ++m) {
+    out.push_back(6 * m + (v + v_shift) % 6);
+  }
+  return out;
+}
+
+dsp::cvec crs_values_for_symbol(const CellConfig& cfg,
+                                std::size_t subframe_index, std::size_t l) {
+  assert(l == 0 || l == 4 || l == 7 || l == 11);
+  const std::size_t ns =
+      2 * (subframe_index % kSubframesPerFrame) + (l >= kSymbolsPerSlot);
+  const std::size_t l_in_slot = l % kSymbolsPerSlot;
+  const cvec all = crs_values(cfg.cell_id(), ns, l_in_slot);
+
+  // Center the cell's 2*N_RB CRS values within the 2*kMaxRb master set.
+  const std::size_t offset = kMaxRb - cfg.n_rb();
+  cvec out(2 * cfg.n_rb());
+  for (std::size_t m = 0; m < out.size(); ++m) out[m] = all[m + offset];
+  return out;
+}
+
+void map_crs(const CellConfig& cfg, std::size_t subframe_index,
+             ResourceGrid& grid) {
+  for (const std::size_t l : kCrsSymbolIndices) {
+    const auto positions = crs_subcarriers(cfg, l);
+    const cvec values = crs_values_for_symbol(cfg, subframe_index, l);
+    assert(positions.size() == values.size());
+    for (std::size_t m = 0; m < positions.size(); ++m) {
+      grid.at(l, positions[m]) = values[m];
+      grid.type_at(l, positions[m]) = ReType::kCrs;
+    }
+  }
+}
+
+}  // namespace lscatter::lte

@@ -1,0 +1,69 @@
+#include "lte/transport.hpp"
+
+#include <cassert>
+
+#include "dsp/crc.hpp"
+
+namespace lscatter::lte {
+
+std::vector<CodeBlock> segment(std::size_t coded_capacity) {
+  assert(coded_capacity > kBlockCrcBits);
+  const std::size_t n_blocks =
+      (coded_capacity + kMaxCodeBlockBits - 1) / kMaxCodeBlockBits;
+  std::vector<CodeBlock> layout(n_blocks);
+  const std::size_t base = coded_capacity / n_blocks;
+  std::size_t remainder = coded_capacity % n_blocks;
+  for (auto& b : layout) {
+    std::size_t coded = base;
+    if (remainder > 0) {
+      ++coded;
+      --remainder;
+    }
+    assert(coded > kBlockCrcBits);
+    b.info_bits = coded - kBlockCrcBits;
+  }
+  return layout;
+}
+
+std::size_t info_bits(const std::vector<CodeBlock>& layout) {
+  std::size_t total = 0;
+  for (const auto& b : layout) total += b.info_bits;
+  return total;
+}
+
+std::vector<std::uint8_t> encode_blocks(
+    const std::vector<CodeBlock>& layout,
+    std::span<const std::uint8_t> info) {
+  assert(info.size() == info_bits(layout));
+  std::vector<std::uint8_t> coded;
+  std::size_t pos = 0;
+  for (const auto& b : layout) {
+    const auto block = info.subspan(pos, b.info_bits);
+    const auto with_crc = dsp::attach_crc24a(block);
+    coded.insert(coded.end(), with_crc.begin(), with_crc.end());
+    pos += b.info_bits;
+  }
+  return coded;
+}
+
+BlockDecodeResult decode_blocks(const std::vector<CodeBlock>& layout,
+                                std::span<const std::uint8_t> coded) {
+  BlockDecodeResult res;
+  res.blocks_total = layout.size();
+  std::size_t pos = 0;
+  for (const auto& b : layout) {
+    const std::size_t coded_len = b.info_bits + kBlockCrcBits;
+    assert(pos + coded_len <= coded.size());
+    const auto block = coded.subspan(pos, coded_len);
+    if (dsp::check_crc24a(block)) {
+      ++res.blocks_ok;
+      res.info_bits_ok += b.info_bits;
+    }
+    res.info.insert(res.info.end(), block.begin(),
+                    block.end() - kBlockCrcBits);
+    pos += coded_len;
+  }
+  return res;
+}
+
+}  // namespace lscatter::lte

@@ -1,0 +1,49 @@
+#pragma once
+// Transport-block handling: LTE-style code-block segmentation (TS 36.212
+// §5.1.2 in spirit): a subframe's data bits are split into blocks of at
+// most kMaxCodeBlockBits, each protected by its own CRC-24, so one bit
+// error costs one block rather than the whole subframe. Channel coding
+// itself (turbo) is out of scope; see DESIGN.md §6.
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace lscatter::lte {
+
+inline constexpr std::size_t kMaxCodeBlockBits = 6144;
+inline constexpr std::size_t kBlockCrcBits = 24;
+
+struct CodeBlock {
+  std::size_t info_bits = 0;  // payload bits in this block (CRC excluded)
+};
+
+/// Split `coded_capacity` on-air bits into code blocks; every block is
+/// info + 24 CRC, blocks as even as possible, total exactly
+/// coded_capacity. Requires coded_capacity > kBlockCrcBits.
+std::vector<CodeBlock> segment(std::size_t coded_capacity);
+
+/// Total info bits across the layout.
+std::size_t info_bits(const std::vector<CodeBlock>& layout);
+
+/// Encode: info bits (info_bits(layout) long) -> coded bits (capacity
+/// long) with per-block CRC-24 attached.
+std::vector<std::uint8_t> encode_blocks(
+    const std::vector<CodeBlock>& layout,
+    std::span<const std::uint8_t> info);
+
+struct BlockDecodeResult {
+  std::vector<std::uint8_t> info;   // concatenated info bits (best effort)
+  std::size_t blocks_total = 0;
+  std::size_t blocks_ok = 0;
+  std::size_t info_bits_ok = 0;     // info bits inside CRC-clean blocks
+
+  bool all_ok() const { return blocks_ok == blocks_total; }
+};
+
+/// Decode: coded bits -> per-block CRC check + info extraction.
+BlockDecodeResult decode_blocks(const std::vector<CodeBlock>& layout,
+                                std::span<const std::uint8_t> coded);
+
+}  // namespace lscatter::lte

@@ -1,0 +1,120 @@
+#include "lte/ue_rx.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "lte/signal_map.hpp"
+#include "lte/transport.hpp"
+
+namespace lscatter::lte {
+
+using dsp::cf32;
+using dsp::cvec;
+
+UeReceiver::UeReceiver(const CellConfig& cfg) : cfg_(cfg), demod_(cfg) {}
+
+ResourceGrid UeReceiver::demodulate_grid(
+    std::span<const cf32> samples) const {
+  return demod_.demodulate(samples);
+}
+
+ChannelEstimate UeReceiver::estimate_channel(
+    const ResourceGrid& rx_grid, std::size_t subframe_index) const {
+  const std::size_t n_sc = cfg_.n_subcarriers();
+
+  // Accumulate LS estimates (rx * conj(tx) / |tx|^2) per subcarrier.
+  std::vector<cf32> acc(n_sc, cf32{});
+  std::vector<int> count(n_sc, 0);
+  for (const std::size_t l : kCrsSymbolIndices) {
+    const auto positions = crs_subcarriers(cfg_, l);
+    const cvec values = crs_values_for_symbol(cfg_, subframe_index, l);
+    for (std::size_t m = 0; m < positions.size(); ++m) {
+      const std::size_t k = positions[m];
+      const cf32 tx = values[m];
+      const float p = std::norm(tx);
+      if (p <= 0.0f) continue;
+      acc[k] += rx_grid.at(l, k) * std::conj(tx) / p;
+      count[k]++;
+    }
+  }
+
+  // Collect the pilot subcarriers in order and linearly interpolate.
+  std::vector<std::size_t> pk;
+  cvec pv;
+  for (std::size_t k = 0; k < n_sc; ++k) {
+    if (count[k] > 0) {
+      pk.push_back(k);
+      pv.push_back(acc[k] / static_cast<float>(count[k]));
+    }
+  }
+  ChannelEstimate est;
+  est.h.assign(n_sc, cf32{1.0f, 0.0f});
+  if (pk.empty()) return est;
+
+  std::size_t seg = 0;
+  for (std::size_t k = 0; k < n_sc; ++k) {
+    if (k <= pk.front()) {
+      est.h[k] = pv.front();
+      continue;
+    }
+    if (k >= pk.back()) {
+      est.h[k] = pv.back();
+      continue;
+    }
+    while (seg + 1 < pk.size() && pk[seg + 1] < k) ++seg;
+    const std::size_t k0 = pk[seg];
+    const std::size_t k1 = pk[seg + 1];
+    const float t = static_cast<float>(k - k0) /
+                    static_cast<float>(k1 - k0);
+    est.h[k] = pv[seg] * (1.0f - t) + pv[seg + 1] * t;
+  }
+  return est;
+}
+
+SubframeRxResult UeReceiver::receive_subframe(
+    std::span<const cf32> samples, const SubframeTx& truth,
+    Modulation modulation) const {
+  SubframeRxResult res;
+  const ResourceGrid rx = demodulate_grid(samples);
+  const ChannelEstimate est = estimate_channel(rx, truth.subframe_index);
+
+  // Equalize and gather data REs in the same symbol-major order the eNodeB
+  // used when mapping.
+  const std::size_t n_sc = cfg_.n_subcarriers();
+  cvec eq;
+  cvec ref;
+  eq.reserve(kSymbolsPerSubframe * n_sc);
+  for (std::size_t l = 0; l < kSymbolsPerSubframe; ++l) {
+    for (std::size_t k = 0; k < n_sc; ++k) {
+      if (truth.grid.type_at(l, k) != ReType::kData) continue;
+      const cf32 h = est.h[k];
+      const float p = std::norm(h);
+      const cf32 y = rx.at(l, k);
+      eq.push_back(p > 1e-12f ? y * std::conj(h) / p : y);
+      ref.push_back(truth.grid.at(l, k));
+    }
+  }
+
+  res.evm_rms = evm_rms(eq, ref);
+
+  const auto bits = qam_demodulate(eq, modulation);
+  const auto layout = segment(bits.size());
+  const auto blocks = decode_blocks(layout, bits);
+  res.crc_ok = blocks.all_ok();
+  res.blocks_total = blocks.blocks_total;
+  res.blocks_ok = blocks.blocks_ok;
+  res.bits_delivered = blocks.info_bits_ok;
+
+  // Bit errors against the true payload (CRC bits excluded on both
+  // sides; the layouts match because capacity matches).
+  const std::size_t n_payload = truth.payload_bits.size();
+  assert(blocks.info.size() == n_payload);
+  res.n_bits = n_payload;
+  for (std::size_t i = 0; i < n_payload; ++i) {
+    if (blocks.info[i] != truth.payload_bits[i]) ++res.bit_errors;
+  }
+  return res;
+}
+
+}  // namespace lscatter::lte

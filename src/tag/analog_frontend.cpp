@@ -1,0 +1,106 @@
+#include "tag/analog_frontend.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lscatter::tag {
+
+using dsp::cf32;
+
+AnalogFrontend::AnalogFrontend(const AnalogFrontendConfig& config,
+                               double sample_rate_hz)
+    : config_(config),
+      sample_rate_hz_(sample_rate_hz),
+      env_rate_hz_(sample_rate_hz / static_cast<double>(config.decimation)),
+      matching_taps_(dsp::design_lowpass(
+          config.matching_bw_hz / sample_rate_hz, config.matching_taps)),
+      rc_(config.charge_tau_s, config.discharge_tau_s, 1.0 / env_rate_hz_),
+      average_(config.average_tau_s, 1.0 / env_rate_hz_) {
+  assert(config.decimation >= 1);
+}
+
+AnalogTrace AnalogFrontend::process(std::span<const cf32> rf_samples) {
+  const std::size_t dec = config_.decimation;
+  const std::size_t n_env = rf_samples.size() / dec;
+  AnalogTrace trace;
+  trace.dt_s = 1.0 / env_rate_hz_;
+  trace.rc.resize(n_env);
+  trace.average.resize(n_env);
+  trace.comparator.resize(n_env);
+
+  // Matching network: narrowband filter evaluated only at the decimated
+  // output instants (polyphase-style direct evaluation).
+  const std::size_t half = matching_taps_.size() / 2;
+  const auto delay_env = static_cast<std::size_t>(
+      std::llround(config_.comparator_delay_s * env_rate_hz_));
+
+  std::vector<std::uint8_t> raw_comp(n_env);
+  bool warm_started = elapsed_s_ > 0.0;
+  for (std::size_t i = 0; i < n_env; ++i) {
+    const std::size_t center = i * dec + dec / 2;
+    dsp::cf64 acc{};
+    for (std::size_t t = 0; t < matching_taps_.size(); ++t) {
+      const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(center + half) -
+                                 static_cast<std::ptrdiff_t>(t);
+      if (idx < 0 ||
+          idx >= static_cast<std::ptrdiff_t>(rf_samples.size()))
+        continue;
+      const cf32 v = rf_samples[static_cast<std::size_t>(idx)];
+      acc += dsp::cf64{v.real(), v.imag()} *
+             static_cast<double>(matching_taps_[t]);
+    }
+    const float envelope = static_cast<float>(std::abs(acc));
+
+    if (!warm_started) {
+      // A real circuit has been powered for many RC constants before the
+      // FPGA looks at it; start the integrators at the ambient level
+      // instead of letting a multi-ms settle transient trip the
+      // comparator.
+      rc_.reset(envelope);
+      average_.reset(envelope);
+      warm_started = true;
+    }
+
+    const float rc_out = rc_.step(envelope);
+    const float avg_out = average_.step(rc_out);
+    trace.rc[i] = rc_out;
+    trace.average[i] = avg_out;
+
+    // Comparator with relative hysteresis.
+    const float on_level =
+        avg_out * static_cast<float>(config_.threshold_ratio);
+    const float off_level =
+        avg_out * static_cast<float>(config_.threshold_ratio *
+                                     (1.0 - config_.hysteresis_ratio));
+    if (!comp_state_ && rc_out > on_level) comp_state_ = true;
+    if (comp_state_ && rc_out < off_level) comp_state_ = false;
+    raw_comp[i] = comp_state_ ? 1 : 0;
+  }
+
+  // Propagation delay: the logic output trails the analog crossing. The
+  // settle gate keeps cold-start transients from reaching the FPGA.
+  const double t0 = elapsed_s_;
+  for (std::size_t i = 0; i < n_env; ++i) {
+    const double t = t0 + static_cast<double>(i) * trace.dt_s;
+    if (t < config_.settle_s || i < delay_env) {
+      trace.comparator[i] = 0;
+    } else {
+      trace.comparator[i] = raw_comp[i - delay_env];
+    }
+  }
+
+  elapsed_s_ += static_cast<double>(rf_samples.size()) / sample_rate_hz_;
+  return trace;
+}
+
+std::vector<double> AnalogFrontend::rising_edges(const AnalogTrace& trace) {
+  std::vector<double> edges;
+  for (std::size_t i = 1; i < trace.comparator.size(); ++i) {
+    if (trace.comparator[i] && !trace.comparator[i - 1]) {
+      edges.push_back(static_cast<double>(i) * trace.dt_s);
+    }
+  }
+  return edges;
+}
+
+}  // namespace lscatter::tag

@@ -1,0 +1,97 @@
+#pragma once
+// Numerical simulation of the paper's Figure-7 synchronization circuit:
+//
+//   antenna -> matching network (C1/L1, narrowband around the carrier)
+//           -> envelope detector D1/C2/R1 (fast charge, slow discharge)
+//           -> averaging circuit R2/C3/R3 (slow one-pole)
+//           -> voltage comparator (threshold = average, with hysteresis
+//              and the MAX931's ~12 us propagation delay)
+//
+// The matching network is tuned at the carrier with ~1 MHz bandwidth, so
+// the detector effectively sees the energy of the central 0.93 MHz of the
+// LTE signal — exactly the band PSS/SSS occupy. During PSS/SSS symbols the
+// center band is fully occupied (and power-boosted), while in data symbols
+// the center RBs are only intermittently scheduled; that contrast is what
+// makes the PSS "outstanding" in the paper's Figure 8 RC-filter trace.
+//
+// The simulation runs on a decimated envelope stream (the RC stages have
+// kHz..MHz bandwidth; simulating them at 30.72 Msps would be waste).
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/fir.hpp"
+#include "dsp/types.hpp"
+
+namespace lscatter::tag {
+
+struct AnalogFrontendConfig {
+  /// Envelope-stream decimation relative to the cell sample rate.
+  std::size_t decimation = 16;
+
+  /// Matching-network bandwidth [Hz] (one-sided cutoff of the equivalent
+  /// baseband lowpass).
+  double matching_bw_hz = 0.6e6;
+  std::size_t matching_taps = 129;
+
+  /// D1/C2/R1 stage. Near-symmetric taus make this a mean-envelope
+  /// detector (~70 us ripple filter; also integrates the 143 us PSS+SSS double bump that single data symbols cannot match): a peak detector (fast charge, slow
+  /// discharge) would ride the Rayleigh tail of the bursty OFDM envelope
+  /// and erase the PSS contrast, because the PSS ZC sequence has a
+  /// *constant* envelope while data symbols spike above their mean.
+  double charge_tau_s = 80e-6;
+  double discharge_tau_s = 80e-6;
+
+  /// Averaging stage time constant (R2/C3/R3). Must be >> 5 ms features.
+  double average_tau_s = 4e-3;
+
+  /// Comparator trips when rc > threshold_ratio * average (relative
+  /// hysteresis keeps it from chattering); output is delayed by the
+  /// MAX931-class propagation delay.
+  double threshold_ratio = 2.5;
+  double hysteresis_ratio = 0.1;
+  double comparator_delay_s = 12e-6;
+
+  /// Power-on settle: the comparator output is gated off until the
+  /// averaging circuit has charged (a real tag waits a few RC constants
+  /// after power-up before arming the FPGA).
+  double settle_s = 10e-3;
+};
+
+/// Stage-by-stage outputs over one processed buffer — the data behind the
+/// paper's Figure 8.
+struct AnalogTrace {
+  double dt_s = 0.0;  // envelope-stream sample period
+  dsp::fvec rc;       // RC filter output
+  dsp::fvec average;  // averaging-circuit output
+  std::vector<std::uint8_t> comparator;  // 0/1, delay applied
+};
+
+class AnalogFrontend {
+ public:
+  AnalogFrontend(const AnalogFrontendConfig& config, double sample_rate_hz);
+
+  /// Process a contiguous stretch of complex baseband input (at the cell
+  /// sample rate, any amplitude scale). State persists across calls so
+  /// multi-subframe streams can be fed in chunks.
+  AnalogTrace process(std::span<const dsp::cf32> rf_samples);
+
+  /// Rising-edge times [s] of the comparator output in the given trace,
+  /// measured from the *start of that trace's buffer*.
+  static std::vector<double> rising_edges(const AnalogTrace& trace);
+
+  const AnalogFrontendConfig& config() const { return config_; }
+  double envelope_rate_hz() const { return env_rate_hz_; }
+
+ private:
+  AnalogFrontendConfig config_;
+  double sample_rate_hz_;
+  double env_rate_hz_;
+  dsp::fvec matching_taps_;
+  dsp::DiodeRc rc_;
+  dsp::OnePole average_;
+  bool comp_state_ = false;
+  double elapsed_s_ = 0.0;  // total processed time (for state continuity)
+};
+
+}  // namespace lscatter::tag

@@ -1,0 +1,23 @@
+#include "tag/modulator.hpp"
+
+namespace lscatter::tag {
+
+using dsp::cf32;
+using dsp::cvec;
+
+cvec apply_pattern(std::span<const cf32> rf_in,
+                   std::span<const std::uint8_t> pattern,
+                   std::ptrdiff_t timing_error_units, cf32 gain) {
+  cvec out(rf_in.size());
+  const auto n_pat = static_cast<std::ptrdiff_t>(pattern.size());
+  for (std::size_t n = 0; n < rf_in.size(); ++n) {
+    const std::ptrdiff_t idx =
+        static_cast<std::ptrdiff_t>(n) - timing_error_units;
+    const bool one = (idx < 0 || idx >= n_pat) ? true : pattern[idx] != 0;
+    const cf32 v = gain * rf_in[n];
+    out[n] = one ? v : -v;
+  }
+  return out;
+}
+
+}  // namespace lscatter::tag

@@ -1,0 +1,32 @@
+#pragma once
+// The RF switch, in complex-baseband form.
+//
+// Physically the tag multiplies the incident RF by a square wave of period
+// Ts whose first harmonic shifts the scatter to f_c ± 1/Ts (paper Eq. 3/4);
+// the per-cycle initial phase theta in {0, pi} rides along. A receiver
+// tuned to f_c + 1/Ts therefore sees, in basic timing unit n,
+//
+//     (2/pi) * Gamma * x_n * e^{j theta_n}
+//
+// which is what apply_pattern() computes: sample-wise sign flips with the
+// conversion amplitude folded into `gain`. The un-cancelled image at
+// f_c - 1/Ts is `image_rejection_db` below the wanted sideband and is
+// handled at the link level as added interference.
+
+#include "dsp/types.hpp"
+
+namespace lscatter::tag {
+
+/// Square-wave first-harmonic amplitude relative to an ideal mixer: 2/pi.
+inline constexpr double kSquareWaveFirstHarmonic = 2.0 / 3.14159265358979323846;
+
+/// Scatter `rf_in` (the eNodeB signal as seen at the tag) according to the
+/// unit pattern. `pattern` lives on the tag's own timeline, which lags the
+/// true signal timeline by `timing_error_units` (positive = tag late):
+/// output[n] = gain * rf_in[n] * sign(pattern[n - timing_error_units]).
+/// Pattern indices out of range behave as filler '1'.
+dsp::cvec apply_pattern(std::span<const dsp::cf32> rf_in,
+                        std::span<const std::uint8_t> pattern,
+                        std::ptrdiff_t timing_error_units, dsp::cf32 gain);
+
+}  // namespace lscatter::tag

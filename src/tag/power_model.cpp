@@ -1,0 +1,69 @@
+#include "tag/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "dsp/db.hpp"
+
+namespace lscatter::tag {
+
+double PowerModel::clock_rate_hz(lte::Bandwidth bw) const {
+  lte::CellConfig cfg;
+  cfg.bandwidth = bw;
+  return cfg.sample_rate_hz();
+}
+
+PowerBreakdown PowerModel::breakdown(lte::Bandwidth bw,
+                                     ClockSource clock) const {
+  PowerBreakdown p;
+  p.sync_comparator_uw = comparator_uw;
+
+  const double bw_hz = lte::bandwidth_hz(bw);
+  p.rf_switch_uw = rf_switch_uw_at_20mhz * (bw_hz / 20e6);
+
+  p.baseband_fpga_uw = fpga_uw;
+
+  const double f = clock_rate_hz(bw);
+  if (clock == ClockSource::kCrystal) {
+    // Interpolate the two datasheet anchors linearly in frequency — CMOS
+    // oscillator power scales ~linearly with f.
+    const double f0 = 1.92e6;
+    const double f1 = 30.72e6;
+    const double t = (f - f0) / (f1 - f0);
+    p.clock_uw = crystal_uw_at_1_92mhz +
+                 t * (crystal_uw_at_30_72mhz - crystal_uw_at_1_92mhz);
+  } else {
+    // Ring oscillator anchors (4 uW @ 30 MHz, 9.69 uW @ 35.75 MHz) —
+    // scale linearly through the origin from the 30 MHz point.
+    p.clock_uw = ring_osc_uw_at_30mhz * (f / 30e6);
+  }
+  return p;
+}
+
+std::string format_power_row(lte::Bandwidth bw, ClockSource clock,
+                             const PowerBreakdown& p) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-7s clock=%-8s comparator=%6.1fuW switch=%6.1fuW "
+                "fpga=%6.1fuW clock=%7.1fuW total=%8.1fuW",
+                lte::to_string(bw).c_str(),
+                clock == ClockSource::kCrystal ? "crystal" : "ring-osc",
+                p.sync_comparator_uw, p.rf_switch_uw, p.baseband_fpga_uw,
+                p.clock_uw, p.total_uw());
+  return buf;
+}
+
+double HarvestModel::harvested_uw(double incident_dbm) const {
+  if (incident_dbm < sensitivity_dbm) return 0.0;
+  return efficiency * dsp::dbm_to_mw(incident_dbm) * 1e3;  // mW -> uW
+}
+
+double HarvestModel::sustainable_duty_cycle(
+    double incident_dbm, const PowerBreakdown& consumption) const {
+  const double total = consumption.total_uw();
+  if (total <= 0.0) return 1.0;
+  return std::min(1.0, harvested_uw(incident_dbm) / total);
+}
+
+}  // namespace lscatter::tag

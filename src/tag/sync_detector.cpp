@@ -1,0 +1,74 @@
+#include "tag/sync_detector.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace lscatter::tag {
+
+SyncDetector::SyncDetector(const SyncDetectorConfig& config)
+    : config_(config) {}
+
+void SyncDetector::feed_edges(std::span<const double> edge_times) {
+  for (const double t : edge_times) {
+    if (last_edge_s_ && t - *last_edge_s_ < config_.refractory_s) continue;
+
+    const double raw = t - config_.nominal_latency_s;
+    if (!last_edge_s_) {
+      last_edge_s_ = t;
+      consistent_edges_ = 1;
+      anchor_s_ = raw;
+      phases_.assign(1, 0.0);
+      estimate_s_ = raw;
+      continue;
+    }
+
+    const double dt = t - *last_edge_s_;
+    // How close is dt to an integer number of PSS periods?
+    const double periods = std::round(dt / config_.pss_period_s);
+    const double deviation =
+        std::abs(dt - periods * config_.pss_period_s);
+
+    if (periods >= 1.0 && deviation <= config_.tracking_window_s) {
+      ++consistent_edges_;
+      if (consistent_edges_ >= config_.edges_to_lock) locked_ = true;
+      last_edge_s_ = t;
+
+      // FPGA ring buffer: phase of this edge relative to the anchor's
+      // 5 ms grid, averaged over the last few edges.
+      const double slots = std::round((raw - anchor_s_) /
+                                      config_.pss_period_s);
+      const double phase =
+          raw - anchor_s_ - slots * config_.pss_period_s;
+      phases_.push_back(phase);
+      while (phases_.size() > config_.average_window_edges) {
+        phases_.erase(phases_.begin());
+      }
+      const double mean_phase =
+          std::accumulate(phases_.begin(), phases_.end(), 0.0) /
+          static_cast<double>(phases_.size());
+      estimate_s_ =
+          anchor_s_ + slots * config_.pss_period_s + mean_phase;
+    } else if (deviation > config_.tracking_window_s && !locked_) {
+      // Unlocked and off-cadence: restart from this edge.
+      last_edge_s_ = t;
+      consistent_edges_ = 1;
+      anchor_s_ = raw;
+      phases_.assign(1, 0.0);
+      estimate_s_ = raw;
+    }
+    // Locked and off-cadence: ignore (false alarm).
+  }
+}
+
+std::optional<double> SyncDetector::last_pss_estimate_s() const {
+  return estimate_s_;
+}
+
+std::optional<double> SyncDetector::predict_next_pss_s(double now_s) const {
+  if (!estimate_s_) return std::nullopt;
+  const double k =
+      std::ceil((now_s - *estimate_s_) / config_.pss_period_s);
+  return *estimate_s_ + std::max(k, 0.0) * config_.pss_period_s;
+}
+
+}  // namespace lscatter::tag

@@ -1,0 +1,100 @@
+#pragma once
+// Turns the analog front end's comparator edges into PSS timing estimates.
+//
+// The comparator fires a fixed (calibratable) latency after the true PSS
+// start: RC rise time to the threshold plus the comparator's propagation
+// delay. The FPGA subtracts that nominal latency; what is left is the
+// residual synchronization error the modulation-offset margin must absorb
+// (paper §3.1/§3.2.3, Fig. 31).
+//
+// The detector also enforces the 5 ms PSS cadence: edges that arrive far
+// from the predicted next PSS are rejected as data-symbol false alarms.
+
+#include <optional>
+#include <vector>
+
+#include "dsp/rng.hpp"
+
+namespace lscatter::tag {
+
+struct SyncDetectorConfig {
+  double pss_period_s = 5e-3;
+
+  /// Nominal detection latency compensated by the FPGA [s]. Calibrated to
+  /// the analog front end defaults (see bench_fig31): RC rise to the
+  /// comparator threshold plus the 12 us propagation delay, with the PBCH
+  /// region shaping the subframe-0 envelope bump.
+  double nominal_latency_s = 15e-6;
+
+  /// Edges closer than this to the previous accepted edge are ignored
+  /// (comparator chatter / SSS+PSS double bumps).
+  double refractory_s = 2e-3;
+
+  /// Once locked, accept only edges within this window of the prediction.
+  double tracking_window_s = 1.5e-3;
+
+  /// Edges needed at the right cadence to declare lock.
+  int edges_to_lock = 2;
+
+  /// Number of recent edges averaged into the timing estimate. One
+  /// comparator edge jitters by ~+-20 us (the threshold crossing depends
+  /// on the neighbouring data symbols); the FPGA's ring-buffer mean over
+  /// the 5 ms cadence shrinks the residual into the +-13.8 us
+  /// modulation-offset window (sigma / sqrt(8) ~ 5 us).
+  std::size_t average_window_edges = 8;
+};
+
+class SyncDetector {
+ public:
+  explicit SyncDetector(const SyncDetectorConfig& config);
+
+  /// Feed comparator rising-edge times (absolute, seconds, increasing
+  /// across calls).
+  void feed_edges(std::span<const double> edge_times);
+
+  bool locked() const { return locked_; }
+
+  /// Latest latency-compensated PSS time estimate.
+  std::optional<double> last_pss_estimate_s() const;
+
+  /// Predicted time of the next PSS (estimate + k * 5 ms).
+  std::optional<double> predict_next_pss_s(double now_s) const;
+
+  const SyncDetectorConfig& config() const { return config_; }
+
+ private:
+  SyncDetectorConfig config_;
+  bool locked_ = false;
+  int consistent_edges_ = 0;
+  std::optional<double> last_edge_s_;
+  std::optional<double> estimate_s_;
+  double anchor_s_ = 0.0;
+  std::vector<double> phases_;  // ring buffer of edge phases vs anchor
+};
+
+/// Statistical stand-in for (analog front end + SyncDetector), used by the
+/// long-running throughput benches: residual timing error after latency
+/// compensation, drawn per re-sync event, plus tag clock drift between
+/// re-syncs.
+struct StatisticalSync {
+  /// Residual error distribution (seconds). The paper's Fig. 31 shows raw
+  /// detection latencies of 30-40 us; after subtracting the nominal 35 us
+  /// the residual is a few microseconds.
+  double bias_s = 0.0;
+  double sigma_s = 2e-6;
+
+  /// Tag clock offset in parts-per-million (drift between re-syncs).
+  double clock_ppm = 10.0;
+
+  /// Draw a residual error for one re-sync event.
+  double sample_error_s(dsp::Rng& rng) const {
+    return bias_s + sigma_s * rng.normal();
+  }
+
+  /// Error accumulated `dt` after a re-sync that started at `error0`.
+  double drifted_error_s(double error0_s, double dt_s) const {
+    return error0_s + clock_ppm * 1e-6 * dt_s;
+  }
+};
+
+}  // namespace lscatter::tag

@@ -1,0 +1,131 @@
+#include "tag/tag_controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "lte/ofdm.hpp"
+#include "lte/sequences.hpp"
+#include "lte/signal_map.hpp"
+
+namespace lscatter::tag {
+
+TagController::TagController(const lte::CellConfig& cell,
+                             const TagScheduleConfig& cfg)
+    : cell_(cell), cfg_(cfg) {
+  assert(cfg.resync_period_subframes >= 2);
+  assert(cfg.preamble_symbols >= 1);
+  assert(cfg.packet_subframes >= 1);
+  assert(cfg.repetition >= 1 &&
+         cfg.repetition <= cell.n_subcarriers() / 33);
+  // Fixed pseudo-random preamble with good autocorrelation, from the LTE
+  // Gold generator (c_init chosen as a constant known to tag and UE).
+  preamble_ = lte::gold_sequence(0x5CA77E51u & 0x7FFFFFFFu,
+                                 cell.n_subcarriers());
+}
+
+bool TagController::is_listening_subframe(std::size_t subframe_index) const {
+  return subframe_index % cfg_.resync_period_subframes ==
+         cfg_.resync_period_subframes - 1;
+}
+
+bool TagController::symbol_modulatable(std::size_t subframe_index,
+                                       std::size_t l) const {
+  if (lte::is_sync_subframe(subframe_index) &&
+      (l == lte::kPssSymbolIndex || l == lte::kSssSymbolIndex)) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> TagController::modulatable_symbols(
+    std::size_t subframe_index) const {
+  std::vector<std::size_t> out;
+  out.reserve(lte::kSymbolsPerSubframe);
+  for (std::size_t l = 0; l < lte::kSymbolsPerSubframe; ++l) {
+    if (symbol_modulatable(subframe_index, l)) out.push_back(l);
+  }
+  return out;
+}
+
+std::size_t TagController::packet_raw_bits(std::size_t subframe_index) const {
+  std::size_t n_symbols = 0;
+  for (std::size_t s = 0; s < cfg_.packet_subframes; ++s) {
+    const std::size_t sf = subframe_index + s;
+    if (is_listening_subframe(sf)) continue;
+    n_symbols += modulatable_symbols(sf).size();
+  }
+  if (n_symbols <= cfg_.preamble_symbols) return 0;
+  std::size_t data_symbols = n_symbols - cfg_.preamble_symbols;
+  if (cfg_.max_data_symbols_per_packet > 0) {
+    data_symbols =
+        std::min(data_symbols, cfg_.max_data_symbols_per_packet);
+  }
+  return data_symbols * bits_per_symbol();
+}
+
+SubframePlan TagController::plan_subframe(
+    std::size_t subframe_index, bool first_subframe_of_packet,
+    const std::vector<std::vector<std::uint8_t>>& symbol_payloads) const {
+  SubframePlan plan;
+  plan.subframe_index = subframe_index;
+  plan.listening = is_listening_subframe(subframe_index);
+  if (plan.listening) return plan;
+
+  std::size_t next_payload = 0;
+  std::size_t preambles_placed = 0;
+  for (const std::size_t l : modulatable_symbols(subframe_index)) {
+    SymbolPlan& sp = plan.symbols[l];
+    if (first_subframe_of_packet &&
+        preambles_placed < cfg_.preamble_symbols) {
+      sp.kind = SymbolPlan::Kind::kPreamble;
+      sp.bits = preamble_;
+      ++preambles_placed;
+      continue;
+    }
+    if (next_payload < symbol_payloads.size()) {
+      assert(symbol_payloads[next_payload].size() == bits_per_symbol());
+      sp.kind = SymbolPlan::Kind::kData;
+      // Repetition expansion: each info bit fills `repetition`
+      // consecutive units; leftover units are filler '1'.
+      const auto& info = symbol_payloads[next_payload++];
+      sp.bits.assign(units_per_symbol(), 1);
+      for (std::size_t i = 0; i < info.size(); ++i) {
+        for (std::size_t r = 0; r < cfg_.repetition; ++r) {
+          sp.bits[i * cfg_.repetition + r] = info[i];
+        }
+      }
+    }
+    // else: leave filler.
+  }
+  return plan;
+}
+
+std::vector<std::uint8_t> expand_to_units(const lte::CellConfig& cell,
+                                          const SubframePlan& plan,
+                                          std::ptrdiff_t window_offset) {
+  std::vector<std::uint8_t> units(cell.samples_per_subframe(), 1);
+  if (plan.listening) return units;
+
+  const std::size_t n_sc = cell.n_subcarriers();
+  const std::ptrdiff_t start_unit =
+      static_cast<std::ptrdiff_t>((cell.fft_size() - n_sc) / 2) +
+      window_offset;
+  for (std::size_t l = 0; l < lte::kSymbolsPerSubframe; ++l) {
+    const SymbolPlan& sp = plan.symbols[l];
+    if (sp.kind == SymbolPlan::Kind::kFiller) continue;
+    assert(sp.bits.size() == n_sc);
+    const std::ptrdiff_t useful = static_cast<std::ptrdiff_t>(
+        lte::symbol_offset_in_subframe(cell, l) +
+        cell.cp_length(l % lte::kSymbolsPerSlot));
+    for (std::size_t n = 0; n < n_sc; ++n) {
+      const std::ptrdiff_t idx =
+          useful + start_unit + static_cast<std::ptrdiff_t>(n);
+      if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(units.size())) {
+        units[static_cast<std::size_t>(idx)] = sp.bits[n];
+      }
+    }
+  }
+  return units;
+}
+
+}  // namespace lscatter::tag

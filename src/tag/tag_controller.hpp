@@ -1,0 +1,152 @@
+#pragma once
+// Tag-side modulation scheduling (paper §3.2).
+//
+// Per OFDM symbol the tag emits a square wave whose cycle equals the basic
+// timing unit Ts = 1/fs; each cycle's initial phase (0 or pi) encodes one
+// bit ('1' -> 0, '0' -> pi). In the complex-baseband equivalent the
+// scattered signal in unit n is x_n * (+1) for '1' and x_n * (-1) for '0'
+// (Eq. 4 with theta in {0, pi}).
+//
+// Schedule within a symbol (paper Fig. 10): skip the CP, center the N_sc
+// useful modulation units inside the K-sample useful window so the
+// residual sync error can shift the window by up to (K - N_sc)/2 units in
+// either direction without clipping; everything else is filler '1'
+// (continuous square waves, theta = 0).
+//
+// Schedule across symbols: PSS and SSS symbols of subframes 0/5 are never
+// modulated (paper §3.1); the first modulated symbol of each packet
+// carries the preamble; one subframe in every `resync_period` is spent
+// listening (sync maintenance) rather than modulating.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "lte/cell_config.hpp"
+
+namespace lscatter::tag {
+
+struct TagScheduleConfig {
+  /// The tag re-listens for PSS one subframe out of every this many.
+  /// 1 in 10 lands the 20 MHz PHY rate at ~13.6 Mbps, matching §4.3.1.
+  std::size_t resync_period_subframes = 10;
+
+  /// Number of leading modulated symbols per packet used as preamble.
+  std::size_t preamble_symbols = 1;
+
+  /// One packet spans this many subframes (preamble included).
+  std::size_t packet_subframes = 1;
+
+  /// Cap on modulated *data* symbols per packet (0 = use every available
+  /// symbol). Small caps give short packets whose CRC survives the
+  /// per-unit BER floor — used by low-rate applications (Fig. 33).
+  std::size_t max_data_symbols_per_packet = 0;
+
+  /// Repetition factor: each data bit occupies this many consecutive
+  /// basic timing units; the UE soft-combines them before slicing. r = 1
+  /// is the paper's scheme; r > 1 trades rate for diversity against the
+  /// OFDM-envelope BER floor (library extension; see the ablation bench).
+  std::size_t repetition = 1;
+
+  /// Shift of the modulation window from its centered position (units).
+  /// 0 = the paper's placement, (K - N_sc)/2 into the useful part.
+  /// Negative values push modulated units into the cyclic prefix, where
+  /// the UE's FFT window discards them — the §3.2.3 failure mode the
+  /// centered placement avoids (see the ablation bench).
+  std::ptrdiff_t window_offset_units = 0;
+};
+
+/// What the tag does in one OFDM symbol.
+struct SymbolPlan {
+  enum class Kind : std::uint8_t {
+    kFiller,    // continuous '1' square waves (also used over PSS/SSS)
+    kPreamble,  // known pattern, N_sc bits
+    kData,      // payload bits, N_sc bits
+  };
+  Kind kind = Kind::kFiller;
+  std::vector<std::uint8_t> bits;  // size N_sc for preamble/data
+};
+
+/// What the tag does in one subframe.
+struct SubframePlan {
+  std::size_t subframe_index = 0;
+  bool listening = false;  // sync maintenance: no modulation at all
+  std::array<SymbolPlan, lte::kSymbolsPerSubframe> symbols;
+};
+
+class TagController {
+ public:
+  TagController(const lte::CellConfig& cell, const TagScheduleConfig& cfg);
+
+  const TagScheduleConfig& schedule() const { return cfg_; }
+  const lte::CellConfig& cell() const { return cell_; }
+
+  /// Modulated units per symbol (= N_sc).
+  std::size_t units_per_symbol() const { return cell_.n_subcarriers(); }
+
+  /// *Information* bits per data symbol (= N_sc / repetition).
+  std::size_t bits_per_symbol() const {
+    return cell_.n_subcarriers() / cfg_.repetition;
+  }
+
+  /// True if the tag spends this subframe listening for PSS.
+  bool is_listening_subframe(std::size_t subframe_index) const;
+
+  /// True if symbol `l` of this subframe may be modulated (excludes
+  /// PSS/SSS symbols of sync subframes).
+  bool symbol_modulatable(std::size_t subframe_index, std::size_t l) const;
+
+  /// Indices of the modulatable symbols of a subframe, in order. The first
+  /// `preamble_symbols` of them carry the preamble in a packet's first
+  /// subframe.
+  std::vector<std::size_t> modulatable_symbols(
+      std::size_t subframe_index) const;
+
+  /// Payload bit capacity of a packet starting at `subframe_index`
+  /// (preamble excluded, CRC-32 *not* yet subtracted).
+  std::size_t packet_raw_bits(std::size_t subframe_index) const;
+
+  /// Build the plan for one subframe of a packet. `symbol_payloads` are
+  /// the *information* bit patterns for the data symbols in order (each
+  /// exactly bits_per_symbol() long; repetition expansion to unit
+  /// patterns happens inside); the preamble pattern is inserted
+  /// automatically for the packet's first `preamble_symbols` symbols when
+  /// `first_subframe_of_packet`.
+  SubframePlan plan_subframe(
+      std::size_t subframe_index, bool first_subframe_of_packet,
+      const std::vector<std::vector<std::uint8_t>>& symbol_payloads) const;
+
+  /// The fixed preamble pattern (N_sc bits, Gold-sequence derived).
+  const std::vector<std::uint8_t>& preamble_pattern() const {
+    return preamble_;
+  }
+
+  /// First modulated unit relative to the useful-window start:
+  /// (K - N_sc) / 2 plus the configured window offset.
+  std::ptrdiff_t modulation_start_unit() const {
+    return static_cast<std::ptrdiff_t>(
+               (cell_.fft_size() - cell_.n_subcarriers()) / 2) +
+           cfg_.window_offset_units;
+  }
+
+  /// One-sided residual-sync tolerance in units (= samples) at the
+  /// centered placement.
+  std::size_t offset_tolerance_units() const {
+    return (cell_.fft_size() - cell_.n_subcarriers()) / 2;
+  }
+
+ private:
+  lte::CellConfig cell_;
+  TagScheduleConfig cfg_;
+  std::vector<std::uint8_t> preamble_;
+};
+
+/// Expand a SubframePlan into the per-sample bit pattern (1 = theta 0,
+/// 0 = theta pi) on the tag's own timeline; samples_per_subframe() long.
+/// Filler (and the CP / margin regions) are '1'. `window_offset` shifts
+/// the modulation window (TagScheduleConfig::window_offset_units).
+std::vector<std::uint8_t> expand_to_units(const lte::CellConfig& cell,
+                                          const SubframePlan& plan,
+                                          std::ptrdiff_t window_offset = 0);
+
+}  // namespace lscatter::tag

@@ -1,0 +1,54 @@
+#include "traffic/burst_process.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lscatter::traffic {
+
+std::vector<Burst> generate_bursts(const BurstProcessConfig& config,
+                                   double horizon_s, dsp::Rng& rng) {
+  assert(horizon_s > 0.0);
+  std::vector<Burst> bursts;
+  if (config.occupancy <= 0.0) return bursts;
+  if (config.occupancy >= 1.0) {
+    bursts.push_back(Burst{0.0, horizon_s});
+    return bursts;
+  }
+
+  // Mean off period for the target duty cycle:
+  //   occupancy = on / (on + off)  =>  off = on * (1 - occ) / occ
+  const double mean_gap_s = std::max(
+      config.mean_burst_s * (1.0 - config.occupancy) / config.occupancy,
+      config.min_gap_s);
+
+  double t = rng.exponential(mean_gap_s);  // start idle
+  while (t < horizon_s) {
+    const double on = std::max(rng.exponential(config.mean_burst_s), 1e-5);
+    bursts.push_back(Burst{t, std::min(on, horizon_s - t)});
+    t += on;
+    t += std::max(rng.exponential(mean_gap_s), config.min_gap_s);
+  }
+  return bursts;
+}
+
+double measure_occupancy(const std::vector<Burst>& bursts,
+                         double horizon_s) {
+  double busy = 0.0;
+  for (const Burst& b : bursts) {
+    const double end = std::min(b.end_s(), horizon_s);
+    if (end > b.start_s) busy += end - b.start_s;
+  }
+  return horizon_s > 0.0 ? busy / horizon_s : 0.0;
+}
+
+bool is_busy(const std::vector<Burst>& bursts, double t_s) {
+  // Binary search on start times.
+  auto it = std::upper_bound(
+      bursts.begin(), bursts.end(), t_s,
+      [](double t, const Burst& b) { return t < b.start_s; });
+  if (it == bursts.begin()) return false;
+  --it;
+  return t_s < it->end_s();
+}
+
+}  // namespace lscatter::traffic

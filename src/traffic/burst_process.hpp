@@ -1,0 +1,40 @@
+#pragma once
+// On/off burst processes for shared-band traffic (paper §2: WiFi/LoRa are
+// "bursty and intermittent"). An exponential on/off renewal process whose
+// duty cycle equals the target occupancy; WiFi bursts are packet trains of
+// a few ms, LoRa events are sparse ~100 ms chirpy frames.
+
+#include <vector>
+
+#include "dsp/rng.hpp"
+
+namespace lscatter::traffic {
+
+struct Burst {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double end_s() const { return start_s + duration_s; }
+};
+
+struct BurstProcessConfig {
+  /// Long-run fraction of time the channel is busy.
+  double occupancy = 0.3;
+
+  /// Mean burst (on-period) duration [s].
+  double mean_burst_s = 3e-3;
+
+  /// Floor for off periods [s] (DIFS/backoff-ish spacing).
+  double min_gap_s = 50e-6;
+};
+
+/// Generate bursts covering [0, horizon_s).
+std::vector<Burst> generate_bursts(const BurstProcessConfig& config,
+                                   double horizon_s, dsp::Rng& rng);
+
+/// Fraction of [0, horizon_s) covered by the bursts.
+double measure_occupancy(const std::vector<Burst>& bursts, double horizon_s);
+
+/// True if time t falls inside any burst (bursts sorted by start).
+bool is_busy(const std::vector<Burst>& bursts, double t_s);
+
+}  // namespace lscatter::traffic

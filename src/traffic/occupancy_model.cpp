@@ -1,0 +1,121 @@
+#include "traffic/occupancy_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lscatter::traffic {
+
+const char* to_string(Technology t) {
+  switch (t) {
+    case Technology::kWifi: return "WiFi";
+    case Technology::kLora: return "LoRa";
+    case Technology::kLte: return "LTE";
+  }
+  return "?";
+}
+
+const char* to_string(Site s) {
+  switch (s) {
+    case Site::kHome: return "Home";
+    case Site::kOffice: return "Office";
+    case Site::kClassroom: return "Classroom";
+    case Site::kMall: return "Mall";
+    case Site::kOutdoor: return "Outdoor";
+  }
+  return "?";
+}
+
+namespace {
+
+// Hour-of-day WiFi occupancy means, parameterized from the paper's Figs.
+// 17 (home), 22 (mall, 10am-9pm), 27 (outdoor) and the Fig. 4c CDFs
+// (office / classroom). Values are fractions of the hour occupied.
+constexpr std::array<double, 24> kWifiHome = {
+    0.08, 0.06, 0.05, 0.05, 0.06, 0.08, 0.15, 0.22,  // 0-7
+    0.25, 0.25, 0.28, 0.32, 0.38, 0.33, 0.30, 0.32,  // 8-15
+    0.45, 0.55, 0.60, 0.62, 0.58, 0.50, 0.35, 0.18}; // 16-23
+
+constexpr std::array<double, 24> kWifiOffice = {
+    0.05, 0.04, 0.04, 0.04, 0.05, 0.08, 0.15, 0.30,
+    0.45, 0.55, 0.58, 0.60, 0.55, 0.58, 0.60, 0.58,
+    0.52, 0.45, 0.32, 0.20, 0.14, 0.10, 0.08, 0.06};
+
+constexpr std::array<double, 24> kWifiClassroom = {
+    0.03, 0.03, 0.03, 0.03, 0.03, 0.05, 0.10, 0.22,
+    0.38, 0.48, 0.50, 0.46, 0.40, 0.46, 0.48, 0.44,
+    0.35, 0.25, 0.18, 0.12, 0.08, 0.05, 0.04, 0.03};
+
+constexpr std::array<double, 24> kWifiMall = {
+    0.04, 0.03, 0.03, 0.03, 0.03, 0.04, 0.06, 0.10,
+    0.15, 0.22, 0.28, 0.33, 0.38, 0.36, 0.35, 0.38,
+    0.40, 0.42, 0.45, 0.48, 0.50, 0.35, 0.15, 0.07};
+
+constexpr std::array<double, 24> kWifiOutdoor = {
+    0.03, 0.03, 0.02, 0.02, 0.03, 0.04, 0.07, 0.12,
+    0.15, 0.17, 0.19, 0.22, 0.23, 0.22, 0.20, 0.22,
+    0.25, 0.26, 0.23, 0.19, 0.15, 0.10, 0.07, 0.04};
+
+const std::array<double, 24>& wifi_profile(Site site) {
+  switch (site) {
+    case Site::kHome: return kWifiHome;
+    case Site::kOffice: return kWifiOffice;
+    case Site::kClassroom: return kWifiClassroom;
+    case Site::kMall: return kWifiMall;
+    case Site::kOutdoor: return kWifiOutdoor;
+  }
+  return kWifiHome;
+}
+
+}  // namespace
+
+OccupancyModel::OccupancyModel(Technology tech, Site site)
+    : tech_(tech), site_(site) {
+  switch (tech) {
+    case Technology::kLte:
+      profile_.fill(1.0);  // dedicated continuous downlink
+      jitter_ = 0.0;
+      break;
+    case Technology::kLora:
+      profile_.fill(0.02);  // "traffic rate is only 0.02 for most of the
+                            // time" (paper §2.1)
+      jitter_ = 0.01;
+      break;
+    case Technology::kWifi:
+      profile_ = wifi_profile(site);
+      jitter_ = 0.12;  // bursty: wide within-hour scatter (Fig. 16a)
+      break;
+  }
+}
+
+double OccupancyModel::mean_occupancy(std::size_t hour) const {
+  assert(hour < 24);
+  return profile_[hour];
+}
+
+double OccupancyModel::sample_occupancy(std::size_t hour,
+                                        dsp::Rng& rng) const {
+  const double base = mean_occupancy(hour);
+  if (jitter_ <= 0.0) return base;
+  const double v = base + rng.normal(0.0, jitter_ * (0.3 + base));
+  return std::clamp(v, 0.0, 1.0);
+}
+
+std::vector<double> OccupancyModel::week_of_samples(dsp::Rng& rng) const {
+  std::vector<double> out;
+  out.reserve(7 * 24);
+  for (std::size_t day = 0; day < 7; ++day) {
+    // Weekends shift home traffic up and office traffic down a bit.
+    const bool weekend = day >= 5;
+    for (std::size_t hour = 0; hour < 24; ++hour) {
+      double v = sample_occupancy(hour, rng);
+      if (tech_ == Technology::kWifi && weekend) {
+        if (site_ == Site::kHome) v = std::min(1.0, v * 1.2);
+        if (site_ == Site::kOffice || site_ == Site::kClassroom) v *= 0.3;
+      }
+      out.push_back(std::clamp(v, 0.0, 1.0));
+    }
+  }
+  return out;
+}
+
+}  // namespace lscatter::traffic

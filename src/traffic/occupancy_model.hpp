@@ -1,0 +1,59 @@
+#pragma once
+// Ambient-traffic occupancy models (paper §2, Figs. 4c/17/22/27).
+//
+// "Traffic occupancy ratio" = fraction of time the band carries a signal,
+// measured per hour. LTE is a dedicated downlink band -> 1.0 always. WiFi
+// shares the ISM band and is bursty -> strongly time-of-day and site
+// dependent. LoRa is barely deployed -> ~0.02 everywhere.
+//
+// The hour-of-day profiles below are parameterized from the curves the
+// paper reports: home peaks in the evening, office peaks during work
+// hours, the mall peaks around 8 pm at ~0.5, outdoor is sparse.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsp/rng.hpp"
+
+namespace lscatter::traffic {
+
+enum class Technology : std::uint8_t { kWifi, kLora, kLte };
+enum class Site : std::uint8_t {
+  kHome,
+  kOffice,
+  kClassroom,
+  kMall,
+  kOutdoor,
+};
+
+const char* to_string(Technology t);
+const char* to_string(Site s);
+
+class OccupancyModel {
+ public:
+  OccupancyModel(Technology tech, Site site);
+
+  Technology technology() const { return tech_; }
+  Site site() const { return site_; }
+
+  /// Mean occupancy ratio for an hour of day (0..23).
+  double mean_occupancy(std::size_t hour) const;
+
+  /// One measured occupancy sample for that hour: mean plus bounded
+  /// burstiness jitter (WiFi measurements within an hour scatter widely;
+  /// LTE does not).
+  double sample_occupancy(std::size_t hour, dsp::Rng& rng) const;
+
+  /// A week of hourly samples (7*24), the Fig. 4c workload.
+  std::vector<double> week_of_samples(dsp::Rng& rng) const;
+
+ private:
+  Technology tech_;
+  Site site_;
+  std::array<double, 24> profile_{};
+  double jitter_ = 0.0;
+};
+
+}  // namespace lscatter::traffic

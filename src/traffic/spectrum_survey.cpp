@@ -1,0 +1,114 @@
+#include "traffic/spectrum_survey.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lscatter::traffic {
+
+std::string Spectrogram::render(std::size_t max_rows) const {
+  static const char* kShades[] = {" ", ".", ":", "+", "#"};
+  std::string out;
+  const std::size_t stride =
+      std::max<std::size_t>(1, time_bins / std::max<std::size_t>(max_rows, 1));
+  for (std::size_t t = 0; t < time_bins; t += stride) {
+    out += "|";
+    for (std::size_t f = 0; f < freq_bins; ++f) {
+      const float v = at(t, f);
+      const auto idx = static_cast<std::size_t>(
+          std::clamp(v, 0.0f, 1.0f) * 4.0f + 0.5f);
+      out += kShades[idx];
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+double Spectrogram::time_occupancy() const {
+  if (time_bins == 0) return 0.0;
+  std::size_t busy = 0;
+  for (std::size_t t = 0; t < time_bins; ++t) {
+    for (std::size_t f = 0; f < freq_bins; ++f) {
+      if (at(t, f) > 0.25f) {
+        ++busy;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(busy) / static_cast<double>(time_bins);
+}
+
+Spectrogram survey_wifi(double duration_s, double occupancy,
+                        dsp::Rng& rng) {
+  Spectrogram sg;
+  sg.duration_s = duration_s;
+  sg.bandwidth_hz = 20e6;
+  sg.time_bins = static_cast<std::size_t>(duration_s / 0.25e-3);
+  sg.freq_bins = 48;
+  sg.cells.assign(sg.time_bins * sg.freq_bins, 0.0f);
+
+  // WiFi packet bursts occupy the whole channel.
+  BurstProcessConfig wifi_cfg;
+  wifi_cfg.occupancy = occupancy;
+  wifi_cfg.mean_burst_s = 2e-3;
+  const auto wifi_bursts = generate_bursts(wifi_cfg, duration_s, rng);
+
+  // Heterogeneous sharers (ZigBee/BLE): narrowband, sparser (paper Fig. 1).
+  BurstProcessConfig nb_cfg;
+  nb_cfg.occupancy = occupancy * 0.3;
+  nb_cfg.mean_burst_s = 4e-3;
+  const auto nb_bursts = generate_bursts(nb_cfg, duration_s, rng);
+  // Fixed narrowband slot per survey (a ZigBee channel inside the WiFi
+  // channel).
+  const std::size_t nb_first =
+      4 + rng.uniform_int(static_cast<std::uint32_t>(sg.freq_bins - 12));
+  const std::size_t nb_width = 5;  // ~2 MHz of 20 MHz
+
+  for (std::size_t t = 0; t < sg.time_bins; ++t) {
+    const double ts = (static_cast<double>(t) + 0.5) * 0.25e-3;
+    if (is_busy(wifi_bursts, ts)) {
+      for (std::size_t f = 0; f < sg.freq_bins; ++f) {
+        sg.at(t, f) = 0.9f;
+      }
+    }
+    if (is_busy(nb_bursts, ts)) {
+      for (std::size_t f = nb_first;
+           f < std::min(nb_first + nb_width, sg.freq_bins); ++f) {
+        sg.at(t, f) = std::max(sg.at(t, f), 0.6f);
+      }
+    }
+  }
+  return sg;
+}
+
+Spectrogram survey_lte(double duration_s, dsp::Rng& rng) {
+  (void)rng;
+  Spectrogram sg;
+  sg.duration_s = duration_s;
+  sg.bandwidth_hz = 10e6;
+  sg.time_bins = static_cast<std::size_t>(duration_s / 0.25e-3);
+  sg.freq_bins = 48;
+  sg.cells.assign(sg.time_bins * sg.freq_bins, 0.0f);
+
+  for (std::size_t t = 0; t < sg.time_bins; ++t) {
+    const double ts = (static_cast<double>(t) + 0.5) * 0.25e-3;
+    for (std::size_t f = 0; f < sg.freq_bins; ++f) {
+      sg.at(t, f) = 0.7f;  // continuous downlink
+    }
+    // PSS every 5 ms: the central ~0.93 MHz lights up brighter for one
+    // symbol-scale time bin.
+    const double phase = std::fmod(ts, 5e-3);
+    if (phase < 0.25e-3) {
+      const std::size_t c0 = sg.freq_bins / 2 - 2;
+      for (std::size_t f = c0; f < c0 + 4; ++f) sg.at(t, f) = 1.0f;
+    }
+  }
+  return sg;
+}
+
+dsp::EmpiricalCdf weekly_occupancy_cdf(Technology tech, Site site,
+                                       dsp::Rng& rng) {
+  const OccupancyModel model(tech, site);
+  return dsp::EmpiricalCdf(model.week_of_samples(rng));
+}
+
+}  // namespace lscatter::traffic

@@ -1,0 +1,53 @@
+#pragma once
+// Spectrum-survey tooling behind the paper's Figure 4: time-frequency
+// occupancy grids ("spectrograms") for a WiFi ISM channel and an LTE band,
+// and occupancy-ratio CDFs per technology/site over a simulated week.
+
+#include <string>
+#include <vector>
+
+#include "dsp/stats.hpp"
+#include "traffic/burst_process.hpp"
+#include "traffic/occupancy_model.hpp"
+
+namespace lscatter::traffic {
+
+/// A coarse time x frequency occupancy grid; cell values in [0, 1] are
+/// fraction-of-cell-occupied (1 = strong signal).
+struct Spectrogram {
+  double duration_s = 0.0;
+  double bandwidth_hz = 0.0;
+  std::size_t time_bins = 0;
+  std::size_t freq_bins = 0;
+  std::vector<float> cells;  // row-major [time][freq]
+
+  float& at(std::size_t t, std::size_t f) {
+    return cells[t * freq_bins + f];
+  }
+  float at(std::size_t t, std::size_t f) const {
+    return cells[t * freq_bins + f];
+  }
+
+  /// ASCII rendering (rows = time, cols = frequency), for bench output.
+  std::string render(std::size_t max_rows = 20) const;
+
+  /// Fraction of time bins with any occupied frequency cell.
+  double time_occupancy() const;
+};
+
+/// WiFi channel spectrogram: bursty full-channel (or sub-band) packets per
+/// an on/off process + interfering narrowband (ZigBee/BLE-like) bursts —
+/// the Fig. 4a picture.
+Spectrogram survey_wifi(double duration_s, double occupancy,
+                        dsp::Rng& rng);
+
+/// LTE downlink spectrogram: continuously occupied band with the
+/// narrowband PSS visible every 5 ms in the central cells — Fig. 4b.
+Spectrogram survey_lte(double duration_s, dsp::Rng& rng);
+
+/// One week of hourly occupancy samples for (tech, site), as an
+/// EmpiricalCdf — the Fig. 4c series.
+dsp::EmpiricalCdf weekly_occupancy_cdf(Technology tech, Site site,
+                                       dsp::Rng& rng);
+
+}  // namespace lscatter::traffic

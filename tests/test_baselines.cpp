@@ -1,0 +1,153 @@
+// Baseline systems: WiFi PHY + backscatter, symbol-level LTE, LoRa PHY +
+// backscatter, and the Table 1 taxonomy.
+
+#include <gtest/gtest.h>
+
+#include "baselines/lora_backscatter.hpp"
+#include "baselines/lora_phy_lite.hpp"
+#include "baselines/symbol_level_lte.hpp"
+#include "baselines/taxonomy.hpp"
+#include "baselines/wifi_backscatter.hpp"
+#include "baselines/wifi_phy_lite.hpp"
+#include "core/scenario.hpp"
+
+namespace {
+
+using namespace lscatter;
+
+TEST(WifiPhy, BurstHasUnitPowerAndCorrectLength) {
+  baselines::WifiPhy phy;
+  dsp::Rng rng(1);
+  const auto burst = phy.generate_burst(20, rng);
+  EXPECT_EQ(burst.size(), 20 * baselines::WifiPhyConfig::samples_per_symbol());
+  EXPECT_NEAR(dsp::mean_power(burst), 1.0, 0.15);
+}
+
+TEST(WifiPhy, SymbolDurationIsFourMicroseconds) {
+  const baselines::WifiPhyConfig cfg;
+  EXPECT_NEAR(cfg.symbol_duration_s(), 4e-6, 1e-12);
+}
+
+TEST(WifiBackscatter, RateIs125kbps) {
+  baselines::WifiBackscatterLink link({});
+  EXPECT_NEAR(link.instantaneous_rate_bps(), 125e3, 1.0);
+}
+
+TEST(WifiBackscatter, CloseRangeIsErrorFree) {
+  baselines::WifiBackscatterConfig cfg;
+  cfg.pathloss.exponent = 2.0;
+  cfg.enb_tag_ft = 3.0;
+  cfg.tag_ue_ft = 3.0;
+  baselines::WifiBackscatterLink link(cfg);
+  const auto m = link.run_burst(2000);
+  EXPECT_EQ(m.bit_errors, 0u);
+  EXPECT_EQ(m.bits_sent, 2000u);
+}
+
+TEST(WifiBackscatter, ThroughputScalesWithOccupancy) {
+  baselines::WifiBackscatterConfig cfg;
+  cfg.pathloss.exponent = 2.0;
+  baselines::WifiBackscatterLink link(cfg);
+  const double t_low = link.hourly_throughput_bps(0.1, 500);
+  const double t_high = link.hourly_throughput_bps(0.6, 500);
+  EXPECT_NEAR(t_high / t_low, 6.0, 0.5);
+  // Even at full occupancy it is bounded by the symbol-level ceiling.
+  EXPECT_LT(link.hourly_throughput_bps(1.0, 500), 126e3);
+}
+
+TEST(WifiBackscatter, FarLinkLosesWholePackets) {
+  baselines::WifiBackscatterConfig cfg;
+  cfg.pathloss.exponent = 3.2;
+  cfg.enb_tag_ft = 10.0;
+  cfg.tag_ue_ft = 250.0;
+  cfg.los = false;
+  baselines::WifiBackscatterLink link(cfg);
+  EXPECT_NEAR(link.hourly_throughput_bps(0.5, 800), 0.0, 1.0);
+}
+
+TEST(SymbolLevelLte, RateIsAbout7kbps) {
+  baselines::SymbolLevelLteConfig cfg;
+  baselines::SymbolLevelLteLink link(cfg);
+  EXPECT_NEAR(link.instantaneous_rate_bps(), 6800.0, 1.0);
+}
+
+TEST(SymbolLevelLte, CleanAtCloseRangeAndCountsBits) {
+  baselines::SymbolLevelLteConfig cfg;
+  cfg.pathloss.exponent = 2.0;
+  baselines::SymbolLevelLteLink link(cfg);
+  const auto m = link.run(10);
+  // 10 subframes: 140 symbols - 4 PSS/SSS = 136 -> 68 codeword pairs.
+  EXPECT_EQ(m.bits_sent, 68u);
+  EXPECT_EQ(m.bit_errors, 0u);
+}
+
+TEST(SymbolLevelLte, SurvivesLowerSnrThanUnitLevel) {
+  // At a distance where LScatter's per-unit decisions are marginal, the
+  // whole-symbol integration (~33 dB of processing gain) stays clean.
+  baselines::SymbolLevelLteConfig cfg;
+  cfg.pathloss.exponent = 2.2;
+  cfg.enb_tag_ft = 15.0;
+  cfg.tag_ue_ft = 150.0;
+  baselines::SymbolLevelLteLink link(cfg);
+  const auto m = link.run(10);
+  EXPECT_LT(m.ber(), 0.05);
+}
+
+class LoraRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LoraRoundTrip, ModulateDemodulateAllSymbols) {
+  baselines::LoraPhyConfig cfg;
+  cfg.spreading_factor = GetParam();
+  baselines::LoraPhy phy(cfg);
+  dsp::Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const std::uint32_t v =
+        rng.uniform_int(static_cast<std::uint32_t>(cfg.chips_per_symbol()));
+    const auto s = phy.modulate_symbol(v);
+    EXPECT_EQ(phy.demodulate_symbol(s), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SpreadingFactors, LoraRoundTrip,
+                         ::testing::Values(7u, 8u, 10u, 12u));
+
+TEST(LoraPhy, ChirpHasConstantEnvelope) {
+  baselines::LoraPhy phy;
+  const auto s = phy.modulate_symbol(13);
+  for (const auto v : s) {
+    EXPECT_NEAR(std::abs(v), 1.0, 1e-4);
+  }
+}
+
+TEST(LoraBackscatter, OccupancyGatedThroughputIsNegligible) {
+  baselines::LoraBackscatterConfig cfg;
+  cfg.pathloss.exponent = 2.0;
+  baselines::LoraBackscatterLink link(cfg);
+  // At the paper's 2% LoRa occupancy the throughput is single-digit bit/s
+  // — "always 0" at plot scale.
+  const double bps = link.hourly_throughput_bps(0.02, 200);
+  EXPECT_LT(bps, 20.0);
+  EXPECT_GE(bps, 0.0);
+}
+
+TEST(LoraBackscatter, OokDemodulationWorksUpClose) {
+  baselines::LoraBackscatterConfig cfg;
+  cfg.pathloss.exponent = 2.0;
+  baselines::LoraBackscatterLink link(cfg);
+  const auto m = link.run_burst(200);
+  EXPECT_EQ(m.bit_errors, 0u);
+}
+
+TEST(Taxonomy, OnlyLScatterChecksAllThreeBoxes) {
+  std::size_t winners = 0;
+  for (const auto& s : baselines::table1_systems()) {
+    if (s.ambient && s.continuous && s.ubiquitous) {
+      ++winners;
+      EXPECT_EQ(s.name, "LScatter");
+    }
+  }
+  EXPECT_EQ(winners, 1u);
+  EXPECT_EQ(baselines::table1_systems().size(), 16u);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Phase-offset elimination (Eq. 5/6) and modulation-offset determination
+// (Eq. 7): unit behaviour, the frequency-domain form from the paper, and
+// a brute-force Eq. 7 equivalence check on a tiny instance.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/modulation_offset.hpp"
+#include "core/phase_offset.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/rng.hpp"
+
+namespace {
+
+using namespace lscatter;
+using dsp::cf32;
+using dsp::cvec;
+
+TEST(PhaseOffset, EstimateGainRecoversComplexGain) {
+  dsp::Rng rng(1);
+  const cf32 g{0.3f, -0.4f};
+  cvec z;
+  double ref_energy = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const cf32 x = rng.complex_normal();
+    z.push_back(g * cf32{std::norm(x), 0.0f});
+    ref_energy += std::norm(x);
+  }
+  const cf32 est = core::estimate_gain(z, ref_energy);
+  EXPECT_NEAR(est.real(), g.real(), 0.01);
+  EXPECT_NEAR(est.imag(), g.imag(), 0.01);
+}
+
+TEST(PhaseOffset, DerotateAlignsToRealAxis) {
+  cvec z = {cf32{0.0f, 2.0f}, cf32{0.0f, 4.0f}};
+  core::derotate(z, cf32{0.0f, 1.0f});
+  EXPECT_NEAR(z[0].real(), 2.0f, 1e-5);
+  EXPECT_NEAR(z[0].imag(), 0.0f, 1e-5);
+  EXPECT_NEAR(z[1].real(), 4.0f, 1e-5);
+}
+
+TEST(PhaseOffset, Eq6FrequencyDomainCancelsCommonPhase) {
+  // Build Y_k = e^{j phi} * A_k for random A; the products Y_k conj(Y_r)
+  // must not depend on phi (paper Eq. 6).
+  dsp::Rng rng(2);
+  cvec a(64);
+  for (auto& v : a) v = rng.complex_normal();
+
+  const auto products_with_phi = [&](double phi) {
+    const cf32 rot{static_cast<float>(std::cos(phi)),
+                   static_cast<float>(std::sin(phi))};
+    cvec y(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) y[i] = rot * a[i];
+    return core::eq6_reference_products(y, 5);
+  };
+
+  const cvec p0 = products_with_phi(0.0);
+  const cvec p1 = products_with_phi(1.234);
+  for (std::size_t k = 0; k < p0.size(); ++k) {
+    EXPECT_NEAR(p0[k].real(), p1[k].real(), 1e-3);
+    EXPECT_NEAR(p0[k].imag(), p1[k].imag(), 1e-3);
+  }
+}
+
+class OffsetSweep : public ::testing::TestWithParam<std::ptrdiff_t> {};
+
+TEST_P(OffsetSweep, FindsInjectedOffsetExactly) {
+  const std::ptrdiff_t true_offset = GetParam();
+  dsp::Rng rng(3);
+  const std::size_t k = 2048;
+  const std::size_t n = 1200;
+  const std::size_t nominal = (k - n) / 2;
+
+  std::vector<std::uint8_t> pattern(n);
+  for (auto& b : pattern) b = static_cast<std::uint8_t>(rng.next_u32() & 1);
+
+  // z products: |x|^2 * g * (+-1 per pattern), pattern shifted by
+  // true_offset; filler +1 elsewhere.
+  const cf32 g{0.8f, 0.6f};
+  cvec z(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const float mag = static_cast<float>(std::norm(rng.complex_normal()));
+    const std::ptrdiff_t rel =
+        static_cast<std::ptrdiff_t>(i) -
+        (static_cast<std::ptrdiff_t>(nominal) + true_offset);
+    float sign = 1.0f;
+    if (rel >= 0 && rel < static_cast<std::ptrdiff_t>(n)) {
+      sign = pattern[static_cast<std::size_t>(rel)] ? 1.0f : -1.0f;
+    }
+    z[i] = g * mag * sign + rng.complex_normal(1e-6);
+  }
+
+  core::OffsetSearch search;
+  search.range_units = 300;
+  const auto result =
+      core::find_modulation_offset(z, pattern, nominal, search);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->offset_units, true_offset);
+  EXPECT_GT(result->metric, 0.8f);
+  // The gain estimate at the peak carries the injected phase.
+  const double est_phase = std::atan2(result->gain.imag(),
+                                      result->gain.real());
+  EXPECT_NEAR(est_phase, std::atan2(0.6, 0.8), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, OffsetSweep,
+                         ::testing::Values(-250, -61, -3, 0, 1, 40, 137,
+                                           299));
+
+TEST(OffsetSearch, RejectsPureNoise) {
+  dsp::Rng rng(4);
+  cvec z(2048);
+  for (auto& v : z) v = rng.complex_normal();
+  std::vector<std::uint8_t> pattern(1200);
+  for (auto& b : pattern) b = static_cast<std::uint8_t>(rng.next_u32() & 1);
+  const auto result =
+      core::find_modulation_offset(z, pattern, 424, core::OffsetSearch{});
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Eq7, BruteForceArgMinMatchesPerUnitDecisions) {
+  // Tiny instance: K = 16 units, N = 4 modulated units, brute-force the
+  // 2^4 theta sequences of Eq. 7 and check the per-unit slicer picks the
+  // same winner.
+  dsp::Rng rng(5);
+  const std::size_t k = 16;
+  const std::size_t n = 4;
+  const std::size_t start = 6;
+  const std::vector<std::uint8_t> true_bits = {1, 0, 0, 1};
+  const cf32 g{0.6f, 0.8f};  // includes the phase offset e^{j phi}
+
+  cvec x(k);
+  for (auto& v : x) v = rng.complex_normal();
+  cvec r(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    float sign = 1.0f;
+    if (i >= start && i < start + n) sign = true_bits[i - start] ? 1 : -1;
+    r[i] = g * sign * x[i] + rng.complex_normal(1e-4);
+  }
+
+  // Brute force over all theta sequences: minimize sum |r - g_hat *
+  // e^{j theta} x| with g_hat estimated from the filler units.
+  cvec z(k);
+  for (std::size_t i = 0; i < k; ++i) z[i] = r[i] * std::conj(x[i]);
+  cvec z_filler;
+  double e_filler = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (i < start || i >= start + n) {
+      z_filler.push_back(z[i]);
+      e_filler += std::norm(x[i]);
+    }
+  }
+  const cf32 g_hat = core::estimate_gain(z_filler, e_filler);
+
+  double best_cost = 1e18;
+  std::vector<std::uint8_t> best_bits;
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    double cost = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float sign = (mask >> i) & 1u ? 1.0f : -1.0f;
+      cost += std::norm(r[start + i] - g_hat * sign * x[start + i]);
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_bits.assign(n, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        best_bits[i] = static_cast<std::uint8_t>((mask >> i) & 1u);
+      }
+    }
+  }
+  EXPECT_EQ(best_bits, true_bits);
+
+  // Per-unit slicing (the tractable form) must agree.
+  for (std::size_t i = 0; i < n; ++i) {
+    const cf32 v = z[start + i] * std::conj(g_hat);
+    EXPECT_EQ(v.real() >= 0.0f ? 1 : 0, true_bits[i]) << "unit " << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Packet codec: CRC-32 + whitening round trips, corruption detection,
+// bit chunking.
+
+#include <gtest/gtest.h>
+
+#include "core/framing.hpp"
+#include "dsp/rng.hpp"
+
+namespace {
+
+using namespace lscatter;
+using core::PacketCodec;
+
+TEST(PacketCodec, EncodeDecodeRoundTrip) {
+  PacketCodec codec(256);
+  EXPECT_EQ(codec.payload_bits(), 224u);
+  dsp::Rng rng(1);
+  const auto payload = rng.bits(codec.payload_bits());
+  const auto coded = codec.encode(payload);
+  EXPECT_EQ(coded.size(), 256u);
+  const auto decoded = codec.decode(coded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+}
+
+TEST(PacketCodec, WhiteningBreaksConstantRuns) {
+  PacketCodec codec(512);
+  const std::vector<std::uint8_t> zeros(codec.payload_bits(), 0);
+  const auto coded = codec.encode(zeros);
+  // The on-air bits must not be a constant run.
+  std::size_t ones = 0;
+  for (const auto b : coded) ones += b;
+  EXPECT_GT(ones, coded.size() / 4);
+  EXPECT_LT(ones, 3 * coded.size() / 4);
+  // Longest run must be short.
+  std::size_t run = 0;
+  std::size_t max_run = 0;
+  for (std::size_t i = 1; i < coded.size(); ++i) {
+    run = (coded[i] == coded[i - 1]) ? run + 1 : 0;
+    max_run = std::max(max_run, run);
+  }
+  EXPECT_LT(max_run, 24u);
+}
+
+TEST(PacketCodec, CorruptionFailsCrc) {
+  PacketCodec codec(128);
+  dsp::Rng rng(2);
+  const auto payload = rng.bits(codec.payload_bits());
+  auto coded = codec.encode(payload);
+  coded[40] ^= 1;
+  EXPECT_FALSE(codec.decode(coded).has_value());
+}
+
+TEST(PacketCodec, DewhitenRecoversPayloadBitsEvenWithErrors) {
+  PacketCodec codec(128);
+  dsp::Rng rng(3);
+  const auto payload = rng.bits(codec.payload_bits());
+  auto coded = codec.encode(payload);
+  coded[5] ^= 1;
+  const auto plain = codec.dewhiten(coded);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if (plain[i] != payload[i]) ++errors;
+  }
+  EXPECT_EQ(errors, 1u);
+}
+
+TEST(SplitBits, ChunksAndPadsDeterministically) {
+  const std::vector<std::uint8_t> bits = {1, 0, 1, 1, 0};
+  const auto chunks = core::split_bits(bits, 3);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0], (std::vector<std::uint8_t>{1, 0, 1}));
+  EXPECT_EQ(chunks[1][0], 1);
+  EXPECT_EQ(chunks[1][1], 0);
+  EXPECT_EQ(chunks[1].size(), 3u);  // padded
+}
+
+TEST(SplitJoin, RoundTripPreservesBits) {
+  dsp::Rng rng(4);
+  const auto bits = rng.bits(1001);
+  const auto chunks = core::split_bits(bits, 64);
+  const auto joined = core::join_bits(chunks, bits.size());
+  EXPECT_EQ(joined, bits);
+}
+
+TEST(SplitBits, ExactMultipleNeedsNoPadding) {
+  dsp::Rng rng(5);
+  const auto bits = rng.bits(128);
+  const auto chunks = core::split_bits(bits, 32);
+  EXPECT_EQ(chunks.size(), 4u);
+  for (const auto& c : chunks) EXPECT_EQ(c.size(), 32u);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Calibrated scenarios and the day-study harness.
+
+#include <gtest/gtest.h>
+
+#include "baselines/day_study.hpp"
+#include "core/scenario.hpp"
+
+namespace {
+
+using namespace lscatter;
+
+class ScenePerBandwidth
+    : public ::testing::TestWithParam<
+          std::tuple<core::Scene, lte::Bandwidth>> {};
+
+TEST_P(ScenePerBandwidth, ScenarioIsInternallyConsistent) {
+  const auto [scene, bw] = GetParam();
+  core::ScenarioOptions opt;
+  opt.bandwidth = bw;
+  const core::LinkConfig cfg = core::make_scenario(scene, opt);
+
+  EXPECT_EQ(cfg.enodeb.cell.bandwidth, bw);
+  EXPECT_NEAR(cfg.enodeb.cell.carrier_hz, 680e6, 1.0);
+  EXPECT_GT(cfg.env.pathloss.exponent, 1.0);
+  EXPECT_LT(cfg.env.pathloss.exponent, 4.0);
+  EXPECT_GT(cfg.env.acir_db, 40.0);
+  EXPECT_EQ(cfg.env.budget.tx_power_dbm, cfg.enodeb.tx_power_dbm);
+  // The default geometry is the paper's close-range setup.
+  EXPECT_EQ(cfg.geometry.enb_tag_ft, 3.0);
+  EXPECT_EQ(cfg.geometry.tag_ue_ft, 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScenePerBandwidth,
+    ::testing::Combine(::testing::Values(core::Scene::kSmartHome,
+                                         core::Scene::kMall,
+                                         core::Scene::kOutdoor),
+                       ::testing::Values(lte::Bandwidth::kMHz1_4,
+                                         lte::Bandwidth::kMHz20)));
+
+TEST(Scenario, NlosAddsLossAndRayleigh) {
+  core::ScenarioOptions los;
+  core::ScenarioOptions nlos;
+  nlos.line_of_sight = false;
+  const auto a = core::make_scenario(core::Scene::kSmartHome, los);
+  const auto b = core::make_scenario(core::Scene::kSmartHome, nlos);
+  EXPECT_GT(b.env.pathloss.extra_loss_db, a.env.pathloss.extra_loss_db);
+  EXPECT_TRUE(a.env.fading.los);
+  EXPECT_FALSE(b.env.fading.los);
+}
+
+TEST(Scenario, OutdoorHasTwoRayBreakpoint) {
+  const auto cfg = core::make_scenario(core::Scene::kOutdoor);
+  EXPECT_GT(cfg.env.pathloss.breakpoint_m, 1.0);
+  EXPECT_GT(cfg.env.pathloss.beyond_exponent,
+            cfg.env.pathloss.exponent);
+}
+
+TEST(Scenario, SceneNamesAndSites) {
+  EXPECT_STREQ(core::to_string(core::Scene::kMall), "Mall");
+  EXPECT_EQ(core::scene_site(core::Scene::kOutdoor),
+            traffic::Site::kOutdoor);
+  EXPECT_EQ(core::scene_site(core::Scene::kSmartHome),
+            traffic::Site::kHome);
+}
+
+TEST(DayStudy, SmokeRunHasExpectedShape) {
+  baselines::DayStudyConfig cfg;
+  cfg.hour_begin = 18;
+  cfg.hour_end = 20;
+  cfg.samples_per_hour = 3;
+  cfg.lscatter_subframes_per_sample = 4;
+  cfg.wifi_probe_bits = 300;
+  const auto results = baselines::run_day_study(cfg);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_DOUBLE_EQ(r.lte_occupancy_mean, 1.0);
+    EXPECT_GT(r.wifi_occupancy_mean, 0.0);
+    EXPECT_LT(r.wifi_occupancy_mean, 1.0);
+    // LScatter is orders of magnitude above WiFi backscatter.
+    EXPECT_GT(r.lscatter_bps.median,
+              50.0 * r.wifi_backscatter_bps.median);
+  }
+  EXPECT_GT(baselines::mean_of_medians_lscatter(results), 10e6);
+}
+
+}  // namespace

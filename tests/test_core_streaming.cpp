@@ -1,0 +1,174 @@
+// Streaming receiver: packet extraction from a continuous stream fed in
+// awkward chunk sizes.
+
+#include <gtest/gtest.h>
+
+#include "core/streaming_receiver.hpp"
+#include "lte/enodeb.hpp"
+#include "tag/modulator.hpp"
+#include "tag/tag_controller.hpp"
+
+namespace {
+
+using namespace lscatter;
+using dsp::cf32;
+using dsp::cvec;
+
+struct Stream {
+  cvec rx;
+  cvec ambient;
+  std::vector<std::vector<std::uint8_t>> payloads;  // per data subframe
+};
+
+// Build `n_subframes` of tag traffic starting at subframe 0.
+Stream make_stream(const lte::CellConfig& cell,
+                   const tag::TagScheduleConfig& sched,
+                   std::size_t n_subframes, std::uint64_t seed) {
+  lte::Enodeb::Config ecfg;
+  ecfg.cell = cell;
+  ecfg.seed = seed;
+  lte::Enodeb enb(ecfg);
+  tag::TagController ctl(cell, sched);
+  dsp::Rng prng(seed + 1);
+
+  Stream s;
+  for (std::size_t sf = 0; sf < n_subframes; ++sf) {
+    const auto tx = enb.next_subframe();
+    const std::size_t cap = ctl.packet_raw_bits(sf);
+    tag::SubframePlan plan;
+    if (!ctl.is_listening_subframe(sf) && cap > 32) {
+      const core::PacketCodec codec(cap);
+      auto payload = prng.bits(codec.payload_bits());
+      const auto chunks =
+          core::split_bits(codec.encode(payload), ctl.bits_per_symbol());
+      plan = ctl.plan_subframe(sf, true, chunks);
+      s.payloads.push_back(std::move(payload));
+    } else {
+      plan = ctl.plan_subframe(sf, false, {});
+    }
+    const auto pattern = tag::expand_to_units(cell, plan);
+    const auto scat =
+        tag::apply_pattern(tx.samples, pattern, 7, cf32{1e-3f, 4e-4f});
+    s.rx.insert(s.rx.end(), scat.begin(), scat.end());
+    s.ambient.insert(s.ambient.end(), tx.samples.begin(),
+                     tx.samples.end());
+  }
+  return s;
+}
+
+TEST(StreamingReceiver, RecoversEveryPacketRegardlessOfChunking) {
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz5;
+  tag::TagScheduleConfig sched;
+  const Stream s = make_stream(cell, sched, 12, 99);
+
+  for (const std::size_t chunk : {1u, 777u, 7680u, 50000u}) {
+    core::StreamingReceiver::Config cfg;
+    cfg.cell = cell;
+    cfg.schedule = sched;
+    core::StreamingReceiver ue(cfg);
+
+    std::vector<core::StreamingReceiver::PacketEvent> events;
+    std::size_t pos = 0;
+    while (pos < s.rx.size()) {
+      const std::size_t n = std::min<std::size_t>(chunk, s.rx.size() - pos);
+      auto out = ue.feed(
+          std::span<const cf32>(s.rx).subspan(pos, n),
+          std::span<const cf32>(s.ambient).subspan(pos, n));
+      for (auto& e : out) events.push_back(std::move(e));
+      pos += n;
+    }
+    // 12 subframes: subframes 9 is listening -> 11 packets.
+    ASSERT_EQ(events.size(), s.payloads.size()) << "chunk " << chunk;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      ASSERT_TRUE(events[i].result.preamble_found);
+      ASSERT_TRUE(events[i].result.payload.has_value());
+      EXPECT_EQ(*events[i].result.payload, s.payloads[i]);
+    }
+    EXPECT_LT(ue.buffered_samples(), cell.samples_per_subframe());
+  }
+}
+
+TEST(StreamingReceiver, TracksSubframePhaseAcrossListeningSlots) {
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz1_4;
+  tag::TagScheduleConfig sched;
+  const Stream s = make_stream(cell, sched, 21, 7);
+
+  core::StreamingReceiver::Config cfg;
+  cfg.cell = cell;
+  cfg.schedule = sched;
+  core::StreamingReceiver ue(cfg);
+  const auto events = ue.feed(s.rx, s.ambient);
+  // Subframes 9 and 19 are listening: 19 packets from 21 subframes.
+  EXPECT_EQ(events.size(), 19u);
+  EXPECT_EQ(ue.next_subframe_index(), 21u);
+  // Event subframe indices skip the listening slots.
+  for (const auto& e : events) {
+    EXPECT_NE(e.first_subframe_index % 10, 9u);
+  }
+}
+
+TEST(StreamingReceiver, HonorsNonZeroStartingSubframe) {
+  // A receiver that joins the stream mid-frame (its LTE sync says the
+  // first fed sample is subframe 7) must schedule listening slots and
+  // sync-subframe capacities accordingly.
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz1_4;
+  tag::TagScheduleConfig sched;
+
+  // Build subframes 7..12 (subframe 9 is a listening slot, 10 is sync).
+  lte::Enodeb::Config ecfg;
+  ecfg.cell = cell;
+  ecfg.seed = 21;
+  lte::Enodeb enb(ecfg);
+  tag::TagController ctl(cell, sched);
+  dsp::Rng prng(22);
+  cvec rx_s;
+  cvec am_s;
+  std::size_t expected_packets = 0;
+  for (std::size_t sf = 7; sf < 13; ++sf) {
+    const auto tx = enb.make_subframe(sf);
+    const std::size_t cap = ctl.packet_raw_bits(sf);
+    tag::SubframePlan plan;
+    if (!ctl.is_listening_subframe(sf) && cap > 32) {
+      const core::PacketCodec codec(cap);
+      plan = ctl.plan_subframe(
+          sf, true,
+          core::split_bits(codec.encode(prng.bits(codec.payload_bits())),
+                           ctl.bits_per_symbol()));
+      ++expected_packets;
+    } else {
+      plan = ctl.plan_subframe(sf, false, {});
+    }
+    const auto pattern = tag::expand_to_units(cell, plan);
+    const auto scat =
+        tag::apply_pattern(tx.samples, pattern, 0, cf32{1e-3f, 0.0f});
+    rx_s.insert(rx_s.end(), scat.begin(), scat.end());
+    am_s.insert(am_s.end(), tx.samples.begin(), tx.samples.end());
+  }
+
+  core::StreamingReceiver::Config cfg;
+  cfg.cell = cell;
+  cfg.schedule = sched;
+  cfg.first_subframe_index = 7;
+  core::StreamingReceiver ue(cfg);
+  const auto events = ue.feed(rx_s, am_s);
+  EXPECT_EQ(events.size(), expected_packets);  // 5 of 6 (sf 9 listens)
+  EXPECT_EQ(ue.next_subframe_index(), 13u);
+  for (const auto& e : events) {
+    EXPECT_TRUE(e.result.preamble_found) << e.first_subframe_index;
+    EXPECT_TRUE(e.result.payload.has_value());
+  }
+}
+
+TEST(StreamingReceiver, EmptyFeedIsANoOp) {
+  core::StreamingReceiver::Config cfg;
+  cfg.cell.bandwidth = lte::Bandwidth::kMHz1_4;
+  core::StreamingReceiver ue(cfg);
+  EXPECT_TRUE(ue.feed({}, {}).empty());
+  EXPECT_EQ(ue.buffered_samples(), 0u);
+  EXPECT_EQ(ue.packets_demodulated(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,64 @@
+// Correlation utilities used by cell search and preamble alignment.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/correlate.hpp"
+#include "dsp/rng.hpp"
+
+namespace {
+
+using namespace lscatter::dsp;
+
+TEST(Correlate, FindsPatternAtKnownLag) {
+  Rng rng(3);
+  cvec pattern(64);
+  for (auto& v : pattern) v = rng.complex_normal();
+  cvec signal(512);
+  for (auto& v : signal) v = rng.complex_normal(0.01);
+  const std::size_t lag = 137;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    signal[lag + i] += pattern[i];
+  }
+  const cvec corr = cross_correlate(signal, pattern);
+  EXPECT_EQ(peak_abs(corr).index, lag);
+}
+
+TEST(Correlate, NormalizedMetricIsBoundedAndPeaksAtOne) {
+  Rng rng(5);
+  cvec pattern(32);
+  for (auto& v : pattern) v = rng.complex_normal();
+  cvec signal(256, cf32{});
+  const std::size_t lag = 100;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    signal[lag + i] = pattern[i] * cf32{0.5f, 0.5f};  // scaled + rotated
+  }
+  const fvec m = normalized_correlation(signal, pattern);
+  for (const float v : m) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f + 1e-4f);
+  }
+  const Peak p = peak(m);
+  EXPECT_EQ(p.index, lag);
+  EXPECT_NEAR(p.value, 1.0f, 1e-3);
+}
+
+TEST(Correlate, NoiseOnlyMetricStaysLow) {
+  Rng rng(7);
+  cvec pattern(128);
+  for (auto& v : pattern) v = rng.complex_normal();
+  cvec noise(2048);
+  for (auto& v : noise) v = rng.complex_normal();
+  const fvec m = normalized_correlation(noise, pattern);
+  EXPECT_LT(peak(m).value, 0.35f);  // ~1/sqrt(128) plus fluctuation
+}
+
+TEST(Correlate, PeakAbsOnSingleElement) {
+  const cvec one = {cf32{3.0f, 4.0f}};
+  const Peak p = peak_abs(one);
+  EXPECT_EQ(p.index, 0u);
+  EXPECT_FLOAT_EQ(p.value, 5.0f);
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+// CRC: round-trips, error detection, and burst-error properties.
+
+#include <gtest/gtest.h>
+
+#include "dsp/crc.hpp"
+#include "dsp/rng.hpp"
+
+namespace {
+
+using namespace lscatter::dsp;
+
+std::vector<std::uint8_t> random_bits(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return rng.bits(n);
+}
+
+TEST(Crc, AttachAndCheckRoundTrip24) {
+  const auto payload = random_bits(500, 1);
+  const auto coded = attach_crc24a(payload);
+  EXPECT_EQ(coded.size(), payload.size() + 24);
+  EXPECT_TRUE(check_crc24a(coded));
+}
+
+TEST(Crc, AttachAndCheckRoundTrip16) {
+  const auto payload = random_bits(77, 2);
+  EXPECT_TRUE(check_crc16(attach_crc16(payload)));
+}
+
+TEST(Crc, AttachAndCheckRoundTrip32) {
+  const auto payload = random_bits(1234, 3);
+  EXPECT_TRUE(check_crc32(attach_crc32(payload)));
+}
+
+class CrcBitFlip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CrcBitFlip, SingleBitFlipAlwaysDetected) {
+  const auto payload = random_bits(200, 4);
+  auto coded = attach_crc32(payload);
+  const std::size_t pos = GetParam() % coded.size();
+  coded[pos] ^= 1;
+  EXPECT_FALSE(check_crc32(coded));
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, CrcBitFlip,
+                         ::testing::Values(0, 1, 50, 100, 199, 200, 210,
+                                           231));
+
+TEST(Crc, DoubleBitFlipDetected) {
+  const auto payload = random_bits(300, 5);
+  auto coded = attach_crc24a(payload);
+  coded[10] ^= 1;
+  coded[200] ^= 1;
+  EXPECT_FALSE(check_crc24a(coded));
+}
+
+TEST(Crc, BurstErrorsWithinCrcLengthDetected) {
+  const auto payload = random_bits(400, 6);
+  for (std::size_t width = 2; width <= 16; ++width) {
+    auto coded = attach_crc16(payload);
+    for (std::size_t i = 0; i < width; ++i) coded[37 + i] ^= 1;
+    EXPECT_FALSE(check_crc16(coded)) << "burst width " << width;
+  }
+}
+
+TEST(Crc, EmptyPayloadStillWorks) {
+  const std::vector<std::uint8_t> empty;
+  const auto coded = attach_crc16(empty);
+  EXPECT_EQ(coded.size(), 16u);
+  EXPECT_TRUE(check_crc16(coded));
+}
+
+TEST(Crc, AllZerosVsAllOnesDiffer) {
+  const std::vector<std::uint8_t> zeros(64, 0);
+  const std::vector<std::uint8_t> ones(64, 1);
+  EXPECT_NE(crc24a(zeros), crc24a(ones));
+}
+
+TEST(Crc, RandomCorruptionDetectionRate) {
+  // With a 32-bit CRC the chance of a random corruption passing is 2^-32;
+  // across 2000 trials we must see zero false accepts.
+  Rng rng(7);
+  const auto payload = random_bits(256, 8);
+  const auto good = attach_crc32(payload);
+  int false_accepts = 0;
+  for (int t = 0; t < 2000; ++t) {
+    auto bad = good;
+    const std::size_t flips = 1 + rng.uniform_int(10);
+    for (std::size_t f = 0; f < flips; ++f) {
+      bad[rng.uniform_int(static_cast<std::uint32_t>(bad.size()))] ^= 1;
+    }
+    if (bad != good && check_crc32(bad)) ++false_accepts;
+  }
+  EXPECT_EQ(false_accepts, 0);
+}
+
+}  // namespace

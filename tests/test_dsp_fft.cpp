@@ -1,0 +1,125 @@
+// FFT correctness: round-trip identity, known transforms, Parseval, the
+// Bluestein path (K=1536), and fftshift.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "dsp/rng.hpp"
+
+namespace {
+
+using lscatter::dsp::cf32;
+using lscatter::dsp::cvec;
+using lscatter::dsp::FftPlan;
+using lscatter::dsp::Rng;
+
+double max_error(const cvec& a, const cvec& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, static_cast<double>(std::abs(a[i] - b[i])));
+  }
+  return m;
+}
+
+TEST(Fft, DeltaTransformsToOnes) {
+  FftPlan plan(64);
+  cvec x(64, cf32{});
+  x[0] = cf32{1.0f, 0.0f};
+  const cvec X = plan.forward(x);
+  for (const cf32 v : X) {
+    EXPECT_NEAR(v.real(), 1.0f, 1e-5);
+    EXPECT_NEAR(v.imag(), 0.0f, 1e-5);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 128;
+  FftPlan plan(n);
+  cvec x(n);
+  const std::size_t tone = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ang = 2.0 * M_PI * static_cast<double>(tone * i) /
+                       static_cast<double>(n);
+    x[i] = cf32{static_cast<float>(std::cos(ang)),
+                static_cast<float>(std::sin(ang))};
+  }
+  const cvec X = plan.forward(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == tone) {
+      EXPECT_NEAR(std::abs(X[k]), static_cast<double>(n), 1e-3);
+    } else {
+      EXPECT_NEAR(std::abs(X[k]), 0.0, 1e-3);
+    }
+  }
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseOfForwardIsIdentity) {
+  const std::size_t n = GetParam();
+  FftPlan plan(n);
+  Rng rng(n);
+  cvec x(n);
+  for (auto& v : x) v = rng.complex_normal();
+  const cvec y = plan.inverse(plan.forward(x));
+  EXPECT_LT(max_error(x, y), 1e-4) << "n=" << n;
+}
+
+TEST_P(FftRoundTrip, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  FftPlan plan(n);
+  Rng rng(n + 1);
+  cvec x(n);
+  for (auto& v : x) v = rng.complex_normal();
+  const cvec X = plan.forward(x);
+  const double time_energy = lscatter::dsp::energy(x);
+  const double freq_energy =
+      lscatter::dsp::energy(X) / static_cast<double>(n);
+  EXPECT_NEAR(freq_energy, time_energy, 1e-3 * time_energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLteSizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 4, 16, 63, 128, 256, 512,
+                                           1024, 1536, 2048, 3000));
+
+TEST(Fft, BluesteinMatchesDirectDft) {
+  const std::size_t n = 12;  // non power of two
+  FftPlan plan(n);
+  Rng rng(7);
+  cvec x(n);
+  for (auto& v : x) v = rng.complex_normal();
+  const cvec X = plan.forward(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ang = -2.0 * M_PI * static_cast<double>(i * k) /
+                         static_cast<double>(n);
+      acc += std::complex<double>(x[i].real(), x[i].imag()) *
+             std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    EXPECT_NEAR(X[k].real(), acc.real(), 1e-4);
+    EXPECT_NEAR(X[k].imag(), acc.imag(), 1e-4);
+  }
+}
+
+TEST(Fft, FftShiftCentersDc) {
+  cvec x = {cf32{0, 0}, cf32{1, 0}, cf32{2, 0}, cf32{3, 0}};
+  const cvec y = lscatter::dsp::fftshift(x);
+  EXPECT_FLOAT_EQ(y[0].real(), 2.0f);
+  EXPECT_FLOAT_EQ(y[1].real(), 3.0f);
+  EXPECT_FLOAT_EQ(y[2].real(), 0.0f);
+  EXPECT_FLOAT_EQ(y[3].real(), 1.0f);
+}
+
+TEST(Fft, OneShotHelpersUseCachedPlans) {
+  Rng rng(3);
+  cvec x(256);
+  for (auto& v : x) v = rng.complex_normal();
+  const cvec y = lscatter::dsp::ifft(lscatter::dsp::fft(x));
+  EXPECT_LT(max_error(x, y), 1e-4);
+}
+
+}  // namespace

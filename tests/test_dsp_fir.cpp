@@ -1,0 +1,97 @@
+// FIR design and the RC building blocks behind the tag's analog circuit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fir.hpp"
+#include "dsp/rng.hpp"
+
+namespace {
+
+using namespace lscatter::dsp;
+
+TEST(Fir, LowpassHasUnityDcGain) {
+  const fvec taps = design_lowpass(0.1, 63);
+  double sum = 0.0;
+  for (const float t : taps) sum += t;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Fir, LowpassPassesDcAndRejectsHighFrequency) {
+  const fvec taps = design_lowpass(0.05, 127);
+  const std::size_t n = 1024;
+  cvec dc(n, cf32{1.0f, 0.0f});
+  cvec hi(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hi[i] = cf32{static_cast<float>(std::cos(kTwoPi * 0.4 * i)),
+                 static_cast<float>(std::sin(kTwoPi * 0.4 * i))};
+  }
+  const cvec dc_out = filter_same(dc, std::span<const float>(taps));
+  const cvec hi_out = filter_same(hi, std::span<const float>(taps));
+  // Check away from the edges.
+  EXPECT_NEAR(std::abs(dc_out[n / 2]), 1.0, 1e-3);
+  EXPECT_LT(std::abs(hi_out[n / 2]), 1e-3);
+}
+
+TEST(Fir, BandpassCentersOnRequestedFrequency) {
+  const double f0 = 0.2;
+  const cvec taps = design_bandpass(f0, 0.05, 129);
+  const std::size_t n = 2048;
+  cvec tone(n);
+  cvec off_tone(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tone[i] = cf32{static_cast<float>(std::cos(kTwoPi * f0 * i)),
+                   static_cast<float>(std::sin(kTwoPi * f0 * i))};
+    off_tone[i] = cf32{static_cast<float>(std::cos(kTwoPi * 0.35 * i)),
+                       static_cast<float>(std::sin(kTwoPi * 0.35 * i))};
+  }
+  const cvec in_band = filter_same(tone, std::span<const cf32>(taps));
+  const cvec out_band = filter_same(off_tone, std::span<const cf32>(taps));
+  EXPECT_GT(std::abs(in_band[n / 2]), 0.9);
+  EXPECT_LT(std::abs(out_band[n / 2]), 0.01);
+}
+
+TEST(Fir, EvenTapCountIsBumpedToOdd) {
+  const fvec taps = design_lowpass(0.1, 64);
+  EXPECT_EQ(taps.size() % 2, 1u);
+}
+
+TEST(OnePole, StepResponseReachesTauFraction) {
+  // After one time constant the step response is 1 - 1/e.
+  const double fs = 1e6;
+  OnePole p(1e-3, 1.0 / fs);
+  float y = 0.0f;
+  for (int i = 0; i < 1000; ++i) y = p.step(1.0f);  // exactly tau
+  EXPECT_NEAR(y, 1.0 - std::exp(-1.0), 0.01);
+}
+
+TEST(OnePole, ConvergesToInput) {
+  OnePole p(1e-4, 1e-6);
+  float y = 0.0f;
+  for (int i = 0; i < 2000; ++i) y = p.step(3.0f);
+  EXPECT_NEAR(y, 3.0, 1e-3);
+}
+
+TEST(DiodeRc, AsymmetricChargeDischarge) {
+  const double fs = 1e6;
+  DiodeRc d(1e-5, 1e-3, 1.0 / fs);  // fast charge, slow discharge
+  // Charge quickly...
+  for (int i = 0; i < 100; ++i) d.step(1.0f);
+  const float charged = d.value();
+  EXPECT_GT(charged, 0.99f);
+  // ...then discharge slowly: after the same 100 us only ~10% is lost.
+  for (int i = 0; i < 100; ++i) d.step(0.0f);
+  EXPECT_GT(d.value(), 0.85f);
+}
+
+TEST(Windows, HammingAndHannEndpoints) {
+  const fvec ham = hamming_window(51);
+  const fvec han = hann_window(51);
+  EXPECT_NEAR(ham.front(), 0.08, 1e-3);
+  EXPECT_NEAR(han.front(), 0.0, 1e-6);
+  EXPECT_NEAR(ham[25], 1.0, 1e-6);
+  EXPECT_NEAR(han[25], 1.0, 1e-6);
+}
+
+}  // namespace

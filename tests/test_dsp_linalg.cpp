@@ -1,0 +1,107 @@
+// Dense complex solver + FIR least squares (the equalizer's estimator).
+
+#include <gtest/gtest.h>
+
+#include "dsp/linalg.hpp"
+#include "dsp/rng.hpp"
+
+namespace {
+
+using namespace lscatter::dsp;
+
+TEST(SolveDense, KnownTwoByTwo) {
+  // [1 2; 3 4] x = [5; 11] -> x = [1; 2]
+  const std::vector<cf64> a = {{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  const std::vector<cf64> b = {{5, 0}, {11, 0}};
+  const auto x = solve_dense(a, b);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0].real(), 1.0, 1e-12);
+  EXPECT_NEAR(x[1].real(), 2.0, 1e-12);
+}
+
+TEST(SolveDense, ComplexCoefficients) {
+  // (1+j) x = (2): x = 2/(1+j) = 1 - j
+  const std::vector<cf64> a = {{1, 1}};
+  const std::vector<cf64> b = {{2, 0}};
+  const auto x = solve_dense(a, b);
+  ASSERT_EQ(x.size(), 1u);
+  EXPECT_NEAR(x[0].real(), 1.0, 1e-12);
+  EXPECT_NEAR(x[0].imag(), -1.0, 1e-12);
+}
+
+TEST(SolveDense, SingularReturnsEmpty) {
+  const std::vector<cf64> a = {{1, 0}, {2, 0}, {2, 0}, {4, 0}};
+  const std::vector<cf64> b = {{1, 0}, {2, 0}};
+  EXPECT_TRUE(solve_dense(a, b).empty());
+}
+
+TEST(SolveDense, RandomSystemRoundTrip) {
+  Rng rng(11);
+  const std::size_t n = 12;
+  std::vector<cf64> a(n * n);
+  std::vector<cf64> x_true(n);
+  for (auto& v : a) {
+    const cf32 g = rng.complex_normal();
+    v = cf64{g.real(), g.imag()};
+  }
+  for (auto& v : x_true) {
+    const cf32 g = rng.complex_normal();
+    v = cf64{g.real(), g.imag()};
+  }
+  std::vector<cf64> b(n, cf64{});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) b[i] += a[i * n + k] * x_true[k];
+  }
+  const auto x = solve_dense(a, b);
+  ASSERT_EQ(x.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(x[i] - x_true[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(FirLeastSquares, RecoversTrueChannelExactly) {
+  Rng rng(1);
+  const std::size_t n = 512;
+  cvec u(n);
+  for (auto& v : u) v = rng.complex_normal();
+  const cf64 h_true[3] = {{1.0, 0.2}, {0.4, -0.3}, {0.1, 0.05}};
+  cvec r(n, cf32{});
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t l = 0; l <= 2 && l <= k; ++l) {
+      r[k] += cf32{static_cast<float>(h_true[l].real()),
+                   static_cast<float>(h_true[l].imag())} *
+              u[k - l];
+    }
+  }
+  const auto h = fir_least_squares(u, r, 5);
+  ASSERT_EQ(h.size(), 5u);
+  for (std::size_t l = 0; l < 3; ++l) {
+    EXPECT_NEAR(std::abs(h[l] - h_true[l]), 0.0, 1e-4) << l;
+  }
+  EXPECT_NEAR(std::abs(h[3]), 0.0, 1e-4);
+  EXPECT_NEAR(std::abs(h[4]), 0.0, 1e-4);
+}
+
+TEST(FirLeastSquares, NoisyFitStaysClose) {
+  Rng rng(2);
+  const std::size_t n = 2048;
+  cvec u(n);
+  cvec r(n);
+  const cf32 h0{0.8f, -0.6f};
+  for (std::size_t k = 0; k < n; ++k) {
+    u[k] = rng.complex_normal();
+    r[k] = h0 * u[k] + rng.complex_normal(1e-3);
+  }
+  const auto h = fir_least_squares(u, r, 4);
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_NEAR(h[0].real(), h0.real(), 0.01);
+  EXPECT_NEAR(h[0].imag(), h0.imag(), 0.01);
+}
+
+TEST(FirLeastSquares, TooFewSamplesReturnsEmpty) {
+  cvec u(10);
+  cvec r(10);
+  EXPECT_TRUE(fir_least_squares(u, r, 8).empty());
+}
+
+}  // namespace

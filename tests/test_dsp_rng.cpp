@@ -1,0 +1,123 @@
+// RNG: determinism, distribution moments, stream independence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/rng.hpp"
+
+namespace {
+
+using lscatter::dsp::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123, 5);
+  Rng b(123, 5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIsInRangeWithCorrectMoments) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    sum2 += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 5e-3);
+  EXPECT_NEAR(sum2 / n - 0.25, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 1e-2);
+  EXPECT_NEAR(sum2 / n, 1.0, 2e-2);
+}
+
+TEST(Rng, ComplexNormalVariance) {
+  Rng rng(13);
+  double power = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    power += std::norm(rng.complex_normal(2.5));
+  }
+  EXPECT_NEAR(power / n, 2.5, 0.05);
+}
+
+TEST(Rng, UniformIntCoversRangeUnbiased) {
+  Rng rng(17);
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) counts[rng.uniform_int(7)]++;
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 7.0, 0.08 * n / 7.0);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, BitsAreBalanced) {
+  Rng rng(29);
+  const auto bits = rng.bits(100000);
+  std::size_t ones = 0;
+  for (const auto b : bits) {
+    ASSERT_LE(b, 1);
+    ones += b;
+  }
+  EXPECT_NEAR(static_cast<double>(ones), 50000.0, 1500.0);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(31);
+  Rng child1 = parent.fork();
+  Rng child2 = parent.fork();
+  // Correlation between the forks should be negligible.
+  double corr = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    corr += (child1.uniform() - 0.5) * (child2.uniform() - 0.5);
+  }
+  EXPECT_NEAR(corr / n, 0.0, 2e-3);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Statistics helpers: percentiles, box stats, empirical CDFs, histograms.
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.hpp"
+#include "dsp/stats.hpp"
+
+namespace {
+
+using namespace lscatter::dsp;
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(x), 3.0);
+  EXPECT_DOUBLE_EQ(variance(x), 2.0);
+  EXPECT_NEAR(stddev(x), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> x = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(x, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(x, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(x, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 100.0}), 2.0);
+}
+
+TEST(Stats, BoxStatsQuartilesAndOutliers) {
+  std::vector<double> x;
+  for (int i = 1; i <= 100; ++i) x.push_back(i);
+  x.push_back(1000.0);  // an outlier
+  const BoxStats b = box_stats(x);
+  EXPECT_NEAR(b.median, 51.0, 1.0);
+  EXPECT_LT(b.q1, b.median);
+  EXPECT_LT(b.median, b.q3);
+  EXPECT_EQ(b.max, 1000.0);
+  EXPECT_GE(b.n_outliers, 1u);
+}
+
+TEST(Stats, EmpiricalCdfEvaluateAndQuantile) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.evaluate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.evaluate(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.evaluate(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+}
+
+TEST(Stats, CdfOfNormalSamplesMatchesTheory) {
+  Rng rng(5);
+  std::vector<double> samples(50000);
+  for (auto& s : samples) s = rng.normal();
+  EmpiricalCdf cdf(std::move(samples));
+  EXPECT_NEAR(cdf.evaluate(0.0), 0.5, 0.01);
+  EXPECT_NEAR(cdf.evaluate(1.0), 0.8413, 0.01);
+  EXPECT_NEAR(cdf.evaluate(-1.0), 0.1587, 0.01);
+}
+
+TEST(Stats, CdfSeriesIsMonotone) {
+  EmpiricalCdf cdf({3.0, 1.0, 2.0, 5.0, 4.0});
+  const auto series = cdf.series(0.0, 6.0, 13);
+  EXPECT_EQ(series.size(), 13u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(Stats, HistogramBinsAndClamps) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-5.0);   // clamps to first bin
+  h.add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[9], 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Stats, FormatBoxMentionsQuartiles) {
+  const BoxStats b = box_stats({1.0, 2.0, 3.0});
+  const std::string s = format_box(b, "Mbps");
+  EXPECT_NE(s.find("med="), std::string::npos);
+  EXPECT_NE(s.find("Mbps"), std::string::npos);
+}
+
+}  // namespace

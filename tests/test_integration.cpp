@@ -1,0 +1,219 @@
+// Cross-module integration: the full-fidelity pipeline where the tag's
+// timing comes from the *analog circuit* (not the statistical shortcut),
+// plus end-to-end properties that span eNodeB, tag, channel, and UE.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/awgn.hpp"
+#include "core/lscatter_rx.hpp"
+#include "core/scenario.hpp"
+#include "core/link_simulator.hpp"
+#include "lte/enodeb.hpp"
+#include "lte/ofdm.hpp"
+#include "lte/signal_map.hpp"
+#include "lte/transport.hpp"
+#include "lte/ue_rx.hpp"
+#include "tag/analog_frontend.hpp"
+#include "tag/modulator.hpp"
+#include "tag/sync_detector.hpp"
+#include "tag/tag_controller.hpp"
+
+namespace {
+
+using namespace lscatter;
+using dsp::cf32;
+using dsp::cvec;
+
+// The full-fidelity chain: eNodeB stream -> analog front end -> sync
+// detector -> tag modulation aligned to the *detected* timing -> UE
+// demodulation. Validates that the analog circuit's residual error stays
+// inside the modulation-offset tolerance and the packet decodes.
+TEST(FullFidelity, AnalogSyncDrivesACleanPacket) {
+  lte::Enodeb::Config ecfg;
+  ecfg.cell.bandwidth = lte::Bandwidth::kMHz20;
+  ecfg.seed = 2020;
+  lte::Enodeb enb(ecfg);
+  const auto& cell = ecfg.cell;
+
+  // 1) Tag listens to 60 ms of ambient LTE through its analog circuit
+  // (the EWMA tracker needs ~10 edges to converge).
+  cvec stream;
+  std::vector<lte::SubframeTx> subframes;
+  for (std::size_t sf = 0; sf < 60; ++sf) {
+    subframes.push_back(enb.next_subframe());
+    stream.insert(stream.end(), subframes.back().samples.begin(),
+                  subframes.back().samples.end());
+  }
+  dsp::Rng noise(7);
+  channel::add_awgn(stream, 1e-3, noise);
+
+  tag::AnalogFrontend frontend({}, cell.sample_rate_hz());
+  const auto trace = frontend.process(stream);
+  tag::SyncDetector detector({});
+  detector.feed_edges(tag::AnalogFrontend::rising_edges(trace));
+  ASSERT_TRUE(detector.locked());
+
+  // 2) The tag derives its timing error from the last estimate. True PSS
+  // time of the most recent sync subframe:
+  const auto est = detector.last_pss_estimate_s();
+  ASSERT_TRUE(est.has_value());
+  const double sym6 =
+      static_cast<double>(
+          lte::symbol_offset_in_subframe(cell, lte::kPssSymbolIndex) +
+          cell.cp_samples()) /
+      cell.sample_rate_hz();
+  const double k_pss = std::round((*est - sym6) / 5e-3);
+  const double truth_pss = k_pss * 5e-3 + sym6;
+  const double residual_s = *est - truth_pss;
+
+  // The analog circuit's residual must fit the +-13.8 us window.
+  EXPECT_LT(std::abs(residual_s), 13.8e-6);
+
+  // 3) Modulate a packet on subframe 31 with that residual as the tag's
+  // timing error; demodulate at the UE.
+  const auto err_units = static_cast<std::ptrdiff_t>(
+      std::llround(residual_s * cell.sample_rate_hz()));
+
+  tag::TagScheduleConfig sched;
+  tag::TagController ctl(cell, sched);
+  core::OffsetSearch search;
+  search.range_units = 450;  // cover the full +-13.8 us tolerance
+  core::LscatterDemodulator demod(cell, sched, search);
+
+  const auto tx = enb.make_subframe(31);
+  const std::size_t cap = ctl.packet_raw_bits(31);
+  const core::PacketCodec codec(cap);
+  dsp::Rng prng(9);
+  const auto payload = prng.bits(codec.payload_bits());
+  const auto chunks =
+      core::split_bits(codec.encode(payload), ctl.bits_per_symbol());
+  const auto plan = ctl.plan_subframe(31, true, chunks);
+  const auto pattern = tag::expand_to_units(cell, plan);
+  // Noiseless final hop: this test isolates the *timing* chain; noise
+  // behaviour is covered by the LinkSimulator tests.
+  const auto rx = tag::apply_pattern(tx.samples, pattern, err_units,
+                                     cf32{1e-3f, 0.5e-3f});
+
+  const auto res = demod.demodulate_packet(rx, tx.samples, 31);
+  ASSERT_TRUE(res.preamble_found);
+  EXPECT_EQ(res.offset_units, err_units);
+  ASSERT_TRUE(res.payload.has_value());
+  EXPECT_EQ(*res.payload, payload);
+}
+
+TEST(Integration, PssSssSurviveTagModulationUnmodified) {
+  // The tag transmits plain filler ('1' square waves, theta = 0) over
+  // PSS/SSS symbols, so the scattered sideband carries them *unmodified*
+  // and the original band is untouched — a UE can still cell-search the
+  // hybrid signal.
+  lte::Enodeb::Config ecfg;
+  ecfg.cell.bandwidth = lte::Bandwidth::kMHz5;
+  ecfg.seed = 11;
+  lte::Enodeb enb(ecfg);
+  const auto& cell = ecfg.cell;
+  tag::TagController ctl(cell, {});
+
+  const auto tx = enb.make_subframe(0);  // sync subframe
+  std::vector<std::vector<std::uint8_t>> payloads(
+      11, std::vector<std::uint8_t>(cell.n_subcarriers(), 0));
+  const auto plan = ctl.plan_subframe(0, true, payloads);
+  const auto pattern = tag::expand_to_units(cell, plan);
+
+  // Scattered signal (gain folded to 1 for the check).
+  const auto hybrid =
+      tag::apply_pattern(tx.samples, pattern, 0, cf32{1.0f, 0.0f});
+
+  // PSS/SSS symbols must be bit-exact copies.
+  for (const std::size_t l : {lte::kSssSymbolIndex, lte::kPssSymbolIndex}) {
+    const std::size_t start = lte::symbol_offset_in_subframe(cell, l);
+    const std::size_t len = cell.cp_length(l % 7) + cell.fft_size();
+    for (std::size_t n = start; n < start + len; ++n) {
+      ASSERT_EQ(hybrid[n], tx.samples[n]) << "sample " << n;
+    }
+  }
+}
+
+TEST(Integration, TransportSegmentationRoundTrip) {
+  for (const std::size_t capacity : {100u, 6144u, 6145u, 50000u, 81600u}) {
+    const auto layout = lte::segment(capacity);
+    std::size_t coded_total = 0;
+    for (const auto& b : layout) {
+      coded_total += b.info_bits + lte::kBlockCrcBits;
+      EXPECT_LE(b.info_bits + lte::kBlockCrcBits, lte::kMaxCodeBlockBits);
+    }
+    EXPECT_EQ(coded_total, capacity);
+
+    dsp::Rng rng(capacity);
+    const auto info = rng.bits(lte::info_bits(layout));
+    const auto coded = lte::encode_blocks(layout, info);
+    EXPECT_EQ(coded.size(), capacity);
+    const auto dec = lte::decode_blocks(layout, coded);
+    EXPECT_TRUE(dec.all_ok());
+    EXPECT_EQ(dec.info, info);
+    EXPECT_EQ(dec.info_bits_ok, info.size());
+  }
+}
+
+TEST(Integration, CorruptedBlockOnlyLosesItself) {
+  const auto layout = lte::segment(3 * 6144);
+  ASSERT_EQ(layout.size(), 3u);
+  dsp::Rng rng(3);
+  const auto info = rng.bits(lte::info_bits(layout));
+  auto coded = lte::encode_blocks(layout, info);
+  coded[7000] ^= 1;  // inside block 1
+  const auto dec = lte::decode_blocks(layout, coded);
+  EXPECT_EQ(dec.blocks_ok, 2u);
+  EXPECT_FALSE(dec.all_ok());
+  EXPECT_EQ(dec.info_bits_ok, info.size() - layout[1].info_bits);
+}
+
+TEST(Integration, RepetitionBuysRangeEndToEnd) {
+  // At a marginal mid-range link, r=8 must deliver packets where r=1
+  // cannot — the soft-combining diversity claim, verified end-to-end.
+  core::ScenarioOptions opt;
+  opt.seed = 99;
+  core::LinkConfig base = core::make_scenario(core::Scene::kSmartHome, opt);
+  base.geometry.enb_tag_ft = 18.0;
+  base.geometry.tag_ue_ft = 14.0;
+  base.env.pathloss.shadowing_sigma_db = 0.0;
+
+  core::LinkConfig r1 = base;
+  r1.schedule.max_data_symbols_per_packet = 1;
+  core::LinkConfig r8 = base;
+  r8.schedule.max_data_symbols_per_packet = 1;
+  r8.schedule.repetition = 8;
+
+  core::LinkMetrics m1;
+  core::LinkMetrics m8;
+  for (int d = 0; d < 4; ++d) {
+    core::LinkConfig c1 = r1;
+    c1.seed = r1.seed + d;
+    core::LinkConfig c8 = r8;
+    c8.seed = r8.seed + d;
+    m1 += core::LinkSimulator(c1).run(20);
+    m8 += core::LinkSimulator(c8).run(20);
+  }
+  EXPECT_GT(m8.packet_delivery_ratio(), m1.packet_delivery_ratio());
+  EXPECT_GT(m8.packet_delivery_ratio(), 0.8);
+  EXPECT_LT(m8.ber(), m1.ber());
+}
+
+TEST(Integration, MetricsAccumulateAcrossRuns) {
+  core::LinkMetrics a;
+  a.bits_sent = 100;
+  a.bit_errors = 5;
+  a.bits_delivered = 90;
+  a.elapsed_s = 1.0;
+  a.packets_sent = 2;
+  core::LinkMetrics b = a;
+  a += b;
+  EXPECT_EQ(a.bits_sent, 200u);
+  EXPECT_EQ(a.packets_sent, 4u);
+  EXPECT_DOUBLE_EQ(a.ber(), 0.05);
+  EXPECT_DOUBLE_EQ(a.throughput_bps(), 90.0);
+  EXPECT_NE(a.describe().find("BER"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// UE cell search: PSS timing, N_ID2/N_ID1 recovery, frame boundary, noise
+// and rotation robustness.
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.hpp"
+#include "dsp/rng.hpp"
+#include "lte/enodeb.hpp"
+#include "lte/ofdm.hpp"
+#include "lte/signal_map.hpp"
+#include "lte/ue_sync.hpp"
+
+namespace {
+
+using namespace lscatter;
+using dsp::cf32;
+using dsp::cvec;
+
+cvec ten_subframes(lte::Enodeb& enb) {
+  cvec s;
+  for (int sf = 0; sf < 10; ++sf) {
+    const auto tx = enb.next_subframe();
+    s.insert(s.end(), tx.samples.begin(), tx.samples.end());
+  }
+  return s;
+}
+
+class CellSearchPerBandwidth
+    : public ::testing::TestWithParam<lte::Bandwidth> {};
+
+TEST_P(CellSearchPerBandwidth, FindsCellAndTiming) {
+  lte::Enodeb::Config cfg;
+  cfg.cell.bandwidth = GetParam();
+  cfg.cell.n_id_1 = 31;
+  cfg.cell.n_id_2 = 2;
+  cfg.seed = 42;
+  lte::Enodeb enb(cfg);
+  const cvec s = ten_subframes(enb);
+
+  lte::CellSearcher searcher(cfg.cell);
+  const auto result = searcher.search(s);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->n_id_2, 2);
+  EXPECT_EQ(result->n_id_1, 31);
+  EXPECT_EQ(result->cell_id, cfg.cell.cell_id());
+
+  // PSS useful parts repeat every 5 ms; the searcher may lock on any of
+  // them (subframe 0 or 5 of either frame in the buffer), but the timing
+  // must land exactly on the 5 ms grid anchored at symbol 6 + CP...
+  const std::size_t expected =
+      lte::symbol_offset_in_subframe(cfg.cell, lte::kPssSymbolIndex) +
+      cfg.cell.cp_samples();
+  const std::size_t half_frame = 5 * cfg.cell.samples_per_subframe();
+  ASSERT_GE(result->pss_useful_start, expected);
+  EXPECT_EQ((result->pss_useful_start - expected) % half_frame, 0u);
+  // ...and the SSS disambiguation must recover the true frame boundary
+  // (the buffer starts at subframe 0, so frame_start == 0 mod frame).
+  EXPECT_EQ(result->frame_start, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, CellSearchPerBandwidth,
+                         ::testing::Values(lte::Bandwidth::kMHz1_4,
+                                           lte::Bandwidth::kMHz5,
+                                           lte::Bandwidth::kMHz20));
+
+TEST(CellSearch, DetectsSubframe5Pss) {
+  lte::Enodeb::Config cfg;
+  cfg.cell.bandwidth = lte::Bandwidth::kMHz5;
+  cfg.cell.n_id_1 = 7;
+  cfg.seed = 4;
+  lte::Enodeb enb(cfg);
+  // Feed subframes 3..9 only: the first PSS in the buffer is subframe 5's.
+  cvec s;
+  for (std::size_t sf = 3; sf < 10; ++sf) {
+    const auto tx = enb.make_subframe(sf);
+    s.insert(s.end(), tx.samples.begin(), tx.samples.end());
+  }
+  lte::CellSearcher searcher(cfg.cell);
+  const auto result = searcher.search(s);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->found_in_subframe5);
+  EXPECT_EQ(result->n_id_1, 7);
+}
+
+TEST(CellSearch, SurvivesNoiseAndRotation) {
+  lte::Enodeb::Config cfg;
+  cfg.cell.bandwidth = lte::Bandwidth::kMHz5;
+  cfg.cell.n_id_1 = 99;
+  cfg.cell.n_id_2 = 1;
+  cfg.seed = 5;
+  lte::Enodeb enb(cfg);
+  cvec s = ten_subframes(enb);
+  const cf32 h{-0.7f, 0.7f};
+  for (auto& v : s) v *= h;
+  dsp::Rng noise(6);
+  channel::add_awgn_snr(s, 5.0, noise);
+
+  lte::CellSearcher searcher(cfg.cell);
+  const auto result = searcher.search(s);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->cell_id, cfg.cell.cell_id());
+}
+
+TEST(CellSearch, ReturnsNulloptOnPureNoise) {
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz5;
+  dsp::Rng rng(7);
+  cvec noise(cell.samples_per_subframe() * 6);
+  for (auto& v : noise) v = rng.complex_normal();
+  lte::CellSearcher searcher(cell);
+  EXPECT_FALSE(searcher.search(noise, 0.5f).has_value());
+}
+
+TEST(CellSearch, ReplicaIsUnitPower) {
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz10;
+  lte::CellSearcher searcher(cell);
+  for (std::uint8_t id2 = 0; id2 < 3; ++id2) {
+    EXPECT_NEAR(dsp::mean_power(searcher.pss_replica(id2)), 1.0, 1e-3);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Numerology, resource grid mapping, and OFDM round trips across all six
+// LTE bandwidths.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dsp/rng.hpp"
+#include "lte/cell_config.hpp"
+#include "lte/ofdm.hpp"
+#include "lte/resource_grid.hpp"
+
+namespace {
+
+using namespace lscatter;
+using dsp::cf32;
+
+class PerBandwidth : public ::testing::TestWithParam<lte::Bandwidth> {
+ protected:
+  lte::CellConfig cell() const {
+    lte::CellConfig c;
+    c.bandwidth = GetParam();
+    return c;
+  }
+};
+
+TEST_P(PerBandwidth, NumerologyInvariants) {
+  const auto c = cell();
+  // A slot is exactly 0.5 ms of samples.
+  EXPECT_EQ(c.samples_per_slot(),
+            static_cast<std::size_t>(c.sample_rate_hz() * 0.5e-3));
+  EXPECT_EQ(c.samples_per_subframe(), 2 * c.samples_per_slot());
+  EXPECT_EQ(c.samples_per_frame(), 10 * c.samples_per_subframe());
+  // CP ratios follow the 160/144-in-2048 pattern.
+  EXPECT_EQ(c.cp0_samples() * 128, 10 * c.fft_size());
+  EXPECT_EQ(c.cp_samples() * 128, 9 * c.fft_size());
+  // Subcarriers fit within the FFT with guards.
+  EXPECT_LT(c.n_subcarriers(), c.fft_size());
+  // The basic timing unit is one sample.
+  EXPECT_NEAR(c.basic_timing_unit_s() * c.sample_rate_hz(), 1.0, 1e-9);
+}
+
+TEST_P(PerBandwidth, SymbolOffsetsTileTheSlot) {
+  const auto c = cell();
+  std::size_t expected = 0;
+  for (std::size_t l = 0; l < lte::kSymbolsPerSlot; ++l) {
+    EXPECT_EQ(c.symbol_offset_in_slot(l), expected);
+    expected += c.cp_length(l) + c.fft_size();
+  }
+  EXPECT_EQ(expected, c.samples_per_slot());
+}
+
+TEST_P(PerBandwidth, SubcarrierToBinIsInjectiveAndSkipsDc) {
+  const auto c = cell();
+  lte::ResourceGrid grid(c);
+  std::set<std::size_t> bins;
+  for (std::size_t sc = 0; sc < c.n_subcarriers(); ++sc) {
+    const std::size_t bin = grid.subcarrier_to_bin(sc);
+    EXPECT_NE(bin, 0u) << "DC bin must stay empty";
+    EXPECT_LT(bin, c.fft_size());
+    EXPECT_TRUE(bins.insert(bin).second) << "bin collision at sc " << sc;
+  }
+}
+
+TEST_P(PerBandwidth, OfdmModulateDemodulateRoundTrip) {
+  const auto c = cell();
+  lte::ResourceGrid grid(c);
+  dsp::Rng rng(static_cast<std::uint64_t>(GetParam()) + 5);
+  for (std::size_t l = 0; l < grid.n_symbols(); ++l) {
+    for (std::size_t k = 0; k < grid.n_subcarriers(); ++k) {
+      grid.at(l, k) = rng.complex_normal();
+    }
+  }
+  const lte::OfdmModulator mod(c);
+  const lte::OfdmDemodulator demod(c);
+  const auto samples = mod.modulate(grid);
+  EXPECT_EQ(samples.size(), c.samples_per_subframe());
+  const auto rx = demod.demodulate(samples);
+  double max_err = 0.0;
+  for (std::size_t l = 0; l < grid.n_symbols(); ++l) {
+    for (std::size_t k = 0; k < grid.n_subcarriers(); ++k) {
+      max_err = std::max(
+          max_err,
+          static_cast<double>(std::abs(rx.at(l, k) - grid.at(l, k))));
+    }
+  }
+  EXPECT_LT(max_err, 1e-3);
+}
+
+TEST_P(PerBandwidth, CyclicPrefixIsACopyOfTheSymbolTail) {
+  const auto c = cell();
+  lte::ResourceGrid grid(c);
+  dsp::Rng rng(17);
+  for (std::size_t k = 0; k < grid.n_subcarriers(); ++k) {
+    grid.at(3, k) = rng.complex_normal();
+  }
+  const lte::OfdmModulator mod(c);
+  const auto sym = mod.modulate_symbol(grid, 3);
+  const std::size_t cp = c.cp_samples();
+  const std::size_t k_fft = c.fft_size();
+  ASSERT_EQ(sym.size(), cp + k_fft);
+  for (std::size_t i = 0; i < cp; ++i) {
+    EXPECT_NEAR(std::abs(sym[i] - sym[k_fft + i]), 0.0, 1e-5);
+  }
+}
+
+TEST_P(PerBandwidth, UnitGridPowerGivesUnitSamplePower) {
+  const auto c = cell();
+  lte::ResourceGrid grid(c);
+  dsp::Rng rng(23);
+  for (std::size_t l = 0; l < grid.n_symbols(); ++l) {
+    for (std::size_t k = 0; k < grid.n_subcarriers(); ++k) {
+      grid.at(l, k) = rng.complex_normal();
+    }
+  }
+  const lte::OfdmModulator mod(c);
+  const auto samples = mod.modulate(grid);
+  EXPECT_NEAR(dsp::mean_power(samples), 1.0, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBandwidths, PerBandwidth,
+                         ::testing::ValuesIn(lte::kAllBandwidths));
+
+TEST(ResourceGrid, TypesDefaultToDataAndClearResets) {
+  lte::CellConfig c;
+  c.bandwidth = lte::Bandwidth::kMHz1_4;
+  lte::ResourceGrid grid(c);
+  EXPECT_EQ(grid.type_at(0, 0), lte::ReType::kData);
+  grid.at(1, 2) = cf32{1.0f, 0.0f};
+  grid.type_at(1, 2) = lte::ReType::kPss;
+  grid.clear();
+  EXPECT_EQ(grid.at(1, 2), cf32{});
+  EXPECT_EQ(grid.type_at(1, 2), lte::ReType::kData);
+}
+
+TEST(CellConfig, DescribeMentionsBandwidthAndCellId) {
+  lte::CellConfig c;
+  c.bandwidth = lte::Bandwidth::kMHz10;
+  c.n_id_1 = 5;
+  c.n_id_2 = 2;
+  const std::string s = c.describe();
+  EXPECT_NE(s.find("10MHz"), std::string::npos);
+  EXPECT_NE(s.find("17"), std::string::npos);  // 3*5+2
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Physical-signal placement: PSS/SSS positions, guards, CRS lattice, and
+// the sync-band geometry the tag's circuit depends on.
+
+#include <gtest/gtest.h>
+
+#include "lte/sequences.hpp"
+#include "lte/signal_map.hpp"
+
+namespace {
+
+using namespace lscatter;
+
+TEST(SignalMap, SyncSubframesAre0And5Periodically) {
+  for (std::size_t sf = 0; sf < 40; ++sf) {
+    EXPECT_EQ(lte::is_sync_subframe(sf), sf % 10 == 0 || sf % 10 == 5)
+        << sf;
+  }
+}
+
+class SyncBandPerBandwidth
+    : public ::testing::TestWithParam<lte::Bandwidth> {};
+
+TEST_P(SyncBandPerBandwidth, PssAlwaysOccupiesCentral62Subcarriers) {
+  lte::CellConfig cfg;
+  cfg.bandwidth = GetParam();
+  cfg.n_id_2 = 1;
+  lte::ResourceGrid grid(cfg);
+  lte::map_sync_signals(cfg, 0, grid);
+
+  const std::size_t first = lte::sync_band_first_subcarrier(cfg);
+  // 62 used subcarriers, symmetric around the (absent) DC.
+  EXPECT_EQ(first, cfg.n_subcarriers() / 2 - 31);
+  std::size_t pss_count = 0;
+  for (std::size_t k = 0; k < cfg.n_subcarriers(); ++k) {
+    if (grid.type_at(lte::kPssSymbolIndex, k) == lte::ReType::kPss) {
+      ++pss_count;
+      EXPECT_GE(k, first);
+      EXPECT_LT(k, first + 62);
+    }
+  }
+  EXPECT_EQ(pss_count, 62u);
+
+  // The PSS values match the N_ID2 sequence, and its occupied bandwidth
+  // is 62 * 15 kHz = 0.93 MHz at every cell bandwidth (paper Fig. 6).
+  const auto d = lte::pss_sequence(cfg.n_id_2);
+  for (std::size_t n = 0; n < 62; ++n) {
+    EXPECT_NEAR(std::abs(grid.at(lte::kPssSymbolIndex, first + n) - d[n]),
+                0.0, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBandwidths, SyncBandPerBandwidth,
+                         ::testing::ValuesIn(lte::kAllBandwidths));
+
+TEST(SignalMap, GuardSubcarriersAroundSyncAreSilent) {
+  lte::CellConfig cfg;
+  cfg.bandwidth = lte::Bandwidth::kMHz10;
+  lte::ResourceGrid grid(cfg);
+  lte::map_sync_signals(cfg, 5, grid);
+  const std::size_t first = lte::sync_band_first_subcarrier(cfg);
+  for (std::size_t g = 1; g <= 5; ++g) {
+    EXPECT_EQ(grid.type_at(lte::kPssSymbolIndex, first - g),
+              lte::ReType::kUnused);
+    EXPECT_EQ(grid.at(lte::kPssSymbolIndex, first - g), dsp::cf32{});
+    EXPECT_EQ(grid.type_at(lte::kSssSymbolIndex, first + 61 + g),
+              lte::ReType::kUnused);
+  }
+}
+
+TEST(SignalMap, NonSyncSubframeGetsNoSyncSignals) {
+  lte::CellConfig cfg;
+  cfg.bandwidth = lte::Bandwidth::kMHz5;
+  lte::ResourceGrid grid(cfg);
+  lte::map_sync_signals(cfg, 3, grid);
+  for (std::size_t l = 0; l < lte::kSymbolsPerSubframe; ++l) {
+    for (std::size_t k = 0; k < cfg.n_subcarriers(); ++k) {
+      EXPECT_EQ(grid.type_at(l, k), lte::ReType::kData);
+    }
+  }
+}
+
+TEST(SignalMap, SssDiffersBetweenSubframe0And5) {
+  lte::CellConfig cfg;
+  cfg.bandwidth = lte::Bandwidth::kMHz5;
+  cfg.n_id_1 = 21;
+  lte::ResourceGrid g0(cfg);
+  lte::ResourceGrid g5(cfg);
+  lte::map_sync_signals(cfg, 0, g0);
+  lte::map_sync_signals(cfg, 5, g5);
+  const std::size_t first = lte::sync_band_first_subcarrier(cfg);
+  int diffs = 0;
+  for (std::size_t n = 0; n < 62; ++n) {
+    if (std::abs(g0.at(lte::kSssSymbolIndex, first + n) -
+                 g5.at(lte::kSssSymbolIndex, first + n)) > 1e-6f) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 10);
+  // The PSS is identical in both (it carries no frame-position info).
+  for (std::size_t n = 0; n < 62; ++n) {
+    EXPECT_EQ(g0.at(lte::kPssSymbolIndex, first + n),
+              g5.at(lte::kPssSymbolIndex, first + n));
+  }
+}
+
+TEST(SignalMap, CrsSymbolsAreFourPerSubframe) {
+  EXPECT_EQ(lte::kCrsSymbolIndices.size(), 4u);
+  lte::CellConfig cfg;
+  cfg.bandwidth = lte::Bandwidth::kMHz3;
+  lte::ResourceGrid grid(cfg);
+  lte::map_crs(cfg, 2, grid);
+  std::size_t crs = 0;
+  for (std::size_t l = 0; l < lte::kSymbolsPerSubframe; ++l) {
+    for (std::size_t k = 0; k < cfg.n_subcarriers(); ++k) {
+      if (grid.type_at(l, k) == lte::ReType::kCrs) ++crs;
+    }
+  }
+  EXPECT_EQ(crs, 4 * 2 * cfg.n_rb());
+}
+
+TEST(SignalMap, CrsValuesChangeEverySubframe) {
+  lte::CellConfig cfg;
+  cfg.bandwidth = lte::Bandwidth::kMHz3;
+  lte::ResourceGrid g1(cfg);
+  lte::ResourceGrid g2(cfg);
+  lte::map_crs(cfg, 1, g1);
+  lte::map_crs(cfg, 2, g2);
+  const auto pos = lte::crs_subcarriers(cfg, 0);
+  int diffs = 0;
+  for (const std::size_t k : pos) {
+    if (std::abs(g1.at(0, k) - g2.at(0, k)) > 1e-6f) ++diffs;
+  }
+  EXPECT_GT(diffs, static_cast<int>(pos.size()) / 2);
+}
+
+}  // namespace

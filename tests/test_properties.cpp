@@ -1,0 +1,143 @@
+// Randomized property tests: invariants that must hold for arbitrary
+// configurations and seeds (the kind of thing unit tests with fixed
+// values miss).
+
+#include <gtest/gtest.h>
+
+#include "core/framing.hpp"
+#include "core/link_simulator.hpp"
+#include "core/scenario.hpp"
+#include "lte/enodeb.hpp"
+#include "lte/transport.hpp"
+#include "tag/tag_controller.hpp"
+
+namespace {
+
+using namespace lscatter;
+
+TEST(Properties, LinkMetricsInvariantsUnderRandomConfigs) {
+  dsp::Rng rng(0xFEED);
+  for (int trial = 0; trial < 6; ++trial) {
+    core::ScenarioOptions opt;
+    opt.seed = rng.next_u64();
+    opt.bandwidth = lte::kAllBandwidths[rng.uniform_int(6)];
+    const auto scene = static_cast<core::Scene>(rng.uniform_int(3));
+    core::LinkConfig cfg = core::make_scenario(scene, opt);
+    cfg.geometry.enb_tag_ft = rng.uniform(1.0, 40.0);
+    cfg.geometry.tag_ue_ft = rng.uniform(1.0, 120.0);
+    if (rng.bernoulli(0.3)) cfg.schedule.repetition = 2;
+    if (rng.bernoulli(0.3)) cfg.fec = core::Fec::kConvolutional;
+
+    core::LinkSimulator sim(cfg);
+    const auto m = sim.run(6);
+
+    EXPECT_LE(m.packets_detected, m.packets_sent);
+    EXPECT_LE(m.packets_ok, m.packets_detected);
+    EXPECT_LE(m.bit_errors, m.bits_sent);
+    EXPECT_LE(m.bits_delivered, m.bits_sent);
+    EXPECT_LE(m.bits_crc_ok, m.bits_sent);
+    EXPECT_GE(m.ber(), 0.0);
+    EXPECT_LE(m.ber(), 1.0);
+    EXPECT_GE(m.throughput_bps(), 0.0);
+    EXPECT_LE(m.goodput_bps(), m.throughput_bps() + 1.0);
+    const auto& d = sim.last_drop();
+    EXPECT_LT(d.backscatter_rx_dbm, d.direct_rx_dbm);
+  }
+}
+
+TEST(Properties, CodecRoundTripsForRandomSizesAndFec) {
+  dsp::Rng rng(0xC0DE);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t coded = 120 + rng.uniform_int(4000);
+    const core::Fec fec = rng.bernoulli(0.5)
+                              ? core::Fec::kConvolutional
+                              : core::Fec::kNone;
+    const core::PacketCodec codec(coded, fec);
+    ASSERT_GT(codec.payload_bits(), 0u);
+    ASSERT_LT(codec.payload_bits(), coded);
+    const auto payload = rng.bits(codec.payload_bits());
+    const auto onair = codec.encode(payload);
+    ASSERT_EQ(onair.size(), coded);
+    const auto decoded = codec.decode(onair);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, payload);
+  }
+}
+
+TEST(Properties, TransportSegmentationConservesBits) {
+  dsp::Rng rng(0x5E6);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t capacity = 30 + rng.uniform_int(100000);
+    const auto layout = lte::segment(capacity);
+    std::size_t total = 0;
+    for (const auto& b : layout) {
+      EXPECT_GT(b.info_bits, 0u);
+      EXPECT_LE(b.info_bits + lte::kBlockCrcBits, lte::kMaxCodeBlockBits);
+      total += b.info_bits + lte::kBlockCrcBits;
+    }
+    EXPECT_EQ(total, capacity);
+  }
+}
+
+TEST(Properties, TagPatternDeviatesOnlyInsideModulationWindows) {
+  dsp::Rng rng(0x7A6);
+  for (int trial = 0; trial < 5; ++trial) {
+    lte::CellConfig cell;
+    cell.bandwidth = lte::kAllBandwidths[rng.uniform_int(6)];
+    tag::TagScheduleConfig sched;
+    if (rng.bernoulli(0.5)) sched.repetition = 2;
+    tag::TagController ctl(cell, sched);
+    const std::size_t sf = rng.uniform_int(20);
+    if (ctl.is_listening_subframe(sf)) continue;
+
+    const std::size_t n_sym = ctl.modulatable_symbols(sf).size();
+    std::vector<std::vector<std::uint8_t>> payloads(
+        n_sym > 0 ? n_sym - 1 : 0);
+    for (auto& p : payloads) p = rng.bits(ctl.bits_per_symbol());
+    const auto plan = ctl.plan_subframe(sf, true, payloads);
+    const auto units = tag::expand_to_units(cell, plan);
+
+    // Outside every useful-window modulation span, the pattern is 1.
+    const std::size_t start = ctl.modulation_start_unit();
+    const std::size_t n_sc = cell.n_subcarriers();
+    for (std::size_t n = 0; n < units.size(); ++n) {
+      if (units[n] == 1) continue;
+      // Find the symbol this sample belongs to.
+      bool inside_some_window = false;
+      for (std::size_t l = 0; l < lte::kSymbolsPerSubframe; ++l) {
+        const std::size_t useful =
+            lte::symbol_offset_in_subframe(cell, l) +
+            cell.cp_length(l % lte::kSymbolsPerSlot);
+        if (n >= useful + start && n < useful + start + n_sc) {
+          inside_some_window = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(inside_some_window) << "zero unit outside window at "
+                                      << n;
+    }
+  }
+}
+
+TEST(Properties, EnodebSubframesAreAlwaysFullLengthAndFinite) {
+  dsp::Rng rng(0xE0DE);
+  for (int trial = 0; trial < 5; ++trial) {
+    lte::Enodeb::Config cfg;
+    cfg.cell.bandwidth = lte::kAllBandwidths[rng.uniform_int(6)];
+    cfg.cell.n_id_1 = static_cast<std::uint16_t>(rng.uniform_int(168));
+    cfg.cell.n_id_2 = static_cast<std::uint8_t>(rng.uniform_int(3));
+    cfg.modulation = static_cast<lte::Modulation>(rng.uniform_int(3));
+    cfg.seed = rng.next_u64();
+    lte::Enodeb enb(cfg);
+    for (int sf = 0; sf < 3; ++sf) {
+      const auto tx = enb.next_subframe();
+      ASSERT_EQ(tx.samples.size(), cfg.cell.samples_per_subframe());
+      for (const auto v : tx.samples) {
+        ASSERT_TRUE(std::isfinite(v.real()) && std::isfinite(v.imag()));
+      }
+      ASSERT_FALSE(tx.payload_bits.empty());
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Analog front end + sync detector: PSS detection, latency, cadence
+// tracking, false-alarm rejection.
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.hpp"
+#include "lte/enodeb.hpp"
+#include "lte/ofdm.hpp"
+#include "lte/signal_map.hpp"
+#include "tag/analog_frontend.hpp"
+#include "tag/sync_detector.hpp"
+
+namespace {
+
+using namespace lscatter;
+
+dsp::cvec enodeb_stream(std::size_t n_subframes, std::uint64_t seed,
+                        lte::CellConfig* out_cell = nullptr) {
+  lte::Enodeb::Config cfg;
+  cfg.cell.bandwidth = lte::Bandwidth::kMHz20;
+  cfg.seed = seed;
+  lte::Enodeb enb(cfg);
+  if (out_cell) *out_cell = cfg.cell;
+  dsp::cvec s;
+  for (std::size_t sf = 0; sf < n_subframes; ++sf) {
+    const auto tx = enb.next_subframe();
+    s.insert(s.end(), tx.samples.begin(), tx.samples.end());
+  }
+  return s;
+}
+
+TEST(AnalogFrontend, DetectsEveryPssAfterWarmup) {
+  lte::CellConfig cell;
+  dsp::cvec s = enodeb_stream(40, 51, &cell);
+  dsp::Rng noise(52);
+  channel::add_awgn(s, 1e-3, noise);
+
+  tag::AnalogFrontend fe({}, cell.sample_rate_hz());
+  const auto trace = fe.process(s);
+  const auto edges = tag::AnalogFrontend::rising_edges(trace);
+
+  const double sym6 =
+      static_cast<double>(
+          lte::symbol_offset_in_subframe(cell, lte::kPssSymbolIndex) +
+          cell.cp_samples()) /
+      cell.sample_rate_hz();
+
+  std::size_t hits = 0;
+  std::size_t fas = 0;
+  for (const double e : edges) {
+    if (e < 10e-3) continue;  // cold-start settle
+    bool matched = false;
+    for (std::size_t k = 2; k < 8; ++k) {
+      const double err = e - (static_cast<double>(k) * 5e-3 + sym6);
+      if (err >= -20e-6 && err < 250e-6) {
+        matched = true;
+        ++hits;
+        break;
+      }
+    }
+    if (!matched) ++fas;
+  }
+  EXPECT_GE(hits, 5u);  // 6 windows in (10 ms, 40 ms)
+  EXPECT_LE(fas, 1u);
+}
+
+TEST(AnalogFrontend, LatencyIsTensOfMicroseconds) {
+  lte::CellConfig cell;
+  dsp::cvec s = enodeb_stream(30, 53, &cell);
+  tag::AnalogFrontend fe({}, cell.sample_rate_hz());
+  const auto trace = fe.process(s);
+  const auto edges = tag::AnalogFrontend::rising_edges(trace);
+  const double sym6 =
+      static_cast<double>(
+          lte::symbol_offset_in_subframe(cell, lte::kPssSymbolIndex) +
+          cell.cp_samples()) /
+      cell.sample_rate_hz();
+  for (const double e : edges) {
+    if (e < 10e-3) continue;
+    // Find the nearest PSS before the edge.
+    const double k = std::floor((e - sym6) / 5e-3);
+    const double err = e - (k * 5e-3 + sym6);
+    if (err < 250e-6) {
+      EXPECT_GE(err, -5e-6);
+      EXPECT_LT(err, 120e-6);
+    }
+  }
+}
+
+TEST(AnalogFrontend, TraceShapesAreConsistent) {
+  lte::CellConfig cell;
+  const dsp::cvec s = enodeb_stream(2, 54, &cell);
+  tag::AnalogFrontendConfig cfg;
+  tag::AnalogFrontend fe(cfg, cell.sample_rate_hz());
+  const auto trace = fe.process(s);
+  EXPECT_EQ(trace.rc.size(), s.size() / cfg.decimation);
+  EXPECT_EQ(trace.rc.size(), trace.average.size());
+  EXPECT_EQ(trace.rc.size(), trace.comparator.size());
+  EXPECT_NEAR(trace.dt_s * cell.sample_rate_hz(),
+              static_cast<double>(cfg.decimation), 1e-9);
+  for (const float v : trace.rc) EXPECT_GE(v, 0.0f);
+}
+
+TEST(SyncDetector, LocksOnFiveMsCadence) {
+  tag::SyncDetector det({});
+  const std::vector<double> edges = {0.010, 0.015, 0.020, 0.025};
+  det.feed_edges(edges);
+  EXPECT_TRUE(det.locked());
+  ASSERT_TRUE(det.last_pss_estimate_s().has_value());
+  EXPECT_NEAR(*det.last_pss_estimate_s(), 0.025 - 15e-6, 1e-9);
+}
+
+TEST(SyncDetector, PredictsNextPss) {
+  tag::SyncDetector det({});
+  det.feed_edges(std::vector<double>{0.010, 0.015});
+  const auto next = det.predict_next_pss_s(0.0161);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_NEAR(*next, 0.015 - 15e-6 + 5e-3, 1e-9);
+}
+
+TEST(SyncDetector, IgnoresOffCadenceEdgesOnceLocked) {
+  tag::SyncDetector det({});
+  det.feed_edges(std::vector<double>{0.010, 0.015, 0.020});
+  ASSERT_TRUE(det.locked());
+  // A false alarm 2.5 ms later must not move the estimate.
+  det.feed_edges(std::vector<double>{0.0225});
+  EXPECT_NEAR(*det.last_pss_estimate_s(), 0.020 - 15e-6, 1e-9);
+  // The next true edge does.
+  det.feed_edges(std::vector<double>{0.025});
+  EXPECT_NEAR(*det.last_pss_estimate_s(), 0.025 - 15e-6, 1e-9);
+}
+
+TEST(SyncDetector, RefractoryRejectsChatter) {
+  tag::SyncDetector det({});
+  det.feed_edges(std::vector<double>{0.010, 0.0101, 0.0102, 0.015});
+  EXPECT_TRUE(det.locked());
+}
+
+TEST(StatisticalSync, DriftAccumulatesWithClockPpm) {
+  tag::StatisticalSync sync;
+  sync.clock_ppm = 20.0;
+  const double e0 = 1e-6;
+  EXPECT_NEAR(sync.drifted_error_s(e0, 0.1), e0 + 2e-6, 1e-12);
+  EXPECT_NEAR(sync.drifted_error_s(e0, 0.0), e0, 1e-15);
+}
+
+TEST(StatisticalSync, SampleErrorHasRequestedSpread) {
+  tag::StatisticalSync sync;
+  sync.bias_s = 1e-6;
+  sync.sigma_s = 2e-6;
+  dsp::Rng rng(55);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double e = sync.sample_error_s(rng);
+    sum += e;
+    sum2 += e * e;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 1e-6, 0.1e-6);
+  EXPECT_NEAR(std::sqrt(sum2 / n - mean * mean), 2e-6, 0.1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Tag controller: scheduling rules (PSS/SSS avoidance, listening
+// subframes), modulation-window placement, repetition expansion, and the
+// paper's §4.3 rate arithmetic.
+
+#include <gtest/gtest.h>
+
+#include "lte/ofdm.hpp"
+#include "lte/signal_map.hpp"
+#include "tag/tag_controller.hpp"
+
+namespace {
+
+using namespace lscatter;
+
+lte::CellConfig cell20() {
+  lte::CellConfig c;
+  c.bandwidth = lte::Bandwidth::kMHz20;
+  return c;
+}
+
+TEST(TagController, ListeningEveryResyncPeriod) {
+  tag::TagScheduleConfig sched;
+  sched.resync_period_subframes = 10;
+  tag::TagController ctl(cell20(), sched);
+  std::size_t listening = 0;
+  for (std::size_t sf = 0; sf < 100; ++sf) {
+    if (ctl.is_listening_subframe(sf)) ++listening;
+  }
+  EXPECT_EQ(listening, 10u);
+  EXPECT_TRUE(ctl.is_listening_subframe(9));
+  EXPECT_FALSE(ctl.is_listening_subframe(0));
+}
+
+TEST(TagController, AvoidsPssAndSssSymbols) {
+  tag::TagController ctl(cell20(), {});
+  // Sync subframes: symbols 5 (SSS) and 6 (PSS) are off-limits.
+  EXPECT_FALSE(ctl.symbol_modulatable(0, lte::kPssSymbolIndex));
+  EXPECT_FALSE(ctl.symbol_modulatable(0, lte::kSssSymbolIndex));
+  EXPECT_FALSE(ctl.symbol_modulatable(5, lte::kPssSymbolIndex));
+  EXPECT_FALSE(ctl.symbol_modulatable(15, lte::kSssSymbolIndex));
+  EXPECT_TRUE(ctl.symbol_modulatable(0, 0));
+  // Non-sync subframes: everything is fair game.
+  for (std::size_t l = 0; l < lte::kSymbolsPerSubframe; ++l) {
+    EXPECT_TRUE(ctl.symbol_modulatable(1, l));
+  }
+}
+
+TEST(TagController, ModulatableSymbolCounts) {
+  tag::TagController ctl(cell20(), {});
+  EXPECT_EQ(ctl.modulatable_symbols(0).size(), 12u);  // sync subframe
+  EXPECT_EQ(ctl.modulatable_symbols(1).size(), 14u);
+}
+
+TEST(TagController, PacketRawBitsMatchesPaperArithmetic) {
+  tag::TagController ctl(cell20(), {});
+  // Non-sync subframe: (14 - 1 preamble) * 1200 = 15600.
+  EXPECT_EQ(ctl.packet_raw_bits(1), 15600u);
+  // Sync subframe: (12 - 1) * 1200 = 13200.
+  EXPECT_EQ(ctl.packet_raw_bits(0), 13200u);
+  // Listening subframe carries nothing.
+  EXPECT_EQ(ctl.packet_raw_bits(9), 0u);
+}
+
+TEST(TagController, MaxDataSymbolsCapsPacket) {
+  tag::TagScheduleConfig sched;
+  sched.max_data_symbols_per_packet = 2;
+  tag::TagController ctl(cell20(), sched);
+  EXPECT_EQ(ctl.packet_raw_bits(1), 2400u);
+}
+
+TEST(TagController, RepetitionDividesInfoBits) {
+  tag::TagScheduleConfig sched;
+  sched.repetition = 8;
+  tag::TagController ctl(cell20(), sched);
+  EXPECT_EQ(ctl.units_per_symbol(), 1200u);
+  EXPECT_EQ(ctl.bits_per_symbol(), 150u);
+  EXPECT_EQ(ctl.packet_raw_bits(1), 13u * 150u);
+}
+
+TEST(TagController, ModulationWindowCenteredInUsefulPart) {
+  tag::TagController ctl(cell20(), {});
+  // (2048 - 1200) / 2 = 424 units on each side.
+  EXPECT_EQ(ctl.modulation_start_unit(), 424u);
+  EXPECT_EQ(ctl.offset_tolerance_units(), 424u);
+  // 424 units at 30.72 Msps = 13.8 us one-sided tolerance.
+  EXPECT_NEAR(424.0 / 30.72e6, 13.8e-6, 0.1e-6);
+}
+
+TEST(TagController, PlanPlacesPreambleThenData) {
+  tag::TagController ctl(cell20(), {});
+  std::vector<std::vector<std::uint8_t>> payloads(
+      13, std::vector<std::uint8_t>(1200, 1));
+  payloads[0][0] = 0;  // marker
+  const auto plan = ctl.plan_subframe(1, true, payloads);
+  EXPECT_FALSE(plan.listening);
+  EXPECT_EQ(plan.symbols[0].kind, tag::SymbolPlan::Kind::kPreamble);
+  EXPECT_EQ(plan.symbols[0].bits, ctl.preamble_pattern());
+  EXPECT_EQ(plan.symbols[1].kind, tag::SymbolPlan::Kind::kData);
+  EXPECT_EQ(plan.symbols[1].bits[0], 0);
+  EXPECT_EQ(plan.symbols[13].kind, tag::SymbolPlan::Kind::kData);
+}
+
+TEST(TagController, ListeningPlanIsAllFiller) {
+  tag::TagController ctl(cell20(), {});
+  const auto plan = ctl.plan_subframe(9, true, {});
+  EXPECT_TRUE(plan.listening);
+  for (const auto& sp : plan.symbols) {
+    EXPECT_EQ(sp.kind, tag::SymbolPlan::Kind::kFiller);
+  }
+}
+
+TEST(TagController, ExpandPlacesBitsInsideUsefulWindows) {
+  const auto cell = cell20();
+  tag::TagController ctl(cell, {});
+  std::vector<std::vector<std::uint8_t>> payloads(
+      13, std::vector<std::uint8_t>(1200, 0));  // all-zero data
+  const auto plan = ctl.plan_subframe(1, true, payloads);
+  const auto units = tag::expand_to_units(cell, plan);
+  ASSERT_EQ(units.size(), cell.samples_per_subframe());
+
+  // Data symbol 1: zeros must sit exactly in
+  // [useful + 424, useful + 424 + 1200).
+  const std::size_t useful =
+      lte::symbol_offset_in_subframe(cell, 1) + cell.cp_samples();
+  for (std::size_t n = 0; n < cell.fft_size(); ++n) {
+    const bool in_window = n >= 424 && n < 424 + 1200;
+    EXPECT_EQ(units[useful + n], in_window ? 0 : 1) << "unit " << n;
+  }
+  // The CP of that symbol is filler.
+  for (std::size_t n = 0; n < cell.cp_samples(); ++n) {
+    EXPECT_EQ(units[lte::symbol_offset_in_subframe(cell, 1) + n], 1);
+  }
+}
+
+TEST(TagController, RepetitionExpansionFillsConsecutiveUnits) {
+  tag::TagScheduleConfig sched;
+  sched.repetition = 4;
+  const auto cell = cell20();
+  tag::TagController ctl(cell, sched);
+  std::vector<std::uint8_t> info(300, 1);
+  info[2] = 0;  // bit 2 -> units 8..11 of the window
+  const auto plan = ctl.plan_subframe(1, true, {info});
+  const auto& bits = plan.symbols[1].bits;
+  ASSERT_EQ(bits.size(), 1200u);
+  for (std::size_t u = 0; u < 16; ++u) {
+    EXPECT_EQ(bits[u], (u >= 8 && u < 12) ? 0 : 1) << "unit " << u;
+  }
+}
+
+TEST(TagController, UsefulModulationOccupies54Point6Percent) {
+  // Paper §3.2.3: 1200 / 2196 ~ 54.6% of the symbol duration (we use the
+  // exact 2192 = 2048 + 144).
+  const auto cell = cell20();
+  const double ratio =
+      1200.0 / static_cast<double>(cell.fft_size() + cell.cp_samples());
+  EXPECT_NEAR(ratio, 0.546, 0.01);
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+// RF-switch model: sign semantics, timing-error shifts, gain application.
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.hpp"
+#include "tag/modulator.hpp"
+
+namespace {
+
+using namespace lscatter;
+using dsp::cf32;
+using dsp::cvec;
+
+TEST(Modulator, OnesPassThroughZerosFlip) {
+  const cvec x = {cf32{1, 0}, cf32{0, 1}, cf32{-2, 3}};
+  const std::vector<std::uint8_t> pattern = {1, 0, 1};
+  const cvec y = tag::apply_pattern(x, pattern, 0, cf32{1.0f, 0.0f});
+  EXPECT_EQ(y[0], x[0]);
+  EXPECT_EQ(y[1], -x[1]);
+  EXPECT_EQ(y[2], x[2]);
+}
+
+TEST(Modulator, GainScalesAndRotates) {
+  const cvec x = {cf32{1, 0}};
+  const std::vector<std::uint8_t> pattern = {1};
+  const cf32 g{0.0f, 2.0f};
+  const cvec y = tag::apply_pattern(x, pattern, 0, g);
+  EXPECT_FLOAT_EQ(y[0].real(), 0.0f);
+  EXPECT_FLOAT_EQ(y[0].imag(), 2.0f);
+}
+
+TEST(Modulator, PositiveErrorDelaysThePattern) {
+  // Tag late by 2 units: output[n] follows pattern[n-2].
+  const cvec x(6, cf32{1, 0});
+  const std::vector<std::uint8_t> pattern = {0, 1, 1, 1, 1, 1};
+  const cvec y = tag::apply_pattern(x, pattern, 2, cf32{1.0f, 0.0f});
+  EXPECT_EQ(y[0], x[0]);   // index -2: out of range -> filler '1'
+  EXPECT_EQ(y[1], x[1]);   // index -1: filler
+  EXPECT_EQ(y[2], -x[2]);  // pattern[0] == 0
+  EXPECT_EQ(y[3], x[3]);
+}
+
+TEST(Modulator, NegativeErrorAdvancesThePattern) {
+  const cvec x(4, cf32{1, 0});
+  const std::vector<std::uint8_t> pattern = {1, 1, 1, 0};
+  const cvec y = tag::apply_pattern(x, pattern, -3, cf32{1.0f, 0.0f});
+  EXPECT_EQ(y[0], -x[0]);  // pattern[3] == 0
+  EXPECT_EQ(y[1], x[1]);   // index 4: out of range -> filler
+}
+
+TEST(Modulator, EnergyIsPreservedUpToGain) {
+  dsp::Rng rng(1);
+  cvec x(512);
+  for (auto& v : x) v = rng.complex_normal();
+  const auto pattern = rng.bits(512);
+  const float g = 0.25f;
+  const cvec y = tag::apply_pattern(x, pattern, 0, cf32{g, 0.0f});
+  EXPECT_NEAR(dsp::energy(y), g * g * dsp::energy(x), 1e-3);
+}
+
+TEST(Modulator, FirstHarmonicConstant) {
+  EXPECT_NEAR(tag::kSquareWaveFirstHarmonic, 2.0 / 3.14159265, 1e-6);
+}
+
+}  // namespace

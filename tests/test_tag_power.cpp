@@ -1,0 +1,80 @@
+// Power model (§4.8) and the energy-harvesting extension.
+
+#include <gtest/gtest.h>
+
+#include "tag/power_model.hpp"
+
+namespace {
+
+using namespace lscatter;
+using tag::ClockSource;
+using tag::PowerModel;
+
+TEST(PowerModel, PaperAnchorsReproduce) {
+  const PowerModel m;
+  const auto p20 =
+      m.breakdown(lte::Bandwidth::kMHz20, ClockSource::kCrystal);
+  EXPECT_DOUBLE_EQ(p20.sync_comparator_uw, 10.0);   // MAX931
+  EXPECT_DOUBLE_EQ(p20.rf_switch_uw, 57.0);         // ADG902 @ 20 MHz
+  EXPECT_DOUBLE_EQ(p20.baseband_fpga_uw, 82.0);     // AGLN250
+  EXPECT_NEAR(p20.clock_uw, 4500.0, 1.0);           // CSX-252F
+
+  const auto p14 =
+      m.breakdown(lte::Bandwidth::kMHz1_4, ClockSource::kCrystal);
+  EXPECT_NEAR(p14.clock_uw, 588.0, 1.0);            // LTC6990
+}
+
+TEST(PowerModel, SwitchPowerLinearInBandwidth) {
+  const PowerModel m;
+  const auto p5 = m.breakdown(lte::Bandwidth::kMHz5, ClockSource::kCrystal);
+  EXPECT_NEAR(p5.rf_switch_uw, 57.0 * 5.0 / 20.0, 1e-9);
+}
+
+TEST(PowerModel, ClockRateEqualsSampleRate) {
+  const PowerModel m;
+  EXPECT_NEAR(m.clock_rate_hz(lte::Bandwidth::kMHz20), 30.72e6, 1.0);
+  EXPECT_NEAR(m.clock_rate_hz(lte::Bandwidth::kMHz1_4), 1.92e6, 1.0);
+}
+
+TEST(PowerModel, RingOscillatorIsMicrowatts) {
+  const PowerModel m;
+  const auto p =
+      m.breakdown(lte::Bandwidth::kMHz20, ClockSource::kRingOscillator);
+  EXPECT_LT(p.clock_uw, 10.0);
+  EXPECT_LT(p.total_uw(), 200.0);
+  // Crystal totals are dominated by the oscillator instead.
+  EXPECT_GT(m.breakdown(lte::Bandwidth::kMHz20, ClockSource::kCrystal)
+                .total_uw(),
+            4000.0);
+}
+
+TEST(Harvest, SensitivityKneeAndEfficiency) {
+  const tag::HarvestModel h;
+  EXPECT_DOUBLE_EQ(h.harvested_uw(-30.0), 0.0);  // below the knee
+  // 0 dBm = 1 mW -> 300 uW at 30%.
+  EXPECT_NEAR(h.harvested_uw(0.0), 300.0, 1e-6);
+}
+
+TEST(Harvest, DutyCycleCapsAtOne) {
+  const tag::HarvestModel h;
+  const PowerModel m;
+  const auto p =
+      m.breakdown(lte::Bandwidth::kMHz20, ClockSource::kRingOscillator);
+  EXPECT_DOUBLE_EQ(h.sustainable_duty_cycle(10.0, p), 1.0);
+  EXPECT_DOUBLE_EQ(h.sustainable_duty_cycle(-40.0, p), 0.0);
+  const double mid = h.sustainable_duty_cycle(-15.0, p);
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 1.0);
+}
+
+TEST(PowerModel, FormatRowIsInformative) {
+  const PowerModel m;
+  const auto p =
+      m.breakdown(lte::Bandwidth::kMHz5, ClockSource::kCrystal);
+  const std::string row =
+      tag::format_power_row(lte::Bandwidth::kMHz5, ClockSource::kCrystal, p);
+  EXPECT_NE(row.find("5MHz"), std::string::npos);
+  EXPECT_NE(row.find("total"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Traffic models: occupancy profiles, burst processes, spectrum surveys.
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.hpp"
+#include "traffic/burst_process.hpp"
+#include "traffic/occupancy_model.hpp"
+#include "traffic/spectrum_survey.hpp"
+
+namespace {
+
+using namespace lscatter;
+using namespace lscatter::traffic;
+
+TEST(OccupancyModel, LteIsAlwaysFull) {
+  const OccupancyModel lte(Technology::kLte, Site::kMall);
+  dsp::Rng rng(1);
+  for (std::size_t h = 0; h < 24; ++h) {
+    EXPECT_DOUBLE_EQ(lte.mean_occupancy(h), 1.0);
+    EXPECT_DOUBLE_EQ(lte.sample_occupancy(h, rng), 1.0);
+  }
+}
+
+TEST(OccupancyModel, LoraIsSparseEverywhere) {
+  for (const Site s : {Site::kHome, Site::kOffice, Site::kClassroom}) {
+    const OccupancyModel lora(Technology::kLora, s);
+    for (std::size_t h = 0; h < 24; ++h) {
+      EXPECT_NEAR(lora.mean_occupancy(h), 0.02, 1e-9);
+    }
+  }
+}
+
+TEST(OccupancyModel, WifiHomePeaksInTheEvening) {
+  const OccupancyModel wifi(Technology::kWifi, Site::kHome);
+  EXPECT_GT(wifi.mean_occupancy(19), wifi.mean_occupancy(3) * 4);
+  EXPECT_GT(wifi.mean_occupancy(19), wifi.mean_occupancy(10));
+}
+
+TEST(OccupancyModel, OfficePeaksDuringWorkHours) {
+  const OccupancyModel wifi(Technology::kWifi, Site::kOffice);
+  EXPECT_GT(wifi.mean_occupancy(11), wifi.mean_occupancy(22) * 3);
+}
+
+TEST(OccupancyModel, SamplesAreClampedToUnitInterval) {
+  const OccupancyModel wifi(Technology::kWifi, Site::kOffice);
+  dsp::Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = wifi.sample_occupancy(i % 24, rng);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(OccupancyModel, WeekHas168Samples) {
+  const OccupancyModel wifi(Technology::kWifi, Site::kHome);
+  dsp::Rng rng(3);
+  EXPECT_EQ(wifi.week_of_samples(rng).size(), 168u);
+}
+
+TEST(BurstProcess, DutyCycleMatchesTarget) {
+  dsp::Rng rng(4);
+  BurstProcessConfig cfg;
+  cfg.occupancy = 0.4;
+  cfg.mean_burst_s = 2e-3;
+  const auto bursts = generate_bursts(cfg, 20.0, rng);
+  EXPECT_NEAR(measure_occupancy(bursts, 20.0), 0.4, 0.04);
+}
+
+TEST(BurstProcess, ZeroAndFullOccupancyEdgeCases) {
+  dsp::Rng rng(5);
+  BurstProcessConfig cfg;
+  cfg.occupancy = 0.0;
+  EXPECT_TRUE(generate_bursts(cfg, 1.0, rng).empty());
+  cfg.occupancy = 1.0;
+  const auto full = generate_bursts(cfg, 1.0, rng);
+  ASSERT_EQ(full.size(), 1u);
+  EXPECT_NEAR(measure_occupancy(full, 1.0), 1.0, 1e-9);
+}
+
+TEST(BurstProcess, IsBusyAgreesWithIntervals) {
+  dsp::Rng rng(6);
+  BurstProcessConfig cfg;
+  cfg.occupancy = 0.3;
+  const auto bursts = generate_bursts(cfg, 5.0, rng);
+  ASSERT_FALSE(bursts.empty());
+  const auto& b = bursts[bursts.size() / 2];
+  EXPECT_TRUE(is_busy(bursts, b.start_s + b.duration_s / 2));
+  EXPECT_FALSE(is_busy(bursts, b.start_s - 1e-6));
+}
+
+TEST(SpectrumSurvey, LteIsContinuousWifiIsNot) {
+  dsp::Rng rng(7);
+  const auto wifi = survey_wifi(50e-3, 0.4, rng);
+  const auto lte = survey_lte(50e-3, rng);
+  EXPECT_NEAR(lte.time_occupancy(), 1.0, 1e-9);
+  EXPECT_LT(wifi.time_occupancy(), 0.75);
+  EXPECT_GT(wifi.time_occupancy(), 0.1);
+}
+
+TEST(SpectrumSurvey, RenderProducesRows) {
+  dsp::Rng rng(8);
+  const auto lte = survey_lte(5e-3, rng);
+  const std::string art = lte.render(8);
+  EXPECT_GT(std::count(art.begin(), art.end(), '\n'), 4);
+}
+
+TEST(SpectrumSurvey, WeeklyCdfOrdersTechnologies) {
+  dsp::Rng rng(9);
+  const auto lte = weekly_occupancy_cdf(Technology::kLte, Site::kHome, rng);
+  const auto wifi =
+      weekly_occupancy_cdf(Technology::kWifi, Site::kHome, rng);
+  const auto lora =
+      weekly_occupancy_cdf(Technology::kLora, Site::kHome, rng);
+  EXPECT_NEAR(lte.quantile(0.5), 1.0, 1e-9);
+  EXPECT_LT(wifi.quantile(0.5), 0.7);
+  EXPECT_LT(lora.quantile(0.9), 0.1);
+}
+
+}  // namespace
