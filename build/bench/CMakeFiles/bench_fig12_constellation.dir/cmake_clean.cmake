@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_constellation.dir/bench_fig12_constellation.cpp.o"
+  "CMakeFiles/bench_fig12_constellation.dir/bench_fig12_constellation.cpp.o.d"
+  "bench_fig12_constellation"
+  "bench_fig12_constellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_constellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_smarthome_day.dir/bench_fig16_smarthome_day.cpp.o"
+  "CMakeFiles/bench_fig16_smarthome_day.dir/bench_fig16_smarthome_day.cpp.o.d"
+  "bench_fig16_smarthome_day"
+  "bench_fig16_smarthome_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_smarthome_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_mall_day.dir/bench_fig21_mall_day.cpp.o"
+  "CMakeFiles/bench_fig21_mall_day.dir/bench_fig21_mall_day.cpp.o.d"
+  "bench_fig21_mall_day"
+  "bench_fig21_mall_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_mall_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig30_range_40dbm.dir/bench_fig30_range_40dbm.cpp.o"
+  "CMakeFiles/bench_fig30_range_40dbm.dir/bench_fig30_range_40dbm.cpp.o.d"
+  "bench_fig30_range_40dbm"
+  "bench_fig30_range_40dbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig30_range_40dbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

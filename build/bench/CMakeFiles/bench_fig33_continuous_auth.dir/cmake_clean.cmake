@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig33_continuous_auth.dir/bench_fig33_continuous_auth.cpp.o"
+  "CMakeFiles/bench_fig33_continuous_auth.dir/bench_fig33_continuous_auth.cpp.o.d"
+  "bench_fig33_continuous_auth"
+  "bench_fig33_continuous_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig33_continuous_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

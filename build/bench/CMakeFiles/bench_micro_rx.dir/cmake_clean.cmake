@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_rx.dir/bench_micro_rx.cpp.o"
+  "CMakeFiles/bench_micro_rx.dir/bench_micro_rx.cpp.o.d"
+  "bench_micro_rx"
+  "bench_micro_rx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_rx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

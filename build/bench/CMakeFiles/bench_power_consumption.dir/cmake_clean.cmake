@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_power_consumption.dir/bench_power_consumption.cpp.o"
+  "CMakeFiles/bench_power_consumption.dir/bench_power_consumption.cpp.o.d"
+  "bench_power_consumption"
+  "bench_power_consumption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_power_consumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

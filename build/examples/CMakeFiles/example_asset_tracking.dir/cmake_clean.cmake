@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_asset_tracking.dir/asset_tracking.cpp.o"
+  "CMakeFiles/example_asset_tracking.dir/asset_tracking.cpp.o.d"
+  "example_asset_tracking"
+  "example_asset_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_asset_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

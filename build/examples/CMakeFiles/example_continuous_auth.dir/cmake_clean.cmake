@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_continuous_auth.dir/continuous_auth.cpp.o"
+  "CMakeFiles/example_continuous_auth.dir/continuous_auth.cpp.o.d"
+  "example_continuous_auth"
+  "example_continuous_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_continuous_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_smart_home_sensors.dir/smart_home_sensors.cpp.o"
+  "CMakeFiles/example_smart_home_sensors.dir/smart_home_sensors.cpp.o.d"
+  "example_smart_home_sensors"
+  "example_smart_home_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_smart_home_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

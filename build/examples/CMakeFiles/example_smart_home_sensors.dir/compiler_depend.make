@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_smart_home_sensors.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spectrum_survey.dir/spectrum_survey.cpp.o"
+  "CMakeFiles/example_spectrum_survey.dir/spectrum_survey.cpp.o.d"
+  "example_spectrum_survey"
+  "example_spectrum_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spectrum_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

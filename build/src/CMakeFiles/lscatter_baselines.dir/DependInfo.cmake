@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/day_study.cpp" "src/CMakeFiles/lscatter_baselines.dir/baselines/day_study.cpp.o" "gcc" "src/CMakeFiles/lscatter_baselines.dir/baselines/day_study.cpp.o.d"
+  "/root/repo/src/baselines/lora_backscatter.cpp" "src/CMakeFiles/lscatter_baselines.dir/baselines/lora_backscatter.cpp.o" "gcc" "src/CMakeFiles/lscatter_baselines.dir/baselines/lora_backscatter.cpp.o.d"
+  "/root/repo/src/baselines/lora_phy_lite.cpp" "src/CMakeFiles/lscatter_baselines.dir/baselines/lora_phy_lite.cpp.o" "gcc" "src/CMakeFiles/lscatter_baselines.dir/baselines/lora_phy_lite.cpp.o.d"
+  "/root/repo/src/baselines/symbol_level_lte.cpp" "src/CMakeFiles/lscatter_baselines.dir/baselines/symbol_level_lte.cpp.o" "gcc" "src/CMakeFiles/lscatter_baselines.dir/baselines/symbol_level_lte.cpp.o.d"
+  "/root/repo/src/baselines/taxonomy.cpp" "src/CMakeFiles/lscatter_baselines.dir/baselines/taxonomy.cpp.o" "gcc" "src/CMakeFiles/lscatter_baselines.dir/baselines/taxonomy.cpp.o.d"
+  "/root/repo/src/baselines/wifi_backscatter.cpp" "src/CMakeFiles/lscatter_baselines.dir/baselines/wifi_backscatter.cpp.o" "gcc" "src/CMakeFiles/lscatter_baselines.dir/baselines/wifi_backscatter.cpp.o.d"
+  "/root/repo/src/baselines/wifi_phy_lite.cpp" "src/CMakeFiles/lscatter_baselines.dir/baselines/wifi_phy_lite.cpp.o" "gcc" "src/CMakeFiles/lscatter_baselines.dir/baselines/wifi_phy_lite.cpp.o.d"
+  "/root/repo/src/baselines/wifi_unit_level.cpp" "src/CMakeFiles/lscatter_baselines.dir/baselines/wifi_unit_level.cpp.o" "gcc" "src/CMakeFiles/lscatter_baselines.dir/baselines/wifi_unit_level.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lscatter_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lscatter_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lscatter_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lscatter_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lscatter_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lscatter_tag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

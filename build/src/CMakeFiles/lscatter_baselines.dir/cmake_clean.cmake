@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lscatter_baselines.dir/baselines/day_study.cpp.o"
+  "CMakeFiles/lscatter_baselines.dir/baselines/day_study.cpp.o.d"
+  "CMakeFiles/lscatter_baselines.dir/baselines/lora_backscatter.cpp.o"
+  "CMakeFiles/lscatter_baselines.dir/baselines/lora_backscatter.cpp.o.d"
+  "CMakeFiles/lscatter_baselines.dir/baselines/lora_phy_lite.cpp.o"
+  "CMakeFiles/lscatter_baselines.dir/baselines/lora_phy_lite.cpp.o.d"
+  "CMakeFiles/lscatter_baselines.dir/baselines/symbol_level_lte.cpp.o"
+  "CMakeFiles/lscatter_baselines.dir/baselines/symbol_level_lte.cpp.o.d"
+  "CMakeFiles/lscatter_baselines.dir/baselines/taxonomy.cpp.o"
+  "CMakeFiles/lscatter_baselines.dir/baselines/taxonomy.cpp.o.d"
+  "CMakeFiles/lscatter_baselines.dir/baselines/wifi_backscatter.cpp.o"
+  "CMakeFiles/lscatter_baselines.dir/baselines/wifi_backscatter.cpp.o.d"
+  "CMakeFiles/lscatter_baselines.dir/baselines/wifi_phy_lite.cpp.o"
+  "CMakeFiles/lscatter_baselines.dir/baselines/wifi_phy_lite.cpp.o.d"
+  "CMakeFiles/lscatter_baselines.dir/baselines/wifi_unit_level.cpp.o"
+  "CMakeFiles/lscatter_baselines.dir/baselines/wifi_unit_level.cpp.o.d"
+  "liblscatter_baselines.a"
+  "liblscatter_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lscatter_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

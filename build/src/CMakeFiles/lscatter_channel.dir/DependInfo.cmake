@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/awgn.cpp" "src/CMakeFiles/lscatter_channel.dir/channel/awgn.cpp.o" "gcc" "src/CMakeFiles/lscatter_channel.dir/channel/awgn.cpp.o.d"
+  "/root/repo/src/channel/fading.cpp" "src/CMakeFiles/lscatter_channel.dir/channel/fading.cpp.o" "gcc" "src/CMakeFiles/lscatter_channel.dir/channel/fading.cpp.o.d"
+  "/root/repo/src/channel/link_budget.cpp" "src/CMakeFiles/lscatter_channel.dir/channel/link_budget.cpp.o" "gcc" "src/CMakeFiles/lscatter_channel.dir/channel/link_budget.cpp.o.d"
+  "/root/repo/src/channel/pathloss.cpp" "src/CMakeFiles/lscatter_channel.dir/channel/pathloss.cpp.o" "gcc" "src/CMakeFiles/lscatter_channel.dir/channel/pathloss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lscatter_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lscatter_channel.dir/channel/awgn.cpp.o"
+  "CMakeFiles/lscatter_channel.dir/channel/awgn.cpp.o.d"
+  "CMakeFiles/lscatter_channel.dir/channel/fading.cpp.o"
+  "CMakeFiles/lscatter_channel.dir/channel/fading.cpp.o.d"
+  "CMakeFiles/lscatter_channel.dir/channel/link_budget.cpp.o"
+  "CMakeFiles/lscatter_channel.dir/channel/link_budget.cpp.o.d"
+  "CMakeFiles/lscatter_channel.dir/channel/pathloss.cpp.o"
+  "CMakeFiles/lscatter_channel.dir/channel/pathloss.cpp.o.d"
+  "liblscatter_channel.a"
+  "liblscatter_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lscatter_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ambient_reconstructor.cpp" "src/CMakeFiles/lscatter_core.dir/core/ambient_reconstructor.cpp.o" "gcc" "src/CMakeFiles/lscatter_core.dir/core/ambient_reconstructor.cpp.o.d"
+  "/root/repo/src/core/framing.cpp" "src/CMakeFiles/lscatter_core.dir/core/framing.cpp.o" "gcc" "src/CMakeFiles/lscatter_core.dir/core/framing.cpp.o.d"
+  "/root/repo/src/core/link_simulator.cpp" "src/CMakeFiles/lscatter_core.dir/core/link_simulator.cpp.o" "gcc" "src/CMakeFiles/lscatter_core.dir/core/link_simulator.cpp.o.d"
+  "/root/repo/src/core/lscatter_rx.cpp" "src/CMakeFiles/lscatter_core.dir/core/lscatter_rx.cpp.o" "gcc" "src/CMakeFiles/lscatter_core.dir/core/lscatter_rx.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/lscatter_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/lscatter_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/modulation_offset.cpp" "src/CMakeFiles/lscatter_core.dir/core/modulation_offset.cpp.o" "gcc" "src/CMakeFiles/lscatter_core.dir/core/modulation_offset.cpp.o.d"
+  "/root/repo/src/core/multi_tag.cpp" "src/CMakeFiles/lscatter_core.dir/core/multi_tag.cpp.o" "gcc" "src/CMakeFiles/lscatter_core.dir/core/multi_tag.cpp.o.d"
+  "/root/repo/src/core/phase_offset.cpp" "src/CMakeFiles/lscatter_core.dir/core/phase_offset.cpp.o" "gcc" "src/CMakeFiles/lscatter_core.dir/core/phase_offset.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/lscatter_core.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/lscatter_core.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/core/streaming_receiver.cpp" "src/CMakeFiles/lscatter_core.dir/core/streaming_receiver.cpp.o" "gcc" "src/CMakeFiles/lscatter_core.dir/core/streaming_receiver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lscatter_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lscatter_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lscatter_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lscatter_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lscatter_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lscatter_core.dir/core/ambient_reconstructor.cpp.o"
+  "CMakeFiles/lscatter_core.dir/core/ambient_reconstructor.cpp.o.d"
+  "CMakeFiles/lscatter_core.dir/core/framing.cpp.o"
+  "CMakeFiles/lscatter_core.dir/core/framing.cpp.o.d"
+  "CMakeFiles/lscatter_core.dir/core/link_simulator.cpp.o"
+  "CMakeFiles/lscatter_core.dir/core/link_simulator.cpp.o.d"
+  "CMakeFiles/lscatter_core.dir/core/lscatter_rx.cpp.o"
+  "CMakeFiles/lscatter_core.dir/core/lscatter_rx.cpp.o.d"
+  "CMakeFiles/lscatter_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/lscatter_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/lscatter_core.dir/core/modulation_offset.cpp.o"
+  "CMakeFiles/lscatter_core.dir/core/modulation_offset.cpp.o.d"
+  "CMakeFiles/lscatter_core.dir/core/multi_tag.cpp.o"
+  "CMakeFiles/lscatter_core.dir/core/multi_tag.cpp.o.d"
+  "CMakeFiles/lscatter_core.dir/core/phase_offset.cpp.o"
+  "CMakeFiles/lscatter_core.dir/core/phase_offset.cpp.o.d"
+  "CMakeFiles/lscatter_core.dir/core/scenario.cpp.o"
+  "CMakeFiles/lscatter_core.dir/core/scenario.cpp.o.d"
+  "CMakeFiles/lscatter_core.dir/core/streaming_receiver.cpp.o"
+  "CMakeFiles/lscatter_core.dir/core/streaming_receiver.cpp.o.d"
+  "liblscatter_core.a"
+  "liblscatter_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lscatter_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

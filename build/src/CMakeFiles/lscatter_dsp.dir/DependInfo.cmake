@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/convolutional.cpp" "src/CMakeFiles/lscatter_dsp.dir/dsp/convolutional.cpp.o" "gcc" "src/CMakeFiles/lscatter_dsp.dir/dsp/convolutional.cpp.o.d"
+  "/root/repo/src/dsp/correlate.cpp" "src/CMakeFiles/lscatter_dsp.dir/dsp/correlate.cpp.o" "gcc" "src/CMakeFiles/lscatter_dsp.dir/dsp/correlate.cpp.o.d"
+  "/root/repo/src/dsp/crc.cpp" "src/CMakeFiles/lscatter_dsp.dir/dsp/crc.cpp.o" "gcc" "src/CMakeFiles/lscatter_dsp.dir/dsp/crc.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/CMakeFiles/lscatter_dsp.dir/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/lscatter_dsp.dir/dsp/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/CMakeFiles/lscatter_dsp.dir/dsp/fir.cpp.o" "gcc" "src/CMakeFiles/lscatter_dsp.dir/dsp/fir.cpp.o.d"
+  "/root/repo/src/dsp/linalg.cpp" "src/CMakeFiles/lscatter_dsp.dir/dsp/linalg.cpp.o" "gcc" "src/CMakeFiles/lscatter_dsp.dir/dsp/linalg.cpp.o.d"
+  "/root/repo/src/dsp/rng.cpp" "src/CMakeFiles/lscatter_dsp.dir/dsp/rng.cpp.o" "gcc" "src/CMakeFiles/lscatter_dsp.dir/dsp/rng.cpp.o.d"
+  "/root/repo/src/dsp/stats.cpp" "src/CMakeFiles/lscatter_dsp.dir/dsp/stats.cpp.o" "gcc" "src/CMakeFiles/lscatter_dsp.dir/dsp/stats.cpp.o.d"
+  "/root/repo/src/dsp/types.cpp" "src/CMakeFiles/lscatter_dsp.dir/dsp/types.cpp.o" "gcc" "src/CMakeFiles/lscatter_dsp.dir/dsp/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lscatter_dsp.dir/dsp/convolutional.cpp.o"
+  "CMakeFiles/lscatter_dsp.dir/dsp/convolutional.cpp.o.d"
+  "CMakeFiles/lscatter_dsp.dir/dsp/correlate.cpp.o"
+  "CMakeFiles/lscatter_dsp.dir/dsp/correlate.cpp.o.d"
+  "CMakeFiles/lscatter_dsp.dir/dsp/crc.cpp.o"
+  "CMakeFiles/lscatter_dsp.dir/dsp/crc.cpp.o.d"
+  "CMakeFiles/lscatter_dsp.dir/dsp/fft.cpp.o"
+  "CMakeFiles/lscatter_dsp.dir/dsp/fft.cpp.o.d"
+  "CMakeFiles/lscatter_dsp.dir/dsp/fir.cpp.o"
+  "CMakeFiles/lscatter_dsp.dir/dsp/fir.cpp.o.d"
+  "CMakeFiles/lscatter_dsp.dir/dsp/linalg.cpp.o"
+  "CMakeFiles/lscatter_dsp.dir/dsp/linalg.cpp.o.d"
+  "CMakeFiles/lscatter_dsp.dir/dsp/rng.cpp.o"
+  "CMakeFiles/lscatter_dsp.dir/dsp/rng.cpp.o.d"
+  "CMakeFiles/lscatter_dsp.dir/dsp/stats.cpp.o"
+  "CMakeFiles/lscatter_dsp.dir/dsp/stats.cpp.o.d"
+  "CMakeFiles/lscatter_dsp.dir/dsp/types.cpp.o"
+  "CMakeFiles/lscatter_dsp.dir/dsp/types.cpp.o.d"
+  "liblscatter_dsp.a"
+  "liblscatter_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lscatter_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

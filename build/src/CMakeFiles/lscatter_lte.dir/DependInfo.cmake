@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lte/cell_config.cpp" "src/CMakeFiles/lscatter_lte.dir/lte/cell_config.cpp.o" "gcc" "src/CMakeFiles/lscatter_lte.dir/lte/cell_config.cpp.o.d"
+  "/root/repo/src/lte/enodeb.cpp" "src/CMakeFiles/lscatter_lte.dir/lte/enodeb.cpp.o" "gcc" "src/CMakeFiles/lscatter_lte.dir/lte/enodeb.cpp.o.d"
+  "/root/repo/src/lte/ofdm.cpp" "src/CMakeFiles/lscatter_lte.dir/lte/ofdm.cpp.o" "gcc" "src/CMakeFiles/lscatter_lte.dir/lte/ofdm.cpp.o.d"
+  "/root/repo/src/lte/pbch.cpp" "src/CMakeFiles/lscatter_lte.dir/lte/pbch.cpp.o" "gcc" "src/CMakeFiles/lscatter_lte.dir/lte/pbch.cpp.o.d"
+  "/root/repo/src/lte/pdcch.cpp" "src/CMakeFiles/lscatter_lte.dir/lte/pdcch.cpp.o" "gcc" "src/CMakeFiles/lscatter_lte.dir/lte/pdcch.cpp.o.d"
+  "/root/repo/src/lte/qam.cpp" "src/CMakeFiles/lscatter_lte.dir/lte/qam.cpp.o" "gcc" "src/CMakeFiles/lscatter_lte.dir/lte/qam.cpp.o.d"
+  "/root/repo/src/lte/resource_grid.cpp" "src/CMakeFiles/lscatter_lte.dir/lte/resource_grid.cpp.o" "gcc" "src/CMakeFiles/lscatter_lte.dir/lte/resource_grid.cpp.o.d"
+  "/root/repo/src/lte/sequences.cpp" "src/CMakeFiles/lscatter_lte.dir/lte/sequences.cpp.o" "gcc" "src/CMakeFiles/lscatter_lte.dir/lte/sequences.cpp.o.d"
+  "/root/repo/src/lte/signal_map.cpp" "src/CMakeFiles/lscatter_lte.dir/lte/signal_map.cpp.o" "gcc" "src/CMakeFiles/lscatter_lte.dir/lte/signal_map.cpp.o.d"
+  "/root/repo/src/lte/transport.cpp" "src/CMakeFiles/lscatter_lte.dir/lte/transport.cpp.o" "gcc" "src/CMakeFiles/lscatter_lte.dir/lte/transport.cpp.o.d"
+  "/root/repo/src/lte/ue_rx.cpp" "src/CMakeFiles/lscatter_lte.dir/lte/ue_rx.cpp.o" "gcc" "src/CMakeFiles/lscatter_lte.dir/lte/ue_rx.cpp.o.d"
+  "/root/repo/src/lte/ue_sync.cpp" "src/CMakeFiles/lscatter_lte.dir/lte/ue_sync.cpp.o" "gcc" "src/CMakeFiles/lscatter_lte.dir/lte/ue_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lscatter_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

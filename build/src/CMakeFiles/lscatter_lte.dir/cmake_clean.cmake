@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lscatter_lte.dir/lte/cell_config.cpp.o"
+  "CMakeFiles/lscatter_lte.dir/lte/cell_config.cpp.o.d"
+  "CMakeFiles/lscatter_lte.dir/lte/enodeb.cpp.o"
+  "CMakeFiles/lscatter_lte.dir/lte/enodeb.cpp.o.d"
+  "CMakeFiles/lscatter_lte.dir/lte/ofdm.cpp.o"
+  "CMakeFiles/lscatter_lte.dir/lte/ofdm.cpp.o.d"
+  "CMakeFiles/lscatter_lte.dir/lte/pbch.cpp.o"
+  "CMakeFiles/lscatter_lte.dir/lte/pbch.cpp.o.d"
+  "CMakeFiles/lscatter_lte.dir/lte/pdcch.cpp.o"
+  "CMakeFiles/lscatter_lte.dir/lte/pdcch.cpp.o.d"
+  "CMakeFiles/lscatter_lte.dir/lte/qam.cpp.o"
+  "CMakeFiles/lscatter_lte.dir/lte/qam.cpp.o.d"
+  "CMakeFiles/lscatter_lte.dir/lte/resource_grid.cpp.o"
+  "CMakeFiles/lscatter_lte.dir/lte/resource_grid.cpp.o.d"
+  "CMakeFiles/lscatter_lte.dir/lte/sequences.cpp.o"
+  "CMakeFiles/lscatter_lte.dir/lte/sequences.cpp.o.d"
+  "CMakeFiles/lscatter_lte.dir/lte/signal_map.cpp.o"
+  "CMakeFiles/lscatter_lte.dir/lte/signal_map.cpp.o.d"
+  "CMakeFiles/lscatter_lte.dir/lte/transport.cpp.o"
+  "CMakeFiles/lscatter_lte.dir/lte/transport.cpp.o.d"
+  "CMakeFiles/lscatter_lte.dir/lte/ue_rx.cpp.o"
+  "CMakeFiles/lscatter_lte.dir/lte/ue_rx.cpp.o.d"
+  "CMakeFiles/lscatter_lte.dir/lte/ue_sync.cpp.o"
+  "CMakeFiles/lscatter_lte.dir/lte/ue_sync.cpp.o.d"
+  "liblscatter_lte.a"
+  "liblscatter_lte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lscatter_lte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

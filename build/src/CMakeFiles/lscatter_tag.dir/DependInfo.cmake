@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tag/analog_frontend.cpp" "src/CMakeFiles/lscatter_tag.dir/tag/analog_frontend.cpp.o" "gcc" "src/CMakeFiles/lscatter_tag.dir/tag/analog_frontend.cpp.o.d"
+  "/root/repo/src/tag/modulator.cpp" "src/CMakeFiles/lscatter_tag.dir/tag/modulator.cpp.o" "gcc" "src/CMakeFiles/lscatter_tag.dir/tag/modulator.cpp.o.d"
+  "/root/repo/src/tag/power_model.cpp" "src/CMakeFiles/lscatter_tag.dir/tag/power_model.cpp.o" "gcc" "src/CMakeFiles/lscatter_tag.dir/tag/power_model.cpp.o.d"
+  "/root/repo/src/tag/sync_detector.cpp" "src/CMakeFiles/lscatter_tag.dir/tag/sync_detector.cpp.o" "gcc" "src/CMakeFiles/lscatter_tag.dir/tag/sync_detector.cpp.o.d"
+  "/root/repo/src/tag/tag_controller.cpp" "src/CMakeFiles/lscatter_tag.dir/tag/tag_controller.cpp.o" "gcc" "src/CMakeFiles/lscatter_tag.dir/tag/tag_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lscatter_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lscatter_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lscatter_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

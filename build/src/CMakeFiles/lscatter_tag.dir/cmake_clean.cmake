@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lscatter_tag.dir/tag/analog_frontend.cpp.o"
+  "CMakeFiles/lscatter_tag.dir/tag/analog_frontend.cpp.o.d"
+  "CMakeFiles/lscatter_tag.dir/tag/modulator.cpp.o"
+  "CMakeFiles/lscatter_tag.dir/tag/modulator.cpp.o.d"
+  "CMakeFiles/lscatter_tag.dir/tag/power_model.cpp.o"
+  "CMakeFiles/lscatter_tag.dir/tag/power_model.cpp.o.d"
+  "CMakeFiles/lscatter_tag.dir/tag/sync_detector.cpp.o"
+  "CMakeFiles/lscatter_tag.dir/tag/sync_detector.cpp.o.d"
+  "CMakeFiles/lscatter_tag.dir/tag/tag_controller.cpp.o"
+  "CMakeFiles/lscatter_tag.dir/tag/tag_controller.cpp.o.d"
+  "liblscatter_tag.a"
+  "liblscatter_tag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lscatter_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/burst_process.cpp" "src/CMakeFiles/lscatter_traffic.dir/traffic/burst_process.cpp.o" "gcc" "src/CMakeFiles/lscatter_traffic.dir/traffic/burst_process.cpp.o.d"
+  "/root/repo/src/traffic/occupancy_model.cpp" "src/CMakeFiles/lscatter_traffic.dir/traffic/occupancy_model.cpp.o" "gcc" "src/CMakeFiles/lscatter_traffic.dir/traffic/occupancy_model.cpp.o.d"
+  "/root/repo/src/traffic/spectrum_survey.cpp" "src/CMakeFiles/lscatter_traffic.dir/traffic/spectrum_survey.cpp.o" "gcc" "src/CMakeFiles/lscatter_traffic.dir/traffic/spectrum_survey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lscatter_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lscatter_traffic.dir/traffic/burst_process.cpp.o"
+  "CMakeFiles/lscatter_traffic.dir/traffic/burst_process.cpp.o.d"
+  "CMakeFiles/lscatter_traffic.dir/traffic/occupancy_model.cpp.o"
+  "CMakeFiles/lscatter_traffic.dir/traffic/occupancy_model.cpp.o.d"
+  "CMakeFiles/lscatter_traffic.dir/traffic/spectrum_survey.cpp.o"
+  "CMakeFiles/lscatter_traffic.dir/traffic/spectrum_survey.cpp.o.d"
+  "liblscatter_traffic.a"
+  "liblscatter_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lscatter_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblscatter_traffic.a"
+)

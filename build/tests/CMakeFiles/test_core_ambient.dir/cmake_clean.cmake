@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_ambient.dir/test_core_ambient.cpp.o"
+  "CMakeFiles/test_core_ambient.dir/test_core_ambient.cpp.o.d"
+  "test_core_ambient"
+  "test_core_ambient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_ambient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_demod.dir/test_core_demod.cpp.o"
+  "CMakeFiles/test_core_demod.dir/test_core_demod.cpp.o.d"
+  "test_core_demod"
+  "test_core_demod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_demod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

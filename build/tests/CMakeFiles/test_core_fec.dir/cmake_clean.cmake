@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_fec.dir/test_core_fec.cpp.o"
+  "CMakeFiles/test_core_fec.dir/test_core_fec.cpp.o.d"
+  "test_core_fec"
+  "test_core_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

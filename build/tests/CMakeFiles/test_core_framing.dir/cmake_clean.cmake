@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_framing.dir/test_core_framing.cpp.o"
+  "CMakeFiles/test_core_framing.dir/test_core_framing.cpp.o.d"
+  "test_core_framing"
+  "test_core_framing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_framing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

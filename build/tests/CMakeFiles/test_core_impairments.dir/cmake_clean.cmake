@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_impairments.dir/test_core_impairments.cpp.o"
+  "CMakeFiles/test_core_impairments.dir/test_core_impairments.cpp.o.d"
+  "test_core_impairments"
+  "test_core_impairments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_impairments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

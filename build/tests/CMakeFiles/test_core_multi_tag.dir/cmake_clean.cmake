@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_multi_tag.dir/test_core_multi_tag.cpp.o"
+  "CMakeFiles/test_core_multi_tag.dir/test_core_multi_tag.cpp.o.d"
+  "test_core_multi_tag"
+  "test_core_multi_tag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_multi_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_window_isi.dir/test_core_window_isi.cpp.o"
+  "CMakeFiles/test_core_window_isi.dir/test_core_window_isi.cpp.o.d"
+  "test_core_window_isi"
+  "test_core_window_isi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_window_isi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_convolutional.dir/test_dsp_convolutional.cpp.o"
+  "CMakeFiles/test_dsp_convolutional.dir/test_dsp_convolutional.cpp.o.d"
+  "test_dsp_convolutional"
+  "test_dsp_convolutional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_convolutional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_correlate.dir/test_dsp_correlate.cpp.o"
+  "CMakeFiles/test_dsp_correlate.dir/test_dsp_correlate.cpp.o.d"
+  "test_dsp_correlate"
+  "test_dsp_correlate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_correlate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_crc.dir/test_dsp_crc.cpp.o"
+  "CMakeFiles/test_dsp_crc.dir/test_dsp_crc.cpp.o.d"
+  "test_dsp_crc"
+  "test_dsp_crc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_crc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

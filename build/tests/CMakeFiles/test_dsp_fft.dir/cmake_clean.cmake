@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_fft.dir/test_dsp_fft.cpp.o"
+  "CMakeFiles/test_dsp_fft.dir/test_dsp_fft.cpp.o.d"
+  "test_dsp_fft"
+  "test_dsp_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

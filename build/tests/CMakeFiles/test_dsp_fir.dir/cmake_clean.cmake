@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_fir.dir/test_dsp_fir.cpp.o"
+  "CMakeFiles/test_dsp_fir.dir/test_dsp_fir.cpp.o.d"
+  "test_dsp_fir"
+  "test_dsp_fir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_fir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_rng.dir/test_dsp_rng.cpp.o"
+  "CMakeFiles/test_dsp_rng.dir/test_dsp_rng.cpp.o.d"
+  "test_dsp_rng"
+  "test_dsp_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

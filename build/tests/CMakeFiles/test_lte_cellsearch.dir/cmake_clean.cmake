@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lte_cellsearch.dir/test_lte_cellsearch.cpp.o"
+  "CMakeFiles/test_lte_cellsearch.dir/test_lte_cellsearch.cpp.o.d"
+  "test_lte_cellsearch"
+  "test_lte_cellsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lte_cellsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lte_enodeb_ue.dir/test_lte_enodeb_ue.cpp.o"
+  "CMakeFiles/test_lte_enodeb_ue.dir/test_lte_enodeb_ue.cpp.o.d"
+  "test_lte_enodeb_ue"
+  "test_lte_enodeb_ue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lte_enodeb_ue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lte_grid_ofdm.dir/test_lte_grid_ofdm.cpp.o"
+  "CMakeFiles/test_lte_grid_ofdm.dir/test_lte_grid_ofdm.cpp.o.d"
+  "test_lte_grid_ofdm"
+  "test_lte_grid_ofdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lte_grid_ofdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

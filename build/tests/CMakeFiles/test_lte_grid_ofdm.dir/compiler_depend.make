@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_lte_grid_ofdm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lte_pbch.dir/test_lte_pbch.cpp.o"
+  "CMakeFiles/test_lte_pbch.dir/test_lte_pbch.cpp.o.d"
+  "test_lte_pbch"
+  "test_lte_pbch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lte_pbch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

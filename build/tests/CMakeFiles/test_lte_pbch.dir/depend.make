@@ -1,0 +1,2 @@
+# Empty dependencies file for test_lte_pbch.
+# This may be replaced when dependencies are built.

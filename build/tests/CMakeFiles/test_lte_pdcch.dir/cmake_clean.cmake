@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lte_pdcch.dir/test_lte_pdcch.cpp.o"
+  "CMakeFiles/test_lte_pdcch.dir/test_lte_pdcch.cpp.o.d"
+  "test_lte_pdcch"
+  "test_lte_pdcch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lte_pdcch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lte_qam.dir/test_lte_qam.cpp.o"
+  "CMakeFiles/test_lte_qam.dir/test_lte_qam.cpp.o.d"
+  "test_lte_qam"
+  "test_lte_qam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lte_qam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

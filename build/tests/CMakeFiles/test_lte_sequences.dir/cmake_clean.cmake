@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lte_sequences.dir/test_lte_sequences.cpp.o"
+  "CMakeFiles/test_lte_sequences.dir/test_lte_sequences.cpp.o.d"
+  "test_lte_sequences"
+  "test_lte_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lte_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

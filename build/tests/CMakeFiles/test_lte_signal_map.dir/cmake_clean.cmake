@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lte_signal_map.dir/test_lte_signal_map.cpp.o"
+  "CMakeFiles/test_lte_signal_map.dir/test_lte_signal_map.cpp.o.d"
+  "test_lte_signal_map"
+  "test_lte_signal_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lte_signal_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

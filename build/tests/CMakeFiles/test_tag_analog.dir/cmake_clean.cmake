@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tag_analog.dir/test_tag_analog.cpp.o"
+  "CMakeFiles/test_tag_analog.dir/test_tag_analog.cpp.o.d"
+  "test_tag_analog"
+  "test_tag_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tag_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

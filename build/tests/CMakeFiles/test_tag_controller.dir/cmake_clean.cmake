@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tag_controller.dir/test_tag_controller.cpp.o"
+  "CMakeFiles/test_tag_controller.dir/test_tag_controller.cpp.o.d"
+  "test_tag_controller"
+  "test_tag_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tag_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tag_power.dir/test_tag_power.cpp.o"
+  "CMakeFiles/test_tag_power.dir/test_tag_power.cpp.o.d"
+  "test_tag_power"
+  "test_tag_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tag_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wifi_unit_level.dir/test_wifi_unit_level.cpp.o"
+  "CMakeFiles/test_wifi_unit_level.dir/test_wifi_unit_level.cpp.o.d"
+  "test_wifi_unit_level"
+  "test_wifi_unit_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wifi_unit_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

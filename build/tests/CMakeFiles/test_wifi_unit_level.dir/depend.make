@@ -1,0 +1,2 @@
+# Empty dependencies file for test_wifi_unit_level.
+# This may be replaced when dependencies are built.
