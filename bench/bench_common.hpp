@@ -1,20 +1,27 @@
 #pragma once
 // Shared helpers for the figure-regeneration benches: multi-drop averaging
-// of LScatter links and consistent row printing. Every bench prints its
-// seed so runs are reproducible.
+// of LScatter links, consistent row printing, and JSON report emission
+// through the observability exporter (`LSCATTER_OBS_JSON=<path>`). Every
+// bench prints its seed so runs are reproducible.
 
 #include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/link_simulator.hpp"
 #include "core/scenario.hpp"
 #include "dsp/stats.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
 
 namespace lscatter::benchutil {
 
 struct SweepPoint {
   double mean_throughput_bps = 0.0;
   double median_throughput_bps = 0.0;
+  double p90_throughput_bps = 0.0;
+  double p99_throughput_bps = 0.0;
   double ber = 0.0;  // pooled over drops
   double pdr = 0.0;
   double detect = 0.0;
@@ -36,7 +43,10 @@ inline SweepPoint run_drops(const core::LinkConfig& base, std::size_t drops,
     total += m;
   }
   p.mean_throughput_bps = dsp::mean(tputs);
-  p.median_throughput_bps = dsp::median(tputs);
+  const dsp::QuantileSummary q = dsp::summary_quantiles(tputs);
+  p.median_throughput_bps = q.p50;
+  p.p90_throughput_bps = q.p90;
+  p.p99_throughput_bps = q.p99;
   p.ber = total.ber();
   p.pdr = total.packet_delivery_ratio();
   p.detect = total.preamble_detection_ratio();
@@ -49,5 +59,63 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("reproduces: %s\n", paper_ref);
   std::printf("==========================================================\n");
 }
+
+/// Accumulates sweep rows and writes them — together with the registry
+/// snapshot — as one JSON report on destruction. Rows land under
+/// `extra.rows`; per-bench parameters (seed, drops, ...) under
+/// `extra.params`. Destination: `LSCATTER_OBS_JSON`, else `default_path`,
+/// else nothing is written.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name, std::string default_path = "")
+      : name_(std::move(name)), default_path_(std::move(default_path)) {
+    extra_["rows"].make_array();
+    extra_["params"].make_object();
+  }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() { write(); }
+
+  obs::json::Object& params() { return extra_["params"].make_object(); }
+
+  /// Append a row; fill in the returned object.
+  obs::json::Object& add_row() {
+    obs::json::Array& rows = extra_["rows"].as_array();
+    rows.emplace_back(obs::json::Object{});
+    return rows.back().make_object();
+  }
+
+  /// Append a row pre-populated from a SweepPoint.
+  obs::json::Object& add_row(const std::string& label,
+                             const SweepPoint& point) {
+    obs::json::Object& row = add_row();
+    row["label"] = label;
+    row["mean_throughput_bps"] = point.mean_throughput_bps;
+    row["median_throughput_bps"] = point.median_throughput_bps;
+    row["p90_throughput_bps"] = point.p90_throughput_bps;
+    row["p99_throughput_bps"] = point.p99_throughput_bps;
+    row["ber"] = point.ber;
+    row["pdr"] = point.pdr;
+    row["detect"] = point.detect;
+    return row;
+  }
+
+  /// Write now (idempotent; the destructor is a no-op afterwards).
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const auto path =
+        obs::write_report_from_env(name_, default_path_, &extra_);
+    if (path) std::printf("\nJSON report: %s\n", path->c_str());
+  }
+
+ private:
+  std::string name_;
+  std::string default_path_;
+  obs::json::Value extra_;
+  bool written_ = false;
+};
 
 }  // namespace lscatter::benchutil

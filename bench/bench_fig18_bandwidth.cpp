@@ -1,7 +1,8 @@
 // Figures 18a/18b: LScatter throughput vs LTE bandwidth, LoS and NLoS.
 // The paper's observations: throughput is directly proportional to the
 // bandwidth (the modulation uses every subcarrier's timing unit), and the
-// NLoS penalty is below 10%.
+// NLoS penalty is below 10%. `LSCATTER_OBS_JSON=<path>` additionally
+// writes the rows plus the pipeline's counters/timings as JSON.
 
 #include <cstdio>
 
@@ -17,6 +18,11 @@ int main() {
   std::printf("seed=%llu, %zu drops x %zu subframes, smart-home 3ft/3ft\n\n",
               static_cast<unsigned long long>(seed), drops, subframes);
 
+  benchutil::BenchReport report("bench_fig18_bandwidth");
+  report.params()["seed"] = static_cast<std::uint64_t>(seed);
+  report.params()["drops"] = static_cast<std::uint64_t>(drops);
+  report.params()["subframes"] = static_cast<std::uint64_t>(subframes);
+
   std::printf("%-8s %14s %14s %9s\n", "BW", "LoS (Mbps)", "NLoS (Mbps)",
               "NLoS drop");
   double prev_los = 0.0;
@@ -31,8 +37,13 @@ int main() {
       opt.seed = seed + static_cast<std::uint64_t>(bw) * 31 + nlos;
       const core::LinkConfig cfg =
           core::make_scenario(core::Scene::kSmartHome, opt);
-      tput[nlos] =
-          benchutil::run_drops(cfg, drops, subframes).mean_throughput_bps;
+      const benchutil::SweepPoint point =
+          benchutil::run_drops(cfg, drops, subframes);
+      tput[nlos] = point.mean_throughput_bps;
+      obs::json::Object& row = report.add_row(
+          lte::to_string(bw) + (nlos ? " NLoS" : " LoS"), point);
+      row["bandwidth_hz"] = lte::bandwidth_hz(bw);
+      row["line_of_sight"] = !nlos;
     }
     const double drop_pct = 100.0 * (1.0 - tput[1] / tput[0]);
     std::printf("%-8s %14.2f %14.2f %8.1f%%\n",

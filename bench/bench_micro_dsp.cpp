@@ -1,14 +1,19 @@
 // Micro-benchmarks (google-benchmark): the DSP substrate's hot loops —
 // FFTs at every LTE size, OFDM modulation, PSS correlation — to show the
-// simulator's building blocks run at practical speeds.
+// simulator's building blocks run at practical speeds. On exit the
+// observability registry is written as JSON to `LSCATTER_OBS_JSON` or,
+// by default, BENCH_micro_dsp.json.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "dsp/correlate.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/rng.hpp"
 #include "lte/enodeb.hpp"
 #include "lte/ue_sync.hpp"
+#include "obs/report.hpp"
 
 namespace {
 
@@ -69,4 +74,13 @@ BENCHMARK(BM_CrossCorrelate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const auto path = lscatter::obs::write_report_from_env(
+      "bench_micro_dsp", "BENCH_micro_dsp.json");
+  if (path) std::printf("JSON report: %s\n", path->c_str());
+  return 0;
+}

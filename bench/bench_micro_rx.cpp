@@ -1,13 +1,22 @@
 // Micro-benchmarks (google-benchmark): the LScatter receive pipeline —
-// per-packet demodulation (preamble search + phase elimination + slicing)
-// and the tag's analog front end — to quantify simulator throughput.
+// per-packet demodulation (preamble search + phase elimination + slicing),
+// the tag's analog front end, and the tag-side PSS sync detector — to
+// quantify simulator throughput. On exit the observability registry
+// (per-stage demod timings, tag sync counters) is written as JSON to
+// `LSCATTER_OBS_JSON` or, by default, BENCH_micro_rx.json.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
 #include "core/link_simulator.hpp"
 #include "core/scenario.hpp"
+#include "obs/report.hpp"
 #include "tag/analog_frontend.hpp"
 #include "tag/modulator.hpp"
+#include "tag/sync_detector.hpp"
 
 namespace {
 
@@ -63,6 +72,29 @@ void BM_AnalogFrontend20ms(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalogFrontend20ms);
 
+void BM_SyncDetectorFeed(benchmark::State& state) {
+  // 200 ms of comparator edges: the 5 ms PSS cadence with realistic
+  // jitter, plus comparator chatter (caught by the refractory window) and
+  // data-symbol false alarms (rejected by cadence tracking).
+  dsp::Rng rng(7);
+  std::vector<double> edges;
+  for (int k = 0; k < 40; ++k) {
+    const double t = 5e-3 * k + 30e-6 + rng.normal(0.0, 5e-6);
+    edges.push_back(t);
+    if (k % 3 == 0) edges.push_back(t + 0.4e-3);  // chatter
+    if (k % 5 == 0) edges.push_back(t + 2.6e-3);  // false alarm
+  }
+  std::sort(edges.begin(), edges.end());
+  for (auto _ : state) {
+    tag::SyncDetector det({});
+    det.feed_edges(edges);
+    benchmark::DoNotOptimize(det.last_pss_estimate_s());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(edges.size()));
+}
+BENCHMARK(BM_SyncDetectorFeed);
+
 void BM_LinkSimulatorSubframe(benchmark::State& state) {
   core::LinkConfig cfg = core::make_scenario(core::Scene::kSmartHome);
   core::LinkSimulator sim(cfg);
@@ -74,4 +106,13 @@ BENCHMARK(BM_LinkSimulatorSubframe);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const auto path = lscatter::obs::write_report_from_env(
+      "bench_micro_rx", "BENCH_micro_rx.json");
+  if (path) std::printf("JSON report: %s\n", path->c_str());
+  return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerate the committed micro-benchmark reference report,
+# bench/baselines/BENCH_micro.json: a short bench_micro_rx run whose
+# observability snapshot (per-stage demod timings, tag sync counters,
+# span summary) documents the expected report shape and metric set.
+# Timings vary by machine — the baseline is for schema/metric-name
+# diffing, not for absolute-performance comparison.
+#
+# Usage: scripts/bench_baseline.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)" \
+  --target bench_micro_rx
+
+out="$repo/bench/baselines/BENCH_micro.json"
+mkdir -p "$repo/bench/baselines"
+LSCATTER_OBS_JSON="$out" "$build/bench/bench_micro_rx" \
+  --benchmark_min_time=0.05
+
+echo "wrote $out"

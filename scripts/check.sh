@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite —
+# first in the default configuration, then rebuilt under
+# AddressSanitizer + UndefinedBehaviorSanitizer
+# (-DLSCATTER_SANITIZE=address,undefined).
+#
+# Usage: scripts/check.sh [--no-sanitize]
+# Exits non-zero on the first failure.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+run_sanitized=1
+[[ "${1:-}" == "--no-sanitize" ]] && run_sanitized=0
+
+echo "== tier-1: default build =="
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+if [[ "$run_sanitized" == 1 ]]; then
+  echo "== tier-1: ASan + UBSan build =="
+  cmake -B "$repo/build-san" -S "$repo" \
+    -DLSCATTER_SANITIZE=address,undefined
+  cmake --build "$repo/build-san" -j "$jobs"
+  ctest --test-dir "$repo/build-san" --output-on-failure -j "$jobs"
+fi
+
+echo "== check.sh: all green =="

@@ -6,6 +6,7 @@
 #include "dsp/db.hpp"
 #include "lte/ofdm.hpp"
 #include "lte/signal_map.hpp"
+#include "obs/obs.hpp"
 
 namespace lscatter::baselines {
 
@@ -25,6 +26,8 @@ double SymbolLevelLteLink::instantaneous_rate_bps() const {
 }
 
 core::LinkMetrics SymbolLevelLteLink::run(std::size_t n_subframes) {
+  LSCATTER_OBS_SPAN("baselines.symbol_level.run");
+  LSCATTER_OBS_COUNTER_ADD("baselines.symbol_level.subframes", n_subframes);
   dsp::Rng drop_rng = rng_.fork();
   dsp::Rng noise_rng = rng_.fork();
   const auto& cell = config_.enodeb.cell;

@@ -1,11 +1,14 @@
 #include "channel/awgn.hpp"
 
 #include "dsp/db.hpp"
+#include "obs/obs.hpp"
 
 namespace lscatter::channel {
 
 void add_awgn(std::span<dsp::cf32> x, double noise_power, dsp::Rng& rng) {
   if (noise_power <= 0.0) return;
+  LSCATTER_OBS_TIMER("channel.awgn.add");
+  LSCATTER_OBS_COUNTER_ADD("channel.awgn.samples", x.size());
   for (auto& v : x) v += rng.complex_normal(noise_power);
 }
 

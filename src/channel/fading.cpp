@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/db.hpp"
+#include "obs/obs.hpp"
 
 namespace lscatter::channel {
 
@@ -60,6 +61,8 @@ TdlChannel::TdlChannel(const FadingProfile& profile, double sample_rate_hz,
 }
 
 cvec TdlChannel::apply(std::span<const cf32> x) const {
+  LSCATTER_OBS_TIMER("channel.fading.tdl_apply");
+  LSCATTER_OBS_COUNTER_ADD("channel.fading.samples", x.size());
   cvec out(x.size(), cf32{});
   for (std::size_t t = 0; t < gains_.size(); ++t) {
     const std::size_t d = delays_[t];

@@ -6,6 +6,7 @@
 
 #include "dsp/db.hpp"
 #include "dsp/types.hpp"
+#include "obs/obs.hpp"
 
 namespace lscatter::channel {
 
@@ -41,6 +42,8 @@ double PathLossModel::sample_db(double distance_m, double freq_hz,
   if (shadowing_sigma_db > 0.0) {
     pl += rng.normal(0.0, shadowing_sigma_db);
   }
+  LSCATTER_OBS_COUNTER_INC("channel.pathloss.samples");
+  LSCATTER_OBS_HISTOGRAM_RECORD("channel.pathloss.loss_db", pl);
   return pl;
 }
 

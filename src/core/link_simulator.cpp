@@ -5,6 +5,7 @@
 
 #include "channel/awgn.hpp"
 #include "dsp/db.hpp"
+#include "obs/obs.hpp"
 #include "tag/modulator.hpp"
 
 namespace lscatter::core {
@@ -86,6 +87,9 @@ void LinkSimulator::draw_drop(dsp::Rng& rng) {
 }
 
 LinkMetrics LinkSimulator::run(std::size_t n_subframes) {
+  LSCATTER_OBS_SPAN("core.link.run");
+  LSCATTER_OBS_COUNTER_INC("core.link.drops");
+  LSCATTER_OBS_COUNTER_ADD("core.link.subframes", n_subframes);
   dsp::Rng drop_rng = rng_.fork();
   dsp::Rng noise_rng = rng_.fork();
   dsp::Rng sync_rng = rng_.fork();

@@ -6,6 +6,7 @@
 #include "core/phase_offset.hpp"
 #include "dsp/linalg.hpp"
 #include "lte/signal_map.hpp"
+#include "obs/obs.hpp"
 
 namespace lscatter::core {
 
@@ -179,6 +180,8 @@ void LscatterDemodulator::slice_symbol(std::span<const cf32> z,
 PacketDemodResult LscatterDemodulator::demodulate_packet(
     std::span<const cf32> rx, std::span<const cf32> ambient,
     std::size_t first_subframe_index) const {
+  LSCATTER_OBS_SPAN("core.demod.packet");
+  LSCATTER_OBS_COUNTER_INC("core.demod.packets");
   PacketDemodResult result;
   const auto& sched = controller_.schedule();
   const std::size_t sf_samples = cell_.samples_per_subframe();
@@ -209,6 +212,7 @@ PacketDemodResult LscatterDemodulator::demodulate_packet(
     for (const std::size_t l : controller_.modulatable_symbols(sf)) {
       if (preambles_expected > 0) {
         --preambles_expected;
+        LSCATTER_OBS_TIMER("core.demod.offset_search");
         const cvec z = symbol_products(rx, ambient, sf_off, l);
         auto found =
             find_modulation_offset(z, preamble, nominal, search_);
@@ -221,9 +225,11 @@ PacketDemodResult LscatterDemodulator::demodulate_packet(
       }
       if (!offset) {
         // Preamble missed: the packet is lost; stop early.
+        LSCATTER_OBS_COUNTER_INC("core.demod.preamble_missed");
         return result;
       }
       if (search_.equalizer_taps > 0 && h.empty()) {
+        LSCATTER_OBS_TIMER("core.demod.equalizer_fit");
         // Under ISI the correlation peak can be off by a unit or two, and
         // a timing slip between the ambient and the pattern is *not*
         // expressible as an LTI channel (they shift independently), so
@@ -264,23 +270,48 @@ PacketDemodResult LscatterDemodulator::demodulate_packet(
       }
       if (data_symbols_expected == 0) break;
       --data_symbols_expected;
-      const cvec z = symbol_products(rx, ambient, sf_off, l, h);
-      const cf32 g = estimate_symbol_gain(z, offset->offset_units, gain);
-      slice_symbol(z, offset->offset_units, g, coded, soft);
+      cvec z;
+      {
+        // Conjugate products (and equalization when fitted) + slicing
+        // together are the paper's unit-level demodulation (§3.2/§3.3).
+        LSCATTER_OBS_TIMER("core.demod.unit_demod");
+        z = symbol_products(rx, ambient, sf_off, l, h);
+      }
+      cf32 g;
+      {
+        // Per-symbol gain re-estimate = the §3.3.1 phase-offset
+        // elimination step.
+        LSCATTER_OBS_TIMER("core.demod.phase_offset");
+        g = estimate_symbol_gain(z, offset->offset_units, gain);
+      }
+      {
+        LSCATTER_OBS_TIMER("core.demod.unit_demod");
+        slice_symbol(z, offset->offset_units, g, coded, soft);
+      }
     }
   }
 
-  if (!offset) return result;
+  if (!offset) {
+    LSCATTER_OBS_COUNTER_INC("core.demod.preamble_missed");
+    return result;
+  }
+  LSCATTER_OBS_COUNTER_INC("core.demod.preamble_found");
   result.preamble_found = true;
   result.offset_units = offset->offset_units;
   result.preamble_metric = offset->metric;
   result.coded_bits = std::move(coded);
   result.soft_bits = std::move(soft);
   if (result.coded_bits.size() > 32) {
+    LSCATTER_OBS_TIMER("core.demod.fec_crc");
     const PacketCodec codec(result.coded_bits.size(), fec_);
     result.payload = fec_ == Fec::kNone
                          ? codec.decode(result.coded_bits)
                          : codec.decode_soft(result.soft_bits);
+    if (result.payload) {
+      LSCATTER_OBS_COUNTER_INC("core.demod.crc_ok");
+    } else {
+      LSCATTER_OBS_COUNTER_INC("core.demod.crc_fail");
+    }
   }
   return result;
 }

@@ -5,6 +5,7 @@
 
 #include "channel/awgn.hpp"
 #include "dsp/db.hpp"
+#include "obs/obs.hpp"
 #include "tag/modulator.hpp"
 
 namespace lscatter::core {
@@ -29,6 +30,9 @@ MultiTagResult run_multi_tag(const MultiTagConfig& config,
                              std::size_t n_subframes) {
   assert(!config.tags.empty());
   assert(config.n_slots >= 1);
+  LSCATTER_OBS_SPAN("core.multi_tag.run");
+  LSCATTER_OBS_COUNTER_ADD("core.multi_tag.tags", config.tags.size());
+  LSCATTER_OBS_COUNTER_ADD("core.multi_tag.subframes", n_subframes);
 
   const LinkConfig& base = config.base;
   const auto& cell = base.enodeb.cell;
@@ -121,6 +125,9 @@ MultiTagResult run_multi_tag(const MultiTagConfig& config,
       const cvec scat =
           tag::apply_pattern(tx.samples, pattern, err_units, st.gain);
       for (std::size_t n = 0; n < sf_samples; ++n) rx[n] += scat[n];
+    }
+    if (active.size() > 1) {
+      LSCATTER_OBS_COUNTER_INC("core.multi_tag.collision_subframes");
     }
     channel::add_awgn(rx, worst_noise_mw, noise_rng);
 

@@ -1,6 +1,9 @@
 #include "core/streaming_receiver.hpp"
 
+#include <algorithm>
 #include <cassert>
+
+#include "obs/obs.hpp"
 
 namespace lscatter::core {
 
@@ -13,17 +16,32 @@ StreamingReceiver::StreamingReceiver(const Config& config)
 
 std::vector<StreamingReceiver::PacketEvent> StreamingReceiver::feed(
     std::span<const dsp::cf32> rx, std::span<const dsp::cf32> ambient) {
+  LSCATTER_OBS_COUNTER_INC("core.stream.feeds");
   assert(rx.size() == ambient.size());
-  rx_buffer_.insert(rx_buffer_.end(), rx.begin(), rx.end());
+  // Release builds tolerate a mismatched call by truncating to the
+  // common prefix: losing the tail of one chunk beats silently carving
+  // packets out of misaligned (rx, ambient) pairs.
+  const std::size_t n = std::min(rx.size(), ambient.size());
+  if (rx.size() != ambient.size()) {
+    LSCATTER_OBS_COUNTER_INC("core.stream.length_mismatch");
+  }
+  if (n == 0) {
+    LSCATTER_OBS_COUNTER_INC("core.stream.empty_feeds");
+  }
+  rx_buffer_.insert(rx_buffer_.end(), rx.begin(), rx.begin() + n);
   ambient_buffer_.insert(ambient_buffer_.end(), ambient.begin(),
-                         ambient.end());
+                         ambient.begin() + n);
+
+  buffered_hwm_ = std::max(buffered_hwm_, buffered_samples());
+  LSCATTER_OBS_GAUGE_MAX("core.stream.buffered_hwm_samples",
+                         buffered_hwm_);
 
   std::vector<PacketEvent> events;
-  while (rx_buffer_.size() >= samples_per_packet_) {
-    const std::span<const dsp::cf32> prx(rx_buffer_.data(),
+  while (buffered_samples() >= samples_per_packet_) {
+    const std::span<const dsp::cf32> prx(rx_buffer_.data() + consumed_,
                                          samples_per_packet_);
-    const std::span<const dsp::cf32> pam(ambient_buffer_.data(),
-                                         samples_per_packet_);
+    const std::span<const dsp::cf32> pam(
+        ambient_buffer_.data() + consumed_, samples_per_packet_);
 
     // Listening / empty slots produce no packet but still consume time.
     const std::size_t capacity =
@@ -33,17 +51,27 @@ std::vector<StreamingReceiver::PacketEvent> StreamingReceiver::feed(
       ev.first_subframe_index = next_subframe_;
       ev.result = demodulator_.demodulate_packet(prx, pam, next_subframe_);
       ++packets_;
+      LSCATTER_OBS_COUNTER_INC("core.stream.packets");
       events.push_back(std::move(ev));
+    } else {
+      LSCATTER_OBS_COUNTER_INC("core.stream.idle_slots");
     }
 
+    consumed_ += samples_per_packet_;
+    next_subframe_ += config_.schedule.packet_subframes;
+  }
+
+  // Compact lazily: dropping the consumed prefix once per drained packet
+  // batch keeps feed() amortized O(chunk) even for 1-sample feeds (the
+  // old erase-per-packet front-trim was O(buffer) per packet).
+  if (consumed_ > 0 && consumed_ >= buffered_samples()) {
     rx_buffer_.erase(rx_buffer_.begin(),
                      rx_buffer_.begin() +
-                         static_cast<std::ptrdiff_t>(samples_per_packet_));
+                         static_cast<std::ptrdiff_t>(consumed_));
     ambient_buffer_.erase(
         ambient_buffer_.begin(),
-        ambient_buffer_.begin() +
-            static_cast<std::ptrdiff_t>(samples_per_packet_));
-    next_subframe_ += config_.schedule.packet_subframes;
+        ambient_buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
   }
   return events;
 }

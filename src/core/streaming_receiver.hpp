@@ -43,14 +43,22 @@ class StreamingReceiver {
   explicit StreamingReceiver(const Config& config);
 
   /// Feed the next chunk of the aligned streams (any length, including
-  /// zero; rx and ambient must be the same length). Returns the packets
+  /// zero; rx and ambient must be the same length — mismatched calls are
+  /// truncated to the common prefix and counted). Returns the packets
   /// completed within this chunk, in order.
   std::vector<PacketEvent> feed(std::span<const dsp::cf32> rx,
                                 std::span<const dsp::cf32> ambient);
 
   /// Samples currently buffered (always < one packet's worth after
   /// feed() returns).
-  std::size_t buffered_samples() const { return rx_buffer_.size(); }
+  std::size_t buffered_samples() const {
+    return rx_buffer_.size() - consumed_;
+  }
+
+  /// Highest buffered_samples() ever observed (just after an insert,
+  /// before packet extraction) — the receiver's memory footprint
+  /// requirement. Also exported as `core.stream.buffered_hwm_samples`.
+  std::size_t buffered_samples_high_water() const { return buffered_hwm_; }
 
   std::size_t packets_demodulated() const { return packets_; }
   std::size_t next_subframe_index() const { return next_subframe_; }
@@ -61,6 +69,8 @@ class StreamingReceiver {
   std::size_t samples_per_packet_;
   std::size_t next_subframe_;
   std::size_t packets_ = 0;
+  std::size_t consumed_ = 0;  // read offset into the buffers
+  std::size_t buffered_hwm_ = 0;
   dsp::cvec rx_buffer_;
   dsp::cvec ambient_buffer_;
 };

@@ -34,30 +34,70 @@ double maximum(const std::vector<double>& x) {
   return *std::max_element(x.begin(), x.end());
 }
 
-double percentile(std::vector<double> x, double p) {
-  assert(!x.empty());
-  assert(p >= 0.0 && p <= 100.0);
-  std::sort(x.begin(), x.end());
-  const double pos = p / 100.0 * static_cast<double>(x.size() - 1);
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(pos));
   const auto hi = static_cast<std::size_t>(std::ceil(pos));
   const double frac = pos - static_cast<double>(lo);
-  return x[lo] + frac * (x[hi] - x[lo]);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::vector<double> x, double q) {
+  std::sort(x.begin(), x.end());
+  return quantile_sorted(x, q);
+}
+
+double percentile(std::vector<double> x, double p) {
+  assert(!x.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  return quantile(std::move(x), p / 100.0);
 }
 
 double median(std::vector<double> x) { return percentile(std::move(x), 50.0); }
+
+QuantileSummary summary_quantiles(std::vector<double> x) {
+  std::sort(x.begin(), x.end());
+  QuantileSummary s;
+  s.p50 = quantile_sorted(x, 0.50);
+  s.p90 = quantile_sorted(x, 0.90);
+  s.p99 = quantile_sorted(x, 0.99);
+  return s;
+}
+
+double quantile_from_buckets(std::span<const BucketSpan> buckets, double q) {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t total = 0;
+  for (const auto& b : buckets) total += b.count;
+  if (total == 0) return 0.0;
+
+  const double target = q * static_cast<double>(total);
+  double seen = 0.0;
+  for (const auto& b : buckets) {
+    if (b.count == 0) continue;
+    const double next = seen + static_cast<double>(b.count);
+    if (next >= target) {
+      const double frac =
+          b.count == 0 ? 0.0
+                       : (target - seen) / static_cast<double>(b.count);
+      if (b.lower > 0.0 && b.upper > b.lower) {
+        return b.lower * std::pow(b.upper / b.lower, frac);
+      }
+      return b.lower + frac * (b.upper - b.lower);
+    }
+    seen = next;
+  }
+  return buckets.empty() ? 0.0 : buckets.back().upper;
+}
 
 BoxStats box_stats(std::vector<double> x) {
   assert(!x.empty());
   std::sort(x.begin(), x.end());
   BoxStats b;
-  auto pct = [&](double p) {
-    const double pos = p / 100.0 * static_cast<double>(x.size() - 1);
-    const auto lo = static_cast<std::size_t>(std::floor(pos));
-    const auto hi = static_cast<std::size_t>(std::ceil(pos));
-    const double frac = pos - static_cast<double>(lo);
-    return x[lo] + frac * (x[hi] - x[lo]);
-  };
+  auto pct = [&](double p) { return quantile_sorted(x, p / 100.0); };
   b.min = x.front();
   b.max = x.back();
   b.q1 = pct(25.0);
@@ -96,11 +136,7 @@ double EmpiricalCdf::evaluate(double v) const {
 double EmpiricalCdf::quantile(double p) const {
   assert(!sorted_.empty());
   assert(p >= 0.0 && p <= 1.0);
-  const double pos = p * static_cast<double>(sorted_.size() - 1);
-  const auto lo = static_cast<std::size_t>(std::floor(pos));
-  const auto hi = static_cast<std::size_t>(std::ceil(pos));
-  const double frac = pos - static_cast<double>(lo);
-  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+  return quantile_sorted(sorted_, p);
 }
 
 std::vector<std::pair<double, double>> EmpiricalCdf::series(

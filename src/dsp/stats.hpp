@@ -4,6 +4,8 @@
 // aggregates.
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -15,10 +17,45 @@ double stddev(const std::vector<double>& x);
 double minimum(const std::vector<double>& x);
 double maximum(const std::vector<double>& x);
 
+/// Linear-interpolated quantile of *already sorted* data, q in [0, 1]
+/// (clamped). Returns 0.0 for empty input; a single element is every
+/// quantile of itself. The shared kernel behind percentile(), median(),
+/// box_stats(), and EmpiricalCdf::quantile().
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Linear-interpolated quantile, q in [0, 1]; sorts a copy. Empty input
+/// yields 0.0.
+double quantile(std::vector<double> x, double q);
+
 /// Linear-interpolated percentile, p in [0, 100]. Precondition: non-empty.
 double percentile(std::vector<double> x, double p);
 
 double median(std::vector<double> x);
+
+/// The three quantiles every run report tabulates.
+struct QuantileSummary {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// p50/p90/p99 in one sort; zeros for empty input.
+QuantileSummary summary_quantiles(std::vector<double> x);
+
+/// One bucket of a pre-aggregated histogram: `count` samples somewhere in
+/// (lower, upper].
+struct BucketSpan {
+  double lower = 0.0;
+  double upper = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Approximate quantile (q in [0, 1], clamped) of data summarized as
+/// ascending log-spaced buckets, interpolating geometrically inside the
+/// selected bucket — the estimator the observability histogram exporter
+/// uses. Buckets with non-positive bounds fall back to linear
+/// interpolation. Returns 0.0 when all counts are zero.
+double quantile_from_buckets(std::span<const BucketSpan> buckets, double q);
 
 /// The five-number summary the paper's box plots show, plus whisker bounds
 /// at 1.5 IQR and the count of outliers beyond them.

@@ -6,6 +6,7 @@
 #include "lte/pbch.hpp"
 #include "lte/signal_map.hpp"
 #include "lte/transport.hpp"
+#include "obs/obs.hpp"
 
 namespace lscatter::lte {
 
@@ -40,6 +41,8 @@ std::size_t Enodeb::payload_bits_per_subframe(
 }
 
 SubframeTx Enodeb::make_subframe(std::size_t subframe_index) {
+  LSCATTER_OBS_TIMER("lte.enodeb.subframe");
+  LSCATTER_OBS_COUNTER_INC("lte.enodeb.subframes");
   const CellConfig& cell = config_.cell;
   SubframeTx tx{subframe_index, ResourceGrid(cell), {}, {}, {}};
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace lscatter::lte {
 
 using dsp::cf32;
@@ -23,6 +25,8 @@ OfdmModulator::OfdmModulator(const CellConfig& cfg)
                     static_cast<double>(cfg.n_subcarriers())))) {}
 
 cvec OfdmModulator::modulate(const ResourceGrid& grid) const {
+  LSCATTER_OBS_TIMER("lte.ofdm.modulate");
+  LSCATTER_OBS_COUNTER_INC("lte.ofdm.subframes_modulated");
   cvec out(cfg_.samples_per_subframe(), cf32{});
   for (std::size_t l = 0; l < kSymbolsPerSubframe; ++l) {
     const cvec sym = modulate_symbol(grid, l);
@@ -65,6 +69,7 @@ std::size_t OfdmDemodulator::useful_start(std::size_t l) const {
 
 ResourceGrid OfdmDemodulator::demodulate(
     std::span<const cf32> samples) const {
+  LSCATTER_OBS_TIMER("lte.ofdm.demodulate");
   assert(samples.size() >= cfg_.samples_per_subframe());
   ResourceGrid grid(cfg_);
   for (std::size_t l = 0; l < kSymbolsPerSubframe; ++l) {

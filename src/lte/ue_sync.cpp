@@ -8,6 +8,7 @@
 #include "lte/ofdm.hpp"
 #include "lte/sequences.hpp"
 #include "lte/signal_map.hpp"
+#include "obs/obs.hpp"
 
 namespace lscatter::lte {
 
@@ -45,6 +46,8 @@ const cvec& CellSearcher::pss_replica(std::uint8_t n_id_2) const {
 
 std::optional<CellSearchResult> CellSearcher::search(
     std::span<const cf32> samples, float min_metric) const {
+  LSCATTER_OBS_SPAN("lte.cellsearch.search");
+  LSCATTER_OBS_COUNTER_INC("lte.cellsearch.searches");
   const std::size_t k = cfg_.fft_size();
   if (samples.size() < k + 1) return std::nullopt;
 
@@ -59,7 +62,11 @@ std::optional<CellSearchResult> CellSearcher::search(
       best.pss_useful_start = pk.index;
     }
   }
-  if (best.pss_metric < min_metric) return std::nullopt;
+  if (best.pss_metric < min_metric) {
+    LSCATTER_OBS_COUNTER_INC("lte.cellsearch.pss_below_threshold");
+    return std::nullopt;
+  }
+  LSCATTER_OBS_COUNTER_INC("lte.cellsearch.pss_found");
 
   // SSS sits one symbol earlier: its useful part starts one (K + CP)
   // before the PSS useful start.

@@ -1,0 +1,354 @@
+#include "obs/json.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace lscatter::obs::json {
+
+Value& Object::operator[](const std::string& key) {
+  auto it = members_.find(key);
+  if (it == members_.end()) {
+    it = members_.emplace(key, std::make_shared<Value>()).first;
+    order_.push_back(key);
+  }
+  return *it->second;
+}
+
+const Value* Object::find(const std::string& key) const {
+  const auto it = members_.find(key);
+  return it == members_.end() ? nullptr : it->second.get();
+}
+
+const Array& Value::as_array() const {
+  assert(kind_ == Kind::kArray && arr_);
+  return *arr_;
+}
+
+Array& Value::as_array() {
+  assert(kind_ == Kind::kArray && arr_);
+  return *arr_;
+}
+
+const Object& Value::as_object() const {
+  assert(kind_ == Kind::kObject && obj_);
+  return *obj_;
+}
+
+Object& Value::as_object() {
+  assert(kind_ == Kind::kObject && obj_);
+  return *obj_;
+}
+
+Object& Value::make_object() {
+  if (kind_ != Kind::kObject) {
+    kind_ = Kind::kObject;
+    obj_ = std::make_shared<Object>();
+  }
+  return *obj_;
+}
+
+Array& Value::make_array() {
+  if (kind_ != Kind::kArray) {
+    kind_ = Kind::kArray;
+    arr_ = std::make_shared<Array>();
+  }
+  return *arr_;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void format_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no inf/nan; reports treat null as "n/a"
+    return;
+  }
+  // Integers (the common case: counters) print without a fraction.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  // Shortest representation that round-trips.
+  for (int prec = 6; prec < 17; ++prec) {
+    char probe[40];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, d);
+    if (std::strtod(probe, nullptr) == d) {
+      std::memcpy(buf, probe, sizeof(probe));
+      break;
+    }
+  }
+  out += buf;
+}
+
+void dump_value(const Value& v, std::string& out, int indent, int depth) {
+  const auto newline = [&](int d) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.kind()) {
+    case Value::Kind::kNull: out += "null"; break;
+    case Value::Kind::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case Value::Kind::kNumber: format_number(out, v.as_number()); break;
+    case Value::Kind::kString:
+      out += '"';
+      out += escape(v.as_string());
+      out += '"';
+      break;
+    case Value::Kind::kArray: {
+      const Array& a = v.as_array();
+      if (a.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        dump_value(a[i], out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      const Object& o = v.as_object();
+      if (o.size() == 0) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& key : o.keys()) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        out += '"';
+        out += escape(key);
+        out += "\":";
+        if (indent >= 0) out += ' ';
+        dump_value(*o.find(key), out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(
+               static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) == lit) {
+      pos += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    if (pos >= text.size()) {
+      ok = false;
+      return {};
+    }
+    const char c = text[pos];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (literal("true")) return Value(true);
+    if (literal("false")) return Value(false);
+    if (literal("null")) return Value(nullptr);
+    return parse_number();
+  }
+
+  Value parse_object() {
+    Object obj;
+    consume('{');
+    skip_ws();
+    if (consume('}')) return Value(std::move(obj));
+    while (ok) {
+      skip_ws();
+      if (pos >= text.size() || text[pos] != '"') {
+        ok = false;
+        break;
+      }
+      const Value key = parse_string();
+      if (!ok || !consume(':')) {
+        ok = false;
+        break;
+      }
+      obj[key.as_string()] = parse_value();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      ok = false;
+    }
+    return Value(std::move(obj));
+  }
+
+  Value parse_array() {
+    Array arr;
+    consume('[');
+    skip_ws();
+    if (consume(']')) return Value(std::move(arr));
+    while (ok) {
+      arr.push_back(parse_value());
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      ok = false;
+    }
+    return Value(std::move(arr));
+  }
+
+  Value parse_string() {
+    ++pos;  // opening quote
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) {
+        ok = false;
+        return {};
+      }
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) {
+            ok = false;
+            return {};
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else { ok = false; return {}; }
+          }
+          // BMP-only (the writer never emits surrogate pairs).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          ok = false;
+          return {};
+      }
+    }
+    if (pos >= text.size()) {
+      ok = false;
+      return {};
+    }
+    ++pos;  // closing quote
+    return Value(std::move(out));
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) {
+      ok = false;
+      return {};
+    }
+    const std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      ok = false;
+      return {};
+    }
+    return Value(d);
+  }
+};
+
+}  // namespace
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_value(*this, out, indent, 0);
+  return out;
+}
+
+std::optional<Value> parse(std::string_view text) {
+  Parser p{text};
+  Value v = p.parse_value();
+  p.skip_ws();
+  if (!p.ok || p.pos != text.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace lscatter::obs::json

@@ -1,0 +1,99 @@
+#pragma once
+// Minimal dependency-free JSON value / writer / parser for the
+// observability exporters. Deliberately small: objects keep insertion
+// order (reports stay diff-friendly), numbers are doubles, and the parser
+// accepts exactly the subset the writer emits (RFC 8259 without \u
+// surrogate pairs) — enough for round-trip tests and external tooling.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lscatter::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+
+/// Order-preserving object: lookup map plus insertion-ordered key list.
+class Object {
+ public:
+  Value& operator[](const std::string& key);
+  const Value* find(const std::string& key) const;
+  const std::vector<std::string>& keys() const { return order_; }
+  std::size_t size() const { return order_.size(); }
+
+ private:
+  std::map<std::string, std::shared_ptr<Value>> members_;
+  std::vector<std::string> order_;
+};
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  Value(std::nullptr_t) {}
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Value(double d) : kind_(Kind::kNumber), num_(d) {}
+  Value(int i) : kind_(Kind::kNumber), num_(i) {}
+  Value(std::int64_t i) : kind_(Kind::kNumber),
+                          num_(static_cast<double>(i)) {}
+  Value(std::uint64_t u) : kind_(Kind::kNumber),
+                           num_(static_cast<double>(u)) {}
+  Value(const char* s) : kind_(Kind::kString), str_(s) {}
+  Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  Value(Array a) : kind_(Kind::kArray),
+                   arr_(std::make_shared<Array>(std::move(a))) {}
+  Value(Object o) : kind_(Kind::kObject),
+                    obj_(std::make_shared<Object>(std::move(o))) {}
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Make this value an object/array in place (idempotent).
+  Object& make_object();
+  Array& make_array();
+
+  /// Convenience: member access on objects; asserts on other kinds.
+  Value& operator[](const std::string& key) {
+    return make_object()[key];
+  }
+  const Value* find(const std::string& key) const {
+    return is_object() ? as_object().find(key) : nullptr;
+  }
+
+  /// Serialize. `indent` < 0 means compact single-line output.
+  std::string dump(int indent = 2) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+/// Parse a JSON document. Returns nullopt on malformed input (the
+/// round-trip tests rely on strictness, not recovery).
+std::optional<Value> parse(std::string_view text);
+
+/// Escape a string for embedding in JSON (quotes not included).
+std::string escape(std::string_view s);
+
+}  // namespace lscatter::obs::json

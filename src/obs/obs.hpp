@@ -1,0 +1,124 @@
+#pragma once
+// Instrumentation facade. Every call site in the pipeline goes through
+// these macros so the whole observability layer can be compiled out:
+//
+//   #define LSCATTER_OBS_ENABLED 0   (per TU, or -DLSCATTER_OBS=OFF via
+//                                     CMake for the whole build)
+//
+// turns each macro into a no-op statement — no registry lookups, no
+// clocks, no atomics; the optimizer erases them entirely. With the layer
+// enabled (the default), each macro caches its metric pointer in a
+// function-local static, so steady-state cost is one relaxed atomic RMW
+// (counters/gauges) or two steady_clock reads (timers/spans).
+//
+// Metric names are string literals following `subsystem.stage.metric`
+// (DESIGN.md §7). Spans additionally record into `<name>.seconds`.
+//
+// IMPORTANT: because each call site caches its metric by name, the name
+// argument must be the same every time that line executes — pass a
+// literal, never a ternary or a variable. Branch first, then call the
+// macro with a fixed literal in each branch.
+
+#ifndef LSCATTER_OBS_ENABLED
+#define LSCATTER_OBS_ENABLED 1
+#endif
+
+#if LSCATTER_OBS_ENABLED
+
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+
+#define LSCATTER_OBS_CONCAT_INNER(a, b) a##b
+#define LSCATTER_OBS_CONCAT(a, b) LSCATTER_OBS_CONCAT_INNER(a, b)
+
+/// Add `delta` to the named counter.
+#define LSCATTER_OBS_COUNTER_ADD(name, delta)                             \
+  do {                                                                    \
+    static ::lscatter::obs::Counter& lscatter_obs_counter_ =              \
+        ::lscatter::obs::Registry::instance().counter(name);              \
+    lscatter_obs_counter_.add(                                            \
+        static_cast<std::uint64_t>(delta));                               \
+  } while (0)
+
+/// Increment the named counter by one.
+#define LSCATTER_OBS_COUNTER_INC(name) LSCATTER_OBS_COUNTER_ADD(name, 1)
+
+/// Set the named gauge to `value` (last write wins).
+#define LSCATTER_OBS_GAUGE_SET(name, value)                               \
+  do {                                                                    \
+    static ::lscatter::obs::Gauge& lscatter_obs_gauge_ =                  \
+        ::lscatter::obs::Registry::instance().gauge(name);                \
+    lscatter_obs_gauge_.set(static_cast<double>(value));                  \
+  } while (0)
+
+/// Raise the named gauge to `value` if higher (high-water mark).
+#define LSCATTER_OBS_GAUGE_MAX(name, value)                               \
+  do {                                                                    \
+    static ::lscatter::obs::Gauge& lscatter_obs_gauge_ =                  \
+        ::lscatter::obs::Registry::instance().gauge(name);                \
+    lscatter_obs_gauge_.update_max(static_cast<double>(value));           \
+  } while (0)
+
+/// Record `value` into the named histogram.
+#define LSCATTER_OBS_HISTOGRAM_RECORD(name, value)                        \
+  do {                                                                    \
+    static ::lscatter::obs::Histogram& lscatter_obs_histogram_ =          \
+        ::lscatter::obs::Registry::instance().histogram(name);            \
+    lscatter_obs_histogram_.record(static_cast<double>(value));           \
+  } while (0)
+
+/// Time the rest of the enclosing scope into the `<name>.seconds`
+/// histogram AND append a nested span event to the ring-buffer sink.
+#define LSCATTER_OBS_SPAN(name)                                           \
+  static ::lscatter::obs::Histogram&                                      \
+      LSCATTER_OBS_CONCAT(lscatter_obs_span_hist_, __LINE__) =            \
+          ::lscatter::obs::Registry::instance().histogram(               \
+              name ".seconds");                                           \
+  ::lscatter::obs::ScopedSpan LSCATTER_OBS_CONCAT(lscatter_obs_span_,     \
+                                                  __LINE__)(              \
+      name, &LSCATTER_OBS_CONCAT(lscatter_obs_span_hist_, __LINE__))
+
+/// Time the rest of the enclosing scope into the `<name>.seconds`
+/// histogram only (no span event) — for very hot call sites.
+#define LSCATTER_OBS_TIMER(name)                                          \
+  static ::lscatter::obs::Histogram&                                      \
+      LSCATTER_OBS_CONCAT(lscatter_obs_timer_hist_, __LINE__) =           \
+          ::lscatter::obs::Registry::instance().histogram(               \
+              name ".seconds");                                           \
+  ::lscatter::obs::ScopedTimer LSCATTER_OBS_CONCAT(lscatter_obs_timer_,   \
+                                                   __LINE__)(             \
+      LSCATTER_OBS_CONCAT(lscatter_obs_timer_hist_, __LINE__))
+
+#else  // !LSCATTER_OBS_ENABLED
+
+// Disabled build: macros execute nothing. Value arguments appear inside
+// sizeof (an unevaluated context) so variables computed only for
+// instrumentation don't trip -Wunused, yet no code runs.
+
+#define LSCATTER_OBS_COUNTER_ADD(name, delta) \
+  do {                                        \
+    (void)sizeof(delta);                      \
+  } while (0)
+#define LSCATTER_OBS_COUNTER_INC(name) \
+  do {                                 \
+  } while (0)
+#define LSCATTER_OBS_GAUGE_SET(name, value) \
+  do {                                      \
+    (void)sizeof(value);                    \
+  } while (0)
+#define LSCATTER_OBS_GAUGE_MAX(name, value) \
+  do {                                      \
+    (void)sizeof(value);                    \
+  } while (0)
+#define LSCATTER_OBS_HISTOGRAM_RECORD(name, value) \
+  do {                                             \
+    (void)sizeof(value);                           \
+  } while (0)
+#define LSCATTER_OBS_SPAN(name) \
+  do {                          \
+  } while (0)
+#define LSCATTER_OBS_TIMER(name) \
+  do {                           \
+  } while (0)
+
+#endif  // LSCATTER_OBS_ENABLED

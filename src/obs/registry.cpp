@@ -1,0 +1,184 @@
+#include "obs/registry.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "dsp/stats.hpp"
+
+namespace lscatter::obs {
+
+std::size_t Histogram::bucket_index(double v) {
+  // log10(v) in [kMinDecade, kMaxDecade) maps linearly onto the buckets.
+  const double l = std::log10(v);
+  const double pos = (l - kMinDecade) * kBucketsPerDecade;
+  if (pos < 0.0) return 0;
+  const auto idx = static_cast<std::size_t>(pos);
+  return idx >= kNumBuckets ? kNumBuckets - 1 : idx;
+}
+
+double Histogram::lower_edge(std::size_t i) {
+  return std::pow(10.0, kMinDecade + static_cast<double>(i) /
+                                         kBucketsPerDecade);
+}
+
+double Histogram::upper_edge(std::size_t i) {
+  return std::pow(10.0, kMinDecade + static_cast<double>(i + 1) /
+                                         kBucketsPerDecade);
+}
+
+void Histogram::record(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // C++20 atomic<double>::fetch_add; relaxed is fine, sums are reporting
+  // only.
+  sum_.fetch_add(v, std::memory_order_relaxed);
+
+  if (!has_minmax_.load(std::memory_order_relaxed)) {
+    // Benign race: first writers may both initialize; the CAS loops below
+    // converge to the true extrema regardless.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+    has_minmax_.store(true, std::memory_order_relaxed);
+  }
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v,
+                                                std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v,
+                                                std::memory_order_relaxed)) {
+  }
+
+  if (!(v > 0.0)) {
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  return has_minmax_.load(std::memory_order_relaxed)
+             ? min_.load(std::memory_order_relaxed)
+             : std::numeric_limits<double>::infinity();
+}
+
+double Histogram::max() const {
+  return has_minmax_.load(std::memory_order_relaxed)
+             ? max_.load(std::memory_order_relaxed)
+             : -std::numeric_limits<double>::infinity();
+}
+
+double Histogram::quantile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (p <= 0.0) return min();
+  if (p >= 1.0) return max();
+
+  // Build the non-empty bucket list, clamping the outermost edges to the
+  // observed extrema so single-bucket histograms interpolate tightly,
+  // then defer to the shared estimator in dsp/stats.
+  std::vector<dsp::BucketSpan> spans;
+  const std::uint64_t uf = underflow();
+  if (uf > 0) {
+    spans.push_back({std::min(0.0, min()), 0.0, uf});
+  }
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t c = bucket_count(i);
+    if (c == 0) continue;
+    spans.push_back({std::max(lower_edge(i), std::min(min(), upper_edge(i))),
+                     std::min(upper_edge(i), max()), c});
+  }
+  return dsp::quantile_from_buckets(spans, p);
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  has_minmax_.store(false, std::memory_order_relaxed);
+  underflow_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry* const registry = new Registry();  // never destroyed:
+  // metrics may be hit from static destructors of client code.
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+namespace {
+template <typename Map>
+std::vector<std::string> keys_of(const Map& m) {
+  std::vector<std::string> out;
+  out.reserve(m.size());
+  for (const auto& [k, v] : m) out.push_back(k);
+  return out;  // std::map iterates sorted
+}
+
+template <typename Map>
+auto find_in(const Map& m, const std::string& name) ->
+    decltype(m.begin()->second.get()) {
+  const auto it = m.find(name);
+  return it == m.end() ? nullptr : it->second.get();
+}
+}  // namespace
+
+std::vector<std::string> Registry::counter_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return keys_of(counters_);
+}
+
+std::vector<std::string> Registry::gauge_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return keys_of(gauges_);
+}
+
+std::vector<std::string> Registry::histogram_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return keys_of(histograms_);
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_in(counters_, name);
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_in(gauges_, name);
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_in(histograms_, name);
+}
+
+void Registry::reset_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [k, c] : counters_) c->reset();
+  for (auto& [k, g] : gauges_) g->reset();
+  for (auto& [k, h] : histograms_) h->reset();
+}
+
+}  // namespace lscatter::obs

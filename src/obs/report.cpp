@@ -1,0 +1,172 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lscatter::obs {
+
+namespace {
+
+json::Value histogram_json(const Histogram& h, bool include_buckets) {
+  json::Value v;
+  v["count"] = json::Value(h.count());
+  v["sum"] = json::Value(h.sum());
+  v["mean"] = json::Value(h.mean());
+  v["min"] = json::Value(h.count() == 0 ? 0.0 : h.min());
+  v["max"] = json::Value(h.count() == 0 ? 0.0 : h.max());
+  v["p50"] = json::Value(h.quantile(0.50));
+  v["p90"] = json::Value(h.quantile(0.90));
+  v["p99"] = json::Value(h.quantile(0.99));
+  if (h.underflow() > 0) v["underflow"] = json::Value(h.underflow());
+  if (include_buckets) {
+    json::Array buckets;
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const std::uint64_t c = h.bucket_count(i);
+      if (c == 0) continue;
+      json::Value b;
+      b["le"] = json::Value(Histogram::upper_edge(i));
+      b["count"] = json::Value(c);
+      buckets.push_back(std::move(b));
+    }
+    v["buckets"] = json::Value(std::move(buckets));
+  }
+  return v;
+}
+
+}  // namespace
+
+json::Value build_report(const std::string& report_name,
+                         const ReportOptions& options,
+                         const json::Value* extra) {
+  Registry& reg = Registry::instance();
+  json::Value root;
+  root["schema"] = json::Value("lscatter.obs/1");
+  root["report"] = json::Value(report_name);
+
+  json::Value counters;
+  counters.make_object();
+  for (const auto& name : reg.counter_names()) {
+    counters[name] = json::Value(reg.find_counter(name)->value());
+  }
+  root["counters"] = std::move(counters);
+
+  json::Value gauges;
+  gauges.make_object();
+  for (const auto& name : reg.gauge_names()) {
+    gauges[name] = json::Value(reg.find_gauge(name)->value());
+  }
+  root["gauges"] = std::move(gauges);
+
+  json::Value histograms;
+  histograms.make_object();
+  for (const auto& name : reg.histogram_names()) {
+    histograms[name] =
+        histogram_json(*reg.find_histogram(name), options.include_buckets);
+  }
+  root["histograms"] = std::move(histograms);
+
+  if (options.max_span_events > 0) {
+    const SpanSink& sink = SpanSink::instance();
+    auto events = sink.snapshot();
+    const std::size_t keep =
+        std::min(events.size(), options.max_span_events);
+    json::Value spans;
+    spans["total"] = json::Value(sink.total_recorded());
+    spans["dropped"] =
+        json::Value(sink.total_recorded() -
+                    static_cast<std::uint64_t>(keep));
+    json::Array arr;
+    arr.reserve(keep);
+    for (std::size_t i = events.size() - keep; i < events.size(); ++i) {
+      const SpanEvent& ev = events[i];
+      json::Value e;
+      e["name"] = json::Value(ev.name == nullptr ? "" : ev.name);
+      e["start_ns"] = json::Value(ev.start_ns);
+      e["dur_ns"] = json::Value(ev.duration_ns);
+      e["depth"] = json::Value(static_cast<std::uint64_t>(ev.depth));
+      e["thread"] = json::Value(static_cast<std::uint64_t>(ev.thread_id));
+      e["seq"] = json::Value(ev.seq);
+      e["parent_seq"] = ev.parent_seq == SpanEvent::kNoParent
+                            ? json::Value(nullptr)
+                            : json::Value(ev.parent_seq);
+      arr.push_back(std::move(e));
+    }
+    spans["events"] = json::Value(std::move(arr));
+    root["spans"] = std::move(spans);
+  }
+
+  if (extra != nullptr) root["extra"] = *extra;
+  return root;
+}
+
+std::string format_text_report(const std::string& report_name) {
+  Registry& reg = Registry::instance();
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "== obs report: %s ==\n",
+                report_name.c_str());
+  out += line;
+
+  const auto counter_names = reg.counter_names();
+  if (!counter_names.empty()) {
+    out += "-- counters --\n";
+    for (const auto& name : counter_names) {
+      std::snprintf(line, sizeof(line), "%-44s %12llu\n", name.c_str(),
+                    static_cast<unsigned long long>(
+                        reg.find_counter(name)->value()));
+      out += line;
+    }
+  }
+  const auto gauge_names = reg.gauge_names();
+  if (!gauge_names.empty()) {
+    out += "-- gauges --\n";
+    for (const auto& name : gauge_names) {
+      std::snprintf(line, sizeof(line), "%-44s %12.6g\n", name.c_str(),
+                    reg.find_gauge(name)->value());
+      out += line;
+    }
+  }
+  const auto histogram_names = reg.histogram_names();
+  if (!histogram_names.empty()) {
+    out += "-- histograms (count / mean / p50 / p90 / p99) --\n";
+    for (const auto& name : histogram_names) {
+      const Histogram& h = *reg.find_histogram(name);
+      std::snprintf(line, sizeof(line),
+                    "%-44s %9llu %10.3e %10.3e %10.3e %10.3e\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(h.count()), h.mean(),
+                    h.quantile(0.5), h.quantile(0.9), h.quantile(0.99));
+      out += line;
+    }
+  }
+  return out;
+}
+
+bool write_json_file(const json::Value& report, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = report.dump(2);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
+                      text.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  return ok;
+}
+
+std::optional<std::string> write_report_from_env(
+    const std::string& report_name, const std::string& default_path,
+    const json::Value* extra) {
+  const char* env = std::getenv("LSCATTER_OBS_JSON");
+  std::string path = env != nullptr ? env : default_path;
+  if (path.empty()) return std::nullopt;
+  const json::Value report = build_report(report_name, {}, extra);
+  if (!write_json_file(report, path)) {
+    std::fprintf(stderr, "obs: failed to write report to %s\n",
+                 path.c_str());
+    return std::nullopt;
+  }
+  return path;
+}
+
+}  // namespace lscatter::obs

@@ -1,0 +1,127 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+
+namespace lscatter::obs {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+SpanSink& SpanSink::instance() {
+  static SpanSink* const sink = new SpanSink(kDefaultCapacity);
+  return *sink;
+}
+
+void SpanSink::record(const SpanEvent& ev) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (ring_.empty()) return;
+  ring_[head_] = ev;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+}
+
+std::vector<SpanEvent> SpanSink::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanEvent> out;
+  out.reserve(size_);
+  const std::size_t cap = ring_.size();
+  const std::size_t first = (head_ + cap - size_) % (cap == 0 ? 1 : cap);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(first + i) % cap]);
+  }
+  return out;
+}
+
+std::uint64_t SpanSink::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t SpanSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ - size_;
+}
+
+void SpanSink::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  head_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+void SpanSink::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.assign(capacity, SpanEvent{});
+  head_ = 0;
+  size_ = 0;
+}
+
+namespace {
+
+// Per-thread nesting state. seq is globally unique (atomic) so events
+// from different threads never alias parents.
+struct ThreadSpanState {
+  std::uint32_t depth = 0;
+  std::uint64_t open_seq = SpanEvent::kNoParent;  // innermost open span
+  std::uint32_t thread_id = next_thread_id();
+
+  static std::uint32_t next_thread_id() {
+    static std::atomic<std::uint32_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+ThreadSpanState& thread_state() {
+  thread_local ThreadSpanState state;
+  return state;
+}
+
+std::uint64_t next_seq() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(const char* name, Histogram* latency)
+    : name_(name),
+      latency_(latency),
+      start_ns_(now_ns()),
+      seq_(next_seq()),
+      parent_seq_(thread_state().open_seq),
+      depth_(thread_state().depth),
+      thread_id_(thread_state().thread_id) {
+  ThreadSpanState& st = thread_state();
+  ++st.depth;
+  st.open_seq = seq_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  const std::uint64_t end = now_ns();
+  ThreadSpanState& st = thread_state();
+  --st.depth;
+  st.open_seq = parent_seq_;
+
+  SpanEvent ev;
+  ev.name = name_;
+  ev.start_ns = start_ns_;
+  ev.duration_ns = end - start_ns_;
+  ev.depth = depth_;
+  ev.thread_id = thread_id_;
+  ev.seq = seq_;
+  ev.parent_seq = parent_seq_;
+  SpanSink::instance().record(ev);
+
+  if (latency_ != nullptr) {
+    latency_->record(static_cast<double>(ev.duration_ns) * 1e-9);
+  }
+}
+
+std::uint32_t ScopedSpan::current_depth() { return thread_state().depth; }
+
+}  // namespace lscatter::obs

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace lscatter::tag {
 
 using dsp::cf32;
@@ -20,6 +22,8 @@ AnalogFrontend::AnalogFrontend(const AnalogFrontendConfig& config,
 }
 
 AnalogTrace AnalogFrontend::process(std::span<const cf32> rf_samples) {
+  LSCATTER_OBS_TIMER("tag.frontend.process");
+  LSCATTER_OBS_COUNTER_ADD("tag.frontend.rf_samples", rf_samples.size());
   const std::size_t dec = config_.decimation;
   const std::size_t n_env = rf_samples.size() / dec;
   AnalogTrace trace;
@@ -90,6 +94,22 @@ AnalogTrace AnalogFrontend::process(std::span<const cf32> rf_samples) {
   }
 
   elapsed_s_ += static_cast<double>(rf_samples.size()) / sample_rate_hz_;
+
+#if LSCATTER_OBS_ENABLED
+  // Comparator activity: rising edges are the energy events the FPGA
+  // wakes up for, the per-buffer envelope energy tracks what the
+  // harvesting/matching stage actually absorbed.
+  std::size_t edges = 0;
+  double envelope_energy = 0.0;
+  for (std::size_t i = 0; i < n_env; ++i) {
+    envelope_energy += static_cast<double>(trace.rc[i]) *
+                       static_cast<double>(trace.rc[i]);
+    if (i > 0 && trace.comparator[i] && !trace.comparator[i - 1]) ++edges;
+  }
+  LSCATTER_OBS_COUNTER_ADD("tag.frontend.comparator_edges", edges);
+  LSCATTER_OBS_HISTOGRAM_RECORD("tag.frontend.envelope_energy",
+                                envelope_energy);
+#endif
   return trace;
 }
 

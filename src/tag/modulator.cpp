@@ -1,5 +1,7 @@
 #include "tag/modulator.hpp"
 
+#include "obs/obs.hpp"
+
 namespace lscatter::tag {
 
 using dsp::cf32;
@@ -8,6 +10,8 @@ using dsp::cvec;
 cvec apply_pattern(std::span<const cf32> rf_in,
                    std::span<const std::uint8_t> pattern,
                    std::ptrdiff_t timing_error_units, cf32 gain) {
+  LSCATTER_OBS_TIMER("tag.modulator.apply_pattern");
+  LSCATTER_OBS_COUNTER_ADD("tag.modulator.units_scattered", rf_in.size());
   cvec out(rf_in.size());
   const auto n_pat = static_cast<std::ptrdiff_t>(pattern.size());
   for (std::size_t n = 0; n < rf_in.size(); ++n) {

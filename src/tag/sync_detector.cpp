@@ -3,14 +3,20 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/obs.hpp"
+
 namespace lscatter::tag {
 
 SyncDetector::SyncDetector(const SyncDetectorConfig& config)
     : config_(config) {}
 
 void SyncDetector::feed_edges(std::span<const double> edge_times) {
+  LSCATTER_OBS_COUNTER_ADD("tag.sync.edges_fed", edge_times.size());
   for (const double t : edge_times) {
-    if (last_edge_s_ && t - *last_edge_s_ < config_.refractory_s) continue;
+    if (last_edge_s_ && t - *last_edge_s_ < config_.refractory_s) {
+      LSCATTER_OBS_COUNTER_INC("tag.sync.edges_refractory");
+      continue;
+    }
 
     const double raw = t - config_.nominal_latency_s;
     if (!last_edge_s_) {
@@ -29,8 +35,12 @@ void SyncDetector::feed_edges(std::span<const double> edge_times) {
         std::abs(dt - periods * config_.pss_period_s);
 
     if (periods >= 1.0 && deviation <= config_.tracking_window_s) {
+      LSCATTER_OBS_COUNTER_INC("tag.sync.pss_accepted");
       ++consistent_edges_;
-      if (consistent_edges_ >= config_.edges_to_lock) locked_ = true;
+      if (consistent_edges_ >= config_.edges_to_lock && !locked_) {
+        locked_ = true;
+        LSCATTER_OBS_COUNTER_INC("tag.sync.locks");
+      }
       last_edge_s_ = t;
 
       // FPGA ring buffer: phase of this edge relative to the anchor's
@@ -50,13 +60,16 @@ void SyncDetector::feed_edges(std::span<const double> edge_times) {
           anchor_s_ + slots * config_.pss_period_s + mean_phase;
     } else if (deviation > config_.tracking_window_s && !locked_) {
       // Unlocked and off-cadence: restart from this edge.
+      LSCATTER_OBS_COUNTER_INC("tag.sync.restarts");
       last_edge_s_ = t;
       consistent_edges_ = 1;
       anchor_s_ = raw;
       phases_.assign(1, 0.0);
       estimate_s_ = raw;
+    } else {
+      // Locked and off-cadence: ignore (data-symbol false alarm).
+      LSCATTER_OBS_COUNTER_INC("tag.sync.false_triggers");
     }
-    // Locked and off-cadence: ignore (false alarm).
   }
 }
 

@@ -6,6 +6,7 @@
 #include "lte/ofdm.hpp"
 #include "lte/sequences.hpp"
 #include "lte/signal_map.hpp"
+#include "obs/obs.hpp"
 
 namespace lscatter::tag {
 
@@ -69,7 +70,11 @@ SubframePlan TagController::plan_subframe(
   SubframePlan plan;
   plan.subframe_index = subframe_index;
   plan.listening = is_listening_subframe(subframe_index);
-  if (plan.listening) return plan;
+  LSCATTER_OBS_COUNTER_INC("tag.controller.subframes_planned");
+  if (plan.listening) {
+    LSCATTER_OBS_COUNTER_INC("tag.controller.listening_subframes");
+    return plan;
+  }
 
   std::size_t next_payload = 0;
   std::size_t preambles_placed = 0;
@@ -80,9 +85,11 @@ SubframePlan TagController::plan_subframe(
       sp.kind = SymbolPlan::Kind::kPreamble;
       sp.bits = preamble_;
       ++preambles_placed;
+      LSCATTER_OBS_COUNTER_INC("tag.controller.preamble_symbols");
       continue;
     }
     if (next_payload < symbol_payloads.size()) {
+      LSCATTER_OBS_COUNTER_INC("tag.controller.data_symbols");
       assert(symbol_payloads[next_payload].size() == bits_per_symbol());
       sp.kind = SymbolPlan::Kind::kData;
       // Repetition expansion: each info bit fills `repetition`

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace lscatter::traffic {
 
 std::vector<Burst> generate_bursts(const BurstProcessConfig& config,
@@ -28,6 +30,9 @@ std::vector<Burst> generate_bursts(const BurstProcessConfig& config,
     t += on;
     t += std::max(rng.exponential(mean_gap_s), config.min_gap_s);
   }
+  LSCATTER_OBS_COUNTER_ADD("traffic.burst.bursts_generated", bursts.size());
+  LSCATTER_OBS_HISTOGRAM_RECORD("traffic.burst.measured_occupancy",
+                                measure_occupancy(bursts, horizon_s));
   return bursts;
 }
 

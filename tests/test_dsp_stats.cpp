@@ -66,6 +66,69 @@ TEST(Stats, CdfSeriesIsMonotone) {
   EXPECT_DOUBLE_EQ(series.back().second, 1.0);
 }
 
+TEST(Stats, QuantileSortedEdgeCases) {
+  // Empty input: defined as 0 (callers feed possibly-empty samples).
+  EXPECT_DOUBLE_EQ(quantile_sorted({}, 0.5), 0.0);
+
+  // Single element: every quantile is that element.
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 1.0), 42.0);
+
+  // Ties: runs of equal values pin the quantile to the tied value.
+  const std::vector<double> ties = {1.0, 2.0, 2.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(ties, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(ties, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(ties, 0.75), 2.0);
+
+  // Out-of-range q clamps instead of indexing out of bounds.
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(x, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(x, 2.0), 3.0);
+
+  // Linear interpolation between order statistics.
+  const std::vector<double> y = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(y, 0.5), 15.0);
+}
+
+TEST(Stats, QuantileUnsortedAndSummary) {
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.9), 0.0);
+
+  std::vector<double> x;
+  for (int i = 1; i <= 101; ++i) x.push_back(static_cast<double>(i));
+  const QuantileSummary s = summary_quantiles(x);
+  EXPECT_DOUBLE_EQ(s.p50, 51.0);
+  EXPECT_DOUBLE_EQ(s.p90, 91.0);
+  EXPECT_DOUBLE_EQ(s.p99, 100.0);
+
+  const QuantileSummary empty = summary_quantiles({});
+  EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+}
+
+TEST(Stats, QuantileFromBuckets) {
+  // No counts: 0.
+  EXPECT_DOUBLE_EQ(quantile_from_buckets({}, 0.5), 0.0);
+  const std::vector<BucketSpan> zero = {{1.0, 2.0, 0}};
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(zero, 0.5), 0.0);
+
+  // All mass in one positive bucket: geometric interpolation inside it.
+  const std::vector<BucketSpan> one = {{1.0, 100.0, 2}};
+  EXPECT_NEAR(quantile_from_buckets(one, 0.5), 10.0, 1e-9);
+  EXPECT_NEAR(quantile_from_buckets(one, 1.0), 100.0, 1e-9);
+
+  // Mass split across buckets: the median falls on the boundary.
+  const std::vector<BucketSpan> two = {{1.0, 2.0, 5}, {2.0, 4.0, 5}};
+  EXPECT_NEAR(quantile_from_buckets(two, 0.5), 2.0, 1e-9);
+  EXPECT_GT(quantile_from_buckets(two, 0.9), 2.0);
+
+  // Bucket touching zero falls back to linear interpolation.
+  const std::vector<BucketSpan> lin = {{0.0, 10.0, 2}};
+  EXPECT_NEAR(quantile_from_buckets(lin, 0.5), 5.0, 1e-9);
+}
+
 TEST(Stats, HistogramBinsAndClamps) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);

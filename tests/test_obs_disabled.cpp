@@ -1,0 +1,58 @@
+// Compile-time contract of the observability macros when disabled: this
+// TU forces LSCATTER_OBS_ENABLED=0 before including obs.hpp (regardless
+// of how the library was built), and checks that every macro compiles to
+// a true no-op — no registry traffic, no argument evaluation, and legal
+// in single-statement positions.
+
+#define LSCATTER_OBS_ENABLED 0
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/registry.hpp"
+
+namespace {
+
+using namespace lscatter;
+
+TEST(ObsDisabled, MacrosDoNotTouchTheRegistry) {
+  LSCATTER_OBS_COUNTER_INC("test.disabled.counter");
+  LSCATTER_OBS_COUNTER_ADD("test.disabled.counter", 5);
+  LSCATTER_OBS_GAUGE_SET("test.disabled.gauge", 1.0);
+  LSCATTER_OBS_GAUGE_MAX("test.disabled.gauge", 2.0);
+  LSCATTER_OBS_HISTOGRAM_RECORD("test.disabled.hist", 0.5);
+  {
+    LSCATTER_OBS_SPAN("test.disabled.span");
+    LSCATTER_OBS_TIMER("test.disabled.timer");
+  }
+
+  const obs::Registry& reg = obs::Registry::instance();
+  EXPECT_EQ(reg.find_counter("test.disabled.counter"), nullptr);
+  EXPECT_EQ(reg.find_gauge("test.disabled.gauge"), nullptr);
+  EXPECT_EQ(reg.find_histogram("test.disabled.hist"), nullptr);
+  EXPECT_EQ(reg.find_histogram("test.disabled.span.seconds"), nullptr);
+  EXPECT_EQ(reg.find_histogram("test.disabled.timer.seconds"), nullptr);
+}
+
+TEST(ObsDisabled, MacroArgumentsAreNotEvaluated) {
+  int evaluations = 0;
+  LSCATTER_OBS_COUNTER_ADD("test.disabled.eval", ++evaluations);
+  LSCATTER_OBS_GAUGE_SET("test.disabled.eval", ++evaluations);
+  LSCATTER_OBS_GAUGE_MAX("test.disabled.eval", ++evaluations);
+  LSCATTER_OBS_HISTOGRAM_RECORD("test.disabled.eval", ++evaluations);
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ObsDisabled, MacrosAreSingleStatements) {
+  // Must behave as one statement after if/else without braces.
+  const bool flag = true;
+  if (flag)
+    LSCATTER_OBS_COUNTER_INC("test.disabled.branchy");
+  else
+    LSCATTER_OBS_COUNTER_INC("test.disabled.branchy_else");
+  EXPECT_EQ(obs::Registry::instance().find_counter(
+                "test.disabled.branchy"),
+            nullptr);
+}
+
+}  // namespace
