@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Regenerate the committed micro-benchmark reference report,
-# bench/baselines/BENCH_micro.json: a short bench_micro_rx run whose
-# observability snapshot (per-stage demod timings, tag sync counters,
-# span summary) documents the expected report shape and metric set.
-# Timings vary by machine — the baseline is for schema/metric-name
-# diffing, not for absolute-performance comparison.
+# Regenerate the committed micro-benchmark reference reports under
+# bench/baselines/: BENCH_micro.json (bench_micro_rx) and
+# BENCH_micro_dsp.json (bench_micro_dsp). The baselines exist for
+# scripts/bench_gate.sh — which diffs metric names and quantiles, not
+# raw span dumps — so they are written with LSCATTER_OBS_SPANS=0 and
+# LSCATTER_OBS_BUCKETS=0 (no span events, no bucket arrays). Timings
+# vary by machine; the gate's schema-drift check is machine-independent,
+# the timing thresholds are only meaningful against a baseline from the
+# same machine.
 #
 # Usage: scripts/bench_baseline.sh [build-dir]   (default: build)
 
@@ -14,11 +17,15 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 
 cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)" \
-  --target bench_micro_rx
+  --target bench_micro_rx bench_micro_dsp
 
-out="$repo/bench/baselines/BENCH_micro.json"
 mkdir -p "$repo/bench/baselines"
-LSCATTER_OBS_JSON="$out" "$build/bench/bench_micro_rx" \
-  --benchmark_min_time=0.05
-
-echo "wrote $out"
+for bench in bench_micro_rx bench_micro_dsp; do
+  case "$bench" in
+    bench_micro_rx) out="$repo/bench/baselines/BENCH_micro.json" ;;
+    *) out="$repo/bench/baselines/BENCH_${bench#bench_}.json" ;;
+  esac
+  LSCATTER_OBS_JSON="$out" LSCATTER_OBS_SPANS=0 LSCATTER_OBS_BUCKETS=0 \
+    "$build/bench/$bench" --benchmark_min_time=0.05
+  echo "wrote $out"
+done

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Bench regression gate: run the micro benches with fresh observability
+# reports and diff each against its committed baseline in
+# bench/baselines/ using `lscatter-obs diff`. Metric-name drift (a
+# renamed or dropped counter/gauge/histogram) always fails; histogram
+# quantile regressions fail only past --threshold, because absolute
+# timings vary by machine. --smoke restricts the diff to schema drift —
+# that is the mode scripts/check.sh and CI run, so committed baselines
+# from one machine never fail another machine on timing.
+#
+# Usage: scripts/bench_gate.sh [--smoke] [--threshold PCT]
+#                               [--tail-threshold PCT] [build-dir]
+#   --smoke               schema-drift check only (no timing thresholds)
+#   --threshold PCT       allowed relative p50 growth (default 25)
+#   --tail-threshold PCT  allowed relative p90/p99 growth (default 150)
+# Exits non-zero if any bench drifts or regresses.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+smoke=0
+threshold=25
+tail_threshold=150
+build="$repo/build"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) smoke=1 ;;
+    --threshold)
+      threshold="$2"
+      shift
+      ;;
+    --tail-threshold)
+      tail_threshold="$2"
+      shift
+      ;;
+    *) build="$1" ;;
+  esac
+  shift
+done
+
+cmake --build "$build" -j "$jobs" \
+  --target bench_micro_rx bench_micro_dsp lscatter-obs
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+gate_args=(--threshold "$threshold" --tail-threshold "$tail_threshold")
+[[ "$smoke" == 1 ]] && gate_args+=(--schema-only)
+
+fail=0
+for bench in bench_micro_rx bench_micro_dsp; do
+  case "$bench" in
+    bench_micro_rx) baseline="$repo/bench/baselines/BENCH_micro.json" ;;
+    *) baseline="$repo/bench/baselines/BENCH_${bench#bench_}.json" ;;
+  esac
+  if [[ ! -f "$baseline" ]]; then
+    echo "bench_gate: missing baseline $baseline" \
+         "(run scripts/bench_baseline.sh)" >&2
+    exit 2
+  fi
+
+  fresh="$tmp/$bench.json"
+  # Baselines carry metric names + quantiles only, so export the fresh
+  # run the same way (no span dump, no bucket arrays).
+  LSCATTER_OBS_JSON="$fresh" LSCATTER_OBS_SPANS=0 LSCATTER_OBS_BUCKETS=0 \
+    "$build/bench/$bench" --benchmark_min_time=0.05 > /dev/null
+
+  echo "== bench_gate: $bench vs ${baseline#"$repo"/} =="
+  if ! "$build/tools/lscatter-obs" diff "$baseline" "$fresh" \
+       "${gate_args[@]}"; then
+    fail=1
+  fi
+done
+
+if [[ "$fail" != 0 ]]; then
+  echo "bench_gate: FAIL (see findings above)" >&2
+  exit 1
+fi
+echo "bench_gate: all benches clean"

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite —
-# first in the default configuration, then rebuilt under
-# AddressSanitizer + UndefinedBehaviorSanitizer
-# (-DLSCATTER_SANITIZE=address,undefined).
+# first in the default configuration (plus the bench gate's schema-drift
+# smoke check, so an accidentally renamed/dropped metric fails here),
+# then rebuilt under AddressSanitizer + UndefinedBehaviorSanitizer
+# (-DLSCATTER_SANITIZE=address,undefined), and finally the span-sink
+# stress test alone under ThreadSanitizer (-DLSCATTER_SANITIZE=thread;
+# TSan and ASan cannot share a build).
 #
 # Usage: scripts/check.sh [--no-sanitize]
 # Exits non-zero on the first failure.
@@ -19,12 +22,20 @@ cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
+echo "== tier-1: bench gate (schema-drift smoke) =="
+"$repo/scripts/bench_gate.sh" --smoke "$repo/build"
+
 if [[ "$run_sanitized" == 1 ]]; then
   echo "== tier-1: ASan + UBSan build =="
   cmake -B "$repo/build-san" -S "$repo" \
     -DLSCATTER_SANITIZE=address,undefined
   cmake --build "$repo/build-san" -j "$jobs"
   ctest --test-dir "$repo/build-san" --output-on-failure -j "$jobs"
+
+  echo "== tier-1: TSan span stress =="
+  cmake -B "$repo/build-tsan" -S "$repo" -DLSCATTER_SANITIZE=thread
+  cmake --build "$repo/build-tsan" -j "$jobs" --target test_obs_stress
+  "$repo/build-tsan/tests/test_obs_stress"
 fi
 
 echo "== check.sh: all green =="

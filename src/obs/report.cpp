@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/trace_export.hpp"
+
 namespace lscatter::obs {
 
 namespace {
@@ -35,6 +37,22 @@ json::Value histogram_json(const Histogram& h, bool include_buckets) {
 }
 
 }  // namespace
+
+ReportOptions report_options_from_env() {
+  ReportOptions options;
+  if (const char* spans = std::getenv("LSCATTER_OBS_SPANS")) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(spans, &end, 10);
+    if (end != spans && *end == '\0') {
+      options.max_span_events = static_cast<std::size_t>(n);
+    }
+  }
+  if (const char* buckets = std::getenv("LSCATTER_OBS_BUCKETS")) {
+    options.include_buckets =
+        !(buckets[0] == '0' && buckets[1] == '\0');
+  }
+  return options;
+}
 
 json::Value build_report(const std::string& report_name,
                          const ReportOptions& options,
@@ -157,10 +175,16 @@ bool write_json_file(const json::Value& report, const std::string& path) {
 std::optional<std::string> write_report_from_env(
     const std::string& report_name, const std::string& default_path,
     const json::Value* extra) {
+  if (const char* trace = std::getenv("LSCATTER_OBS_TRACE")) {
+    if (trace[0] != '\0' && !write_trace_file(trace)) {
+      std::fprintf(stderr, "obs: failed to write trace to %s\n", trace);
+    }
+  }
   const char* env = std::getenv("LSCATTER_OBS_JSON");
   std::string path = env != nullptr ? env : default_path;
   if (path.empty()) return std::nullopt;
-  const json::Value report = build_report(report_name, {}, extra);
+  const json::Value report =
+      build_report(report_name, report_options_from_env(), extra);
   if (!write_json_file(report, path)) {
     std::fprintf(stderr, "obs: failed to write report to %s\n",
                  path.c_str());

@@ -33,6 +33,11 @@ struct ReportOptions {
   bool include_buckets = true;
 };
 
+/// Defaults overridden by `LSCATTER_OBS_SPANS=<n>` (span-event cap) and
+/// `LSCATTER_OBS_BUCKETS=0|1` — how scripts/bench_baseline.sh shrinks the
+/// committed baselines to names + quantiles without a recompile.
+ReportOptions report_options_from_env();
+
 /// Snapshot the process-wide registry + span sink into a JSON value.
 /// `extra`, when provided, is attached verbatim under "extra".
 json::Value build_report(const std::string& report_name,
@@ -49,7 +54,11 @@ bool write_json_file(const json::Value& report, const std::string& path);
 /// If `LSCATTER_OBS_JSON` is set (or `default_path` is non-empty), write
 /// the current report there and return the path written. Benches call
 /// this once after their workload. Returns nullopt when no destination
-/// is configured or the write failed.
+/// is configured or the write failed. Additionally honors
+/// `LSCATTER_OBS_TRACE=<path>`: dumps the span sink as Chrome
+/// trace-event JSON (obs/trace_export.hpp) — independent of whether a
+/// report destination is configured — and the ReportOptions env knobs
+/// above.
 std::optional<std::string> write_report_from_env(
     const std::string& report_name, const std::string& default_path = "",
     const json::Value* extra = nullptr);

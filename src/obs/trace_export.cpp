@@ -1,0 +1,133 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "obs/report.hpp"
+
+namespace lscatter::obs {
+
+namespace {
+
+// Source-agnostic span row: trace_from_events reads the live SpanSink
+// (literal names), trace_from_report reads parsed JSON (owned strings),
+// both funnel through build_trace.
+struct TraceRow {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t depth = 0;
+  std::uint32_t thread = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t parent_seq = SpanEvent::kNoParent;
+};
+
+json::Value build_trace(std::vector<TraceRow> rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const TraceRow& a, const TraceRow& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.seq < b.seq;
+            });
+
+  json::Value root;
+  root["displayTimeUnit"] = json::Value("ns");
+  json::Array events;
+  events.reserve(rows.size());
+
+  // One thread_name metadata record per track, emitted first so viewers
+  // label tracks before any slice lands on them.
+  std::set<std::uint32_t> threads;
+  for (const TraceRow& r : rows) threads.insert(r.thread);
+  for (const std::uint32_t t : threads) {
+    json::Value m;
+    m["ph"] = json::Value("M");
+    m["pid"] = json::Value(std::uint64_t{1});
+    m["tid"] = json::Value(static_cast<std::uint64_t>(t));
+    m["name"] = json::Value("thread_name");
+    char label[32];
+    std::snprintf(label, sizeof(label), "span thread %u", t);
+    m["args"]["name"] = json::Value(label);
+    events.push_back(std::move(m));
+  }
+
+  for (const TraceRow& r : rows) {
+    json::Value e;
+    e["name"] = json::Value(r.name);
+    e["ph"] = json::Value("X");
+    e["pid"] = json::Value(std::uint64_t{1});
+    e["tid"] = json::Value(static_cast<std::uint64_t>(r.thread));
+    e["ts"] = json::Value(static_cast<double>(r.start_ns) * 1e-3);
+    e["dur"] = json::Value(static_cast<double>(r.dur_ns) * 1e-3);
+    e["args"]["seq"] = json::Value(r.seq);
+    e["args"]["parent_seq"] = r.parent_seq == SpanEvent::kNoParent
+                                  ? json::Value(nullptr)
+                                  : json::Value(r.parent_seq);
+    e["args"]["depth"] = json::Value(static_cast<std::uint64_t>(r.depth));
+    events.push_back(std::move(e));
+  }
+
+  root["traceEvents"] = json::Value(std::move(events));
+  return root;
+}
+
+std::uint64_t u64_field(const json::Value& obj, const std::string& key) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr && v->is_number()
+             ? static_cast<std::uint64_t>(v->as_number())
+             : 0;
+}
+
+}  // namespace
+
+json::Value trace_from_events(const std::vector<SpanEvent>& events) {
+  std::vector<TraceRow> rows;
+  rows.reserve(events.size());
+  for (const SpanEvent& ev : events) {
+    TraceRow r;
+    r.name = ev.name == nullptr ? "" : ev.name;
+    r.start_ns = ev.start_ns;
+    r.dur_ns = ev.duration_ns;
+    r.depth = ev.depth;
+    r.thread = ev.thread_id;
+    r.seq = ev.seq;
+    r.parent_seq = ev.parent_seq;
+    rows.push_back(std::move(r));
+  }
+  return build_trace(std::move(rows));
+}
+
+std::optional<json::Value> trace_from_report(const json::Value& report) {
+  const json::Value* spans = report.find("spans");
+  if (spans == nullptr) return std::nullopt;
+  const json::Value* events = spans->find("events");
+  if (events == nullptr || !events->is_array()) return std::nullopt;
+
+  std::vector<TraceRow> rows;
+  rows.reserve(events->as_array().size());
+  for (const json::Value& e : events->as_array()) {
+    if (!e.is_object()) continue;
+    TraceRow r;
+    const json::Value* name = e.find("name");
+    if (name != nullptr && name->is_string()) r.name = name->as_string();
+    r.start_ns = u64_field(e, "start_ns");
+    r.dur_ns = u64_field(e, "dur_ns");
+    r.depth = static_cast<std::uint32_t>(u64_field(e, "depth"));
+    r.thread = static_cast<std::uint32_t>(u64_field(e, "thread"));
+    r.seq = u64_field(e, "seq");
+    const json::Value* parent = e.find("parent_seq");
+    r.parent_seq = parent != nullptr && parent->is_number()
+                       ? static_cast<std::uint64_t>(parent->as_number())
+                       : SpanEvent::kNoParent;
+    rows.push_back(std::move(r));
+  }
+  return build_trace(std::move(rows));
+}
+
+bool write_trace_file(const std::string& path) {
+  const json::Value trace =
+      trace_from_events(SpanSink::instance().snapshot());
+  return write_json_file(trace, path);
+}
+
+}  // namespace lscatter::obs

@@ -1,0 +1,39 @@
+#pragma once
+// Chrome trace-event / Perfetto export of the span ring buffer: every
+// finished SpanEvent becomes a `"ph":"X"` complete event on a per-thread
+// track, so a demodulation run opens directly in ui.perfetto.dev or
+// chrome://tracing. Two sources are supported: the live SpanSink (used
+// by the `LSCATTER_OBS_TRACE=<path>` hook in write_report_from_env) and
+// the `spans.events` array of an already-written `lscatter.obs/1` report
+// (used by `lscatter-obs trace`).
+//
+// Mapping (DESIGN.md §7): trace `ts`/`dur` are microseconds (doubles, so
+// ns precision survives), `pid` is always 1, `tid` is the dense span
+// thread ordinal, and `seq`/`parent_seq`/`depth` ride along under `args`
+// so the nesting can be rebuilt from the trace alone. A `"ph":"M"`
+// thread_name metadata record labels each track.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+
+namespace lscatter::obs {
+
+/// Build a trace-event JSON document from finished span events.
+/// Events may be in any order; output is sorted by start time per the
+/// trace-event convention.
+json::Value trace_from_events(const std::vector<SpanEvent>& events);
+
+/// Build a trace-event JSON document from the `spans.events` array of a
+/// parsed `lscatter.obs/1` report. Returns nullopt when the report has
+/// no spans section (e.g. written with max_span_events = 0).
+std::optional<json::Value> trace_from_report(const json::Value& report);
+
+/// Snapshot the live SpanSink and write a trace file to `path`.
+/// False on I/O failure.
+bool write_trace_file(const std::string& path);
+
+}  // namespace lscatter::obs

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <thread>
 
 #include "obs/json.hpp"
@@ -250,6 +251,55 @@ TEST(ObsReport, JsonReportRoundTripsThroughParser) {
   const std::string text = obs::format_text_report("round-trip");
   EXPECT_NE(text.find("test.obs.report.counter"), std::string::npos);
   EXPECT_NE(text.find("test.obs.report.hist"), std::string::npos);
+}
+
+TEST(ObsReport, WriteFromEnvFailsSoftlyOnUnwritablePath) {
+  ASSERT_EQ(setenv("LSCATTER_OBS_JSON",
+                   "/nonexistent-dir/lscatter/report.json", 1),
+            0);
+  const auto path = obs::write_report_from_env("env-fail");
+  unsetenv("LSCATTER_OBS_JSON");
+  EXPECT_FALSE(path.has_value());  // and no crash/throw getting here
+}
+
+TEST(ObsReport, WriteFromEnvNoDestinationIsNullopt) {
+  unsetenv("LSCATTER_OBS_JSON");
+  EXPECT_FALSE(obs::write_report_from_env("env-none").has_value());
+}
+
+TEST(ObsReport, ReportOptionsFromEnvShrinkBaselines) {
+  // Defaults when unset.
+  unsetenv("LSCATTER_OBS_SPANS");
+  unsetenv("LSCATTER_OBS_BUCKETS");
+  obs::ReportOptions options = obs::report_options_from_env();
+  EXPECT_EQ(options.max_span_events, obs::ReportOptions{}.max_span_events);
+  EXPECT_TRUE(options.include_buckets);
+
+  // The bench_baseline.sh configuration: no spans, no buckets.
+  ASSERT_EQ(setenv("LSCATTER_OBS_SPANS", "0", 1), 0);
+  ASSERT_EQ(setenv("LSCATTER_OBS_BUCKETS", "0", 1), 0);
+  options = obs::report_options_from_env();
+  EXPECT_EQ(options.max_span_events, 0u);
+  EXPECT_FALSE(options.include_buckets);
+
+  obs::Registry::instance().histogram("test.obs.envopts").record(1e-3);
+  {
+    obs::ScopedSpan s("test.obs.envopts_span");
+  }
+  const obs::json::Value report = obs::build_report("shrunk", options);
+  EXPECT_EQ(report.find("spans"), nullptr);
+  const obs::json::Value* hist =
+      report.find("histograms")->find("test.obs.envopts");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("buckets"), nullptr);
+  EXPECT_NE(hist->find("p99"), nullptr);
+
+  // Garbage values fall back to defaults / stay permissive.
+  ASSERT_EQ(setenv("LSCATTER_OBS_SPANS", "not-a-number", 1), 0);
+  EXPECT_EQ(obs::report_options_from_env().max_span_events,
+            obs::ReportOptions{}.max_span_events);
+  unsetenv("LSCATTER_OBS_SPANS");
+  unsetenv("LSCATTER_OBS_BUCKETS");
 }
 
 TEST(ObsReport, NumberFormattingRoundTripsExactly) {

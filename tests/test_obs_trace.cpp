@@ -1,0 +1,170 @@
+// Chrome trace-event export: record real nested spans on two threads,
+// export through obs::trace_from_events / trace_from_report, parse the
+// emitted JSON back with the in-tree parser, and verify the track and
+// nesting structure a trace viewer would reconstruct. Uses ScopedSpan
+// directly (not the macros) so the checks hold in -DLSCATTER_OBS=OFF
+// builds too.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_export.hpp"
+
+namespace {
+
+using namespace lscatter;
+
+// outer -> inner nested pair on the calling thread.
+void record_nested_pair(const char* outer, const char* inner) {
+  obs::ScopedSpan o(outer);
+  obs::ScopedSpan i(inner);
+}
+
+// All "ph":"X" events from a parsed trace document.
+std::vector<const obs::json::Value*> complete_events(
+    const obs::json::Value& trace) {
+  std::vector<const obs::json::Value*> out;
+  const obs::json::Value* events = trace.find("traceEvents");
+  if (events == nullptr) return out;
+  for (const obs::json::Value& e : events->as_array()) {
+    if (e.find("ph")->as_string() == "X") out.push_back(&e);
+  }
+  return out;
+}
+
+const obs::json::Value* event_named(
+    const std::vector<const obs::json::Value*>& events,
+    const std::string& name) {
+  for (const auto* e : events) {
+    if (e->find("name")->as_string() == name) return e;
+  }
+  return nullptr;
+}
+
+TEST(ObsTrace, TwoThreadRoundTripThroughParser) {
+  obs::SpanSink& sink = obs::SpanSink::instance();
+  sink.clear();
+
+  record_nested_pair("test.trace.main_outer", "test.trace.main_inner");
+  std::thread worker(record_nested_pair, "test.trace.worker_outer",
+                     "test.trace.worker_inner");
+  worker.join();
+
+  const obs::json::Value trace = obs::trace_from_events(sink.snapshot());
+  const auto parsed = obs::json::parse(trace.dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("displayTimeUnit")->as_string(), "ns");
+
+  const auto events = complete_events(*parsed);
+  ASSERT_EQ(events.size(), 4u);
+
+  // The two threads land on distinct tracks, nested pairs share one.
+  const auto* main_outer = event_named(events, "test.trace.main_outer");
+  const auto* main_inner = event_named(events, "test.trace.main_inner");
+  const auto* worker_outer = event_named(events, "test.trace.worker_outer");
+  const auto* worker_inner = event_named(events, "test.trace.worker_inner");
+  ASSERT_NE(main_outer, nullptr);
+  ASSERT_NE(main_inner, nullptr);
+  ASSERT_NE(worker_outer, nullptr);
+  ASSERT_NE(worker_inner, nullptr);
+  EXPECT_EQ(main_outer->find("tid")->as_number(),
+            main_inner->find("tid")->as_number());
+  EXPECT_EQ(worker_outer->find("tid")->as_number(),
+            worker_inner->find("tid")->as_number());
+  EXPECT_NE(main_outer->find("tid")->as_number(),
+            worker_outer->find("tid")->as_number());
+
+  // Nesting: inner is parented on outer (args.parent_seq == outer seq)
+  // and contained in time on both tracks. ts/dur are microseconds.
+  const std::pair<const obs::json::Value*, const obs::json::Value*>
+      tracks[] = {{main_outer, main_inner}, {worker_outer, worker_inner}};
+  for (const auto& [outer, inner] : tracks) {
+    EXPECT_EQ(inner->find("args")->find("parent_seq")->as_number(),
+              outer->find("args")->find("seq")->as_number());
+    EXPECT_EQ(outer->find("args")->find("parent_seq")->kind(),
+              obs::json::Value::Kind::kNull);
+    EXPECT_EQ(inner->find("args")->find("depth")->as_number(), 1.0);
+    EXPECT_EQ(outer->find("args")->find("depth")->as_number(), 0.0);
+    const double o_ts = outer->find("ts")->as_number();
+    const double o_end = o_ts + outer->find("dur")->as_number();
+    const double i_ts = inner->find("ts")->as_number();
+    const double i_end = i_ts + inner->find("dur")->as_number();
+    EXPECT_GE(i_ts, o_ts);
+    EXPECT_LE(i_end, o_end + 1e-6);  // µs rounding slack
+  }
+
+  // One thread_name metadata record per track.
+  int metadata = 0;
+  for (const obs::json::Value& e :
+       parsed->find("traceEvents")->as_array()) {
+    if (e.find("ph")->as_string() != "M") continue;
+    EXPECT_EQ(e.find("name")->as_string(), "thread_name");
+    EXPECT_NE(e.find("args")->find("name"), nullptr);
+    ++metadata;
+  }
+  EXPECT_EQ(metadata, 2);
+}
+
+TEST(ObsTrace, ReportAndLiveSinkProduceSameTrace) {
+  obs::SpanSink& sink = obs::SpanSink::instance();
+  sink.clear();
+  record_nested_pair("test.trace.rep_outer", "test.trace.rep_inner");
+
+  const obs::json::Value live = obs::trace_from_events(sink.snapshot());
+  const obs::json::Value report = obs::build_report("trace-test");
+  const auto from_report = obs::trace_from_report(report);
+  ASSERT_TRUE(from_report.has_value());
+  EXPECT_EQ(from_report->dump(2), live.dump(2));
+}
+
+TEST(ObsTrace, ReportWithoutSpansYieldsNullopt) {
+  obs::ReportOptions options;
+  options.max_span_events = 0;
+  const obs::json::Value report =
+      obs::build_report("spanless", options);
+  EXPECT_FALSE(obs::trace_from_report(report).has_value());
+}
+
+TEST(ObsTrace, EnvHookWritesParsableTraceFile) {
+  obs::SpanSink& sink = obs::SpanSink::instance();
+  sink.clear();
+  record_nested_pair("test.trace.env_outer", "test.trace.env_inner");
+
+  const std::string path =
+      ::testing::TempDir() + "lscatter_obs_trace_test.json";
+  ASSERT_EQ(setenv("LSCATTER_OBS_TRACE", path.c_str(), 1), 0);
+  obs::write_report_from_env("trace-env-test");
+  unsetenv("LSCATTER_OBS_TRACE");
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  const auto parsed = obs::json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(complete_events(*parsed).size(), 2u);
+}
+
+TEST(ObsTrace, UnwritableTracePathDoesNotCrash) {
+  ASSERT_EQ(
+      setenv("LSCATTER_OBS_TRACE", "/nonexistent-dir/lscatter/t.json", 1),
+      0);
+  obs::write_report_from_env("trace-env-fail");  // must not throw/abort
+  unsetenv("LSCATTER_OBS_TRACE");
+}
+
+}  // namespace

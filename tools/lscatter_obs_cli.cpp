@@ -1,0 +1,227 @@
+// lscatter-obs: command-line consumer of `lscatter.obs/1` run reports
+// (the JSON every bench/example writes via LSCATTER_OBS_JSON).
+//
+//   lscatter-obs summarize <report.json>
+//       Text table of counters, gauges, and histogram quantiles —
+//       format_text_report, but for a file instead of the live registry.
+//
+//   lscatter-obs diff <base.json> <new.json> [--threshold PCT]
+//                     [--tail-threshold PCT] [--schema-only] [--json]
+//       Structural diff (obs/diff.hpp). Exit 0 = clean, 1 = metric-name
+//       drift or quantile regression, 2 = usage/input error. --threshold
+//       is the allowed relative p50 growth in percent (default 25);
+//       --tail-threshold bounds p90/p99 (default 150 — tails of short
+//       runs are log-bucket-quantized and noisy); --schema-only skips
+//       quantile comparison entirely (the bench gate's smoke mode);
+//       --json prints the machine-readable verdict.
+//
+//   lscatter-obs trace <report.json> -o <out.json>
+//       Convert the report's span events to Chrome trace-event JSON for
+//       ui.perfetto.dev / chrome://tracing (obs/trace_export.hpp).
+//
+// Works identically on reports from -DLSCATTER_OBS=OFF builds — those
+// just have empty metric sections.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "obs/diff.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_export.hpp"
+
+namespace {
+
+using namespace lscatter;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: lscatter-obs <command> ...\n"
+      "  summarize <report.json>\n"
+      "  diff <base.json> <new.json> [--threshold PCT]"
+      " [--tail-threshold PCT] [--schema-only] [--json]\n"
+      "  trace <report.json> -o <out.json>\n");
+  return 2;
+}
+
+std::optional<obs::json::Value> load_report(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "lscatter-obs: cannot open %s\n", path);
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  auto parsed = obs::json::parse(text);
+  if (!parsed) {
+    std::fprintf(stderr, "lscatter-obs: %s is not valid JSON\n", path);
+  }
+  return parsed;
+}
+
+double field_or(const obs::json::Value& obj, const char* key,
+                double fallback) {
+  const obs::json::Value* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+void print_section_scalars(const obs::json::Value& report,
+                           const char* section, const char* heading,
+                           const char* fmt) {
+  const obs::json::Value* s = report.find(section);
+  if (s == nullptr || !s->is_object() || s->as_object().size() == 0) return;
+  std::printf("-- %s --\n", heading);
+  for (const auto& name : s->as_object().keys()) {
+    const obs::json::Value* v = s->find(name);
+    if (v == nullptr || !v->is_number()) continue;
+    std::printf(fmt, name.c_str(), v->as_number());
+  }
+}
+
+int cmd_summarize(int argc, char** argv) {
+  if (argc != 1) return usage();
+  const auto report = load_report(argv[0]);
+  if (!report) return 2;
+
+  const obs::json::Value* name = report->find("report");
+  std::printf("== obs report: %s (%s) ==\n",
+              name != nullptr && name->is_string()
+                  ? name->as_string().c_str()
+                  : "<unnamed>",
+              argv[0]);
+  print_section_scalars(*report, "counters", "counters", "%-44s %12.0f\n");
+  print_section_scalars(*report, "gauges", "gauges", "%-44s %12.6g\n");
+
+  const obs::json::Value* hists = report->find("histograms");
+  if (hists != nullptr && hists->is_object() &&
+      hists->as_object().size() > 0) {
+    std::printf("-- histograms (count / mean / p50 / p90 / p99) --\n");
+    for (const auto& hname : hists->as_object().keys()) {
+      const obs::json::Value* h = hists->find(hname);
+      if (h == nullptr || !h->is_object()) continue;
+      std::printf("%-44s %9.0f %10.3e %10.3e %10.3e %10.3e\n",
+                  hname.c_str(), field_or(*h, "count", 0.0),
+                  field_or(*h, "mean", 0.0), field_or(*h, "p50", 0.0),
+                  field_or(*h, "p90", 0.0), field_or(*h, "p99", 0.0));
+    }
+  }
+
+  const obs::json::Value* spans = report->find("spans");
+  if (spans != nullptr && spans->is_object()) {
+    std::printf("-- spans --\ntotal %.0f, dropped %.0f, exported %zu\n",
+                field_or(*spans, "total", 0.0),
+                field_or(*spans, "dropped", 0.0),
+                spans->find("events") != nullptr &&
+                        spans->find("events")->is_array()
+                    ? spans->find("events")->as_array().size()
+                    : std::size_t{0});
+  }
+  return 0;
+}
+
+int cmd_diff(int argc, char** argv) {
+  const char* base_path = nullptr;
+  const char* new_path = nullptr;
+  obs::DiffOptions options;
+  bool as_json = false;
+
+  const auto parse_pct = [&](int& i, double& out) {
+    if (i + 1 >= argc) return false;
+    char* end = nullptr;
+    const double pct = std::strtod(argv[++i], &end);
+    if (end == argv[i] || *end != '\0' || pct < 0.0) {
+      std::fprintf(stderr, "lscatter-obs: bad threshold %s\n", argv[i]);
+      return false;
+    }
+    out = pct / 100.0;
+    return true;
+  };
+
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0) {
+      if (!parse_pct(i, options.regression_threshold)) return 2;
+    } else if (std::strcmp(argv[i], "--tail-threshold") == 0) {
+      if (!parse_pct(i, options.tail_regression_threshold)) return 2;
+    } else if (std::strcmp(argv[i], "--schema-only") == 0) {
+      options.compare_quantiles = false;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else if (base_path == nullptr) {
+      base_path = argv[i];
+    } else if (new_path == nullptr) {
+      new_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (base_path == nullptr || new_path == nullptr) return usage();
+
+  const auto base = load_report(base_path);
+  const auto current = load_report(new_path);
+  if (!base || !current) return 2;
+
+  const obs::DiffResult result = obs::diff_reports(*base, *current, options);
+  if (as_json) {
+    std::printf("%s\n", result.to_json().dump(2).c_str());
+  } else {
+    std::printf("%s", result.format_text().c_str());
+  }
+  return result.ok() ? 0 : 1;
+}
+
+int cmd_trace(int argc, char** argv) {
+  const char* in_path = nullptr;
+  const char* out_path = nullptr;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0) {
+      if (i + 1 >= argc) return usage();
+      out_path = argv[++i];
+    } else if (in_path == nullptr) {
+      in_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (in_path == nullptr || out_path == nullptr) return usage();
+
+  const auto report = load_report(in_path);
+  if (!report) return 2;
+  const auto trace = obs::trace_from_report(*report);
+  if (!trace) {
+    std::fprintf(stderr,
+                 "lscatter-obs: %s has no spans section (written with "
+                 "max_span_events=0?)\n",
+                 in_path);
+    return 2;
+  }
+  if (!obs::write_json_file(*trace, out_path)) {
+    std::fprintf(stderr, "lscatter-obs: cannot write %s\n", out_path);
+    return 2;
+  }
+  const std::size_t n = trace->find("traceEvents")->as_array().size();
+  std::printf("wrote %s (%zu trace events) — open in ui.perfetto.dev\n",
+              out_path, n);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "summarize") == 0) {
+    return cmd_summarize(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "diff") == 0) return cmd_diff(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "trace") == 0) return cmd_trace(argc - 2, argv + 2);
+  return usage();
+}
