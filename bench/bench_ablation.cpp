@@ -54,7 +54,7 @@ int main() {
     core::LinkConfig cfg = core::make_scenario(
         core::Scene::kSmartHome,
         {.seed = seed + static_cast<std::uint64_t>(acir)});
-    cfg.env.acir_db = acir;
+    cfg.env.acir_db = dsp::Db{acir};
     const auto p = benchutil::run_drops(cfg, 4, 10);
     std::printf("%8.0f %10.2e %14.2f\n", acir, p.ber,
                 p.mean_throughput_bps / 1e6);
@@ -82,7 +82,7 @@ int main() {
   for (const std::ptrdiff_t off : {-724, -524, -424, -200, 0, 200, 424}) {
     core::LinkConfig cfg = core::make_scenario(core::Scene::kSmartHome,
                                                {.seed = seed + 5});
-    cfg.env.pathloss.shadowing_sigma_db = 0.0;
+    cfg.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
     cfg.schedule.window_offset_units = off;
     cfg.sync.sigma_s = 0.2e-6;
     cfg.search.range_units = 80;

@@ -22,7 +22,7 @@ int main() {
   for (const std::size_t n : {1u, 2u, 4u}) {
     core::MultiTagConfig cfg;
     cfg.base = core::make_scenario(core::Scene::kSmartHome, {.seed = seed});
-    cfg.base.env.pathloss.shadowing_sigma_db = 0.0;
+    cfg.base.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
     cfg.n_slots = n;
     for (std::size_t i = 0; i < n; ++i) {
       cfg.tags.push_back({{3.0 + static_cast<double>(i), 3.0, -1.0}, i});
@@ -39,7 +39,7 @@ int main() {
   {
     core::MultiTagConfig cfg;
     cfg.base = core::make_scenario(core::Scene::kSmartHome, {.seed = seed});
-    cfg.base.env.pathloss.shadowing_sigma_db = 0.0;
+    cfg.base.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
     cfg.n_slots = 1;
     cfg.tags.push_back({{3.0, 3.0, -1.0}, 0});
     cfg.tags.push_back({{4.0, 4.0, -1.0}, 0});  // collision
@@ -61,7 +61,7 @@ int main() {
   for (int i = 0; i < 3; ++i) {
     core::LinkConfig cfg =
         core::make_scenario(core::Scene::kSmartHome, {.seed = seed + 1});
-    cfg.env.pathloss.shadowing_sigma_db = 0.0;
+    cfg.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
     cfg.ambient = sources[i];
     const auto p = benchutil::run_drops(cfg, 4, 10);
     std::printf("%16s %14.2f %10.2e\n", names[i],
@@ -81,7 +81,7 @@ int main() {
       core::LinkConfig cfg = core::make_scenario(
           core::Scene::kSmartHome,
           {.seed = seed + static_cast<std::uint64_t>(d)});
-      cfg.env.pathloss.shadowing_sigma_db = 0.0;
+      cfg.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
       cfg.geometry.enb_tag_ft = 14.0;
       cfg.geometry.tag_ue_ft = d;
       cfg.fec = coded ? core::Fec::kConvolutional : core::Fec::kNone;
@@ -109,7 +109,7 @@ int main() {
                        Case{"multipath + 8-tap EQ", true, 8}}) {
     core::LinkConfig cfg =
         core::make_scenario(core::Scene::kSmartHome, {.seed = seed + 9});
-    cfg.env.pathloss.shadowing_sigma_db = 0.0;
+    cfg.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
     cfg.env.frequency_selective = c.selective;
     cfg.search.equalizer_taps = c.eq_taps;
     const auto p = benchutil::run_drops(cfg, 4, 8);

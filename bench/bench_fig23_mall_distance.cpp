@@ -56,7 +56,7 @@ int main() {
     wcfg.budget = cfg.env.budget;
     wcfg.enb_tag_ft = kEnbTagFt;
     wcfg.tag_ue_ft = d;
-    wcfg.rician_k_db = 3.0;  // weak LoS at 2.4 GHz in clutter
+    wcfg.rician_k_db = dsp::Db{3.0};  // weak LoS at 2.4 GHz in clutter
     wcfg.seed = opt.seed ^ 0xAAAA;
     baselines::WifiBackscatterLink wifi(wcfg);
     core::LinkMetrics wm;

@@ -43,7 +43,7 @@ int main() {
     wcfg.budget = cfg.env.budget;
     wcfg.enb_tag_ft = kEnbTagFt;
     wcfg.tag_ue_ft = d;
-    wcfg.rician_k_db = 4.0;
+    wcfg.rician_k_db = dsp::Db{4.0};
     wcfg.seed = opt.seed ^ 0xAAAA;
     baselines::WifiBackscatterLink wifi(wcfg);
     core::LinkMetrics wm;

@@ -16,7 +16,7 @@ using namespace lscatter;
 
 bool link_alive(double enb_tag_ft, double tag_ue_ft, std::uint64_t seed) {
   core::ScenarioOptions opt;
-  opt.tx_power_dbm = 40.0;  // RF5110 PA
+  opt.tx_power_dbm = dsp::Dbm{40.0};  // RF5110 PA
   opt.seed = seed;
   core::LinkConfig cfg = core::make_scenario(core::Scene::kOutdoor, opt);
   cfg.geometry.enb_tag_ft = enb_tag_ft;

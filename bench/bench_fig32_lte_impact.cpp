@@ -57,7 +57,7 @@ double lte_throughput_bps(lte::Bandwidth bw, double snr_db,
       for (std::size_t n = 0; n < rx.size(); ++n) rx[n] += scat[n];
     }
 
-    channel::add_awgn_snr(rx, snr_db, noise_rng);
+    channel::add_awgn_snr(rx, dsp::Db{snr_db}, noise_rng);
     const auto res = ue.receive_subframe(rx, tx, mcs);
     delivered += res.bits_delivered;  // per-code-block accounting
   }

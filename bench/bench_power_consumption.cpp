@@ -49,7 +49,8 @@ int main() {
               "harvest (uW)", "duty cycle");
   for (const double d_ft : {1.0, 2.0, 4.0, 8.0, 16.0}) {
     const double incident =
-        10.0 + 2.0 - pl.median_db(d_ft * 0.3048, 680e6);  // 2 dBi antenna
+        10.0 + 2.0 -
+        pl.median_db(d_ft * 0.3048, dsp::Hz{680e6}).value();  // 2 dBi antenna
     std::printf("%10.0f %14.1f %14.2f %12.2f\n", d_ft, incident,
                 harvest.harvested_uw(incident),
                 harvest.sustainable_duty_cycle(incident, p_ring));

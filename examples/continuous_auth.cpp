@@ -47,7 +47,8 @@ struct Verifier {
   }
   bool accept() const {
     if (window_n < 8) return true;  // not enough evidence yet
-    const double rms = std::sqrt(window_acc / window_n);
+    const double rms =
+        std::sqrt(window_acc / static_cast<double>(window_n));
     return std::abs(rms - enrolled_rms) < 0.5 * enrolled_rms;
   }
   void reset() {

@@ -18,7 +18,7 @@ int main() {
 
   core::ScenarioOptions options;
   options.bandwidth = lte::Bandwidth::kMHz20;
-  options.tx_power_dbm = 10.0;  // a USRP-class eNodeB, not a macro tower
+  options.tx_power_dbm = dsp::Dbm{10.0};  // a USRP-class eNodeB, not a macro tower
   options.seed = 2020;
 
   core::LinkConfig config =
@@ -34,7 +34,8 @@ int main() {
 
   std::printf("budget : backscatter rx %.1f dBm, noise %.1f dBm, "
               "SNR %.1f dB\n",
-              drop.backscatter_rx_dbm, drop.noise_dbm, drop.mean_snr_db);
+              drop.backscatter_rx_dbm.value(), drop.noise_dbm.value(),
+              drop.mean_snr_db.value());
   std::printf("link   : %s\n", m.describe().c_str());
   std::printf("\nLScatter moved %.0f kbit over 50 ms of ambient LTE — no "
               "radio of its own.\n",

@@ -1,0 +1,99 @@
+// Fuzz target: the packet decoder walks attacker-controlled on-air bits.
+// Whatever the bytes, decode()/decode_soft() must either return a payload
+// or nullopt — contract violations are thrown (and accepted) because the
+// harness runs in throw mode; anything else is a crash. Seed corpus:
+// fuzz/corpus/framing/.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/contracts.hpp"
+#include "core/framing.hpp"
+
+namespace {
+
+// First bytes parameterize the codec, the rest become on-air bits; this
+// lets the fuzzer explore FEC on/off and odd packet sizes, not just
+// payload content.
+struct Params {
+  lscatter::core::Fec fec;
+  std::size_t coded_bits;
+};
+
+Params draw_params(const std::uint8_t* data, std::size_t size) {
+  Params p;
+  p.fec = (data[0] & 1) ? lscatter::core::Fec::kConvolutional
+                        : lscatter::core::Fec::kNone;
+  // 33..~4k coded bits: below the contract floor (32) is the contract
+  // test's job, and huge sizes only slow exploration down.
+  p.coded_bits = 33 + (static_cast<std::size_t>(data[1]) |
+                       (static_cast<std::size_t>(size > 2 ? data[2] : 0)
+                        << 8)) % 4000;
+  return p;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 2) return 0;
+  lscatter::core::contracts::ScopedFailureMode mode(
+      lscatter::core::contracts::FailureMode::kThrow);
+  try {
+    const Params p = draw_params(data, size);
+    const lscatter::core::PacketCodec codec(p.coded_bits, p.fec);
+
+    // Expand the remaining bytes to exactly coded_bits bits (wrapping).
+    const std::uint8_t* body = data + 3;
+    const std::size_t body_size = size > 3 ? size - 3 : 0;
+    std::vector<std::uint8_t> coded(p.coded_bits);
+    std::vector<float> soft(p.coded_bits);
+    for (std::size_t i = 0; i < p.coded_bits; ++i) {
+      const std::uint8_t byte =
+          body_size == 0 ? 0xA5 : body[(i / 8) % body_size];
+      const std::uint8_t bit = (byte >> (i % 8)) & 1;
+      coded[i] = bit;
+      soft[i] = bit ? 1.0f + static_cast<float>(i % 7) * 0.25f : -0.5f;
+    }
+
+    (void)codec.decode(coded);
+    (void)codec.decode_soft(soft);
+    (void)codec.decode_soft_bits(soft);
+
+    // Round trip: a well-formed payload must always survive.
+    std::vector<std::uint8_t> payload(codec.payload_bits());
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = coded[i % coded.size()];
+    }
+    const auto onair = codec.encode(payload);
+    const auto back = codec.decode(onair);
+    if (!back.has_value() || *back != payload) {
+      __builtin_trap();  // encode -> decode must be the identity
+    }
+  } catch (const lscatter::core::ContractViolation&) {
+    // A rejected precondition is a pass: hostile input was refused loudly.
+  }
+  return 0;
+}
+
+#ifdef LSCATTER_FUZZ_STANDALONE
+#include <cstdio>
+#include <fstream>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 2;
+    }
+    const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  }
+  std::printf("fuzz_framing: replayed %d input(s), no crash\n", argc - 1);
+  return 0;
+}
+#endif

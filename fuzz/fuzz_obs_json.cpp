@@ -1,0 +1,53 @@
+// Fuzz target: the obs JSON parser must reject or round-trip arbitrary
+// bytes — never crash, hang, or produce a value its own writer cannot
+// re-parse. Seed corpus: fuzz/corpus/obs_json/.
+//
+// Built two ways (fuzz/CMakeLists.txt):
+//   clang: -fsanitize=fuzzer,address  -> a real libFuzzer binary
+//   gcc:   LSCATTER_FUZZ_STANDALONE  -> corpus-replay main() below
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const auto v = lscatter::obs::json::parse(text);
+  if (!v.has_value()) return 0;
+
+  // Anything we accept must survive a write -> parse round trip, both
+  // pretty-printed and compact.
+  for (const int indent : {2, -1}) {
+    const std::string out = v->dump(indent);
+    const auto again = lscatter::obs::json::parse(out);
+    if (!again.has_value()) {
+      __builtin_trap();  // accepted input, but our own output is rejected
+    }
+  }
+  return 0;
+}
+
+#ifdef LSCATTER_FUZZ_STANDALONE
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 2;
+    }
+    const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  }
+  std::printf("fuzz_obs_json: replayed %d input(s), no crash\n", argc - 1);
+  return 0;
+}
+#endif

@@ -6,6 +6,10 @@
 # (-DLSCATTER_SANITIZE=address,undefined), and finally the span-sink
 # stress test alone under ThreadSanitizer (-DLSCATTER_SANITIZE=thread;
 # TSan and ASan cannot share a build).
+# After the default build it runs the static layer: tools/lscatter-lint
+# (project rules: unit suffixes, RNG discipline, float-in-DSP, include
+# hygiene) always, and clang-tidy when installed (the CI lint job installs
+# it; a gcc-only box skips it).
 #
 # Usage: scripts/check.sh [--no-sanitize]
 # Exits non-zero on the first failure.
@@ -24,6 +28,24 @@ ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
 echo "== tier-1: bench gate (schema-drift smoke) =="
 "$repo/scripts/bench_gate.sh" --smoke "$repo/build"
+
+echo "== static: lscatter-lint =="
+cmake --build "$repo/build" -j "$jobs" --target lscatter-lint
+"$repo/build/tools/lscatter-lint" "$repo"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== static: clang-tidy =="
+  cmake -B "$repo/build" -S "$repo" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p "$repo/build" "$repo/src/.*\.cpp$"
+  else
+    find "$repo/src" -name '*.cpp' -print0 |
+      xargs -0 clang-tidy -quiet -p "$repo/build"
+  fi
+else
+  echo "== static: clang-tidy not installed; skipped (CI runs it) =="
+fi
 
 if [[ "$run_sanitized" == 1 ]]; then
   echo "== tier-1: ASan + UBSan build =="

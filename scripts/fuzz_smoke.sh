@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Fuzz smoke: build the harnesses and give each a bounded budget.
+#
+# With clang (CI): real libFuzzer runs, ~15 s per target over the seed
+# corpus — enough to catch shallow regressions in the parser/decoder
+# without holding the pipeline hostage.
+# With gcc only: the harnesses compile as corpus-replay drivers and replay
+# every seed, so the targets and corpora stay healthy on any toolchain.
+#
+# Usage: scripts/fuzz_smoke.sh [seconds-per-target]
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+budget="${1:-15}"
+build="$repo/build-fuzz"
+
+cmake_args=(-DLSCATTER_FUZZ=ON)
+have_libfuzzer=0
+if command -v clang++ >/dev/null 2>&1; then
+  cmake_args+=(-DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++)
+  have_libfuzzer=1
+fi
+
+cmake -B "$build" -S "$repo" "${cmake_args[@]}"
+cmake --build "$build" -j "$jobs" --target fuzz_obs_json fuzz_framing
+
+run_target() {
+  local bin="$build/fuzz/$1" corpus="$repo/fuzz/corpus/$2"
+  if [[ "$have_libfuzzer" == 1 ]]; then
+    echo "== fuzz: $1 (libFuzzer, ${budget}s) =="
+    "$bin" -max_total_time="$budget" -timeout=5 -print_final_stats=1 \
+      "$corpus"
+  else
+    echo "== fuzz: $1 (corpus replay; clang not found) =="
+    find "$corpus" -type f -print0 | xargs -0 "$bin"
+  fi
+}
+
+run_target fuzz_obs_json obs_json
+run_target fuzz_framing framing
+
+echo "== fuzz_smoke.sh: no crashes =="

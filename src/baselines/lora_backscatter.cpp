@@ -20,15 +20,15 @@ double LoraBackscatterLink::instantaneous_rate_bps() const {
 core::LinkMetrics LoraBackscatterLink::run_burst(std::size_t n_bits) {
   dsp::Rng drop_rng = rng_.fork();
   dsp::Rng noise_rng = rng_.fork();
-  const double f = config_.phy.carrier_hz;
+  const dsp::Hz f{config_.phy.carrier_hz};
 
-  const double pl1 = config_.pathloss.sample_db(
+  const dsp::Db pl1 = config_.pathloss.sample_db(
       dsp::feet_to_meters(config_.enb_tag_ft), f, drop_rng);
-  const double pl2 = config_.pathloss.sample_db(
+  const dsp::Db pl2 = config_.pathloss.sample_db(
       dsp::feet_to_meters(config_.tag_ue_ft), f, drop_rng);
-  const double rx_dbm = config_.budget.backscatter_rx_dbm(pl1, pl2);
-  const double noise_mw = dsp::dbm_to_mw(channel::noise_floor_dbm(
-      config_.phy.bandwidth_hz, config_.budget.noise_figure_db));
+  const dsp::Dbm rx_dbm = config_.budget.backscatter_rx_dbm(pl1, pl2);
+  const double noise_mw = dsp::to_mw(channel::noise_floor_dbm(
+      dsp::Hz{config_.phy.bandwidth_hz}, config_.budget.noise_figure_db));
   const float amp = static_cast<float>(channel::amplitude(rx_dbm));
 
   const auto bits = rng_.bits(n_bits);

@@ -13,8 +13,8 @@ namespace lscatter::baselines {
 
 struct LoraPhyConfig {
   unsigned spreading_factor = 8;  // 7..12
-  double bandwidth_hz = 125e3;
-  double carrier_hz = 915e6;
+  double bandwidth_hz = 125e3;  // lint-ok: units — PHY-lite config stays raw at the baseline boundary
+  double carrier_hz = 915e6;  // lint-ok: units — PHY-lite config stays raw at the baseline boundary
 
   std::size_t chips_per_symbol() const { return 1u << spreading_factor; }
   double symbol_duration_s() const {

@@ -31,21 +31,22 @@ core::LinkMetrics SymbolLevelLteLink::run(std::size_t n_subframes) {
   dsp::Rng drop_rng = rng_.fork();
   dsp::Rng noise_rng = rng_.fork();
   const auto& cell = config_.enodeb.cell;
-  const double f = cell.carrier_hz;
+  const dsp::Hz f{cell.carrier_hz};
 
-  const double pl1 = config_.pathloss.sample_db(
+  const dsp::Db pl1 = config_.pathloss.sample_db(
       dsp::feet_to_meters(config_.enb_tag_ft), f, drop_rng);
-  const double pl2 = config_.pathloss.sample_db(
+  const dsp::Db pl2 = config_.pathloss.sample_db(
       dsp::feet_to_meters(config_.tag_ue_ft), f, drop_rng);
-  const double rx_dbm = config_.budget.backscatter_rx_dbm(pl1, pl2);
-  const double occupied_hz =
-      static_cast<double>(cell.n_subcarriers()) * lte::kSubcarrierSpacingHz;
-  const double noise_mw = dsp::dbm_to_mw(channel::noise_floor_dbm(
-      occupied_hz, config_.budget.noise_figure_db));
+  const dsp::Dbm rx_dbm = config_.budget.backscatter_rx_dbm(pl1, pl2);
+  const dsp::Hz occupied =
+      static_cast<double>(cell.n_subcarriers()) *
+      dsp::Hz{lte::kSubcarrierSpacingHz};
+  const double noise_mw = dsp::to_mw(channel::noise_floor_dbm(
+      occupied, config_.budget.noise_figure_db));
 
   const auto draw_fade = [&]() -> cf32 {
     if (!config_.los) return drop_rng.complex_normal(1.0);
-    const double k = dsp::db_to_lin(config_.rician_k_db);
+    const double k = config_.rician_k_db.linear();
     return cf32{static_cast<float>(std::sqrt(k / (k + 1.0))), 0.0f} +
            drop_rng.complex_normal(1.0 / (k + 1.0));
   };

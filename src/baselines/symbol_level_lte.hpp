@@ -22,7 +22,7 @@ struct SymbolLevelLteConfig {
   channel::LinkBudget budget;
   double enb_tag_ft = 3.0;
   double tag_ue_ft = 3.0;
-  double rician_k_db = 8.0;
+  dsp::Db rician_k_db{8.0};
   bool los = true;
   std::uint64_t seed = 11;
 };

@@ -18,31 +18,31 @@ double WifiBackscatterLink::instantaneous_rate_bps() const {
   return 1.0 / (2.0 * config_.phy.symbol_duration_s());
 }
 
-double WifiBackscatterLink::backscatter_snr_db() const {
-  const double f = config_.phy.carrier_hz;
-  const double pl1 = config_.pathloss.median_db(
+dsp::Db WifiBackscatterLink::backscatter_snr_db() const {
+  const dsp::Hz f{config_.phy.carrier_hz};
+  const dsp::Db pl1 = config_.pathloss.median_db(
       dsp::feet_to_meters(config_.enb_tag_ft), f);
-  const double pl2 = config_.pathloss.median_db(
+  const dsp::Db pl2 = config_.pathloss.median_db(
       dsp::feet_to_meters(config_.tag_ue_ft), f);
-  return config_.budget.backscatter_snr_db(pl1, pl2, 16.6e6);
+  return config_.budget.backscatter_snr_db(pl1, pl2, dsp::Hz{16.6e6});
 }
 
 core::LinkMetrics WifiBackscatterLink::run_burst(std::size_t n_bits) {
   dsp::Rng drop_rng = rng_.fork();
   dsp::Rng noise_rng = rng_.fork();
-  const double f = config_.phy.carrier_hz;
+  const dsp::Hz f{config_.phy.carrier_hz};
 
-  const double pl1 = config_.pathloss.sample_db(
+  const dsp::Db pl1 = config_.pathloss.sample_db(
       dsp::feet_to_meters(config_.enb_tag_ft), f, drop_rng);
-  const double pl2 = config_.pathloss.sample_db(
+  const dsp::Db pl2 = config_.pathloss.sample_db(
       dsp::feet_to_meters(config_.tag_ue_ft), f, drop_rng);
-  const double rx_dbm = config_.budget.backscatter_rx_dbm(pl1, pl2);
-  const double noise_mw = dsp::dbm_to_mw(
-      channel::noise_floor_dbm(16.6e6, config_.budget.noise_figure_db));
+  const dsp::Dbm rx_dbm = config_.budget.backscatter_rx_dbm(pl1, pl2);
+  const double noise_mw = dsp::to_mw(channel::noise_floor_dbm(
+      dsp::Hz{16.6e6}, config_.budget.noise_figure_db));
 
   const auto draw_fade = [&]() -> cf32 {
     if (!config_.los) return drop_rng.complex_normal(1.0);
-    const double k = dsp::db_to_lin(config_.rician_k_db);
+    const double k = config_.rician_k_db.linear();
     return cf32{static_cast<float>(std::sqrt(k / (k + 1.0))), 0.0f} +
            drop_rng.complex_normal(1.0 / (k + 1.0));
   };

@@ -26,7 +26,7 @@ struct WifiBackscatterConfig {
   channel::LinkBudget budget;
   double enb_tag_ft = 3.0;  // WiFi sender -> tag ("enb" naming for symmetry)
   double tag_ue_ft = 3.0;
-  double rician_k_db = 8.0;
+  dsp::Db rician_k_db{8.0};
   bool los = true;
   /// Fraction of detected bursts the tag can actually ride (trigger
   /// latency, partial bursts).
@@ -51,7 +51,7 @@ class WifiBackscatterLink {
   /// convention as LinkMetrics).
   double hourly_throughput_bps(double occupancy, std::size_t probe_bits);
 
-  double backscatter_snr_db() const;
+  dsp::Db backscatter_snr_db() const;
 
  private:
   WifiBackscatterConfig config_;

@@ -14,8 +14,8 @@ struct WifiPhyConfig {
   static constexpr std::size_t kFftSize = 64;
   static constexpr std::size_t kCpLen = 16;
   static constexpr std::size_t kUsedSubcarriers = 52;
-  double sample_rate_hz = 20e6;
-  double carrier_hz = 2.437e9;  // channel 6
+  double sample_rate_hz = 20e6;  // lint-ok: units — PHY-lite config stays raw at the baseline boundary
+  double carrier_hz = 2.437e9;  // channel 6  // lint-ok: units — PHY-lite config stays raw at the baseline boundary
 
   static constexpr std::size_t samples_per_symbol() {
     return kFftSize + kCpLen;

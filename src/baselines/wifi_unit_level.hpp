@@ -23,7 +23,7 @@ struct WifiUnitLevelConfig {
   channel::LinkBudget budget;
   double enb_tag_ft = 3.0;
   double tag_ue_ft = 3.0;
-  double rician_k_db = 8.0;
+  dsp::Db rician_k_db{8.0};
   /// Residual tag/burst timing error in units (the WiFi "preamble
   /// detection + trigger" path of §4.1), searched by the receiver.
   std::ptrdiff_t timing_error_units = 2;

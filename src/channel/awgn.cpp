@@ -12,9 +12,9 @@ void add_awgn(std::span<dsp::cf32> x, double noise_power, dsp::Rng& rng) {
   for (auto& v : x) v += rng.complex_normal(noise_power);
 }
 
-void add_awgn_snr(std::span<dsp::cf32> x, double snr_db, dsp::Rng& rng) {
+void add_awgn_snr(std::span<dsp::cf32> x, dsp::Db snr, dsp::Rng& rng) {
   const double sig = dsp::mean_power(x);
-  add_awgn(x, sig / dsp::db_to_lin(snr_db), rng);
+  add_awgn(x, sig / snr.linear(), rng);
 }
 
 }  // namespace lscatter::channel

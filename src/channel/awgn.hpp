@@ -2,6 +2,7 @@
 // Additive white Gaussian noise.
 
 #include "dsp/rng.hpp"
+#include "dsp/units.hpp"
 #include "dsp/types.hpp"
 
 namespace lscatter::channel {
@@ -10,7 +11,7 @@ namespace lscatter::channel {
 /// the signal's power) to x in place.
 void add_awgn(std::span<dsp::cf32> x, double noise_power, dsp::Rng& rng);
 
-/// Add AWGN at a given SNR [dB] relative to the *measured* mean power of x.
-void add_awgn_snr(std::span<dsp::cf32> x, double snr_db, dsp::Rng& rng);
+/// Add AWGN at a given SNR relative to the *measured* mean power of x.
+void add_awgn_snr(std::span<dsp::cf32> x, dsp::Db snr, dsp::Rng& rng);
 
 }  // namespace lscatter::channel

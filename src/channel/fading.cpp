@@ -1,8 +1,8 @@
 #include "channel/fading.hpp"
 
-#include <cassert>
 #include <cmath>
 
+#include "core/contracts.hpp"
 #include "dsp/db.hpp"
 #include "obs/obs.hpp"
 
@@ -14,20 +14,22 @@ using dsp::cvec;
 FadingProfile FadingProfile::flat() {
   FadingProfile p;
   p.n_taps = 1;
-  p.rms_delay_spread_s = 0.0;
+  p.rms_delay_spread_s = dsp::Seconds{0.0};
   p.los = true;
-  p.rician_k_db = 60.0;  // essentially deterministic
+  p.rician_k_db = dsp::Db{60.0};  // essentially deterministic
   return p;
 }
 
-TdlChannel::TdlChannel(const FadingProfile& profile, double sample_rate_hz,
+TdlChannel::TdlChannel(const FadingProfile& profile, dsp::Hz sample_rate,
                        dsp::Rng& rng) {
-  assert(profile.n_taps >= 1);
-  const double ts = 1.0 / sample_rate_hz;
+  LSCATTER_EXPECT(profile.n_taps >= 1, "a TDL channel needs >= 1 tap");
+  LSCATTER_EXPECT(sample_rate.value() > 0.0,
+                  "tap delays need a positive sample rate");
+  const double ts = period(sample_rate).value();
 
   // Exponential PDP sampled at multiples of ~ half the delay spread; tap 0
   // at delay 0.
-  const double tau = std::max(profile.rms_delay_spread_s, 0.0);
+  const double tau = std::max(profile.rms_delay_spread_s.value(), 0.0);
   delays_.resize(profile.n_taps);
   std::vector<double> powers(profile.n_taps);
   double total = 0.0;
@@ -50,7 +52,7 @@ TdlChannel::TdlChannel(const FadingProfile& profile, double sample_rate_hz,
   for (std::size_t i = 0; i < profile.n_taps; ++i) {
     if (i == 0 && profile.los) {
       // Rician: deterministic LoS component + diffuse part.
-      const double k = dsp::db_to_lin(profile.rician_k_db);
+      const double k = profile.rician_k_db.linear();
       const double los_amp = std::sqrt(powers[0] * k / (k + 1.0));
       const cf32 diffuse = rng.complex_normal(powers[0] / (k + 1.0));
       gains_[i] = cf32{static_cast<float>(los_amp), 0.0f} + diffuse;

@@ -10,20 +10,21 @@
 
 #include "dsp/rng.hpp"
 #include "dsp/types.hpp"
+#include "dsp/units.hpp"
 
 namespace lscatter::channel {
 
 struct FadingProfile {
-  /// RMS delay spread [s]. Typical: 50 ns home, 150 ns mall, 200 ns
+  /// RMS delay spread. Typical: 50 ns home, 150 ns mall, 200 ns
   /// outdoor street.
-  double rms_delay_spread_s = 50e-9;
+  dsp::Seconds rms_delay_spread_s{50e-9};
 
   /// Number of taps in the delay line.
   std::size_t n_taps = 8;
 
-  /// Rician K-factor [dB] applied to the first tap; -inf (use `los=false`)
+  /// Rician K-factor applied to the first tap; -inf (use `los=false`)
   /// for pure Rayleigh.
-  double rician_k_db = 10.0;
+  dsp::Db rician_k_db{10.0};
   bool los = true;
 
   /// A single-tap unity channel (for calibration / unit tests).
@@ -34,7 +35,7 @@ class TdlChannel {
  public:
   /// Draw one realization at the given sample rate. Average power gain is
   /// normalized to 1 so path loss stays in PathLossModel.
-  TdlChannel(const FadingProfile& profile, double sample_rate_hz,
+  TdlChannel(const FadingProfile& profile, dsp::Hz sample_rate,
              dsp::Rng& rng);
 
   /// Convolve the channel with `x` ("same"-length output, no leading

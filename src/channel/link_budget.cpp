@@ -1,21 +1,27 @@
 #include "channel/link_budget.hpp"
 
+#include "core/contracts.hpp"
+
 namespace lscatter::channel {
 
-double LinkBudget::direct_rx_dbm(double pl_direct_db) const {
-  return tx_power_dbm + tx_antenna_gain_db + rx_antenna_gain_db -
-         pl_direct_db;
+dsp::Dbm LinkBudget::direct_rx_dbm(dsp::Db pl_direct) const {
+  LSCATTER_EXPECT(pl_direct.value() >= 0.0, "path loss cannot be a gain");
+  return tx_power_dbm + tx_antenna_gain_db + rx_antenna_gain_db - pl_direct;
 }
 
-double LinkBudget::backscatter_rx_dbm(double pl1_db, double pl2_db) const {
+dsp::Dbm LinkBudget::backscatter_rx_dbm(dsp::Db pl1, dsp::Db pl2) const {
+  LSCATTER_EXPECT(pl1.value() >= 0.0 && pl2.value() >= 0.0,
+                  "path loss cannot be a gain");
   return tx_power_dbm + tx_antenna_gain_db + 2.0 * tag_antenna_gain_db +
-         rx_antenna_gain_db - pl1_db - tag.total_loss_db() - pl2_db;
+         rx_antenna_gain_db - pl1 - tag.total_loss_db() - pl2;
 }
 
-double LinkBudget::backscatter_snr_db(double pl1_db, double pl2_db,
-                                      double bandwidth_hz) const {
-  return backscatter_rx_dbm(pl1_db, pl2_db) -
-         noise_floor_dbm(bandwidth_hz, noise_figure_db);
+dsp::Db LinkBudget::backscatter_snr_db(dsp::Db pl1, dsp::Db pl2,
+                                       dsp::Hz bandwidth) const {
+  LSCATTER_EXPECT(bandwidth.value() > 0.0,
+                  "SNR needs a positive noise bandwidth");
+  return backscatter_rx_dbm(pl1, pl2) -
+         noise_floor_dbm(bandwidth, noise_figure_db);
 }
 
 }  // namespace lscatter::channel

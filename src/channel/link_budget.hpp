@@ -10,9 +10,15 @@
 // mean power; multiplying by `amplitude(rx_dbm)` expresses them in
 // sqrt-milliwatt units so they can be summed with noise at the physical
 // floor.
+//
+// All quantities carry their unit in the type (dsp/units.hpp): absolute
+// powers are Dbm, gains/losses are Db, bandwidths are Hz. Mixing them
+// wrongly (adding two Dbm, passing a loss where a bandwidth goes) is a
+// compile error, not a BER degradation.
 
 #include "channel/pathloss.hpp"
 #include "dsp/db.hpp"
+#include "dsp/units.hpp"
 
 namespace lscatter::channel {
 
@@ -20,42 +26,42 @@ namespace lscatter::channel {
 struct TagRf {
   /// First-harmonic conversion of a square-wave mixer: amplitude 2/pi
   /// (-3.92 dB in power).
-  double conversion_loss_db = 3.92;
+  dsp::Db conversion_loss_db{3.92};
 
   /// Antenna reflection efficiency |Gamma| of the RF switch network.
-  double reflection_loss_db = 6.0;
+  dsp::Db reflection_loss_db{6.0};
 
   /// Residual power leaking into the unwanted sideband, relative to the
-  /// wanted one, after the HitchHike-style sideband cancellation [dB].
-  double image_rejection_db = 20.0;
+  /// wanted one, after the HitchHike-style sideband cancellation.
+  dsp::Db image_rejection_db{20.0};
 
-  double total_loss_db() const {
+  dsp::Db total_loss_db() const {
     return conversion_loss_db + reflection_loss_db;
   }
 };
 
 struct LinkBudget {
-  double tx_power_dbm = 10.0;
-  double tx_antenna_gain_db = 0.0;
-  double rx_antenna_gain_db = 0.0;
-  double tag_antenna_gain_db = 0.0;
-  double noise_figure_db = 7.0;
+  dsp::Dbm tx_power_dbm{10.0};
+  dsp::Db tx_antenna_gain_db{0.0};
+  dsp::Db rx_antenna_gain_db{0.0};
+  dsp::Db tag_antenna_gain_db{0.0};
+  dsp::Db noise_figure_db{7.0};
   TagRf tag;
 
-  /// Received power of the direct eNodeB->UE signal [dBm].
-  double direct_rx_dbm(double pl_direct_db) const;
+  /// Received power of the direct eNodeB->UE signal.
+  dsp::Dbm direct_rx_dbm(dsp::Db pl_direct) const;
 
-  /// Received power of the backscatter (eNB->tag->UE) signal [dBm].
-  double backscatter_rx_dbm(double pl1_db, double pl2_db) const;
+  /// Received power of the backscatter (eNB->tag->UE) signal.
+  dsp::Dbm backscatter_rx_dbm(dsp::Db pl1, dsp::Db pl2) const;
 
-  /// Backscatter SNR [dB] over `bandwidth_hz`.
-  double backscatter_snr_db(double pl1_db, double pl2_db,
-                            double bandwidth_hz) const;
+  /// Backscatter SNR over `bandwidth`. Precondition: bandwidth > 0.
+  dsp::Db backscatter_snr_db(dsp::Db pl1, dsp::Db pl2,
+                             dsp::Hz bandwidth) const;
 };
 
-/// Linear amplitude factor turning a unit-power stream into `power_dbm`.
-inline double amplitude(double power_dbm) {
-  return std::sqrt(dsp::dbm_to_mw(power_dbm));
+/// Linear amplitude factor turning a unit-power stream into `power`.
+inline double amplitude(dsp::Dbm power) {
+  return std::sqrt(power.milliwatts());
 }
 
 }  // namespace lscatter::channel

@@ -1,55 +1,60 @@
 #include "channel/pathloss.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "core/contracts.hpp"
 #include "dsp/db.hpp"
 #include "dsp/types.hpp"
 #include "obs/obs.hpp"
 
 namespace lscatter::channel {
 
-double PathLossModel::free_space_db(double distance_m, double freq_hz) {
-  assert(distance_m > 0.0 && freq_hz > 0.0);
-  const double lambda = dsp::kSpeedOfLight / freq_hz;
-  return 20.0 * std::log10(4.0 * dsp::kPi * distance_m / lambda);
+dsp::Db PathLossModel::free_space_db(double distance_m, dsp::Hz freq) {
+  LSCATTER_EXPECT(distance_m > 0.0, "free-space loss needs d > 0");
+  LSCATTER_EXPECT(freq.value() > 0.0, "free-space loss needs f > 0");
+  const double lambda = dsp::kSpeedOfLight / freq.value();
+  return dsp::Db{20.0 * std::log10(4.0 * dsp::kPi * distance_m / lambda)};
 }
 
-double PathLossModel::median_db(double distance_m, double freq_hz) const {
+dsp::Db PathLossModel::median_db(double distance_m, dsp::Hz freq) const {
+  LSCATTER_EXPECT(distance_m > 0.0, "path loss needs d > 0");
   // Anchor at 1 m free space, extend with the site exponent; optionally
   // steepen beyond the two-ray breakpoint.
   const double d = std::max(distance_m, 0.1);
-  const double pl0 = free_space_db(1.0, freq_hz);
-  double pl = pl0 + extra_loss_db;
+  const dsp::Db pl0 = free_space_db(1.0, freq);
+  dsp::Db pl = pl0 + extra_loss_db;
   if (d < 1.0) {
     // Below 1 m fall back to free-space scaling so the model stays
     // monotone instead of clamping to pl0.
-    return pl + 20.0 * std::log10(d);
+    return pl + dsp::Db{20.0 * std::log10(d)};
   }
   if (breakpoint_m > 1.0 && d > breakpoint_m) {
-    pl += 10.0 * exponent * std::log10(breakpoint_m);
-    pl += 10.0 * beyond_exponent * std::log10(d / breakpoint_m);
+    pl += dsp::Db{10.0 * exponent * std::log10(breakpoint_m)};
+    pl += dsp::Db{10.0 * beyond_exponent * std::log10(d / breakpoint_m)};
   } else {
-    pl += 10.0 * exponent * std::log10(d);
+    pl += dsp::Db{10.0 * exponent * std::log10(d)};
   }
   return pl;
 }
 
-double PathLossModel::sample_db(double distance_m, double freq_hz,
-                                dsp::Rng& rng) const {
-  double pl = median_db(distance_m, freq_hz);
-  if (shadowing_sigma_db > 0.0) {
-    pl += rng.normal(0.0, shadowing_sigma_db);
+dsp::Db PathLossModel::sample_db(double distance_m, dsp::Hz freq,
+                                 dsp::Rng& rng) const {
+  dsp::Db pl = median_db(distance_m, freq);
+  if (shadowing_sigma_db.value() > 0.0) {
+    pl += dsp::Db{rng.normal(0.0, shadowing_sigma_db.value())};
   }
   LSCATTER_OBS_COUNTER_INC("channel.pathloss.samples");
-  LSCATTER_OBS_HISTOGRAM_RECORD("channel.pathloss.loss_db", pl);
+  LSCATTER_OBS_HISTOGRAM_RECORD("channel.pathloss.loss_db", pl.value());
   return pl;
 }
 
-double noise_floor_dbm(double bandwidth_hz, double noise_figure_db) {
-  return dsp::kThermalNoiseDbmHz + 10.0 * std::log10(bandwidth_hz) +
-         noise_figure_db;
+dsp::Dbm noise_floor_dbm(dsp::Hz bandwidth, dsp::Db noise_figure) {
+  LSCATTER_EXPECT(bandwidth.value() > 0.0,
+                  "noise floor needs a positive bandwidth");
+  return dsp::Dbm{dsp::kThermalNoiseDbmHz +
+                  10.0 * std::log10(bandwidth.value())} +
+         noise_figure;
 }
 
 }  // namespace lscatter::channel

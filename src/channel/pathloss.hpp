@@ -3,8 +3,12 @@
 // free-space loss, plus log-normal shadowing. Exponents / sigmas are per
 // deployment site and calibrated so the paper's distance figures hold in
 // shape (see core/scenario.*).
+//
+// Losses are dsp::Db, frequencies dsp::Hz (see dsp/units.hpp); distances
+// stay raw doubles in meters.
 
 #include "dsp/rng.hpp"
+#include "dsp/units.hpp"
 
 namespace lscatter::channel {
 
@@ -13,11 +17,11 @@ struct PathLossModel {
   /// waveguide below 2; cluttered NLoS above 3).
   double exponent = 2.0;
 
-  /// Log-normal shadowing standard deviation [dB]; 0 disables.
-  double shadowing_sigma_db = 0.0;
+  /// Log-normal shadowing standard deviation; 0 disables.
+  dsp::Db shadowing_sigma_db{0.0};
 
-  /// Extra fixed loss [dB] (walls, body, polarization mismatch).
-  double extra_loss_db = 0.0;
+  /// Extra fixed loss (walls, body, polarization mismatch).
+  dsp::Db extra_loss_db{0.0};
 
   /// Two-slope (two-ray ground reflection) option: beyond `breakpoint_m`
   /// the exponent steepens to `beyond_exponent` (0 disables). Outdoors at
@@ -26,18 +30,18 @@ struct PathLossModel {
   double breakpoint_m = 0.0;
   double beyond_exponent = 4.0;
 
-  /// Free-space path loss at distance d [m], frequency f [Hz].
-  static double free_space_db(double distance_m, double freq_hz);
+  /// Free-space path loss at distance d [m]. Preconditions: d > 0, f > 0.
+  static dsp::Db free_space_db(double distance_m, dsp::Hz freq);
 
   /// Median path loss (no shadowing) at distance d [m].
-  double median_db(double distance_m, double freq_hz) const;
+  dsp::Db median_db(double distance_m, dsp::Hz freq) const;
 
   /// One shadowing realization added to the median.
-  double sample_db(double distance_m, double freq_hz, dsp::Rng& rng) const;
+  dsp::Db sample_db(double distance_m, dsp::Hz freq, dsp::Rng& rng) const;
 };
 
-/// Thermal noise power over `bandwidth_hz` with the given receiver noise
-/// figure [dBm].
-double noise_floor_dbm(double bandwidth_hz, double noise_figure_db);
+/// Thermal noise power over `bandwidth` with the given receiver noise
+/// figure. Precondition: bandwidth > 0.
+dsp::Dbm noise_floor_dbm(dsp::Hz bandwidth, dsp::Db noise_figure);
 
 }  // namespace lscatter::channel

@@ -74,7 +74,7 @@ ReconstructionResult AmbientReconstructor::reconstruct(
 
 std::optional<ReconstructionResult> AmbientReconstructor::reconstruct_blind(
     std::span<const cf32> rx_direct, std::size_t subframe_index,
-    bool pbch_enabled, double sync_boost_db) const {
+    bool pbch_enabled, dsp::Db sync_boost_db) const {
   const lte::ResourceGrid rx_grid = ue_.demodulate_grid(rx_direct);
   const lte::ChannelEstimate est =
       ue_.estimate_channel(rx_grid, subframe_index);
@@ -102,7 +102,7 @@ std::optional<ReconstructionResult> AmbientReconstructor::reconstruct_blind(
 
   lte::ResourceGrid rebuilt(cell_);
   // Known signals.
-  const float sync_amp = static_cast<float>(dsp::db_to_amp(sync_boost_db));
+  const float sync_amp = static_cast<float>(sync_boost_db.amplitude());
   lte::map_sync_signals(cell_, subframe_index % lte::kSubframesPerFrame,
                         rebuilt, sync_amp);
   lte::map_crs(cell_, subframe_index, rebuilt);

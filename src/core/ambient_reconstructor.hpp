@@ -18,6 +18,7 @@
 // sync) — in real LTE that comes from the PDCCH; here it comes from the
 // transmitted grid, as DESIGN.md §6 documents.
 
+#include "dsp/units.hpp"
 #include "lte/enodeb.hpp"
 #include "lte/ofdm.hpp"
 #include "lte/ue_rx.hpp"
@@ -57,7 +58,7 @@ class AmbientReconstructor {
   /// deployment parameter).
   std::optional<ReconstructionResult> reconstruct_blind(
       std::span<const dsp::cf32> rx_direct, std::size_t subframe_index,
-      bool pbch_enabled = true, double sync_boost_db = 6.0) const;
+      bool pbch_enabled = true, dsp::Db sync_boost_db = dsp::Db{6.0}) const;
 
  private:
   lte::CellConfig cell_;

@@ -1,7 +1,6 @@
 #include "core/framing.hpp"
 
-#include <cassert>
-
+#include "core/contracts.hpp"
 #include "dsp/convolutional.hpp"
 #include "dsp/crc.hpp"
 #include "lte/sequences.hpp"
@@ -10,14 +9,16 @@ namespace lscatter::core {
 
 PacketCodec::PacketCodec(std::size_t coded_bits, Fec fec)
     : coded_bits_(coded_bits), fec_(fec) {
-  assert(coded_bits > 32);
+  LSCATTER_EXPECT(coded_bits > 32,
+                  "a packet must carry more than the 32-bit CRC");
   switch (fec_) {
     case Fec::kNone:
       payload_bits_ = coded_bits_ - 32;
       break;
     case Fec::kConvolutional: {
       const std::size_t info = dsp::conv_info_capacity(coded_bits_);
-      assert(info > 32);
+      LSCATTER_ASSERT(info > 32,
+                      "FEC info capacity must still exceed the CRC");
       payload_bits_ = info - 32;
       break;
     }
@@ -27,7 +28,8 @@ PacketCodec::PacketCodec(std::size_t coded_bits, Fec fec)
 
 std::vector<std::uint8_t> PacketCodec::encode(
     std::span<const std::uint8_t> payload) const {
-  assert(payload.size() == payload_bits_);
+  LSCATTER_EXPECT(payload.size() == payload_bits_,
+                  "payload length must match the codec layout");
   auto block = dsp::attach_crc32(payload);
   std::vector<std::uint8_t> coded;
   switch (fec_) {
@@ -39,7 +41,8 @@ std::vector<std::uint8_t> PacketCodec::encode(
       break;
   }
   // Pad to the on-air size (FEC sizes rarely land exactly on capacity).
-  assert(coded.size() <= coded_bits_);
+  LSCATTER_ENSURE(coded.size() <= coded_bits_,
+                  "encoder output cannot exceed the on-air size");
   while (coded.size() < coded_bits_) {
     coded.push_back(static_cast<std::uint8_t>(coded.size() % 2));
   }
@@ -49,7 +52,8 @@ std::vector<std::uint8_t> PacketCodec::encode(
 
 std::vector<std::uint8_t> PacketCodec::dewhiten(
     std::span<const std::uint8_t> coded) const {
-  assert(coded.size() == coded_bits_);
+  LSCATTER_EXPECT(coded.size() == coded_bits_,
+                  "coded length must match the on-air size");
   std::vector<std::uint8_t> out(coded.begin(), coded.end());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] ^= whitening_[i];
   return out;
@@ -80,7 +84,8 @@ std::optional<std::vector<std::uint8_t>> PacketCodec::decode(
 
 std::vector<std::uint8_t> PacketCodec::decode_soft_bits(
     std::span<const float> soft) const {
-  assert(soft.size() == coded_bits_);
+  LSCATTER_EXPECT(soft.size() == coded_bits_,
+                  "soft-bit length must match the on-air size");
   // De-whitening in the soft domain: a whitening '1' flips the sign.
   std::vector<float> llr(soft.begin(), soft.end());
   for (std::size_t i = 0; i < llr.size(); ++i) {
@@ -110,7 +115,7 @@ std::optional<std::vector<std::uint8_t>> PacketCodec::decode_soft(
 
 std::vector<std::vector<std::uint8_t>> split_bits(
     std::span<const std::uint8_t> bits, std::size_t chunk) {
-  assert(chunk > 0);
+  LSCATTER_EXPECT(chunk > 0, "chunk size must be positive");
   std::vector<std::vector<std::uint8_t>> out;
   for (std::size_t pos = 0; pos < bits.size(); pos += chunk) {
     const std::size_t n = std::min(chunk, bits.size() - pos);

@@ -47,13 +47,13 @@ void LinkSimulator::draw_drop(dsp::Rng& rng) {
   drop_ = DropState{};
   const auto& env = config_.env;
   const auto& geo = config_.geometry;
-  const double f = config_.enodeb.cell.carrier_hz;
+  const dsp::Hz f{config_.enodeb.cell.carrier_hz};
 
   drop_.pl1_db = env.pathloss.sample_db(
       dsp::feet_to_meters(geo.enb_tag_ft), f, rng);
   drop_.pl2_db = env.pathloss.sample_db(
       dsp::feet_to_meters(geo.tag_ue_ft), f, rng);
-  const double pl_direct = env.pathloss.sample_db(
+  const dsp::Db pl_direct = env.pathloss.sample_db(
       dsp::feet_to_meters(geo.direct_ft()), f, rng);
 
   drop_.backscatter_rx_dbm =
@@ -62,20 +62,20 @@ void LinkSimulator::draw_drop(dsp::Rng& rng) {
 
   // Noise: thermal over the occupied bandwidth plus the adjacent-channel
   // residue of the (much stronger) direct LTE signal.
-  const double occupied_hz =
+  const dsp::Hz occupied =
       static_cast<double>(config_.enodeb.cell.n_subcarriers()) *
-      lte::kSubcarrierSpacingHz;
-  const double thermal_mw = dsp::dbm_to_mw(
-      channel::noise_floor_dbm(occupied_hz, env.budget.noise_figure_db));
-  const double leak_mw = dsp::dbm_to_mw(drop_.direct_rx_dbm - env.acir_db);
-  drop_.noise_dbm = dsp::mw_to_dbm(thermal_mw + leak_mw);
+      dsp::Hz{lte::kSubcarrierSpacingHz};
+  const double thermal_mw = dsp::to_mw(
+      channel::noise_floor_dbm(occupied, env.budget.noise_figure_db));
+  const double leak_mw = dsp::to_mw(drop_.direct_rx_dbm - env.acir_db);
+  drop_.noise_dbm = dsp::from_mw(thermal_mw + leak_mw);
 
   // Double-hop small-scale fading: product of two independent unit-power
   // scalars (flat within the band; see DESIGN.md). Each hop is Rician with
   // the profile's K-factor (LoS) or Rayleigh (NLoS).
   const auto draw_scalar = [&](bool los) -> cf32 {
     if (!los) return rng.complex_normal(1.0);
-    const double k = dsp::db_to_lin(env.fading.rician_k_db);
+    const double k = env.fading.rician_k_db.linear();
     const double los_amp = std::sqrt(k / (k + 1.0));
     return cf32{static_cast<float>(los_amp), 0.0f} +
            rng.complex_normal(1.0 / (k + 1.0));
@@ -100,7 +100,7 @@ LinkMetrics LinkSimulator::run(std::size_t n_subframes) {
   const std::size_t sf_samples = cell.samples_per_subframe();
   const double amp_bs =
       channel::amplitude(drop_.backscatter_rx_dbm);
-  const double noise_mw = dsp::dbm_to_mw(drop_.noise_dbm);
+  const double noise_mw = dsp::to_mw(drop_.noise_dbm);
 
   // Tag RF gain: amplitude (budget already includes conversion loss) times
   // fade, plus the switching-delay phase, constant over the run.
@@ -115,7 +115,8 @@ LinkMetrics LinkSimulator::run(std::size_t n_subframes) {
   std::optional<channel::TdlChannel> selective;
   if (config_.env.frequency_selective) {
     selective.emplace(config_.env.fading,
-                      config_.enodeb.cell.sample_rate_hz(), drop_rng);
+                      dsp::Hz{config_.enodeb.cell.sample_rate_hz()},
+                      drop_rng);
   }
 
   // Tag sync state.
@@ -192,11 +193,12 @@ LinkMetrics LinkSimulator::run(std::size_t n_subframes) {
       if (selective) {
         scattered = selective->apply(scattered);
       }
-      if (config_.env.ue_cfo_hz != 0.0) {
+      if (config_.env.ue_cfo_hz.value() != 0.0) {
         // Continuous phase ramp across the run (phase tracked in
         // cfo_phase_ so subframe boundaries stay continuous).
         const double step =
-            dsp::kTwoPi * config_.env.ue_cfo_hz / cell.sample_rate_hz();
+            dsp::kTwoPi * config_.env.ue_cfo_hz.value() /
+            cell.sample_rate_hz();
         for (auto& v : scattered) {
           v *= cf32{static_cast<float>(std::cos(cfo_phase_)),
                     static_cast<float>(std::sin(cfo_phase_))};
@@ -218,9 +220,9 @@ LinkMetrics LinkSimulator::run(std::size_t n_subframes) {
         for (std::size_t n = 0; n < rx_direct.size(); ++n) {
           rx_direct[n] = drop_.direct_fade * amp_d * tx.samples[n];
         }
-        const double thermal_mw = dsp::dbm_to_mw(channel::noise_floor_dbm(
+        const double thermal_mw = dsp::to_mw(channel::noise_floor_dbm(
             static_cast<double>(cell.n_subcarriers()) *
-                lte::kSubcarrierSpacingHz,
+                dsp::Hz{lte::kSubcarrierSpacingHz},
             config_.env.budget.noise_figure_db));
         channel::add_awgn(rx_direct, thermal_mw, noise_rng);
 

@@ -42,15 +42,15 @@ struct RadioEnvironment {
   channel::LinkBudget budget;           // powers, gains, NF, tag RF
 
   /// Adjacent-channel rejection of the original LTE band at the UE's
-  /// shifted-carrier receiver [dB]; its residue raises the noise floor.
-  double acir_db = 45.0;
+  /// shifted-carrier receiver; its residue raises the noise floor.
+  dsp::Db acir_db{45.0};
 
   /// Residual carrier frequency offset between the eNodeB and the UE's
-  /// shifted-carrier receiver [Hz]. The tag adds none (it has no carrier,
+  /// shifted-carrier receiver. The tag adds none (it has no carrier,
   /// only the switch clock, whose offset appears as timing drift). The
   /// demodulator's per-symbol gain re-estimation absorbs CFOs up to
   /// ~1 kHz; see the robustness tests.
-  double ue_cfo_hz = 0.0;
+  dsp::Hz ue_cfo_hz{0.0};
 
   /// When true, the tag->UE hop convolves the scattered signal with an
   /// actual tapped-delay-line realization of `fading` instead of the flat
@@ -82,12 +82,12 @@ struct LinkConfig {
 
 /// Static per-drop radio state (for diagnostics / tests).
 struct DropState {
-  double pl1_db = 0.0;           // eNB -> tag
-  double pl2_db = 0.0;           // tag -> UE
-  double backscatter_rx_dbm = 0.0;
-  double direct_rx_dbm = 0.0;    // eNB -> UE (original band)
-  double noise_dbm = 0.0;        // thermal + ACIR residue
-  double mean_snr_db = 0.0;      // average over the fade
+  dsp::Db pl1_db{0.0};           // eNB -> tag
+  dsp::Db pl2_db{0.0};           // tag -> UE
+  dsp::Dbm backscatter_rx_dbm{0.0};
+  dsp::Dbm direct_rx_dbm{0.0};   // eNB -> UE (original band)
+  dsp::Dbm noise_dbm{0.0};       // thermal + ACIR residue
+  dsp::Db mean_snr_db{0.0};      // average over the fade
   dsp::cf32 fade;                // chi1 * chi2 (unit mean power)
   dsp::cf32 direct_fade;         // single-hop fade of the direct path
 

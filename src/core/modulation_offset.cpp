@@ -1,7 +1,8 @@
 #include "core/modulation_offset.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "core/contracts.hpp"
 
 namespace lscatter::core {
 
@@ -11,8 +12,9 @@ std::optional<OffsetResult> find_modulation_offset(
     std::span<const cf32> z, std::span<const std::uint8_t> pattern,
     std::ptrdiff_t nominal_start, const OffsetSearch& search) {
   const std::size_t n = pattern.size();
-  assert(n > 0);
-  assert(z.size() >= n);
+  LSCATTER_EXPECT(n > 0, "offset search needs a non-empty pattern");
+  LSCATTER_EXPECT(z.size() >= n,
+                  "product vector must cover the pattern");
 
   const auto lo = -static_cast<std::ptrdiff_t>(search.range_units);
   const auto hi = static_cast<std::ptrdiff_t>(search.range_units);

@@ -1,9 +1,9 @@
 #include "core/multi_tag.hpp"
 
-#include <cassert>
 #include <cmath>
 
 #include "channel/awgn.hpp"
+#include "core/contracts.hpp"
 #include "dsp/db.hpp"
 #include "obs/obs.hpp"
 #include "tag/modulator.hpp"
@@ -28,8 +28,8 @@ struct TagState {
 
 MultiTagResult run_multi_tag(const MultiTagConfig& config,
                              std::size_t n_subframes) {
-  assert(!config.tags.empty());
-  assert(config.n_slots >= 1);
+  LSCATTER_EXPECT(!config.tags.empty(), "multi-tag run needs tags");
+  LSCATTER_EXPECT(config.n_slots >= 1, "TDMA needs at least one slot");
   LSCATTER_OBS_SPAN("core.multi_tag.run");
   LSCATTER_OBS_COUNTER_ADD("core.multi_tag.tags", config.tags.size());
   LSCATTER_OBS_COUNTER_ADD("core.multi_tag.subframes", n_subframes);
@@ -48,14 +48,14 @@ MultiTagResult run_multi_tag(const MultiTagConfig& config,
   tags.reserve(config.tags.size());
   double worst_noise_mw = 0.0;
   for (const auto& t : config.tags) {
-    const double f = cell.carrier_hz;
-    const double pl1 = base.env.pathloss.sample_db(
+    const dsp::Hz f{cell.carrier_hz};
+    const dsp::Db pl1 = base.env.pathloss.sample_db(
         dsp::feet_to_meters(t.geometry.enb_tag_ft), f, rng);
-    const double pl2 = base.env.pathloss.sample_db(
+    const dsp::Db pl2 = base.env.pathloss.sample_db(
         dsp::feet_to_meters(t.geometry.tag_ue_ft), f, rng);
-    const double rx_dbm =
+    const dsp::Dbm rx_dbm =
         base.env.budget.backscatter_rx_dbm(pl1, pl2);
-    const double k = dsp::db_to_lin(base.env.fading.rician_k_db);
+    const double k = base.env.fading.rician_k_db.linear();
     const auto fade = [&]() -> cf32 {
       return cf32{static_cast<float>(std::sqrt(k / (k + 1.0))), 0.0f} +
              rng.complex_normal(1.0 / (k + 1.0));
@@ -71,16 +71,16 @@ MultiTagResult run_multi_tag(const MultiTagConfig& config,
                 {}};
     tags.push_back(std::move(st));
 
-    const double pl_direct = base.env.pathloss.sample_db(
+    const dsp::Db pl_direct = base.env.pathloss.sample_db(
         dsp::feet_to_meters(t.geometry.direct_ft()), f, rng);
-    const double occupied_hz =
+    const dsp::Hz occupied =
         static_cast<double>(cell.n_subcarriers()) *
-        lte::kSubcarrierSpacingHz;
+        dsp::Hz{lte::kSubcarrierSpacingHz};
     const double noise_mw =
-        dsp::dbm_to_mw(channel::noise_floor_dbm(
-            occupied_hz, base.env.budget.noise_figure_db)) +
-        dsp::dbm_to_mw(base.env.budget.direct_rx_dbm(pl_direct) -
-                       base.env.acir_db);
+        dsp::to_mw(channel::noise_floor_dbm(
+            occupied, base.env.budget.noise_figure_db)) +
+        dsp::to_mw(base.env.budget.direct_rx_dbm(pl_direct) -
+                   base.env.acir_db);
     worst_noise_mw = std::max(worst_noise_mw, noise_mw);
   }
 

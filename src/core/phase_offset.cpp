@@ -1,7 +1,8 @@
 #include "core/phase_offset.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "core/contracts.hpp"
 
 namespace lscatter::core {
 
@@ -27,7 +28,8 @@ void derotate(std::span<cf32> z, cf32 gain) {
 
 cvec eq6_reference_products(std::span<const cf32> y,
                             std::size_t reference_index) {
-  assert(reference_index < y.size());
+  LSCATTER_EXPECT(reference_index < y.size(),
+                  "phase reference must be inside the window");
   const cf32 yr = std::conj(y[reference_index]);
   cvec out(y.size());
   for (std::size_t k = 0; k < y.size(); ++k) out[k] = y[k] * yr;

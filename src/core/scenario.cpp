@@ -32,7 +32,7 @@ LinkConfig make_scenario(Scene scene, const ScenarioOptions& options) {
   cfg.enodeb.seed = options.seed ^ 0x1111;
 
   cfg.env.budget.tx_power_dbm = options.tx_power_dbm;
-  cfg.env.budget.noise_figure_db = 6.0;
+  cfg.env.budget.noise_figure_db = dsp::Db{6.0};
 
   // Calibration anchors (see EXPERIMENTS.md):
   //  - home 3ft/3ft @10 dBm   -> SNR high enough for ~0 BER (Fig. 16b)
@@ -44,22 +44,22 @@ LinkConfig make_scenario(Scene scene, const ScenarioOptions& options) {
     case Scene::kSmartHome:
       // 800 sqft apartment, many walls: higher exponent, rich multipath.
       cfg.env.pathloss.exponent = 2.5;
-      cfg.env.pathloss.shadowing_sigma_db = 2.5;
-      cfg.env.fading.rms_delay_spread_s = 50e-9;
-      cfg.env.fading.rician_k_db = 8.0;
-      cfg.env.budget.tx_antenna_gain_db = 3.0;
-      cfg.env.budget.rx_antenna_gain_db = 3.0;
-      cfg.env.budget.tag_antenna_gain_db = 2.0;
+      cfg.env.pathloss.shadowing_sigma_db = dsp::Db{2.5};
+      cfg.env.fading.rms_delay_spread_s = dsp::Seconds{50e-9};
+      cfg.env.fading.rician_k_db = dsp::Db{8.0};
+      cfg.env.budget.tx_antenna_gain_db = dsp::Db{3.0};
+      cfg.env.budget.rx_antenna_gain_db = dsp::Db{3.0};
+      cfg.env.budget.tag_antenna_gain_db = dsp::Db{2.0};
       break;
     case Scene::kMall:
       // Large open corridor: UHF waveguiding pulls the exponent below 2.
       cfg.env.pathloss.exponent = 1.7;
-      cfg.env.pathloss.shadowing_sigma_db = 2.0;
-      cfg.env.fading.rms_delay_spread_s = 150e-9;
-      cfg.env.fading.rician_k_db = 9.0;
-      cfg.env.budget.tx_antenna_gain_db = 5.0;
-      cfg.env.budget.rx_antenna_gain_db = 5.0;
-      cfg.env.budget.tag_antenna_gain_db = 2.0;
+      cfg.env.pathloss.shadowing_sigma_db = dsp::Db{2.0};
+      cfg.env.fading.rms_delay_spread_s = dsp::Seconds{150e-9};
+      cfg.env.fading.rician_k_db = dsp::Db{9.0};
+      cfg.env.budget.tx_antenna_gain_db = dsp::Db{5.0};
+      cfg.env.budget.rx_antenna_gain_db = dsp::Db{5.0};
+      cfg.env.budget.tag_antenna_gain_db = dsp::Db{2.0};
       break;
     case Scene::kOutdoor:
       // Open street: near free space up to the two-ray breakpoint
@@ -68,27 +68,27 @@ LinkConfig make_scenario(Scene scene, const ScenarioOptions& options) {
       cfg.env.pathloss.exponent = 1.9;
       cfg.env.pathloss.breakpoint_m = 25.0;
       cfg.env.pathloss.beyond_exponent = 3.6;
-      cfg.env.pathloss.shadowing_sigma_db = 1.5;
-      cfg.env.fading.rms_delay_spread_s = 200e-9;
-      cfg.env.fading.rician_k_db = 10.0;
-      cfg.env.budget.tx_antenna_gain_db = 6.0;
-      cfg.env.budget.rx_antenna_gain_db = 6.0;
-      cfg.env.budget.tag_antenna_gain_db = 2.0;
+      cfg.env.pathloss.shadowing_sigma_db = dsp::Db{1.5};
+      cfg.env.fading.rms_delay_spread_s = dsp::Seconds{200e-9};
+      cfg.env.fading.rician_k_db = dsp::Db{10.0};
+      cfg.env.budget.tx_antenna_gain_db = dsp::Db{6.0};
+      cfg.env.budget.rx_antenna_gain_db = dsp::Db{6.0};
+      cfg.env.budget.tag_antenna_gain_db = dsp::Db{2.0};
       break;
   }
   cfg.env.fading.los = options.line_of_sight;
   if (!options.line_of_sight) {
     // NLoS: Rayleigh small-scale fading plus a blocking loss.
-    cfg.env.pathloss.extra_loss_db += 4.0;
+    cfg.env.pathloss.extra_loss_db += dsp::Db{4.0};
   }
-  cfg.env.budget.tag.reflection_loss_db = 5.0;
+  cfg.env.budget.tag.reflection_loss_db = dsp::Db{5.0};
   // Residue of the original LTE band at the UE's shifted carrier. The
   // paper's receiver is a USRP with digital channelization 30.72 MHz away
   // from a band-limited (record-and-playback) transmit signal, so the
   // rejection is filter-grade (~70 dB), not commodity-UE ACS (~45 dB).
   // This is what lets close-range BER reach the paper's 1e-4 regime; the
   // ablation bench sweeps it.
-  cfg.env.acir_db = 70.0;
+  cfg.env.acir_db = dsp::Db{70.0};
 
   cfg.geometry.enb_tag_ft = 3.0;
   cfg.geometry.tag_ue_ft = 3.0;

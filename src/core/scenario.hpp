@@ -20,7 +20,7 @@ traffic::Site scene_site(Scene s);
 
 struct ScenarioOptions {
   lte::Bandwidth bandwidth = lte::Bandwidth::kMHz20;
-  double tx_power_dbm = 10.0;  // paper: 10 dBm USRP, 40 dBm with the PA
+  dsp::Dbm tx_power_dbm{10.0};  // paper: 10 dBm USRP, 40 dBm with the PA
   bool line_of_sight = true;
   std::uint64_t seed = 42;
 };

@@ -1,9 +1,10 @@
 #include "dsp/fft.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <mutex>
 #include <unordered_map>
+
+#include "core/contracts.hpp"
 
 namespace lscatter::dsp {
 namespace {
@@ -91,7 +92,7 @@ struct FftPlan::Impl {
       // convolution kernel conjugates accordingly. Using the identity
       // IDFT(x) = conj(DFT(conj(x)))/N is simpler and exact:
       // handled by caller; this branch is unreachable.
-      assert(false);
+      LSCATTER_ASSERT(false, "Bluestein inverse must go through the conjugate identity");
     }
     radix2(u, m_twiddle, m_bitrev, true);
     const double inv_m = 1.0 / static_cast<double>(m);
@@ -102,7 +103,7 @@ struct FftPlan::Impl {
 };
 
 FftPlan::FftPlan(std::size_t n) : n_(n), impl_(std::make_unique<Impl>()) {
-  assert(n >= 1);
+  LSCATTER_EXPECT(n >= 1, "FFT length must be at least 1");
   if (is_power_of_two(n)) {
     impl_->twiddle = make_twiddles(n);
     impl_->bitrev = make_bitrev(n);
@@ -135,21 +136,21 @@ FftPlan::FftPlan(FftPlan&&) noexcept = default;
 FftPlan& FftPlan::operator=(FftPlan&&) noexcept = default;
 
 cvec FftPlan::forward(std::span<const cf32> in) const {
-  assert(in.size() == n_);
+  LSCATTER_EXPECT(in.size() == n_, "input length must match the plan size");
   cvec out(in.begin(), in.end());
   forward_inplace(out);
   return out;
 }
 
 cvec FftPlan::inverse(std::span<const cf32> in) const {
-  assert(in.size() == n_);
+  LSCATTER_EXPECT(in.size() == n_, "input length must match the plan size");
   cvec out(in.begin(), in.end());
   inverse_inplace(out);
   return out;
 }
 
 void FftPlan::forward_inplace(std::span<cf32> data) const {
-  assert(data.size() == n_);
+  LSCATTER_EXPECT(data.size() == n_, "buffer length must match the plan size");
   std::vector<cf64> a(n_);
   for (std::size_t i = 0; i < n_; ++i)
     a[i] = cf64{data[i].real(), data[i].imag()};
@@ -160,7 +161,7 @@ void FftPlan::forward_inplace(std::span<cf32> data) const {
 }
 
 void FftPlan::inverse_inplace(std::span<cf32> data) const {
-  assert(data.size() == n_);
+  LSCATTER_EXPECT(data.size() == n_, "buffer length must match the plan size");
   // IDFT(x) = conj(DFT(conj(x))) / N — valid for both kernels.
   std::vector<cf64> a(n_);
   for (std::size_t i = 0; i < n_; ++i)

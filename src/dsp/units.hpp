@@ -1,0 +1,195 @@
+#pragma once
+// Zero-cost strong types for the physical quantities that flow through the
+// link-budget math (DESIGN.md §8). Each wraps one double (or int64 for
+// SampleIndex); every operation is constexpr and inlines to the bare
+// arithmetic, but only *physically meaningful* combinations compile:
+//
+//   Db  + Db  = Db      gains/losses chain
+//   Dbm + Db  = Dbm     power through a gain
+//   Dbm - Dbm = Db      power ratio
+//   Dbm + Dbm           does not compile (adding two absolute powers in
+//                       log domain is a unit error, the classic one)
+//   Hz * Seconds        = dimensionless cycle/sample count
+//
+// Construction is explicit (Dbm{10.0}); raw doubles are recovered with
+// .value(). User-defined literals live in lscatter::dsp::unit_literals:
+// 10.0_dbm, 3.0_db, 20.0_mhz, 66.7_us, ...
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace lscatter::dsp {
+
+/// A relative level or gain/loss in decibels (10 log10 of a power ratio).
+class Db {
+ public:
+  constexpr Db() = default;
+  constexpr explicit Db(double v) : v_(v) {}
+  constexpr double value() const { return v_; }
+
+  /// Linear power ratio.
+  double linear() const { return std::pow(10.0, v_ / 10.0); }
+  /// Linear amplitude ratio (20 log10 convention).
+  double amplitude() const { return std::pow(10.0, v_ / 20.0); }
+
+  static Db from_linear(double ratio) { return Db{10.0 * std::log10(ratio)}; }
+
+  constexpr Db operator+(Db o) const { return Db{v_ + o.v_}; }
+  constexpr Db operator-(Db o) const { return Db{v_ - o.v_}; }
+  constexpr Db operator-() const { return Db{-v_}; }
+  constexpr Db operator*(double s) const { return Db{v_ * s}; }
+  constexpr Db operator/(double s) const { return Db{v_ / s}; }
+  constexpr Db& operator+=(Db o) { v_ += o.v_; return *this; }
+  constexpr Db& operator-=(Db o) { v_ -= o.v_; return *this; }
+  constexpr auto operator<=>(const Db&) const = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+constexpr Db operator*(double s, Db d) { return d * s; }
+
+/// An absolute power level referenced to 1 mW.
+class Dbm {
+ public:
+  constexpr Dbm() = default;
+  constexpr explicit Dbm(double v) : v_(v) {}
+  constexpr double value() const { return v_; }
+
+  /// Linear power in milliwatts.
+  double milliwatts() const { return std::pow(10.0, v_ / 10.0); }
+  static Dbm from_milliwatts(double mw) {
+    return Dbm{10.0 * std::log10(mw)};
+  }
+
+  constexpr Dbm operator+(Db gain) const { return Dbm{v_ + gain.value()}; }
+  constexpr Dbm operator-(Db loss) const { return Dbm{v_ - loss.value()}; }
+  constexpr Db operator-(Dbm o) const { return Db{v_ - o.v_}; }
+  constexpr Dbm& operator+=(Db gain) { v_ += gain.value(); return *this; }
+  constexpr Dbm& operator-=(Db loss) { v_ -= loss.value(); return *this; }
+  constexpr auto operator<=>(const Dbm&) const = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+constexpr Dbm operator+(Db gain, Dbm p) { return p + gain; }
+
+/// A frequency or bandwidth.
+class Hz {
+ public:
+  constexpr Hz() = default;
+  constexpr explicit Hz(double v) : v_(v) {}
+  constexpr double value() const { return v_; }
+
+  constexpr Hz operator+(Hz o) const { return Hz{v_ + o.v_}; }
+  constexpr Hz operator-(Hz o) const { return Hz{v_ - o.v_}; }
+  constexpr Hz operator*(double s) const { return Hz{v_ * s}; }
+  constexpr Hz operator/(double s) const { return Hz{v_ / s}; }
+  /// Ratio of two frequencies is dimensionless.
+  constexpr double operator/(Hz o) const { return v_ / o.v_; }
+  constexpr auto operator<=>(const Hz&) const = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+constexpr Hz operator*(double s, Hz f) { return f * s; }
+
+/// A duration.
+class Seconds {
+ public:
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double v) : v_(v) {}
+  constexpr double value() const { return v_; }
+
+  constexpr Seconds operator+(Seconds o) const { return Seconds{v_ + o.v_}; }
+  constexpr Seconds operator-(Seconds o) const { return Seconds{v_ - o.v_}; }
+  constexpr Seconds operator*(double s) const { return Seconds{v_ * s}; }
+  constexpr Seconds operator/(double s) const { return Seconds{v_ / s}; }
+  constexpr double operator/(Seconds o) const { return v_ / o.v_; }
+  constexpr auto operator<=>(const Seconds&) const = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+constexpr Seconds operator*(double s, Seconds t) { return t * s; }
+
+/// Duration x bandwidth = dimensionless count (cycles, samples).
+constexpr double operator*(Seconds t, Hz f) { return t.value() * f.value(); }
+constexpr double operator*(Hz f, Seconds t) { return t * f; }
+/// Period of a frequency.
+constexpr Seconds period(Hz f) { return Seconds{1.0 / f.value()}; }
+
+/// A position on a sample timeline (signed: sync errors go both ways).
+class SampleIndex {
+ public:
+  constexpr SampleIndex() = default;
+  constexpr explicit SampleIndex(std::int64_t v) : v_(v) {}
+  constexpr std::int64_t value() const { return v_; }
+
+  constexpr SampleIndex operator+(std::int64_t n) const {
+    return SampleIndex{v_ + n};
+  }
+  constexpr SampleIndex operator-(std::int64_t n) const {
+    return SampleIndex{v_ - n};
+  }
+  /// Difference of two positions is a (dimensionless) sample count.
+  constexpr std::int64_t operator-(SampleIndex o) const { return v_ - o.v_; }
+  constexpr SampleIndex& operator+=(std::int64_t n) { v_ += n; return *this; }
+  constexpr SampleIndex& operator-=(std::int64_t n) { v_ -= n; return *this; }
+  constexpr auto operator<=>(const SampleIndex&) const = default;
+
+ private:
+  std::int64_t v_ = 0;
+};
+
+/// Typed siblings of the db.hpp helpers.
+inline double to_mw(Dbm p) { return p.milliwatts(); }
+inline Dbm from_mw(double mw) { return Dbm::from_milliwatts(mw); }
+
+namespace unit_literals {
+constexpr Db operator""_db(long double v) {
+  return Db{static_cast<double>(v)};
+}
+constexpr Db operator""_db(unsigned long long v) {
+  return Db{static_cast<double>(v)};
+}
+constexpr Dbm operator""_dbm(long double v) {
+  return Dbm{static_cast<double>(v)};
+}
+constexpr Dbm operator""_dbm(unsigned long long v) {
+  return Dbm{static_cast<double>(v)};
+}
+constexpr Hz operator""_hz(long double v) {
+  return Hz{static_cast<double>(v)};
+}
+constexpr Hz operator""_hz(unsigned long long v) {
+  return Hz{static_cast<double>(v)};
+}
+constexpr Hz operator""_khz(long double v) {
+  return Hz{static_cast<double>(v) * 1e3};
+}
+constexpr Hz operator""_khz(unsigned long long v) {
+  return Hz{static_cast<double>(v) * 1e3};
+}
+constexpr Hz operator""_mhz(long double v) {
+  return Hz{static_cast<double>(v) * 1e6};
+}
+constexpr Hz operator""_mhz(unsigned long long v) {
+  return Hz{static_cast<double>(v) * 1e6};
+}
+constexpr Seconds operator""_s(long double v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_us(long double v) {
+  return Seconds{static_cast<double>(v) * 1e-6};
+}
+constexpr Seconds operator""_us(unsigned long long v) {
+  return Seconds{static_cast<double>(v) * 1e-6};
+}
+}  // namespace unit_literals
+
+}  // namespace lscatter::dsp

@@ -1,7 +1,8 @@
 #include "lte/cell_config.hpp"
 
-#include <cassert>
 #include <cstdio>
+
+#include "core/contracts.hpp"
 
 namespace lscatter::lte {
 namespace {
@@ -9,7 +10,7 @@ namespace {
 struct Numerology {
   std::size_t n_rb;
   std::size_t fft_size;
-  double bandwidth_hz;
+  double bandwidth_hz;  // lint-ok: units — numerology table literal; typed at call boundaries
 };
 
 constexpr std::array<Numerology, 6> kNumerology = {{
@@ -63,14 +64,14 @@ std::size_t CellConfig::samples_per_frame() const {
 }
 
 std::size_t CellConfig::symbol_offset_in_slot(std::size_t l) const {
-  assert(l < kSymbolsPerSlot);
+  LSCATTER_EXPECT(l < kSymbolsPerSlot, "symbol index exceeds the 7-symbol slot");
   if (l == 0) return 0;
   return cp0_samples() + fft_size() +
          (l - 1) * (cp_samples() + fft_size());
 }
 
 std::size_t CellConfig::cp_length(std::size_t l) const {
-  assert(l < kSymbolsPerSlot);
+  LSCATTER_EXPECT(l < kSymbolsPerSlot, "CP length is defined per slot symbol 0..6");
   return l == 0 ? cp0_samples() : cp_samples();
 }
 

@@ -59,7 +59,7 @@ struct CellConfig {
   std::uint8_t n_id_2 = 0;   // 0..2
 
   /// Carrier frequency [Hz]. The paper runs at 680 MHz white space.
-  double carrier_hz = 680e6;
+  double carrier_hz = 680e6;  // lint-ok: units — sample-domain boundary; wrapped as dsp::Hz by users
 
   std::uint16_t cell_id() const {
     return static_cast<std::uint16_t>(3 * n_id_1 + n_id_2);

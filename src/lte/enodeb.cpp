@@ -47,7 +47,7 @@ SubframeTx Enodeb::make_subframe(std::size_t subframe_index) {
   SubframeTx tx{subframe_index, ResourceGrid(cell), {}, {}, {}};
 
   const float sync_amp =
-      static_cast<float>(dsp::db_to_amp(config_.sync_boost_db));
+      static_cast<float>(config_.sync_boost_db.amplitude());
   map_sync_signals(cell, subframe_index, tx.grid, sync_amp);
   map_crs(cell, subframe_index, tx.grid);
   if (config_.enable_pbch && subframe_index % kSubframesPerFrame == 0) {

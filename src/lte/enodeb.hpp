@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dsp/rng.hpp"
+#include "dsp/units.hpp"
 #include "lte/cell_config.hpp"
 #include "lte/ofdm.hpp"
 #include "lte/pdcch.hpp"
@@ -34,12 +35,12 @@ class Enodeb {
   struct Config {
     CellConfig cell;
     Modulation modulation = Modulation::kQam16;
-    double tx_power_dbm = 10.0;  // paper: USRP default 10 dBm, PA 40 dBm
+    dsp::Dbm tx_power_dbm{10.0};  // paper: USRP default 10 dBm, PA 40 dBm
 
     /// Power boost applied to PSS/SSS REs (linear amplitude derived from
     /// this dB figure). Real deployments boost sync signals; this is also
     /// what gives the tag's envelope detector its contrast.
-    double sync_boost_db = 6.0;
+    dsp::Db sync_boost_db{6.0};
 
     /// Probability that the central 6 RBs carry PDSCH in any given data
     /// symbol. Models scheduler behaviour; < 1 increases the PSS contrast

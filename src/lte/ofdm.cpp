@@ -1,8 +1,8 @@
 #include "lte/ofdm.hpp"
 
-#include <cassert>
 #include <cmath>
 
+#include "core/contracts.hpp"
 #include "obs/obs.hpp"
 
 namespace lscatter::lte {
@@ -11,7 +11,8 @@ using dsp::cf32;
 using dsp::cvec;
 
 std::size_t symbol_offset_in_subframe(const CellConfig& cfg, std::size_t l) {
-  assert(l < kSymbolsPerSubframe);
+  LSCATTER_EXPECT(l < kSymbolsPerSubframe,
+                  "symbol index exceeds the 14-symbol subframe");
   const std::size_t slot = l / kSymbolsPerSlot;
   const std::size_t in_slot = l % kSymbolsPerSlot;
   return slot * cfg.samples_per_slot() + cfg.symbol_offset_in_slot(in_slot);
@@ -70,7 +71,8 @@ std::size_t OfdmDemodulator::useful_start(std::size_t l) const {
 ResourceGrid OfdmDemodulator::demodulate(
     std::span<const cf32> samples) const {
   LSCATTER_OBS_TIMER("lte.ofdm.demodulate");
-  assert(samples.size() >= cfg_.samples_per_subframe());
+  LSCATTER_EXPECT(samples.size() >= cfg_.samples_per_subframe(),
+                  "need at least one full subframe of samples");
   ResourceGrid grid(cfg_);
   for (std::size_t l = 0; l < kSymbolsPerSubframe; ++l) {
     const cvec sym = demodulate_symbol(samples, l);
@@ -84,7 +86,8 @@ cvec OfdmDemodulator::demodulate_symbol(std::span<const cf32> samples,
                                         std::size_t l) const {
   const std::size_t k = cfg_.fft_size();
   const std::size_t start = useful_start(l);
-  assert(samples.size() >= start + k);
+  LSCATTER_EXPECT(samples.size() >= start + k,
+                  "useful window must lie inside the sample buffer");
 
   cvec bins(samples.begin() + static_cast<std::ptrdiff_t>(start),
             samples.begin() + static_cast<std::ptrdiff_t>(start + k));

@@ -166,9 +166,14 @@ void dump_value(const Value& v, std::string& out, int indent, int depth) {
 }
 
 struct Parser {
+  // Containers nest recursively; bound the depth so hostile input cannot
+  // overflow the stack (reports nest a handful of levels).
+  static constexpr int kMaxDepth = 256;
+
   std::string_view text;
   std::size_t pos = 0;
   bool ok = true;
+  int depth = 0;
 
   void skip_ws() {
     while (pos < text.size() && std::isspace(
@@ -201,8 +206,15 @@ struct Parser {
       return {};
     }
     const char c = text[pos];
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
+    if (c == '{' || c == '[') {
+      if (++depth > kMaxDepth) {
+        ok = false;
+        return {};
+      }
+      Value v = c == '{' ? parse_object() : parse_array();
+      --depth;
+      return v;
+    }
     if (c == '"') return parse_string();
     if (literal("true")) return Value(true);
     if (literal("false")) return Value(false);
@@ -254,6 +266,11 @@ struct Parser {
     while (pos < text.size() && text[pos] != '"') {
       char c = text[pos++];
       if (c != '\\') {
+        // RFC 8259: control characters must be escaped.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          ok = false;
+          return {};
+        }
         out += c;
         continue;
       }
@@ -311,27 +328,47 @@ struct Parser {
     return Value(std::move(out));
   }
 
-  Value parse_number() {
+  bool digits() {
     const std::size_t start = pos;
-    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
     while (pos < text.size() &&
-           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
-            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
-            text[pos] == '-' || text[pos] == '+')) {
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
       ++pos;
     }
-    if (pos == start) {
+    return pos > start;
+  }
+
+  Value parse_number() {
+    // Strict RFC 8259 grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    if (pos < text.size() && text[pos] == '0') {
+      ++pos;  // a leading zero must stand alone
+      if (pos < text.size() &&
+          std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ok = false;
+        return {};
+      }
+    } else if (!digits()) {
       ok = false;
       return {};
+    }
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (!digits()) {
+        ok = false;
+        return {};
+      }
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (!digits()) {
+        ok = false;
+        return {};
+      }
     }
     const std::string token(text.substr(start, pos - start));
-    char* end = nullptr;
-    const double d = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) {
-      ok = false;
-      return {};
-    }
-    return Value(d);
+    return Value(std::strtod(token.c_str(), nullptr));
   }
 };
 

@@ -10,7 +10,7 @@ namespace lscatter::tag {
 using dsp::cf32;
 
 AnalogFrontend::AnalogFrontend(const AnalogFrontendConfig& config,
-                               double sample_rate_hz)
+                               double sample_rate_hz)  // lint-ok: units — sample-domain boundary like cell_config
     : config_(config),
       sample_rate_hz_(sample_rate_hz),
       env_rate_hz_(sample_rate_hz / static_cast<double>(config.decimation)),

@@ -31,7 +31,7 @@ struct AnalogFrontendConfig {
 
   /// Matching-network bandwidth [Hz] (one-sided cutoff of the equivalent
   /// baseband lowpass).
-  double matching_bw_hz = 0.6e6;
+  double matching_bw_hz = 0.6e6;  // lint-ok: units — analog component value, not link-budget math
   std::size_t matching_taps = 129;
 
   /// D1/C2/R1 stage. Near-symmetric taus make this a mean-envelope
@@ -69,7 +69,7 @@ struct AnalogTrace {
 
 class AnalogFrontend {
  public:
-  AnalogFrontend(const AnalogFrontendConfig& config, double sample_rate_hz);
+  AnalogFrontend(const AnalogFrontendConfig& config, double sample_rate_hz);  // lint-ok: units — sample-domain boundary like cell_config
 
   /// Process a contiguous stretch of complex baseband input (at the cell
   /// sample rate, any amplitude scale). State persists across calls so

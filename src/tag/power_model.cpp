@@ -19,7 +19,7 @@ PowerBreakdown PowerModel::breakdown(lte::Bandwidth bw,
   PowerBreakdown p;
   p.sync_comparator_uw = comparator_uw;
 
-  const double bw_hz = lte::bandwidth_hz(bw);
+  const double bw_hz = lte::bandwidth_hz(bw);  // lint-ok: units — power-model coefficient, not link-budget math
   p.rf_switch_uw = rf_switch_uw_at_20mhz * (bw_hz / 20e6);
 
   p.baseband_fpga_uw = fpga_uw;
@@ -54,13 +54,13 @@ std::string format_power_row(lte::Bandwidth bw, ClockSource clock,
   return buf;
 }
 
-double HarvestModel::harvested_uw(double incident_dbm) const {
+double HarvestModel::harvested_uw(double incident_dbm) const {  // lint-ok: units — harvest curve input; model keeps raw doubles
   if (incident_dbm < sensitivity_dbm) return 0.0;
   return efficiency * dsp::dbm_to_mw(incident_dbm) * 1e3;  // mW -> uW
 }
 
 double HarvestModel::sustainable_duty_cycle(
-    double incident_dbm, const PowerBreakdown& consumption) const {
+    double incident_dbm, const PowerBreakdown& consumption) const {  // lint-ok: units — harvest curve input; model keeps raw doubles
   const double total = consumption.total_uw();
   if (total <= 0.0) return 1.0;
   return std::min(1.0, harvested_uw(incident_dbm) / total);

@@ -56,14 +56,14 @@ std::string format_power_row(lte::Bandwidth bw, ClockSource clock,
 /// knee, nothing below it.
 struct HarvestModel {
   double efficiency = 0.30;
-  double sensitivity_dbm = -20.0;
+  double sensitivity_dbm = -20.0;  // lint-ok: units — harvest curve parameter; model keeps raw doubles
 
   /// Harvested power [uW] from `incident_dbm` at the tag antenna.
-  double harvested_uw(double incident_dbm) const;
+  double harvested_uw(double incident_dbm) const;  // lint-ok: units — harvest curve input; model keeps raw doubles
 
   /// Fraction of time the tag can run from harvest alone (capped at 1):
   /// harvested / consumed. >= 1 means fully battery-free.
-  double sustainable_duty_cycle(double incident_dbm,
+  double sustainable_duty_cycle(double incident_dbm,  // lint-ok: units — harvest curve input; model keeps raw doubles
                                 const PowerBreakdown& consumption) const;
 };
 

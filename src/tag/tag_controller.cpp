@@ -1,8 +1,8 @@
 #include "tag/tag_controller.hpp"
 
 #include <algorithm>
-#include <cassert>
 
+#include "core/contracts.hpp"
 #include "lte/ofdm.hpp"
 #include "lte/sequences.hpp"
 #include "lte/signal_map.hpp"
@@ -13,11 +13,15 @@ namespace lscatter::tag {
 TagController::TagController(const lte::CellConfig& cell,
                              const TagScheduleConfig& cfg)
     : cell_(cell), cfg_(cfg) {
-  assert(cfg.resync_period_subframes >= 2);
-  assert(cfg.preamble_symbols >= 1);
-  assert(cfg.packet_subframes >= 1);
-  assert(cfg.repetition >= 1 &&
-         cfg.repetition <= cell.n_subcarriers() / 33);
+  LSCATTER_EXPECT(cfg.resync_period_subframes >= 2,
+                  "resync period must leave room for data subframes");
+  LSCATTER_EXPECT(cfg.preamble_symbols >= 1,
+                  "a packet needs at least one preamble symbol");
+  LSCATTER_EXPECT(cfg.packet_subframes >= 1,
+                  "a packet spans at least one subframe");
+  LSCATTER_EXPECT(cfg.repetition >= 1 &&
+                      cfg.repetition <= cell.n_subcarriers() / 33,
+                  "repetition factor outside the usable unit budget");
   // Fixed pseudo-random preamble with good autocorrelation, from the LTE
   // Gold generator (c_init chosen as a constant known to tag and UE).
   preamble_ = lte::gold_sequence(0x5CA77E51u & 0x7FFFFFFFu,
@@ -90,7 +94,9 @@ SubframePlan TagController::plan_subframe(
     }
     if (next_payload < symbol_payloads.size()) {
       LSCATTER_OBS_COUNTER_INC("tag.controller.data_symbols");
-      assert(symbol_payloads[next_payload].size() == bits_per_symbol());
+      LSCATTER_ASSERT(
+          symbol_payloads[next_payload].size() == bits_per_symbol(),
+          "per-symbol payload must match bits_per_symbol()");
       sp.kind = SymbolPlan::Kind::kData;
       // Repetition expansion: each info bit fills `repetition`
       // consecutive units; leftover units are filler '1'.
@@ -120,7 +126,8 @@ std::vector<std::uint8_t> expand_to_units(const lte::CellConfig& cell,
   for (std::size_t l = 0; l < lte::kSymbolsPerSubframe; ++l) {
     const SymbolPlan& sp = plan.symbols[l];
     if (sp.kind == SymbolPlan::Kind::kFiller) continue;
-    assert(sp.bits.size() == n_sc);
+    LSCATTER_ASSERT(sp.bits.size() == n_sc,
+                    "modulation pattern must span the 1200-unit window");
     const std::ptrdiff_t useful = static_cast<std::ptrdiff_t>(
         lte::symbol_offset_in_subframe(cell, l) +
         cell.cp_length(l % lte::kSymbolsPerSlot));

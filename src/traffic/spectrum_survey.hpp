@@ -16,7 +16,7 @@ namespace lscatter::traffic {
 /// fraction-of-cell-occupied (1 = strong signal).
 struct Spectrogram {
   double duration_s = 0.0;
-  double bandwidth_hz = 0.0;
+  double bandwidth_hz = 0.0;  // lint-ok: units — survey record mirrors external CSV schema
   std::size_t time_bins = 0;
   std::size_t freq_bins = 0;
   std::vector<float> cells;  // row-major [time][freq]

@@ -10,27 +10,32 @@
 #include "channel/link_budget.hpp"
 #include "channel/pathloss.hpp"
 #include "dsp/db.hpp"
+#include "dsp/units.hpp"
 
 namespace {
 
 using namespace lscatter;
 using namespace lscatter::channel;
+using namespace lscatter::dsp::unit_literals;
 using dsp::cf32;
 using dsp::cvec;
+using dsp::Db;
+using dsp::Hz;
 
 TEST(PathLoss, FreeSpaceKnownValue) {
   // FSPL at 1 m, 2.4 GHz is ~40.05 dB.
-  EXPECT_NEAR(PathLossModel::free_space_db(1.0, 2.4e9), 40.05, 0.1);
+  EXPECT_NEAR(PathLossModel::free_space_db(1.0, Hz{2.4e9}).value(), 40.05,
+              0.1);
   // At 680 MHz, 1 m: ~29.1 dB.
-  EXPECT_NEAR(PathLossModel::free_space_db(1.0, 680e6), 29.1, 0.1);
+  EXPECT_NEAR(PathLossModel::free_space_db(1.0, 680_mhz).value(), 29.1, 0.1);
 }
 
 TEST(PathLoss, MonotoneInDistance) {
   PathLossModel m;
   m.exponent = 2.3;
-  double prev = -1e9;
+  Db prev{-1e9};
   for (double d = 0.3; d < 200.0; d *= 1.7) {
-    const double pl = m.median_db(d, 680e6);
+    const Db pl = m.median_db(d, 680_mhz);
     EXPECT_GT(pl, prev);
     prev = pl;
   }
@@ -41,35 +46,37 @@ TEST(PathLoss, ExponentControlsSlope) {
   m2.exponent = 2.0;
   PathLossModel m3;
   m3.exponent = 3.0;
-  const double delta2 = m2.median_db(100.0, 680e6) - m2.median_db(10.0, 680e6);
-  const double delta3 = m3.median_db(100.0, 680e6) - m3.median_db(10.0, 680e6);
-  EXPECT_NEAR(delta2, 20.0, 0.1);
-  EXPECT_NEAR(delta3, 30.0, 0.1);
+  const Db delta2 =
+      m2.median_db(100.0, 680_mhz) - m2.median_db(10.0, 680_mhz);
+  const Db delta3 =
+      m3.median_db(100.0, 680_mhz) - m3.median_db(10.0, 680_mhz);
+  EXPECT_NEAR(delta2.value(), 20.0, 0.1);
+  EXPECT_NEAR(delta3.value(), 30.0, 0.1);
 }
 
 TEST(PathLoss, ShadowingHasRequestedSigma) {
   PathLossModel m;
   m.exponent = 2.0;
-  m.shadowing_sigma_db = 4.0;
+  m.shadowing_sigma_db = 4.0_db;
   dsp::Rng rng(3);
   std::vector<double> samples;
   for (int i = 0; i < 20000; ++i) {
-    samples.push_back(m.sample_db(10.0, 680e6, rng));
+    samples.push_back(m.sample_db(10.0, 680_mhz, rng).value());
   }
-  const double median = m.median_db(10.0, 680e6);
+  const double median = m.median_db(10.0, 680_mhz).value();
   double mean = 0.0;
   for (const double s : samples) mean += s;
-  mean /= samples.size();
+  mean /= static_cast<double>(samples.size());
   double var = 0.0;
   for (const double s : samples) var += (s - mean) * (s - mean);
-  var /= samples.size();
+  var /= static_cast<double>(samples.size());
   EXPECT_NEAR(mean, median, 0.1);
   EXPECT_NEAR(std::sqrt(var), 4.0, 0.15);
 }
 
 TEST(NoiseFloor, ThermalAt20MhzWithNf) {
   // -174 + 10log10(18e6) + 6 = -95.4 dBm for the occupied 18 MHz.
-  EXPECT_NEAR(noise_floor_dbm(18e6, 6.0), -95.4, 0.2);
+  EXPECT_NEAR(noise_floor_dbm(Hz{18e6}, 6.0_db).value(), -95.4, 0.2);
 }
 
 TEST(Awgn, AddsRequestedPower) {
@@ -84,23 +91,23 @@ TEST(Awgn, SnrVariantMatchesSignalPower) {
   cvec x(20000);
   for (auto& v : x) v = rng.complex_normal(4.0);
   cvec clean = x;
-  add_awgn_snr(x, 10.0, rng);
+  add_awgn_snr(x, 10.0_db, rng);
   double noise = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) noise += std::norm(x[i] - clean[i]);
-  noise /= x.size();
+  noise /= static_cast<double>(x.size());
   EXPECT_NEAR(noise, 0.4, 0.03);  // 4.0 / 10 dB
 }
 
 TEST(Fading, UnitAveragePowerOverDraws) {
   FadingProfile p;
   p.n_taps = 6;
-  p.rms_delay_spread_s = 100e-9;
+  p.rms_delay_spread_s = dsp::Seconds{100e-9};
   p.los = false;
   dsp::Rng rng(11);
   double power = 0.0;
   const int n = 4000;
   for (int i = 0; i < n; ++i) {
-    TdlChannel ch(p, 30.72e6, rng);
+    TdlChannel ch(p, Hz{30.72e6}, rng);
     power += ch.power_gain();
   }
   EXPECT_NEAR(power / n, 1.0, 0.05);
@@ -108,7 +115,7 @@ TEST(Fading, UnitAveragePowerOverDraws) {
 
 TEST(Fading, FlatProfileIsNearlyDeterministic) {
   dsp::Rng rng(13);
-  TdlChannel ch(FadingProfile::flat(), 30.72e6, rng);
+  TdlChannel ch(FadingProfile::flat(), Hz{30.72e6}, rng);
   EXPECT_EQ(ch.tap_gains().size(), 1u);
   EXPECT_NEAR(std::abs(ch.tap_gains()[0]), 1.0, 0.05);
 }
@@ -116,7 +123,7 @@ TEST(Fading, FlatProfileIsNearlyDeterministic) {
 TEST(Fading, ApplyConvolvesWithDelays) {
   FadingProfile p = FadingProfile::flat();
   dsp::Rng rng(17);
-  TdlChannel ch(p, 30.72e6, rng);
+  TdlChannel ch(p, Hz{30.72e6}, rng);
   cvec x = {cf32{1, 0}, cf32{0, 0}, cf32{0, 0}};
   const cvec y = ch.apply(x);
   EXPECT_EQ(y.size(), x.size());
@@ -125,7 +132,7 @@ TEST(Fading, ApplyConvolvesWithDelays) {
 
 TEST(Fading, FrequencyResponseOfSingleTapIsFlat) {
   dsp::Rng rng(19);
-  TdlChannel ch(FadingProfile::flat(), 30.72e6, rng);
+  TdlChannel ch(FadingProfile::flat(), Hz{30.72e6}, rng);
   const cvec h = ch.frequency_response(64);
   for (const cf32 v : h) {
     EXPECT_NEAR(std::abs(v), std::abs(h[0]), 1e-4);
@@ -134,30 +141,34 @@ TEST(Fading, FrequencyResponseOfSingleTapIsFlat) {
 
 TEST(LinkBudget, BackscatterIsDoublePathPlusTagLoss) {
   LinkBudget b;
-  b.tx_power_dbm = 10.0;
-  b.tag.conversion_loss_db = 3.92;
-  b.tag.reflection_loss_db = 6.0;
-  const double rx = b.backscatter_rx_dbm(40.0, 50.0);
-  EXPECT_NEAR(rx, 10.0 - 40.0 - 50.0 - 9.92, 1e-9);
-  EXPECT_GT(b.direct_rx_dbm(40.0), rx);
+  b.tx_power_dbm = 10.0_dbm;
+  b.tag.conversion_loss_db = 3.92_db;
+  b.tag.reflection_loss_db = 6.0_db;
+  const dsp::Dbm rx = b.backscatter_rx_dbm(40.0_db, 50.0_db);
+  EXPECT_NEAR(rx.value(), 10.0 - 40.0 - 50.0 - 9.92, 1e-9);
+  EXPECT_GT(b.direct_rx_dbm(40.0_db), rx);
 }
 
 TEST(LinkBudget, AntennaGainsAdd) {
   LinkBudget b;
-  b.tx_antenna_gain_db = 3.0;
-  b.rx_antenna_gain_db = 4.0;
-  b.tag_antenna_gain_db = 2.0;
+  b.tx_antenna_gain_db = 3.0_db;
+  b.rx_antenna_gain_db = 4.0_db;
+  b.tag_antenna_gain_db = 2.0_db;
   // Tag gain counts twice (in and out).
-  EXPECT_NEAR(b.backscatter_rx_dbm(50.0, 50.0) -
-                  LinkBudget{}.backscatter_rx_dbm(50.0, 50.0),
+  EXPECT_NEAR((b.backscatter_rx_dbm(50.0_db, 50.0_db) -
+               LinkBudget{}.backscatter_rx_dbm(50.0_db, 50.0_db))
+                  .value(),
               3.0 + 4.0 + 2.0 * 2.0, 1e-9);
 }
 
 TEST(LinkBudget, SnrUsesNoiseFloor) {
   LinkBudget b;
-  b.noise_figure_db = 6.0;
-  const double snr = b.backscatter_snr_db(30.0, 30.0, 18e6);
-  EXPECT_NEAR(snr, b.backscatter_rx_dbm(30.0, 30.0) - (-95.4), 0.2);
+  b.noise_figure_db = 6.0_db;
+  const Db snr = b.backscatter_snr_db(30.0_db, 30.0_db, Hz{18e6});
+  EXPECT_NEAR(snr.value(),
+              (b.backscatter_rx_dbm(30.0_db, 30.0_db) - dsp::Dbm{-95.4})
+                  .value(),
+              0.2);
 }
 
 TEST(Db, ConversionsRoundTrip) {

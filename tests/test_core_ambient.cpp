@@ -86,7 +86,7 @@ TEST(LinkSimulator, BlindAmbientWorksEndToEnd) {
   core::ScenarioOptions opt;
   opt.seed = 37;
   core::LinkConfig cfg = core::make_scenario(core::Scene::kSmartHome, opt);
-  cfg.env.pathloss.shadowing_sigma_db = 0.0;
+  cfg.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
   cfg.ambient = core::AmbientSource::kBlind;
   core::LinkSimulator sim(cfg);
   const auto m = sim.run(10);
@@ -99,7 +99,7 @@ TEST(LinkSimulator, ReconstructedAmbientMatchesGenieAtCloseRange) {
   core::ScenarioOptions opt;
   opt.seed = 31;
   core::LinkConfig genie = core::make_scenario(core::Scene::kSmartHome, opt);
-  genie.env.pathloss.shadowing_sigma_db = 0.0;
+  genie.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
   core::LinkConfig recon = genie;
   recon.ambient = core::AmbientSource::kReconstructed;
 

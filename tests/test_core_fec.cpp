@@ -14,7 +14,7 @@ core::LinkConfig mid_range(std::uint64_t seed) {
   core::ScenarioOptions opt;
   opt.seed = seed;
   core::LinkConfig cfg = core::make_scenario(core::Scene::kSmartHome, opt);
-  cfg.env.pathloss.shadowing_sigma_db = 0.0;
+  cfg.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
   cfg.geometry.enb_tag_ft = 16.0;
   cfg.geometry.tag_ue_ft = 13.0;
   return cfg;
@@ -23,7 +23,7 @@ core::LinkConfig mid_range(std::uint64_t seed) {
 TEST(LinkFec, ConvolutionalHalvesRateAtCloseRange) {
   core::LinkConfig cfg = core::make_scenario(core::Scene::kSmartHome,
                                              {.seed = 17});
-  cfg.env.pathloss.shadowing_sigma_db = 0.0;
+  cfg.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
   cfg.fec = core::Fec::kConvolutional;
   core::LinkSimulator sim(cfg);
   const auto m = sim.run(10);

@@ -13,7 +13,7 @@ core::LinkConfig base_config(std::uint64_t seed) {
   core::ScenarioOptions opt;
   opt.seed = seed;
   core::LinkConfig cfg = core::make_scenario(core::Scene::kSmartHome, opt);
-  cfg.env.pathloss.shadowing_sigma_db = 0.0;
+  cfg.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
   return cfg;
 }
 
@@ -21,7 +21,7 @@ class CfoSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(CfoSweep, PerSymbolGainTrackingAbsorbsModerateCfo) {
   core::LinkConfig cfg = base_config(123);
-  cfg.env.ue_cfo_hz = GetParam();
+  cfg.env.ue_cfo_hz = dsp::Hz{GetParam()};
   core::LinkSimulator sim(cfg);
   const auto m = sim.run(10);
   EXPECT_EQ(m.packets_detected, m.packets_sent);
@@ -36,7 +36,7 @@ INSTANTIATE_TEST_SUITE_P(UpToOneKilohertz, CfoSweep,
 
 TEST(Cfo, VeryLargeCfoBreaksCoherence) {
   core::LinkConfig cfg = base_config(321);
-  cfg.env.ue_cfo_hz = 40e3;  // intra-symbol rotation >> slicer margin
+  cfg.env.ue_cfo_hz = dsp::Hz{40e3};  // intra-symbol rotation >> slicer margin
   core::LinkSimulator sim(cfg);
   const auto m = sim.run(10);
   EXPECT_GT(m.ber(), 0.05);

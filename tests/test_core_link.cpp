@@ -19,7 +19,7 @@ using core::ScenarioOptions;
 
 TEST(LinkSimulator, CloseRangeHitsPaperHeadlineThroughput) {
   LinkConfig cfg = make_scenario(Scene::kSmartHome);
-  cfg.env.pathloss.shadowing_sigma_db = 0.0;
+  cfg.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
   LinkSimulator sim(cfg);
   const LinkMetrics m = sim.run(20);
   EXPECT_GT(m.packets_sent, 15u);
@@ -34,7 +34,7 @@ TEST(LinkSimulator, CloseRangeHitsPaperHeadlineThroughput) {
 
 TEST(LinkSimulator, ShortPacketsSurviveCrcAtCloseRange) {
   LinkConfig cfg = make_scenario(Scene::kSmartHome);
-  cfg.env.pathloss.shadowing_sigma_db = 0.0;
+  cfg.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
   cfg.schedule.max_data_symbols_per_packet = 1;  // 1200-bit packets
   LinkSimulator sim(cfg);
   const LinkMetrics m = sim.run(20);
@@ -53,7 +53,7 @@ TEST(LinkSimulator, BandwidthScalesThroughput) {
   ScenarioOptions opt;
   opt.bandwidth = lte::Bandwidth::kMHz1_4;
   LinkConfig cfg = make_scenario(Scene::kSmartHome, opt);
-  cfg.env.pathloss.shadowing_sigma_db = 0.0;
+  cfg.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
   LinkSimulator sim(cfg);
   const LinkMetrics m = sim.run(20);
   EXPECT_LT(m.ber(), 1e-2);
@@ -64,7 +64,7 @@ TEST(LinkSimulator, BandwidthScalesThroughput) {
 
 TEST(LinkSimulator, FarLinkDegrades) {
   LinkConfig cfg = make_scenario(Scene::kSmartHome);
-  cfg.env.pathloss.shadowing_sigma_db = 0.0;
+  cfg.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
   cfg.geometry.enb_tag_ft = 25.0;
   cfg.geometry.tag_ue_ft = 60.0;
   LinkSimulator near_sim(make_scenario(Scene::kSmartHome));
@@ -77,7 +77,7 @@ TEST(LinkSimulator, FarLinkDegrades) {
 
 TEST(LinkSimulator, SyncErrorWithinToleranceIsHarmless) {
   LinkConfig cfg = make_scenario(Scene::kSmartHome);
-  cfg.env.pathloss.shadowing_sigma_db = 0.0;
+  cfg.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
   // Push the residual sync error near (but within) the one-sided
   // tolerance of (K - N_sc)/2 units = 424 units = 13.8 us at 20 MHz.
   cfg.sync.bias_s = 10e-6;
@@ -91,7 +91,7 @@ TEST(LinkSimulator, SyncErrorWithinToleranceIsHarmless) {
 
 TEST(LinkSimulator, SyncErrorBeyondToleranceBreaksLink) {
   LinkConfig cfg = make_scenario(Scene::kSmartHome);
-  cfg.env.pathloss.shadowing_sigma_db = 0.0;
+  cfg.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
   cfg.sync.bias_s = 30e-6;  // > 13.8 us tolerance
   cfg.sync.sigma_s = 0.1e-6;
   // Widen the receiver search so failure is due to window clipping, not
@@ -104,13 +104,13 @@ TEST(LinkSimulator, SyncErrorBeyondToleranceBreaksLink) {
 
 TEST(LinkSimulator, DropStateReportsBudget) {
   LinkConfig cfg = make_scenario(Scene::kSmartHome);
-  cfg.env.pathloss.shadowing_sigma_db = 0.0;
+  cfg.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
   LinkSimulator sim(cfg);
   (void)sim.run(2);
   const core::DropState& d = sim.last_drop();
   EXPECT_LT(d.backscatter_rx_dbm, cfg.enodeb.tx_power_dbm);
   EXPECT_LT(d.noise_dbm, d.backscatter_rx_dbm);  // positive SNR up close
-  EXPECT_GT(d.mean_snr_db, 15.0);
+  EXPECT_GT(d.mean_snr_db.value(), 15.0);
 }
 
 }  // namespace

@@ -15,7 +15,7 @@ core::MultiTagConfig two_tags(std::size_t slots, std::size_t slot_a,
   core::ScenarioOptions opt;
   opt.seed = 71;
   cfg.base = core::make_scenario(core::Scene::kSmartHome, opt);
-  cfg.base.env.pathloss.shadowing_sigma_db = 0.0;
+  cfg.base.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
   cfg.n_slots = slots;
   cfg.tags.push_back({{3.0, 3.0, -1.0}, slot_a});
   cfg.tags.push_back({{4.0, 5.0, -1.0}, slot_b});
@@ -63,10 +63,10 @@ TEST(MultiTag, FourSlotsScaleFairly) {
   core::ScenarioOptions opt;
   opt.seed = 73;
   cfg.base = core::make_scenario(core::Scene::kSmartHome, opt);
-  cfg.base.env.pathloss.shadowing_sigma_db = 0.0;
+  cfg.base.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
   cfg.n_slots = 4;
   for (std::size_t i = 0; i < 4; ++i) {
-    cfg.tags.push_back({{3.0 + i, 3.0, -1.0}, i});
+    cfg.tags.push_back({{3.0 + static_cast<double>(i), 3.0, -1.0}, i});
   }
   const auto res = core::run_multi_tag(cfg, 40);
   double min_t = 1e12;

@@ -23,7 +23,7 @@ TEST_P(ScenePerBandwidth, ScenarioIsInternallyConsistent) {
   EXPECT_NEAR(cfg.enodeb.cell.carrier_hz, 680e6, 1.0);
   EXPECT_GT(cfg.env.pathloss.exponent, 1.0);
   EXPECT_LT(cfg.env.pathloss.exponent, 4.0);
-  EXPECT_GT(cfg.env.acir_db, 40.0);
+  EXPECT_GT(cfg.env.acir_db.value(), 40.0);
   EXPECT_EQ(cfg.env.budget.tx_power_dbm, cfg.enodeb.tx_power_dbm);
   // The default geometry is the paper's close-range setup.
   EXPECT_EQ(cfg.geometry.enb_tag_ft, 3.0);

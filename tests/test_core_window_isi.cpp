@@ -17,7 +17,7 @@ core::LinkConfig clean_home(std::uint64_t seed) {
   core::ScenarioOptions opt;
   opt.seed = seed;
   core::LinkConfig cfg = core::make_scenario(core::Scene::kSmartHome, opt);
-  cfg.env.pathloss.shadowing_sigma_db = 0.0;
+  cfg.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
   return cfg;
 }
 

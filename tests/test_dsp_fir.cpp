@@ -24,8 +24,9 @@ TEST(Fir, LowpassPassesDcAndRejectsHighFrequency) {
   cvec dc(n, cf32{1.0f, 0.0f});
   cvec hi(n);
   for (std::size_t i = 0; i < n; ++i) {
-    hi[i] = cf32{static_cast<float>(std::cos(kTwoPi * 0.4 * i)),
-                 static_cast<float>(std::sin(kTwoPi * 0.4 * i))};
+    const double t = static_cast<double>(i);
+    hi[i] = cf32{static_cast<float>(std::cos(kTwoPi * 0.4 * t)),
+                 static_cast<float>(std::sin(kTwoPi * 0.4 * t))};
   }
   const cvec dc_out = filter_same(dc, std::span<const float>(taps));
   const cvec hi_out = filter_same(hi, std::span<const float>(taps));
@@ -41,10 +42,11 @@ TEST(Fir, BandpassCentersOnRequestedFrequency) {
   cvec tone(n);
   cvec off_tone(n);
   for (std::size_t i = 0; i < n; ++i) {
-    tone[i] = cf32{static_cast<float>(std::cos(kTwoPi * f0 * i)),
-                   static_cast<float>(std::sin(kTwoPi * f0 * i))};
-    off_tone[i] = cf32{static_cast<float>(std::cos(kTwoPi * 0.35 * i)),
-                       static_cast<float>(std::sin(kTwoPi * 0.35 * i))};
+    const double t = static_cast<double>(i);
+    tone[i] = cf32{static_cast<float>(std::cos(kTwoPi * f0 * t)),
+                   static_cast<float>(std::sin(kTwoPi * f0 * t))};
+    off_tone[i] = cf32{static_cast<float>(std::cos(kTwoPi * 0.35 * t)),
+                       static_cast<float>(std::sin(kTwoPi * 0.35 * t))};
   }
   const cvec in_band = filter_same(tone, std::span<const cf32>(taps));
   const cvec out_band = filter_same(off_tone, std::span<const cf32>(taps));

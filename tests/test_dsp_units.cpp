@@ -1,0 +1,109 @@
+// Strong unit types: the log-domain algebra must match the db.hpp helpers
+// and only physically meaningful combinations may exist.
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "dsp/db.hpp"
+#include "dsp/units.hpp"
+
+namespace {
+
+using namespace lscatter::dsp;
+using namespace lscatter::dsp::unit_literals;
+
+TEST(Units, DbChainsGainsAndLosses) {
+  const Db total = 3.0_db + 4.5_db - 2.5_db;
+  EXPECT_DOUBLE_EQ(total.value(), 5.0);
+  EXPECT_DOUBLE_EQ((-total).value(), -5.0);
+  EXPECT_DOUBLE_EQ((2.0 * 3.0_db).value(), 6.0);
+  EXPECT_DOUBLE_EQ((6.0_db / 2.0).value(), 3.0);
+}
+
+TEST(Units, DbLinearMatchesDbHelpers) {
+  EXPECT_NEAR(Db{10.0}.linear(), db_to_lin(10.0), 1e-12);
+  EXPECT_NEAR(Db{20.0}.amplitude(), db_to_amp(20.0), 1e-12);
+  EXPECT_NEAR(Db::from_linear(100.0).value(), 20.0, 1e-12);
+}
+
+TEST(Units, DbmThroughGainStaysAbsolute) {
+  const Dbm rx = 10.0_dbm - 40.0_db + 3.0_db;
+  EXPECT_DOUBLE_EQ(rx.value(), -27.0);
+  const Db ratio = 10.0_dbm - rx;
+  EXPECT_DOUBLE_EQ(ratio.value(), 37.0);
+}
+
+TEST(Units, DbmMilliwattsRoundTrip) {
+  EXPECT_NEAR(Dbm{0.0}.milliwatts(), 1.0, 1e-12);
+  EXPECT_NEAR(Dbm{20.0}.milliwatts(), 100.0, 1e-9);
+  EXPECT_NEAR(Dbm::from_milliwatts(2.0).value(), mw_to_dbm(2.0), 1e-12);
+  EXPECT_NEAR(to_mw(from_mw(7.25)), 7.25, 1e-12);
+}
+
+TEST(Units, HzArithmeticAndRatios) {
+  EXPECT_DOUBLE_EQ((15_khz * 1200.0).value(), 18e6);
+  EXPECT_DOUBLE_EQ(20_mhz / 1.4_mhz, 20.0 / 1.4);
+  EXPECT_DOUBLE_EQ((30.72_mhz - 0.72_mhz).value(), 30e6);
+}
+
+TEST(Units, SecondsTimesHzIsDimensionless) {
+  // One LTE symbol: 66.7 us of 15 kHz subcarrier = one cycle.
+  const double cycles = Seconds{1.0 / 15000.0} * 15_khz;
+  EXPECT_NEAR(cycles, 1.0, 1e-12);
+  EXPECT_NEAR(period(15_khz).value(), 66.67e-6, 0.01e-6);
+  EXPECT_NEAR(133.4_us / 66.7_us, 2.0, 1e-9);
+}
+
+TEST(Units, SampleIndexIsAffine) {
+  SampleIndex a{1000};
+  const SampleIndex b = a + 2196;
+  EXPECT_EQ(b.value(), 3196);
+  EXPECT_EQ(b - a, 2196);
+  a += 5;
+  EXPECT_EQ(a.value(), 1005);
+  EXPECT_LT(a, b);
+}
+
+TEST(Units, ComparisonsWork) {
+  EXPECT_LT(3.0_db, 4.0_db);
+  EXPECT_GT(10.0_dbm, Dbm{-90.0});
+  EXPECT_EQ(1000.0_hz, 1_khz);
+}
+
+// Physically meaningless combinations must not compile. (SFINAE probes:
+// the expression is ill-formed, so the specialization falls back to
+// false_type.)
+template <typename A, typename B, typename = void>
+struct CanAdd : std::false_type {};
+template <typename A, typename B>
+struct CanAdd<A, B,
+              std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+template <typename A, typename B, typename = void>
+struct CanMul : std::false_type {};
+template <typename A, typename B>
+struct CanMul<A, B,
+              std::void_t<decltype(std::declval<A>() * std::declval<B>())>>
+    : std::true_type {};
+
+static_assert(!CanAdd<Dbm, Dbm>::value,
+              "adding two absolute powers in log domain is a unit error");
+static_assert(!CanAdd<Db, double>::value, "raw doubles need explicit wrap");
+static_assert(!CanAdd<Hz, Seconds>::value, "Hz + Seconds is meaningless");
+static_assert(!CanMul<Db, Db>::value, "dB x dB has no physical meaning");
+static_assert(CanAdd<Dbm, Db>::value);
+static_assert(CanAdd<Db, Db>::value);
+static_assert(CanMul<Hz, Seconds>::value);
+
+TEST(Units, ZeroCost) {
+  static_assert(sizeof(Db) == sizeof(double));
+  static_assert(sizeof(Dbm) == sizeof(double));
+  static_assert(sizeof(Hz) == sizeof(double));
+  static_assert(sizeof(SampleIndex) == sizeof(std::int64_t));
+  static_assert(std::is_trivially_copyable_v<Db>);
+  static_assert(std::is_trivially_copyable_v<SampleIndex>);
+}
+
+}  // namespace

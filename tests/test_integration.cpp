@@ -177,7 +177,7 @@ TEST(Integration, RepetitionBuysRangeEndToEnd) {
   core::LinkConfig base = core::make_scenario(core::Scene::kSmartHome, opt);
   base.geometry.enb_tag_ft = 18.0;
   base.geometry.tag_ue_ft = 14.0;
-  base.env.pathloss.shadowing_sigma_db = 0.0;
+  base.env.pathloss.shadowing_sigma_db = dsp::Db{0.0};
 
   core::LinkConfig r1 = base;
   r1.schedule.max_data_symbols_per_packet = 1;

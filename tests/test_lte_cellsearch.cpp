@@ -93,7 +93,7 @@ TEST(CellSearch, SurvivesNoiseAndRotation) {
   const cf32 h{-0.7f, 0.7f};
   for (auto& v : s) v *= h;
   dsp::Rng noise(6);
-  channel::add_awgn_snr(s, 5.0, noise);
+  channel::add_awgn_snr(s, dsp::Db{5.0}, noise);
 
   lte::CellSearcher searcher(cfg.cell);
   const auto result = searcher.search(s);

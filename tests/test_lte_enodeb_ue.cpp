@@ -127,7 +127,7 @@ TEST_P(UeAwgnSweep, BerDegradesMonotonicallyWithNoise) {
   for (int i = 0; i < 3; ++i) {
     const auto tx = enb.next_subframe();
     auto rx = tx.samples;
-    channel::add_awgn_snr(rx, snr_db, noise);
+    channel::add_awgn_snr(rx, dsp::Db{snr_db}, noise);
     ber += ue.receive_subframe(rx, tx, cfg.modulation).ber() / 3.0;
   }
   // 16QAM needs ~14 dB to go nearly clean.

@@ -116,7 +116,7 @@ TEST(Acquisition, FullChainFindsCellTimingAndBandwidth) {
   const cf32 h{0.5f, -0.5f};
   for (auto& v : stream) v *= h;
   dsp::Rng noise(10);
-  channel::add_awgn_snr(stream, 15.0, noise);
+  channel::add_awgn_snr(stream, dsp::Db{15.0}, noise);
 
   lte::CellSearcher searcher(ecfg.cell);
   const auto found = searcher.search(stream);

@@ -85,7 +85,9 @@ TEST(Sss, DistinctCellIdsGiveDistinctSequences) {
   // Cross-correlations between different N_ID1 must be well below the
   // autocorrelation.
   const cvec a = lte::sss_sequence(10, 0, false);
-  for (const std::uint16_t id1 : {0, 1, 42, 99, 167}) {
+  for (const std::uint16_t id1 : {std::uint16_t{0}, std::uint16_t{1},
+                                  std::uint16_t{42}, std::uint16_t{99},
+                                  std::uint16_t{167}}) {
     const cvec b = lte::sss_sequence(id1, 0, false);
     const double c = std::abs(dsp::inner_product(a, b)) / 62.0;
     if (id1 == 10) {

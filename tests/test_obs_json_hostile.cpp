@@ -1,0 +1,119 @@
+// Hostile input for the obs JSON parser: every malformed document must
+// come back as nullopt — never a crash, hang, or silently wrong value.
+// These inputs double as the fuzz seed corpus (fuzz/corpus/obs_json/).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using lscatter::obs::json::parse;
+using lscatter::obs::json::Value;
+
+TEST(JsonHostile, TruncatedDocuments) {
+  // Every proper prefix of a valid document must be rejected (the empty
+  // prefix included).
+  const std::string doc = R"({"counters":{"a":1},"arr":[1,2.5,-3e2,true]})";
+  for (std::size_t n = 0; n < doc.size(); ++n) {
+    EXPECT_FALSE(parse(doc.substr(0, n)).has_value())
+        << "prefix of length " << n << " parsed: " << doc.substr(0, n);
+  }
+  EXPECT_TRUE(parse(doc).has_value());
+}
+
+TEST(JsonHostile, TruncatedTokens) {
+  EXPECT_FALSE(parse("tru").has_value());
+  EXPECT_FALSE(parse("fals").has_value());
+  EXPECT_FALSE(parse("nul").has_value());
+  EXPECT_FALSE(parse("\"unterminated").has_value());
+  EXPECT_FALSE(parse("\"trailing backslash\\").has_value());
+  EXPECT_FALSE(parse("1e").has_value());
+  EXPECT_FALSE(parse("-").has_value());
+  EXPECT_FALSE(parse("[1,").has_value());
+  EXPECT_FALSE(parse("{\"k\":").has_value());
+}
+
+TEST(JsonHostile, DuplicateKeysDoNotCorruptTheObject) {
+  // RFC 8259 leaves duplicate-key behaviour open; ours must stay
+  // internally consistent: one entry per key, last value wins, and the
+  // key appears once in the order list.
+  const auto v = parse(R"({"k":1,"k":2,"j":3,"k":4})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  const auto& obj = v->as_object();
+  EXPECT_EQ(obj.size(), 2u);
+  std::size_t k_count = 0;
+  for (const auto& key : obj.keys()) {
+    if (key == "k") ++k_count;
+  }
+  EXPECT_EQ(k_count, 1u);
+  ASSERT_NE(obj.find("k"), nullptr);
+  EXPECT_EQ(obj.find("k")->as_number(), 4.0);
+  ASSERT_NE(obj.find("j"), nullptr);
+  EXPECT_EQ(obj.find("j")->as_number(), 3.0);
+}
+
+TEST(JsonHostile, NonUtf8AndControlBytes) {
+  // Raw control characters inside strings are forbidden by RFC 8259.
+  EXPECT_FALSE(parse("\"a\x01z\"").has_value());
+  EXPECT_FALSE(parse("\"tab\tno\"").has_value());
+  // Stray high bytes outside any string are not valid JSON syntax.
+  EXPECT_FALSE(parse("\xff\xfe").has_value());
+  EXPECT_FALSE(parse("[\xc3]").has_value());
+  // An embedded NUL terminates nothing — string_view carries the length.
+  const std::string nul_doc{"[1,\x00 2]", 7};
+  EXPECT_FALSE(parse(nul_doc).has_value());
+}
+
+TEST(JsonHostile, MalformedNumbers) {
+  EXPECT_FALSE(parse("01").has_value());
+  EXPECT_FALSE(parse("+1").has_value());
+  EXPECT_FALSE(parse(".5").has_value());
+  EXPECT_FALSE(parse("1.").has_value());
+  EXPECT_FALSE(parse("0x10").has_value());
+  EXPECT_FALSE(parse("NaN").has_value());
+  EXPECT_FALSE(parse("Infinity").has_value());
+}
+
+TEST(JsonHostile, StructuralGarbage) {
+  EXPECT_FALSE(parse("").has_value());
+  EXPECT_FALSE(parse("   ").has_value());
+  EXPECT_FALSE(parse("[1,2]]").has_value());
+  EXPECT_FALSE(parse("[1 2]").has_value());
+  EXPECT_FALSE(parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(parse("{a:1}").has_value());
+  EXPECT_FALSE(parse("{'a':1}").has_value());
+  EXPECT_FALSE(parse("[,]").has_value());
+  EXPECT_FALSE(parse("[1,]").has_value());
+  EXPECT_FALSE(parse("{\"a\":1,}").has_value());
+  EXPECT_FALSE(parse("1 2").has_value());
+}
+
+TEST(JsonHostile, DeepNestingDoesNotOverflowTheStack) {
+  // A recursive-descent parser must bound its depth (or at least survive
+  // a few thousand levels within the default stack).
+  std::string deep;
+  for (int i = 0; i < 2000; ++i) deep += '[';
+  for (int i = 0; i < 2000; ++i) deep += ']';
+  const auto ok = parse(deep);
+  // Either parsed or rejected — the requirement is "no crash".
+  if (ok.has_value()) {
+    EXPECT_TRUE(ok->is_array());
+  }
+  std::string unbalanced(4000, '[');
+  EXPECT_FALSE(parse(unbalanced).has_value());
+}
+
+TEST(JsonHostile, BadEscapes) {
+  EXPECT_FALSE(parse("\"\\q\"").has_value());
+  EXPECT_FALSE(parse("\"\\u12\"").has_value());
+  EXPECT_FALSE(parse("\"\\uZZZZ\"").has_value());
+  const auto ok = parse(R"("\u0041\n\"\\")");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->as_string(), "A\n\"\\");
+}
+
+}  // namespace
