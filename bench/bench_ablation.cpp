@@ -11,8 +11,9 @@
 #include "baselines/wifi_unit_level.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lscatter;
+  benchutil::init_threads(argc, argv);
   benchutil::print_header("Ablations: schedule / repetition / ACIR / search",
                           "library design choices (DESIGN.md §4)");
   const std::uint64_t seed = 777;

@@ -3,19 +3,46 @@
 // of LScatter links, consistent row printing, and JSON report emission
 // through the observability exporter (`LSCATTER_OBS_JSON=<path>`). Every
 // bench prints its seed so runs are reproducible.
+//
+// Drops run through the parallel sim pool (core/sim_pool.hpp). Results
+// are bit-identical at any thread count, so the worker count is purely a
+// wall-clock knob: `--threads=N` on any figure bench, else the
+// LSCATTER_THREADS env var, else hardware concurrency.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/link_simulator.hpp"
 #include "core/scenario.hpp"
+#include "core/sim_pool.hpp"
 #include "dsp/stats.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
 
 namespace lscatter::benchutil {
+
+/// Bench-wide worker count: 0 = auto (LSCATTER_THREADS, else hardware).
+inline std::size_t& bench_threads() {
+  static std::size_t threads = 0;
+  return threads;
+}
+
+/// Parse `--threads=N` (the only flag the figure benches take) and print
+/// the resolved worker count so runs are self-describing.
+inline void init_threads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const long v = std::strtol(argv[i] + 10, nullptr, 10);
+      if (v > 0) bench_threads() = static_cast<std::size_t>(v);
+    }
+  }
+  std::printf("threads=%zu (results are thread-count independent)\n",
+              core::resolve_threads(bench_threads()));
+}
 
 struct SweepPoint {
   double mean_throughput_bps = 0.0;
@@ -28,20 +55,15 @@ struct SweepPoint {
 };
 
 /// Run `drops` independent channel drops of `subframes` each and pool.
+/// Fans out across the sim pool; bit-identical at any thread count.
 inline SweepPoint run_drops(const core::LinkConfig& base, std::size_t drops,
-                            std::size_t subframes) {
+                            std::size_t subframes,
+                            std::size_t threads = 0) {
   SweepPoint p;
-  std::vector<double> tputs;
-  core::LinkMetrics total;
-  for (std::size_t d = 0; d < drops; ++d) {
-    core::LinkConfig cfg = base;
-    cfg.seed = base.seed + 0x9E37 * (d + 1);
-    cfg.enodeb.seed = cfg.seed ^ 0xBEEF;
-    core::LinkSimulator sim(cfg);
-    const core::LinkMetrics m = sim.run(subframes);
-    tputs.push_back(m.throughput_bps());
-    total += m;
-  }
+  const core::DropSweep sweep = core::run_drops_parallel(
+      base, drops, subframes, threads > 0 ? threads : bench_threads());
+  const std::vector<double>& tputs = sweep.throughputs_bps;
+  const core::LinkMetrics& total = sweep.total;
   p.mean_throughput_bps = dsp::mean(tputs);
   const dsp::QuantileSummary q = dsp::summary_quantiles(tputs);
   p.median_throughput_bps = q.p50;

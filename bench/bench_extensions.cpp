@@ -9,8 +9,9 @@
 #include "bench_common.hpp"
 #include "core/multi_tag.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lscatter;
+  benchutil::init_threads(argc, argv);
   benchutil::print_header("Extensions: multi-tag / reconstruction / FEC",
                           "library extensions (DESIGN.md §6)");
   const std::uint64_t seed = 888;

@@ -8,8 +8,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lscatter;
+  benchutil::init_threads(argc, argv);
   benchutil::print_header("Figures 18a/18b: throughput vs LTE bandwidth",
                           "paper §4.3.2");
   const std::uint64_t seed = 1818;

@@ -6,8 +6,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lscatter;
+  benchutil::init_threads(argc, argv);
   benchutil::print_header(
       "Figure 19: throughput vs eNB-tag x tag-UE distance",
       "paper §4.3.3 (smart home, 10 dBm)");

@@ -17,8 +17,9 @@
 #include "bench_common.hpp"
 #include "traffic/occupancy_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lscatter;
+  benchutil::init_threads(argc, argv);
   benchutil::print_header(
       "Figures 23/24: mall, 3 systems vs distance",
       "paper §4.4.2/§4.4.3 (eNB/WiFi sender ~10 ft from tag, 10 dBm)");

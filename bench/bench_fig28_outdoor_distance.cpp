@@ -10,8 +10,9 @@
 #include "bench_common.hpp"
 #include "traffic/occupancy_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lscatter;
+  benchutil::init_threads(argc, argv);
   benchutil::print_header(
       "Figures 28/29: outdoor, 3 systems vs distance, 10 dBm",
       "paper §4.5.2/§4.5.3 (eNB/WiFi sender ~10 ft from tag)");

@@ -27,8 +27,9 @@ bool link_alive(double enb_tag_ft, double tag_ue_ft, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lscatter;
+  benchutil::init_threads(argc, argv);
   benchutil::print_header(
       "Figure 30: eNB-to-tag vs max tag-to-UE distance @ 40 dBm",
       "paper §4.5.4");

@@ -1,13 +1,13 @@
 #!/usr/bin/env bash
 # Regenerate the committed micro-benchmark reference reports under
-# bench/baselines/: BENCH_micro.json (bench_micro_rx) and
-# BENCH_micro_dsp.json (bench_micro_dsp). The baselines exist for
-# scripts/bench_gate.sh — which diffs metric names and quantiles, not
-# raw span dumps — so they are written with LSCATTER_OBS_SPANS=0 and
-# LSCATTER_OBS_BUCKETS=0 (no span events, no bucket arrays). Timings
-# vary by machine; the gate's schema-drift check is machine-independent,
-# the timing thresholds are only meaningful against a baseline from the
-# same machine.
+# bench/baselines/: BENCH_micro.json (bench_micro_rx), BENCH_micro_dsp
+# .json (bench_micro_dsp), and BENCH_micro_pool.json (bench_micro_pool).
+# The baselines exist for scripts/bench_gate.sh — which diffs metric
+# names and quantiles, not raw span dumps — so they are written with
+# LSCATTER_OBS_SPANS=0 and LSCATTER_OBS_BUCKETS=0 (no span events, no
+# bucket arrays). Timings vary by machine; the gate's schema-drift check
+# is machine-independent, the timing thresholds are only meaningful
+# against a baseline from the same machine.
 #
 # Usage: scripts/bench_baseline.sh [build-dir]   (default: build)
 
@@ -16,16 +16,23 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 
+benches=(bench_micro_rx bench_micro_dsp bench_micro_pool)
+
 cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)" \
-  --target bench_micro_rx bench_micro_dsp
+  --target "${benches[@]}"
 
 mkdir -p "$repo/bench/baselines"
-for bench in bench_micro_rx bench_micro_dsp; do
+for bench in "${benches[@]}"; do
   case "$bench" in
     bench_micro_rx) out="$repo/bench/baselines/BENCH_micro.json" ;;
     *) out="$repo/bench/baselines/BENCH_${bench#bench_}.json" ;;
   esac
+  bench_args=()
+  case "$bench" in
+    bench_micro_pool) bench_args=(--drops=4 --subframes=2) ;;
+    *) bench_args=(--benchmark_min_time=0.05) ;;
+  esac
   LSCATTER_OBS_JSON="$out" LSCATTER_OBS_SPANS=0 LSCATTER_OBS_BUCKETS=0 \
-    "$build/bench/$bench" --benchmark_min_time=0.05
+    "$build/bench/$bench" "${bench_args[@]}"
   echo "wrote $out"
 done

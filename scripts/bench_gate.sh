@@ -8,11 +8,18 @@
 # that is the mode scripts/check.sh and CI run, so committed baselines
 # from one machine never fail another machine on timing.
 #
+# A bench without a committed baseline yet (bench_micro_pool until
+# scripts/bench_baseline.sh regenerates) is schema-checked on its own:
+# the fresh report must parse as lscatter.obs/1 (`lscatter-obs
+# summarize`), but nothing is diffed.
+#
 # Usage: scripts/bench_gate.sh [--smoke] [--threshold PCT]
 #                               [--tail-threshold PCT] [build-dir]
 #   --smoke               schema-drift check only (no timing thresholds)
 #   --threshold PCT       allowed relative p50 growth (default 25)
 #   --tail-threshold PCT  allowed relative p90/p99 growth (default 150)
+# Env: BENCH_GATE_KEEP_DIR=<dir> keeps the fresh reports and Chrome
+# traces there instead of a temp dir — CI uploads it on failure.
 # Exits non-zero if any bench drifts or regresses.
 
 set -euo pipefail
@@ -40,32 +47,54 @@ while [[ $# -gt 0 ]]; do
   shift
 done
 
-cmake --build "$build" -j "$jobs" \
-  --target bench_micro_rx bench_micro_dsp lscatter-obs
+benches=(bench_micro_rx bench_micro_dsp bench_micro_pool)
 
-tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
+cmake --build "$build" -j "$jobs" --target "${benches[@]}" lscatter-obs
+
+if [[ -n "${BENCH_GATE_KEEP_DIR:-}" ]]; then
+  tmp="$BENCH_GATE_KEEP_DIR"
+  mkdir -p "$tmp"
+else
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+fi
 
 gate_args=(--threshold "$threshold" --tail-threshold "$tail_threshold")
 [[ "$smoke" == 1 ]] && gate_args+=(--schema-only)
 
 fail=0
-for bench in bench_micro_rx bench_micro_dsp; do
+for bench in "${benches[@]}"; do
   case "$bench" in
     bench_micro_rx) baseline="$repo/bench/baselines/BENCH_micro.json" ;;
     *) baseline="$repo/bench/baselines/BENCH_${bench#bench_}.json" ;;
   esac
-  if [[ ! -f "$baseline" ]]; then
-    echo "bench_gate: missing baseline $baseline" \
-         "(run scripts/bench_baseline.sh)" >&2
-    exit 2
-  fi
+
+  bench_args=()
+  case "$bench" in
+    bench_micro_pool) bench_args=(--drops=4 --subframes=2) ;;
+    *) bench_args=(--benchmark_min_time=0.05) ;;
+  esac
 
   fresh="$tmp/$bench.json"
   # Baselines carry metric names + quantiles only, so export the fresh
-  # run the same way (no span dump, no bucket arrays).
+  # run the same way (no span dump, no bucket arrays). The Chrome trace
+  # rides along for failure triage when the keep dir is set.
   LSCATTER_OBS_JSON="$fresh" LSCATTER_OBS_SPANS=0 LSCATTER_OBS_BUCKETS=0 \
-    "$build/bench/$bench" --benchmark_min_time=0.05 > /dev/null
+    LSCATTER_OBS_TRACE="$tmp/$bench.trace.json" \
+    "$build/bench/$bench" "${bench_args[@]}" > /dev/null
+
+  if [[ ! -f "$baseline" ]]; then
+    echo "== bench_gate: $bench has no committed baseline;" \
+         "schema-checking the fresh report only =="
+    if ! "$build/tools/lscatter-obs" summarize "$fresh" > /dev/null; then
+      echo "bench_gate: $bench fresh report is not valid lscatter.obs/1" >&2
+      fail=1
+    else
+      echo "   ok — regenerate baselines with scripts/bench_baseline.sh" \
+           "to start diffing"
+    fi
+    continue
+  fi
 
   echo "== bench_gate: $bench vs ${baseline#"$repo"/} =="
   if ! "$build/tools/lscatter-obs" diff "$baseline" "$fresh" \

@@ -3,9 +3,12 @@
 # first in the default configuration (plus the bench gate's schema-drift
 # smoke check, so an accidentally renamed/dropped metric fails here),
 # then rebuilt under AddressSanitizer + UndefinedBehaviorSanitizer
-# (-DLSCATTER_SANITIZE=address,undefined), and finally the span-sink
-# stress test alone under ThreadSanitizer (-DLSCATTER_SANITIZE=thread;
-# TSan and ASan cannot share a build).
+# (-DLSCATTER_SANITIZE=address,undefined), and finally the span-sink and
+# sim-pool stress tests alone under ThreadSanitizer
+# (-DLSCATTER_SANITIZE=thread; TSan and ASan cannot share a build).
+# ctest runs with --timeout 300 (a hung pool must fail, not wedge the
+# pipeline) and writes a JUnit XML (ctest-junit.xml in the build dir)
+# that CI uploads on failure.
 # After the default build it runs the static layer: tools/lscatter-lint
 # (project rules: unit suffixes, RNG discipline, float-in-DSP, include
 # hygiene) always, and clang-tidy when installed (the CI lint job installs
@@ -21,10 +24,13 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 run_sanitized=1
 [[ "${1:-}" == "--no-sanitize" ]] && run_sanitized=0
 
+ctest_args=(--output-on-failure -j "$jobs" --timeout 300
+            --output-junit ctest-junit.xml)
+
 echo "== tier-1: default build =="
 cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j "$jobs"
-ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+ctest --test-dir "$repo/build" "${ctest_args[@]}"
 
 echo "== tier-1: bench gate (schema-drift smoke) =="
 "$repo/scripts/bench_gate.sh" --smoke "$repo/build"
@@ -52,12 +58,14 @@ if [[ "$run_sanitized" == 1 ]]; then
   cmake -B "$repo/build-san" -S "$repo" \
     -DLSCATTER_SANITIZE=address,undefined
   cmake --build "$repo/build-san" -j "$jobs"
-  ctest --test-dir "$repo/build-san" --output-on-failure -j "$jobs"
+  ctest --test-dir "$repo/build-san" "${ctest_args[@]}"
 
-  echo "== tier-1: TSan span stress =="
+  echo "== tier-1: TSan span + sim-pool stress =="
   cmake -B "$repo/build-tsan" -S "$repo" -DLSCATTER_SANITIZE=thread
-  cmake --build "$repo/build-tsan" -j "$jobs" --target test_obs_stress
+  cmake --build "$repo/build-tsan" -j "$jobs" \
+    --target test_obs_stress test_core_pool_stress
   "$repo/build-tsan/tests/test_obs_stress"
+  "$repo/build-tsan/tests/test_core_pool_stress"
 fi
 
 echo "== check.sh: all green =="

@@ -63,6 +63,20 @@ struct LinkMetrics {
 
   LinkMetrics& operator+=(const LinkMetrics& other);
 
+  /// Exact equality, elapsed_s included bit-for-bit — what the sim
+  /// pool's serial-vs-parallel determinism tests assert.
+  friend bool operator==(const LinkMetrics& a, const LinkMetrics& b) {
+    return a.bits_sent == b.bits_sent && a.bit_errors == b.bit_errors &&
+           a.bits_delivered == b.bits_delivered &&
+           a.bits_crc_ok == b.bits_crc_ok &&
+           a.packets_sent == b.packets_sent &&
+           a.packets_detected == b.packets_detected &&
+           a.packets_ok == b.packets_ok && a.elapsed_s == b.elapsed_s;
+  }
+  friend bool operator!=(const LinkMetrics& a, const LinkMetrics& b) {
+    return !(a == b);
+  }
+
   std::string describe() const;
 };
 

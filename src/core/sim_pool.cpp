@@ -1,0 +1,199 @@
+#include "core/sim_pool.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "core/contracts.hpp"
+#include "dsp/rng.hpp"
+#include "obs/obs.hpp"
+
+namespace lscatter::core {
+namespace {
+
+// One finished drop parked in the reorder window: either metrics or the
+// exception that killed it (never both).
+struct Slot {
+  LinkMetrics metrics;
+  std::exception_ptr error;
+};
+
+// Shared pool state. A single mutex is deliberate: drops cost
+// milliseconds to seconds each, so claim/deliver contention is noise
+// next to the simulation work.
+struct PoolState {
+  std::mutex mutex;
+  std::condition_variable window_open;   // workers: window advanced
+  std::condition_variable result_ready;  // consumer: in-order slot landed
+  std::size_t next_claim = 0;            // next drop index to hand out
+  std::size_t next_emit = 0;             // next index the consumer wants
+  std::size_t window = 1;                // reorder-window capacity
+  std::size_t drops = 0;
+  std::map<std::size_t, Slot> ready;     // finished, awaiting emission
+  bool stop = false;                     // failure seen: drain and exit
+};
+
+LinkMetrics run_one_drop(const LinkConfig& base, std::size_t drop_index,
+                         std::size_t subframes) {
+  LSCATTER_OBS_SPAN("core.pool.drop");
+  LinkSimulator sim(config_for_drop(base, drop_index));
+  return sim.run(subframes);
+}
+
+void worker_loop(PoolState& state, const LinkConfig& base,
+                 std::size_t subframes) {
+  for (;;) {
+    std::size_t index = 0;
+    {
+      std::unique_lock<std::mutex> lock(state.mutex);
+      if (state.stop || state.next_claim >= state.drops) return;
+      index = state.next_claim++;
+      // Backpressure: never run more than `window` drops ahead of the
+      // consumer. Indices below ours are claimed (the cursor is
+      // contiguous), so the window is guaranteed to advance.
+      state.window_open.wait(lock, [&] {
+        return state.stop || index < state.next_emit + state.window;
+      });
+      if (state.stop) return;
+    }
+
+    Slot slot;
+    try {
+      slot.metrics = run_one_drop(base, index, subframes);
+      LSCATTER_OBS_COUNTER_INC("core.pool.drops_completed");
+    } catch (...) {
+      slot.error = std::current_exception();
+      LSCATTER_OBS_COUNTER_INC("core.pool.drops_failed");
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.ready.emplace(index, std::move(slot));
+      LSCATTER_OBS_GAUGE_MAX("core.pool.window_high_water",
+                             state.ready.size());
+    }
+    state.result_ready.notify_one();
+  }
+}
+
+void run_serial(const LinkConfig& base, std::size_t drops,
+                std::size_t subframes,
+                const std::function<void(const DropOutcome&)>& consume) {
+  for (std::size_t d = 0; d < drops; ++d) {
+    DropOutcome outcome;
+    outcome.drop_index = d;
+    outcome.metrics = run_one_drop(base, d, subframes);
+    LSCATTER_OBS_COUNTER_INC("core.pool.drops_completed");
+    consume(outcome);
+  }
+}
+
+}  // namespace
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("LSCATTER_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+LinkConfig config_for_drop(const LinkConfig& base, std::size_t drop_index) {
+  LinkConfig cfg = base;
+  cfg.seed = dsp::derive_seed(base.seed, drop_index);
+  cfg.enodeb.seed = dsp::derive_seed(cfg.seed, 1);
+  return cfg;
+}
+
+void for_each_drop(const LinkConfig& base, std::size_t drops,
+                   std::size_t subframes, const PoolOptions& options,
+                   const std::function<void(const DropOutcome&)>& consume) {
+  LSCATTER_EXPECT(static_cast<bool>(consume),
+                  "for_each_drop needs a consumer");
+  if (drops == 0) return;
+
+  std::size_t threads = resolve_threads(options.threads);
+  if (threads > drops) threads = drops;
+  LSCATTER_OBS_GAUGE_SET("core.pool.workers", threads);
+
+  if (threads <= 1) {
+    run_serial(base, drops, subframes, consume);
+    return;
+  }
+
+  PoolState state;
+  state.drops = drops;
+  state.window =
+      options.window > 0 ? options.window : std::max<std::size_t>(2 * threads, 8);
+
+  std::vector<std::thread> team;
+  team.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    team.emplace_back(
+        [&state, &base, subframes] { worker_loop(state, base, subframes); });
+  }
+
+  std::exception_ptr failure;
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    while (state.next_emit < drops) {
+      state.result_ready.wait(
+          lock, [&] { return state.ready.count(state.next_emit) != 0; });
+      auto node = state.ready.extract(state.next_emit);
+      DropOutcome outcome;
+      outcome.drop_index = state.next_emit;
+      ++state.next_emit;
+      state.window_open.notify_all();
+
+      Slot slot = std::move(node.mapped());
+      if (slot.error) {
+        failure = slot.error;
+        state.stop = true;
+        break;
+      }
+      outcome.metrics = slot.metrics;
+      lock.unlock();
+      try {
+        consume(outcome);
+      } catch (...) {
+        failure = std::current_exception();
+        lock.lock();
+        state.stop = true;
+        break;
+      }
+      lock.lock();
+    }
+    state.stop = state.stop || failure != nullptr;
+  }
+  state.window_open.notify_all();
+  for (auto& worker : team) worker.join();
+  if (failure) std::rethrow_exception(failure);
+}
+
+DropSweep run_drops_parallel(const LinkConfig& base, std::size_t drops,
+                             std::size_t subframes, std::size_t threads) {
+  DropSweep sweep;
+  sweep.throughputs_bps.reserve(drops);
+  PoolOptions options;
+  options.threads = threads;
+  for_each_drop(base, drops, subframes, options,
+                [&sweep](const DropOutcome& outcome) {
+                  sweep.total += outcome.metrics;
+                  sweep.throughputs_bps.push_back(
+                      outcome.metrics.throughput_bps());
+                });
+  LSCATTER_ENSURE(sweep.throughputs_bps.size() == drops,
+                  "every drop must deliver exactly once");
+  return sweep;
+}
+
+}  // namespace lscatter::core

@@ -1,0 +1,84 @@
+#pragma once
+// Parallel Monte-Carlo drop engine (DESIGN.md §9).
+//
+// Every figure bench and sweep pools N independent channel drops of the
+// same LinkConfig. Drops share nothing — each gets its own LinkSimulator
+// seeded by dsp::derive_seed(base_seed, drop_index) — so the sweep is
+// embarrassingly parallel. The pool fans the drop indices out across a
+// worker team while keeping the results *bit-identical to the serial
+// loop at any thread count*:
+//
+//   - the per-drop config is a pure function of (base config, index);
+//   - workers claim indices from a shared cursor but deliver finished
+//     results through a bounded reorder window, so the consumer always
+//     observes drops in index order — floating-point accumulation order
+//     is therefore independent of scheduling;
+//   - the reorder window doubles as backpressure: a worker that runs too
+//     far ahead of the consumer blocks until the window advances, so a
+//     million-drop sweep holds O(threads + window) results, not O(drops).
+//
+// threads <= 1 (or unknown hardware concurrency) degrades gracefully to
+// an inline serial loop over the same seed derivation and delivery
+// order. Observability: gauge `core.pool.workers`, counters
+// `core.pool.drops_completed` / `core.pool.drops_failed`, histogram
+// `core.pool.drop.seconds`, gauge `core.pool.window_high_water`; each
+// drop runs inside a `core.pool.drop` span whose SpanEvent thread_id is
+// the worker's dense thread ordinal.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/link_simulator.hpp"
+#include "core/metrics.hpp"
+
+namespace lscatter::core {
+
+struct PoolOptions {
+  /// Worker count. 0 = auto: LSCATTER_THREADS env var when set, else
+  /// std::thread::hardware_concurrency() (1 when unknown).
+  std::size_t threads = 0;
+
+  /// Reorder-window capacity (completed drops buffered ahead of the
+  /// consumer). 0 = auto: max(2 * threads, 8). Smaller windows bound
+  /// memory tighter at the cost of more worker stalls.
+  std::size_t window = 0;
+};
+
+/// Resolve a requested thread count per the PoolOptions::threads rules.
+/// Always returns >= 1.
+std::size_t resolve_threads(std::size_t requested);
+
+/// Per-drop config: `base` with seeds re-derived for `drop_index`
+/// (cfg.seed = derive_seed(base.seed, index); enodeb.seed derived from
+/// that). Exposed so tests and custom sweeps reproduce any single drop.
+LinkConfig config_for_drop(const LinkConfig& base, std::size_t drop_index);
+
+struct DropOutcome {
+  std::size_t drop_index = 0;
+  LinkMetrics metrics;
+};
+
+/// Run `drops` independent drops of `subframes` each and hand every
+/// outcome to `consume` strictly in drop-index order, on the calling
+/// thread. Exceptions from a worker (e.g. a contract violation in throw
+/// mode) or from `consume` stop the pool, join the workers, and
+/// propagate to the caller.
+void for_each_drop(const LinkConfig& base, std::size_t drops,
+                   std::size_t subframes, const PoolOptions& options,
+                   const std::function<void(const DropOutcome&)>& consume);
+
+/// Pooled result of a sweep: metrics summed in drop order plus the
+/// per-drop throughput samples (index order) for quantile summaries.
+struct DropSweep {
+  LinkMetrics total;
+  std::vector<double> throughputs_bps;
+};
+
+/// Convenience wrapper over for_each_drop; `threads` as PoolOptions.
+DropSweep run_drops_parallel(const LinkConfig& base, std::size_t drops,
+                             std::size_t subframes,
+                             std::size_t threads = 0);
+
+}  // namespace lscatter::core

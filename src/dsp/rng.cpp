@@ -5,6 +5,14 @@
 
 namespace lscatter::dsp {
 
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) {
+  // SplitMix64: advance by the golden gamma, then finalize (variant 13).
+  std::uint64_t z = base_seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 Rng::Rng(std::uint64_t seed, std::uint64_t stream)
     : state_(0), inc_((stream << 1u) | 1u) {
   next_u32();

@@ -14,6 +14,15 @@
 
 namespace lscatter::dsp {
 
+/// Derive the seed for drop `index` of a Monte-Carlo sweep rooted at
+/// `base_seed`. SplitMix64-style finalizer (Steele et al. 2014): the
+/// golden-gamma step decorrelates consecutive indices and the two
+/// xor-multiply rounds avalanche every input bit across the output, so
+/// distinct drops get statistically independent PCG32 streams. Pure
+/// function of (base_seed, index) — the foundation of the sim pool's
+/// bit-identical-at-any-thread-count guarantee (DESIGN.md §9).
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index);
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
