@@ -6,12 +6,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 
 #include "dsp/correlate.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/rng.hpp"
 #include "lte/enodeb.hpp"
+#include "lte/ofdm.hpp"
+#include "lte/resource_grid.hpp"
 #include "lte/ue_sync.hpp"
 #include "obs/report.hpp"
 
@@ -32,6 +35,31 @@ void BM_FftForward(benchmark::State& state) {
                           static_cast<int64_t>(n));
 }
 BENCHMARK(BM_FftForward)->Arg(128)->Arg(512)->Arg(1536)->Arg(2048);
+
+// The allocation-free path: in-place transform through a caller-owned
+// Workspace. The gap between this and BM_FftForward is the allocator +
+// conversion tax the _into APIs remove (DESIGN.md §10).
+void BM_FftForwardWorkspace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dsp::FftPlan plan(n);
+  dsp::FftPlan::Workspace ws = plan.make_workspace();
+  dsp::Rng rng(1);
+  dsp::cvec pristine(n);
+  for (auto& v : pristine) v = rng.complex_normal();
+  dsp::cvec x(n);
+  for (auto _ : state) {
+    // Refresh the buffer each iteration: transforming the transform's
+    // output over and over drives the magnitudes to inf and the float
+    // ops off the fast path.
+    std::copy(pristine.begin(), pristine.end(), x.begin());
+    plan.forward_inplace(x, ws);
+    benchmark::DoNotOptimize(x.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftForwardWorkspace)->Arg(512)->Arg(1536)->Arg(2048);
 
 void BM_EnodebSubframe(benchmark::State& state) {
   lte::Enodeb::Config cfg;
@@ -60,17 +88,64 @@ void BM_PssSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_PssSearch);
 
+// Naive vs FFT correlation on the same input. Arg is the pattern length;
+// 512 is the PSS-replica length at 5 MHz (the cell-search hot case), 128
+// matches the historical micro-bench. Signal length is one 5 MHz
+// subframe (7680 samples at 7.68 Msps).
 void BM_CrossCorrelate(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
   dsp::Rng rng(2);
-  dsp::cvec sig(8192);
-  dsp::cvec pat(128);
+  dsp::cvec sig(7680);
+  dsp::cvec pat(m);
   for (auto& v : sig) v = rng.complex_normal();
   for (auto& v : pat) v = rng.complex_normal();
   for (auto _ : state) {
     benchmark::DoNotOptimize(dsp::cross_correlate(sig, pat));
   }
 }
-BENCHMARK(BM_CrossCorrelate);
+BENCHMARK(BM_CrossCorrelate)->Arg(128)->Arg(512);
+
+void BM_FastCorrelate(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  dsp::Rng rng(2);
+  dsp::cvec sig(7680);
+  dsp::cvec pat(m);
+  dsp::cvec out(sig.size() - pat.size() + 1);
+  for (auto& v : sig) v = rng.complex_normal();
+  for (auto& v : pat) v = rng.complex_normal();
+  for (auto _ : state) {
+    dsp::fast_correlate_into(sig, pat, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_FastCorrelate)->Arg(128)->Arg(512);
+
+// One full subframe through the allocation-free OFDM path: grid ->
+// modulate_into -> demodulate_into. This is the per-drop inner loop of
+// every Monte-Carlo bench, and the headline number for the ≥2× round-trip
+// acceptance gate. 10 MHz numerology (K = 1024, 600 subcarriers).
+void BM_OfdmRoundTrip(benchmark::State& state) {
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz10;
+  lte::ResourceGrid grid(cell);
+  dsp::Rng rng(3);
+  for (std::size_t l = 0; l < grid.n_symbols(); ++l)
+    for (auto& re : grid.symbol(l)) re = rng.complex_normal();
+  lte::OfdmModulator mod(cell);
+  lte::OfdmDemodulator demod(cell);
+  dsp::cvec samples(cell.samples_per_subframe());
+  lte::ResourceGrid rx(cell);
+  for (auto _ : state) {
+    mod.modulate_into(grid, samples);
+    demod.demodulate_into(samples, rx);
+    benchmark::DoNotOptimize(rx.symbol(0).data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(samples.size()));
+}
+BENCHMARK(BM_OfdmRoundTrip);
 
 }  // namespace
 

@@ -60,12 +60,15 @@ if [[ "$run_sanitized" == 1 ]]; then
   cmake --build "$repo/build-san" -j "$jobs"
   ctest --test-dir "$repo/build-san" "${ctest_args[@]}"
 
-  echo "== tier-1: TSan span + sim-pool stress =="
+  echo "== tier-1: TSan span + sim-pool stress + shared FFT plan cache =="
   cmake -B "$repo/build-tsan" -S "$repo" -DLSCATTER_SANITIZE=thread
   cmake --build "$repo/build-tsan" -j "$jobs" \
-    --target test_obs_stress test_core_pool_stress
+    --target test_obs_stress test_core_pool_stress test_dsp_correlate
   "$repo/build-tsan/tests/test_obs_stress"
   "$repo/build-tsan/tests/test_core_pool_stress"
+  # test_dsp_correlate carries the 8-thread fast_correlate determinism
+  # test: concurrent readers of the shared_mutex FFT plan cache.
+  "$repo/build-tsan/tests/test_dsp_correlate"
 fi
 
 echo "== check.sh: all green =="

@@ -12,7 +12,42 @@ StreamingReceiver::StreamingReceiver(const Config& config)
       demodulator_(config.cell, config.schedule, config.search),
       samples_per_packet_(config.schedule.packet_subframes *
                           config.cell.samples_per_subframe()),
-      next_subframe_(config.first_subframe_index) {}
+      next_subframe_(config.first_subframe_index) {
+  if (config_.acquire_alignment) {
+    aligned_ = false;
+    searcher_.emplace(config_.cell);
+  }
+}
+
+bool StreamingReceiver::try_acquire() {
+  const std::size_t frame_len = config_.cell.samples_per_frame();
+  const std::size_t min_needed =
+      config_.acquire_min_samples != 0
+          ? config_.acquire_min_samples
+          : frame_len + config_.cell.fft_size();
+  if (buffered_samples() < min_needed) return false;
+
+  const std::span<const dsp::cf32> window(rx_buffer_.data() + consumed_,
+                                          buffered_samples());
+  const auto res = searcher_->search(window, config_.acquire_min_metric);
+  if (res) {
+    // frame_start is modulo one frame relative to the window start; drop
+    // everything before it so the next carved sample is subframe 0.
+    consumed_ += res->frame_start;
+    next_subframe_ = 0;
+    aligned_ = true;
+    LSCATTER_OBS_COUNTER_INC("core.stream.acquired");
+    return true;
+  }
+
+  // No PSS in this window. Keep only the most recent frame so the buffer
+  // stays bounded while we wait for a stronger signal.
+  LSCATTER_OBS_COUNTER_INC("core.stream.acquire_failed");
+  if (buffered_samples() > frame_len) {
+    consumed_ += buffered_samples() - frame_len;
+  }
+  return false;
+}
 
 std::vector<StreamingReceiver::PacketEvent> StreamingReceiver::feed(
     std::span<const dsp::cf32> rx, std::span<const dsp::cf32> ambient) {
@@ -37,7 +72,10 @@ std::vector<StreamingReceiver::PacketEvent> StreamingReceiver::feed(
                          buffered_hwm_);
 
   std::vector<PacketEvent> events;
-  while (buffered_samples() >= samples_per_packet_) {
+  // Fall through to the compaction below even when unaligned: a failed
+  // acquisition may have consumed (trimmed) old samples.
+  const bool ready = aligned_ || try_acquire();
+  while (ready && buffered_samples() >= samples_per_packet_) {
     const std::span<const dsp::cf32> prx(rx_buffer_.data() + consumed_,
                                          samples_per_packet_);
     const std::span<const dsp::cf32> pam(

@@ -17,9 +17,11 @@
 // The stream is assumed subframe-aligned at sample 0 (the UE's LTE sync
 // — CellSearcher — provides that alignment; see tests).
 
+#include <optional>
 #include <vector>
 
 #include "core/lscatter_rx.hpp"
+#include "lte/ue_sync.hpp"
 
 namespace lscatter::core {
 
@@ -31,8 +33,23 @@ class StreamingReceiver {
     OffsetSearch search;
 
     /// Subframe index of the first sample fed (frame phase from LTE
-    /// sync).
+    /// sync). Ignored when acquire_alignment is set.
     std::size_t first_subframe_index = 0;
+
+    /// When true, the receiver does NOT assume the stream is
+    /// subframe-aligned: it buffers samples and runs the PSS/SSS cell
+    /// search (FFT-based correlation, see lte::CellSearcher) until a
+    /// frame boundary is found, drops everything before that boundary,
+    /// and only then starts carving packets. The first carved subframe
+    /// is subframe 0 of the acquired frame.
+    bool acquire_alignment = false;
+
+    /// Minimum buffered samples before attempting acquisition
+    /// (0 = one frame plus one FFT size).
+    std::size_t acquire_min_samples = 0;
+
+    /// Minimum normalized PSS metric to accept alignment.
+    float acquire_min_metric = 0.5f;
   };
 
   struct PacketEvent {
@@ -63,9 +80,19 @@ class StreamingReceiver {
   std::size_t packets_demodulated() const { return packets_; }
   std::size_t next_subframe_index() const { return next_subframe_; }
 
+  /// False only while acquire_alignment is set and no frame boundary has
+  /// been found yet.
+  bool aligned() const { return aligned_; }
+
  private:
+  /// Attempt PSS/SSS acquisition on the buffered stream. Returns true
+  /// once the stream is aligned (consumed_ advanced to the frame start).
+  bool try_acquire();
+
   Config config_;
   LscatterDemodulator demodulator_;
+  std::optional<lte::CellSearcher> searcher_;
+  bool aligned_ = true;
   std::size_t samples_per_packet_;
   std::size_t next_subframe_;
   std::size_t packets_ = 0;

@@ -1,64 +1,235 @@
 #include "dsp/correlate.hpp"
 
-#include <cassert>
+#include <algorithm>
 #include <cmath>
+
+#include "core/contracts.hpp"
+#include "dsp/fft.hpp"
 
 namespace lscatter::dsp {
 
+namespace {
+
+/// Below these sizes two FFT passes per block cost more than the direct
+/// kernel; fast_correlate falls back.
+constexpr std::size_t kFastMinPattern = 32;
+constexpr std::size_t kFastMinLags = 32;
+
+/// Per-thread overlap-save scratch: the frequency-domain kernel and one
+/// segment buffer, grown to the largest FFT length seen and then reused
+/// (zero heap allocations after warm-up).
+struct CorrScratch {
+  std::vector<cf64> kernel_fft;
+  std::vector<cf64> seg;
+};
+
+CorrScratch& corr_scratch() {
+  thread_local CorrScratch s;
+  return s;
+}
+
+}  // namespace
+
 cvec cross_correlate(std::span<const cf32> signal,
                      std::span<const cf32> pattern) {
-  assert(!pattern.empty());
-  assert(signal.size() >= pattern.size());
-  const std::size_t lags = signal.size() - pattern.size() + 1;
-  cvec out(lags);
-  for (std::size_t d = 0; d < lags; ++d) {
-    cf64 acc{};
-    for (std::size_t n = 0; n < pattern.size(); ++n) {
-      const cf32 s = signal[d + n];
-      const cf32 p = pattern[n];
-      acc += cf64{s.real(), s.imag()} * cf64{p.real(), -p.imag()};
-    }
-    out[d] = cf32{static_cast<float>(acc.real()),
-                  static_cast<float>(acc.imag())};
-  }
+  LSCATTER_EXPECT(!pattern.empty(), "correlation needs a non-empty pattern");
+  LSCATTER_EXPECT(signal.size() >= pattern.size(),
+                  "signal must be at least as long as the pattern");
+  cvec out(signal.size() - pattern.size() + 1);
+  cross_correlate_into(signal, pattern, out);
   return out;
 }
 
-fvec normalized_correlation(std::span<const cf32> signal,
-                            std::span<const cf32> pattern) {
-  assert(!pattern.empty());
-  assert(signal.size() >= pattern.size());
+void cross_correlate_into(std::span<const cf32> signal,
+                          std::span<const cf32> pattern,
+                          std::span<cf32> out) {
+  LSCATTER_EXPECT(!pattern.empty(), "correlation needs a non-empty pattern");
+  LSCATTER_EXPECT(signal.size() >= pattern.size(),
+                  "signal must be at least as long as the pattern");
   const std::size_t lags = signal.size() - pattern.size() + 1;
-  const double pat_energy = energy(pattern);
-  fvec out(lags);
-
-  // Running window energy for the denominator.
-  double win_energy = 0.0;
-  for (std::size_t n = 0; n < pattern.size(); ++n)
-    win_energy += std::norm(signal[n]);
-
+  LSCATTER_EXPECT(out.size() == lags,
+                  "output must hold exactly signal - pattern + 1 lags");
+  // s * conj(p), accumulated in double and spelled out in real
+  // arithmetic (std::complex operator* would call the __muldc3 rescue
+  // path per sample; inputs are finite by construction).
   for (std::size_t d = 0; d < lags; ++d) {
-    cf64 acc{};
+    double ar = 0.0;
+    double ai = 0.0;
     for (std::size_t n = 0; n < pattern.size(); ++n) {
       const cf32 s = signal[d + n];
       const cf32 p = pattern[n];
-      acc += cf64{s.real(), s.imag()} * cf64{p.real(), -p.imag()};
+      const double sr = s.real(), si = s.imag();
+      const double pr = p.real(), pi = p.imag();
+      ar += sr * pr + si * pi;
+      ai += si * pr - sr * pi;
     }
+    out[d] = cf32{static_cast<float>(ar), static_cast<float>(ai)};
+  }
+}
+
+cvec fast_correlate(std::span<const cf32> signal,
+                    std::span<const cf32> pattern) {
+  LSCATTER_EXPECT(!pattern.empty(), "correlation needs a non-empty pattern");
+  LSCATTER_EXPECT(signal.size() >= pattern.size(),
+                  "signal must be at least as long as the pattern");
+  cvec out(signal.size() - pattern.size() + 1);
+  fast_correlate_into(signal, pattern, out);
+  return out;
+}
+
+void fast_correlate_into(std::span<const cf32> signal,
+                         std::span<const cf32> pattern,
+                         std::span<cf32> out) {
+  LSCATTER_EXPECT(!pattern.empty(), "correlation needs a non-empty pattern");
+  LSCATTER_EXPECT(signal.size() >= pattern.size(),
+                  "signal must be at least as long as the pattern");
+  const std::size_t m = pattern.size();
+  const std::size_t n = signal.size();
+  const std::size_t lags = n - m + 1;
+  LSCATTER_EXPECT(out.size() == lags,
+                  "output must hold exactly signal - pattern + 1 lags");
+  if (m < kFastMinPattern || lags < kFastMinLags) {
+    cross_correlate_into(signal, pattern, out);
+    return;
+  }
+
+  // Overlap-save. Correlation is convolution with the conjugated,
+  // time-reversed pattern: with kernel k[j] = conj(p[m-1-j]),
+  //   out[d] = (signal * k)[d + m - 1].
+  // Each length-f circular block yields f - m + 1 valid linear outputs
+  // (indices m-1 .. f-1). f = 4·m balances transform cost against the
+  // fraction of each block that is usable.
+  const std::size_t f = next_power_of_two(4 * m);
+  const std::size_t step = f - m + 1;
+  const FftPlan& plan = cached_fft_plan(f);
+
+  CorrScratch& scratch = corr_scratch();
+  if (scratch.kernel_fft.size() < f) scratch.kernel_fft.resize(f);
+  if (scratch.seg.size() < f) scratch.seg.resize(f);
+  const std::span<cf64> kfft(scratch.kernel_fft.data(), f);
+  const std::span<cf64> seg(scratch.seg.data(), f);
+
+  for (std::size_t j = 0; j < m; ++j) {
+    const cf32 p = pattern[m - 1 - j];
+    kfft[j] = cf64{p.real(), -p.imag()};
+  }
+  std::fill(kfft.begin() + static_cast<std::ptrdiff_t>(m), kfft.end(),
+            cf64{});
+  plan.forward_inplace64(kfft);
+
+  for (std::size_t d0 = 0; d0 < lags; d0 += step) {
+    // Block input covers signal[d0 .. d0+f-1] (zero-padded past the end);
+    // valid outputs land at seg[m-1 .. m-1+count-1] after the inverse.
+    const std::size_t avail = n - d0;  // d0 < lags <= n
+    const std::size_t fill = f < avail ? f : avail;
+    for (std::size_t i = 0; i < fill; ++i) {
+      const cf32 s = signal[d0 + i];
+      seg[i] = cf64{s.real(), s.imag()};
+    }
+    std::fill(seg.begin() + static_cast<std::ptrdiff_t>(fill), seg.end(),
+              cf64{});
+    plan.forward_inplace64(seg);
+    // Spectral product spelled out in real arithmetic — std::complex
+    // operator* would emit a __muldc3 call per bin.
+    for (std::size_t i = 0; i < f; ++i) {
+      const cf64 x = seg[i];
+      const cf64 h = kfft[i];
+      seg[i] = cf64{x.real() * h.real() - x.imag() * h.imag(),
+                    x.real() * h.imag() + x.imag() * h.real()};
+    }
+    plan.inverse_inplace64(seg);
+    const std::size_t count = step < lags - d0 ? step : lags - d0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const cf64 v = seg[m - 1 + i];
+      out[d0 + i] = cf32{static_cast<float>(v.real()),
+                         static_cast<float>(v.imag())};
+    }
+  }
+}
+
+namespace {
+
+/// Shared denominator walk for the normalized variants: running window
+/// energy against the fixed pattern energy.
+template <typename Numerator>
+void normalized_from_numerator(std::span<const cf32> signal,
+                               std::span<const cf32> pattern,
+                               std::span<float> out, Numerator&& num_at) {
+  const std::size_t lags = signal.size() - pattern.size() + 1;
+  const double pat_energy = energy(pattern);
+  double win_energy = 0.0;
+  for (std::size_t n = 0; n < pattern.size(); ++n)
+    win_energy += std::norm(signal[n]);
+  for (std::size_t d = 0; d < lags; ++d) {
     const double denom = std::sqrt(win_energy * pat_energy);
-    out[d] = denom > 0.0
-                 ? static_cast<float>(std::abs(acc) / denom)
-                 : 0.0f;
+    out[d] = denom > 0.0 ? static_cast<float>(num_at(d) / denom) : 0.0f;
     if (d + 1 < lags) {
       win_energy -= std::norm(signal[d]);
       win_energy += std::norm(signal[d + pattern.size()]);
       if (win_energy < 0.0) win_energy = 0.0;
     }
   }
+}
+
+}  // namespace
+
+fvec normalized_correlation(std::span<const cf32> signal,
+                            std::span<const cf32> pattern) {
+  LSCATTER_EXPECT(!pattern.empty(), "correlation needs a non-empty pattern");
+  LSCATTER_EXPECT(signal.size() >= pattern.size(),
+                  "signal must be at least as long as the pattern");
+  const std::size_t lags = signal.size() - pattern.size() + 1;
+  fvec out(lags);
+  normalized_from_numerator(signal, pattern, out, [&](std::size_t d) {
+    double ar = 0.0;
+    double ai = 0.0;
+    for (std::size_t n = 0; n < pattern.size(); ++n) {
+      const cf32 s = signal[d + n];
+      const cf32 p = pattern[n];
+      const double sr = s.real(), si = s.imag();
+      const double pr = p.real(), pi = p.imag();
+      ar += sr * pr + si * pi;
+      ai += si * pr - sr * pi;
+    }
+    return std::hypot(ar, ai);
+  });
   return out;
 }
 
+fvec fast_normalized_correlation(std::span<const cf32> signal,
+                                 std::span<const cf32> pattern) {
+  LSCATTER_EXPECT(!pattern.empty(), "correlation needs a non-empty pattern");
+  LSCATTER_EXPECT(signal.size() >= pattern.size(),
+                  "signal must be at least as long as the pattern");
+  fvec out(signal.size() - pattern.size() + 1);
+  fast_normalized_correlation_into(signal, pattern, out);
+  return out;
+}
+
+void fast_normalized_correlation_into(std::span<const cf32> signal,
+                                      std::span<const cf32> pattern,
+                                      std::span<float> out) {
+  LSCATTER_EXPECT(!pattern.empty(), "correlation needs a non-empty pattern");
+  LSCATTER_EXPECT(signal.size() >= pattern.size(),
+                  "signal must be at least as long as the pattern");
+  const std::size_t lags = signal.size() - pattern.size() + 1;
+  LSCATTER_EXPECT(out.size() == lags,
+                  "output must hold exactly signal - pattern + 1 lags");
+  // Numerator via the FFT kernel into per-thread scratch, magnitudes
+  // normalized by the same running-energy denominator as the direct
+  // variant.
+  thread_local cvec numerator;
+  if (numerator.size() < lags) numerator.resize(lags);
+  fast_correlate_into(signal, pattern,
+                      std::span<cf32>(numerator.data(), lags));
+  normalized_from_numerator(
+      signal, pattern, out, [&](std::size_t d) {
+        return static_cast<double>(std::abs(numerator[d]));
+      });
+}
+
 Peak peak_abs(std::span<const cf32> x) {
-  assert(!x.empty());
+  LSCATTER_EXPECT(!x.empty(), "peak search needs a non-empty input");
   Peak best{0, std::abs(x[0])};
   for (std::size_t i = 1; i < x.size(); ++i) {
     const float v = std::abs(x[i]);
@@ -68,7 +239,7 @@ Peak peak_abs(std::span<const cf32> x) {
 }
 
 Peak peak(std::span<const float> x) {
-  assert(!x.empty());
+  LSCATTER_EXPECT(!x.empty(), "peak search needs a non-empty input");
   Peak best{0, x[0]};
   for (std::size_t i = 1; i < x.size(); ++i) {
     if (x[i] > best.value) best = Peak{i, x[i]};

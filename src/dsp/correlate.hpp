@@ -1,6 +1,20 @@
 #pragma once
 // Cross-correlation utilities, used by LTE cell search (PSS correlation),
 // backscatter preamble alignment, and the baseline WiFi detector.
+//
+// Two kernels compute the same thing:
+//   cross_correlate       direct O(N·M) — exact reference, fine for short
+//                         patterns / windows.
+//   fast_correlate        overlap-save FFT correlation, O(N log M) — the
+//                         hot-path kernel for PSS-length patterns. Matches
+//                         the direct kernel to ~1e-5 relative (both
+//                         accumulate in double and round once to cf32);
+//                         falls back to the direct kernel when the
+//                         pattern or lag count is too small to amortize
+//                         the transforms.
+// The `_into` variants write into a caller-provided buffer of exactly
+// signal.size() - pattern.size() + 1 lags and do not heap-allocate after
+// the calling thread's scratch has warmed up (DESIGN.md §10).
 
 #include <cstddef>
 
@@ -10,15 +24,34 @@ namespace lscatter::dsp {
 
 /// Sliding cross-correlation of `signal` against `pattern`:
 ///   out[d] = sum_n signal[d + n] * conj(pattern[n])
-/// for d in [0, signal.size() - pattern.size()]. Uses the direct method
-/// (the searches in this codebase have short patterns / windows).
+/// for d in [0, signal.size() - pattern.size()]. Direct method.
 cvec cross_correlate(std::span<const cf32> signal,
                      std::span<const cf32> pattern);
+void cross_correlate_into(std::span<const cf32> signal,
+                          std::span<const cf32> pattern,
+                          std::span<cf32> out);
+
+/// FFT-based (overlap-save) cross-correlation: identical contract and
+/// output layout as cross_correlate, O(N log M) instead of O(N·M).
+cvec fast_correlate(std::span<const cf32> signal,
+                    std::span<const cf32> pattern);
+void fast_correlate_into(std::span<const cf32> signal,
+                         std::span<const cf32> pattern,
+                         std::span<cf32> out);
 
 /// Normalized correlation magnitude in [0, 1]:
 ///   |corr[d]| / (||signal window|| * ||pattern||)
+/// Direct numerator.
 fvec normalized_correlation(std::span<const cf32> signal,
                             std::span<const cf32> pattern);
+
+/// Same metric with the numerator computed by fast_correlate — what the
+/// PSS searches use.
+fvec fast_normalized_correlation(std::span<const cf32> signal,
+                                 std::span<const cf32> pattern);
+void fast_normalized_correlation_into(std::span<const cf32> signal,
+                                      std::span<const cf32> pattern,
+                                      std::span<float> out);
 
 struct Peak {
   std::size_t index = 0;

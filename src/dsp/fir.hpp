@@ -22,14 +22,14 @@ fvec design_lowpass(double cutoff_norm, std::size_t ntaps);
 
 /// Complex bandpass centered at `center_norm` (fraction of fs, may be
 /// negative), bandwidth `bw_norm`. Built by heterodyning a lowpass.
-cvec design_bandpass(double center_norm, double bw_norm, std::size_t ntaps);
+cvec design_bandpass(double center_norm, double bw_norm, std::size_t ntaps);  // lint-ok: into — taps built once at setup, never per-sample
 
 /// Convolve `x` with real taps, "same" length output (group delay
 /// compensated for symmetric taps).
-cvec filter_same(std::span<const cf32> x, std::span<const float> taps);
+cvec filter_same(std::span<const cf32> x, std::span<const float> taps);  // lint-ok: into — analog-frontend model path, not a per-symbol loop
 
 /// Convolve `x` with complex taps, "same" length output.
-cvec filter_same(std::span<const cf32> x, std::span<const cf32> taps);
+cvec filter_same(std::span<const cf32> x, std::span<const cf32> taps);  // lint-ok: into — analog-frontend model path, not a per-symbol loop
 
 /// Streaming one-pole IIR: y[n] = a*y[n-1] + (1-a)*x[n]. The building block
 /// of the tag's RC circuit simulation.

@@ -46,10 +46,10 @@ double rms(std::span<const cf32> x);
 void normalize_power(std::span<cf32> x, double target_power = 1.0);
 
 /// Element-wise a .* b (sizes must match).
-cvec multiply(std::span<const cf32> a, std::span<const cf32> b);
+cvec multiply(std::span<const cf32> a, std::span<const cf32> b);  // lint-ok: into — setup/test convenience, hot paths multiply in place
 
 /// Element-wise a .* conj(b) (sizes must match).
-cvec multiply_conj(std::span<const cf32> a, std::span<const cf32> b);
+cvec multiply_conj(std::span<const cf32> a, std::span<const cf32> b);  // lint-ok: into — setup/test convenience, hot paths multiply in place
 
 /// In-place scalar multiply.
 void scale(std::span<cf32> x, float s);

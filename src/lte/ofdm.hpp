@@ -6,6 +6,12 @@
 // subframe start. Scaling: IFFT output is multiplied by sqrt(K)/sqrt(N_sc)
 // so a unit-power grid yields roughly unit-power time samples, and
 // demodulation divides it back — forward+inverse is exact.
+//
+// The `_into` overloads are the hot path (DESIGN.md §10): they write into
+// caller-provided buffers, run the IFFT directly in the output span, and
+// insert the CP with a single copy — zero heap allocations after the
+// calling thread's FFT scratch has warmed up. The allocating signatures
+// delegate to them.
 
 #include "dsp/fft.hpp"
 #include "lte/cell_config.hpp"
@@ -20,13 +26,24 @@ class OfdmModulator {
   /// Modulate a full subframe (14 symbols).
   dsp::cvec modulate(const ResourceGrid& grid) const;
 
+  /// Same, into a caller buffer of exactly samples_per_subframe().
+  void modulate_into(const ResourceGrid& grid,
+                     std::span<dsp::cf32> out) const;
+
   /// Modulate a single symbol (CP included). `l` in [0, 13].
   dsp::cvec modulate_symbol(const ResourceGrid& grid, std::size_t l) const;
+
+  /// Same, into a caller buffer of exactly cp_length(l) + fft_size().
+  void modulate_symbol_into(const ResourceGrid& grid, std::size_t l,
+                            std::span<dsp::cf32> out) const;
 
  private:
   CellConfig cfg_;
   dsp::FftPlan plan_;
   float scale_;
+  /// Post-IFFT gain applied per sample: scale_ · K / sqrt(K). Hoisted to
+  /// construction time so the per-symbol loop is a bare multiply.
+  float time_scale_;
 };
 
 class OfdmDemodulator {
@@ -37,10 +54,18 @@ class OfdmDemodulator {
   /// least samples_per_subframe() samples starting at the subframe boundary.
   ResourceGrid demodulate(std::span<const dsp::cf32> samples) const;
 
+  /// Same, into a caller-owned grid built for the same CellConfig.
+  void demodulate_into(std::span<const dsp::cf32> samples,
+                       ResourceGrid& grid) const;
+
   /// FFT of the useful part of symbol `l` (0..13) of a subframe that starts
   /// at `samples[0]`, returned in subcarrier order.
   dsp::cvec demodulate_symbol(std::span<const dsp::cf32> samples,
                               std::size_t l) const;
+
+  /// Same, into a caller buffer of exactly n_subcarriers() elements.
+  void demodulate_symbol_into(std::span<const dsp::cf32> samples,
+                              std::size_t l, std::span<dsp::cf32> out) const;
 
   /// Sample offset of the *useful part* (after CP) of subframe symbol `l`.
   std::size_t useful_start(std::size_t l) const;
@@ -49,6 +74,9 @@ class OfdmDemodulator {
   CellConfig cfg_;
   dsp::FftPlan plan_;
   float scale_;
+  /// Post-FFT gain applied per bin: 1 / (scale_ · sqrt(K)), hoisted to
+  /// construction time.
+  float bin_scale_;
 };
 
 /// Sample offset of subframe symbol `l` (0..13) counted from the subframe

@@ -18,7 +18,7 @@ const char* to_string(Modulation m);
 
 /// Map bits (one per byte, values 0/1) to symbols. bits.size() must be a
 /// multiple of bits_per_symbol(m).
-dsp::cvec qam_modulate(std::span<const std::uint8_t> bits, Modulation m);
+dsp::cvec qam_modulate(std::span<const std::uint8_t> bits, Modulation m);  // lint-ok: into — per-subframe, output feeds the grid mapper
 
 /// Hard-decision demap back to bits.
 std::vector<std::uint8_t> qam_demodulate(std::span<const dsp::cf32> symbols,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/contracts.hpp"
+
 namespace lscatter::lte {
 
 using dsp::cf32;
@@ -73,9 +75,17 @@ std::size_t ResourceGrid::subcarrier_to_bin(std::size_t subcarrier) const {
 
 cvec ResourceGrid::to_fft_bins(std::size_t l) const {
   cvec bins(fft_size_, cf32{});
+  to_fft_bins_into(l, bins);
+  return bins;
+}
+
+void ResourceGrid::to_fft_bins_into(std::size_t l,
+                                    std::span<cf32> bins) const {
+  LSCATTER_EXPECT(bins.size() == fft_size_,
+                  "bin buffer must hold exactly fft_size elements");
+  std::fill(bins.begin(), bins.end(), cf32{});
   const auto sym = symbol(l);
   for (std::size_t k = 0; k < n_sc_; ++k) bins[subcarrier_to_bin(k)] = sym[k];
-  return bins;
 }
 
 void ResourceGrid::from_fft_bins(std::size_t l,

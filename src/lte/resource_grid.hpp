@@ -57,6 +57,10 @@ class ResourceGrid {
   /// length K.
   dsp::cvec to_fft_bins(std::size_t l) const;
 
+  /// Same, into a caller buffer of exactly fft_size elements (zeroed and
+  /// filled in place; no allocation).
+  void to_fft_bins_into(std::size_t l, std::span<dsp::cf32> bins) const;
+
   /// Gather from FFT output back into subcarrier order.
   void from_fft_bins(std::size_t l, std::span<const dsp::cf32> bins);
 

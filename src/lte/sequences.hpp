@@ -15,16 +15,17 @@ namespace lscatter::lte {
 /// Zadoff-Chu sequence of length `n` with root `u` (gcd(u, n) == 1):
 ///   zc[k] = exp(-j pi u k (k+1) / n)        (odd n)
 /// Constant amplitude, zero cyclic autocorrelation.
-dsp::cvec zadoff_chu(std::uint32_t root, std::size_t n);
+dsp::cvec zadoff_chu(std::uint32_t root, std::size_t n);  // lint-ok: into — sequences are generated once and cached by callers
 
 /// PSS frequency-domain sequence d_u(n), n = 0..61 (TS 36.211 §6.11.1.1).
 /// N_ID2 in {0,1,2} selects root u in {25, 29, 34}. The length-63 ZC is
 /// punctured at its middle element (which would land on DC).
-dsp::cvec pss_sequence(std::uint8_t n_id_2);
+dsp::cvec pss_sequence(std::uint8_t n_id_2);  // lint-ok: into — generated once and cached by callers
 
 /// SSS frequency-domain sequence d(0..61) (TS 36.211 §6.11.2.1).
 /// Differs between subframe 0 and subframe 5 — that difference is what
 /// lets a UE find the frame boundary.
+// lint-ok: into — generated once and cached by callers
 dsp::cvec sss_sequence(std::uint16_t n_id_1, std::uint8_t n_id_2,
                        bool subframe5);
 
@@ -38,7 +39,7 @@ std::vector<std::uint8_t> gold_sequence(std::uint32_t c_init,
 ///   c_init = 2^10 (7(ns+1) + l + 1)(2 N_cell + 1) + 2 N_cell + 1
 /// (normal CP). `ns` is the slot number 0..19, `l` the symbol in the slot.
 /// Returns 2*kMaxRb values; the cell maps a centered window of them.
-dsp::cvec crs_values(std::uint16_t cell_id, std::size_t ns, std::size_t l);
+dsp::cvec crs_values(std::uint16_t cell_id, std::size_t ns, std::size_t l);  // lint-ok: into — per-symbol values memoized by signal_map
 
 inline constexpr std::size_t kMaxRb = 110;  // N_RB^max,DL
 

@@ -44,6 +44,7 @@ std::vector<std::size_t> crs_subcarriers(const CellConfig& cfg,
 
 /// CRS values (in subcarrier order matching crs_subcarriers) for subframe
 /// symbol `l` of subframe `subframe_index`.
+// lint-ok: into — memoized per (subframe, symbol) by the callers
 dsp::cvec crs_values_for_symbol(const CellConfig& cfg,
                                 std::size_t subframe_index, std::size_t l);
 

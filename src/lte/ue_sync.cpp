@@ -53,8 +53,10 @@ std::optional<CellSearchResult> CellSearcher::search(
 
   CellSearchResult best;
   for (std::uint8_t id2 = 0; id2 < 3; ++id2) {
+    // Overlap-save FFT correlation: the replica is FFT-size long, so the
+    // direct kernel's O(N·K) dominated the whole search (DESIGN.md §10).
     const auto metric =
-        dsp::normalized_correlation(samples, replicas_[id2]);
+        dsp::fast_normalized_correlation(samples, replicas_[id2]);
     const auto pk = dsp::peak(metric);
     if (pk.value > best.pss_metric) {
       best.pss_metric = pk.value;

@@ -4,11 +4,39 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "dsp/fft.hpp"
 #include "obs/trace_export.hpp"
 
 namespace lscatter::obs {
 
 namespace {
+
+// dsp sits below obs and cannot register metrics itself, so the FFT plan
+// cache and workspace accounting live as plain atomics in dsp and get
+// published here at report time. Counters are cumulative per process;
+// deltas since the last publish keep repeated report writes (multi-phase
+// benches) from double-counting. Processes that never ran an FFT publish
+// nothing, so reports without DSP activity keep their metric set stable.
+void publish_fft_stats() {
+  const dsp::FftRuntimeStats stats = dsp::fft_runtime_stats();
+  if (stats.plan_cache_hits == 0 && stats.plan_cache_misses == 0 &&
+      stats.workspace_bytes_peak == 0) {
+    return;
+  }
+  static std::uint64_t published_hits = 0;
+  static std::uint64_t published_misses = 0;
+  Registry& reg = Registry::instance();
+  reg.counter("dsp.fft.plan_cache_hits")
+      .add(stats.plan_cache_hits - published_hits);
+  reg.counter("dsp.fft.plan_cache_misses")
+      .add(stats.plan_cache_misses - published_misses);
+  published_hits = stats.plan_cache_hits;
+  published_misses = stats.plan_cache_misses;
+  reg.gauge("dsp.fft.workspace_bytes")
+      .set(static_cast<double>(stats.workspace_bytes));
+  reg.gauge("dsp.fft.workspace_bytes_peak")
+      .set(static_cast<double>(stats.workspace_bytes_peak));
+}
 
 json::Value histogram_json(const Histogram& h, bool include_buckets) {
   json::Value v;
@@ -183,6 +211,7 @@ std::optional<std::string> write_report_from_env(
   const char* env = std::getenv("LSCATTER_OBS_JSON");
   std::string path = env != nullptr ? env : default_path;
   if (path.empty()) return std::nullopt;
+  publish_fft_stats();
   const json::Value report =
       build_report(report_name, report_options_from_env(), extra);
   if (!write_json_file(report, path)) {

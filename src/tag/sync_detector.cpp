@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/contracts.hpp"
+#include "dsp/correlate.hpp"
 #include "obs/obs.hpp"
 
 namespace lscatter::tag {
@@ -71,6 +73,53 @@ void SyncDetector::feed_edges(std::span<const double> edge_times) {
       LSCATTER_OBS_COUNTER_INC("tag.sync.false_triggers");
     }
   }
+}
+
+std::size_t SyncDetector::feed_iq(std::span<const dsp::cf32> samples,
+                                  std::span<const dsp::cf32> pss_replica,
+                                  double t0_s, dsp::Hz sample_rate,
+                                  float threshold) {
+  LSCATTER_EXPECT(!pss_replica.empty(), "PSS replica must be non-empty");
+  LSCATTER_EXPECT(sample_rate.value() > 0.0,
+                  "sample rate must be positive");
+  if (samples.size() < pss_replica.size()) return 0;
+  LSCATTER_OBS_TIMER("tag.sync.feed_iq");
+
+  // Per-thread metric buffer: feed_iq is called every few subframes in the
+  // streaming receiver, so the correlation output must not churn the heap.
+  thread_local std::vector<float> metric;
+  const std::size_t lags = samples.size() - pss_replica.size() + 1;
+  if (metric.size() < lags) metric.resize(lags);
+  const std::span<float> m(metric.data(), lags);
+  dsp::fast_normalized_correlation_into(samples, pss_replica, m);
+
+  // Greedy peak picking: take local maxima above threshold, suppressing
+  // anything within the refractory window of a stronger earlier pick.
+  // Scanning left-to-right with the refractory check matches what the
+  // comparator hardware does (first crossing wins, then dead time).
+  const double dt = 1.0 / sample_rate.value();
+  const auto refractory_lags =
+      static_cast<std::size_t>(config_.refractory_s / dt);
+  thread_local std::vector<double> edges;
+  edges.clear();
+  std::size_t last_pick = 0;
+  bool have_pick = false;
+  for (std::size_t i = 0; i < lags; ++i) {
+    if (m[i] < threshold) continue;
+    const bool rising = i == 0 || m[i - 1] <= m[i];
+    const bool falling = i + 1 >= lags || m[i + 1] < m[i];
+    if (!(rising && falling)) continue;  // not a local max
+    if (have_pick && i - last_pick < refractory_lags) {
+      LSCATTER_OBS_COUNTER_INC("tag.sync.iq_peaks_refractory");
+      continue;
+    }
+    edges.push_back(t0_s + static_cast<double>(i) * dt);
+    last_pick = i;
+    have_pick = true;
+  }
+  LSCATTER_OBS_COUNTER_ADD("tag.sync.iq_detections", edges.size());
+  feed_edges(edges);
+  return edges.size();
 }
 
 std::optional<double> SyncDetector::last_pss_estimate_s() const {

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+#include "dsp/units.hpp"
 
 namespace lscatter::tag {
 
@@ -51,6 +53,19 @@ class SyncDetector {
   /// Feed comparator rising-edge times (absolute, seconds, increasing
   /// across calls).
   void feed_edges(std::span<const double> edge_times);
+
+  /// Digital-tag variant of the analog comparator path: correlate raw IQ
+  /// against a time-domain PSS replica (dsp::fast_correlate, overlap-save
+  /// FFT) and feed every normalized peak above `threshold` through the
+  /// same cadence tracker as feed_edges. `t0_s` is the absolute time of
+  /// samples[0]. Peaks within the configured refractory window of a
+  /// stronger one are suppressed before they reach the tracker. Returns
+  /// the number of detections fed. Unlike the comparator, correlation has
+  /// no analog latency — callers of this path should run with
+  /// nominal_latency_s = 0.
+  std::size_t feed_iq(std::span<const dsp::cf32> samples,
+                      std::span<const dsp::cf32> pss_replica, double t0_s,
+                      dsp::Hz sample_rate, float threshold = 0.5f);
 
   bool locked() const { return locked_; }
 

@@ -162,6 +162,77 @@ TEST(StreamingReceiver, HonorsNonZeroStartingSubframe) {
   }
 }
 
+TEST(StreamingReceiver, AcquiresAlignmentFromUnalignedStream) {
+  // The stream joins mid-subframe (a receiver with no prior LTE sync).
+  // With acquire_alignment set, the receiver runs the FFT-based PSS/SSS
+  // cell search on its buffer, drops everything before the found frame
+  // boundary, and then recovers exactly the packets of the following
+  // frames.
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz1_4;
+  tag::TagScheduleConfig sched;
+  const Stream s = make_stream(cell, sched, 25, 123);
+
+  // Cut 4321 samples into subframe 0: the first complete frame in what
+  // the receiver sees starts at original subframe 10.
+  const std::size_t cut = 4321;
+  const std::span<const cf32> rx =
+      std::span<const cf32>(s.rx).subspan(cut);
+  const std::span<const cf32> ambient =
+      std::span<const cf32>(s.ambient).subspan(cut);
+
+  core::StreamingReceiver::Config cfg;
+  cfg.cell = cell;
+  cfg.schedule = sched;
+  cfg.acquire_alignment = true;
+  core::StreamingReceiver ue(cfg);
+  EXPECT_FALSE(ue.aligned());
+
+  // Feed in awkward chunks so acquisition happens mid-stream, not on a
+  // single full-buffer call.
+  std::vector<core::StreamingReceiver::PacketEvent> events;
+  std::size_t pos = 0;
+  while (pos < rx.size()) {
+    const std::size_t n = std::min<std::size_t>(30000, rx.size() - pos);
+    auto out = ue.feed(rx.subspan(pos, n), ambient.subspan(pos, n));
+    for (auto& e : out) events.push_back(std::move(e));
+    pos += n;
+  }
+  EXPECT_TRUE(ue.aligned());
+
+  // Subframes 10..24 remain after acquisition; 19 is a listening slot,
+  // so 14 packets, which line up with payloads[9..22] (payload 9 is the
+  // first data subframe at or after original subframe 10).
+  ASSERT_EQ(events.size(), 14u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    ASSERT_TRUE(events[i].result.preamble_found) << i;
+    ASSERT_TRUE(events[i].result.payload.has_value()) << i;
+    EXPECT_EQ(*events[i].result.payload, s.payloads[9 + i]) << i;
+  }
+}
+
+TEST(StreamingReceiver, AcquisitionKeepsBufferBoundedWithoutPss) {
+  // Noise only: acquisition never succeeds, and the buffer must stay
+  // bounded (the receiver keeps at most one frame while waiting).
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz1_4;
+  core::StreamingReceiver::Config cfg;
+  cfg.cell = cell;
+  cfg.acquire_alignment = true;
+  core::StreamingReceiver ue(cfg);
+
+  dsp::Rng rng(7);
+  cvec noise(cell.samples_per_frame() * 3);
+  for (auto& v : noise) v = rng.complex_normal(0.01);
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto events = ue.feed(noise, noise);
+    EXPECT_TRUE(events.empty());
+  }
+  EXPECT_FALSE(ue.aligned());
+  EXPECT_LE(ue.buffered_samples(),
+            cell.samples_per_frame() + cell.samples_per_subframe());
+}
+
 TEST(StreamingReceiver, EmptyFeedIsANoOp) {
   core::StreamingReceiver::Config cfg;
   cfg.cell.bandwidth = lte::Bandwidth::kMHz1_4;

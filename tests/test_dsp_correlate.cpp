@@ -1,15 +1,37 @@
-// Correlation utilities used by cell search and preamble alignment.
+// Correlation utilities used by cell search and preamble alignment:
+// the direct O(N·M) kernel, the overlap-save FFT kernel, and their
+// equivalence (the FFT kernel is the hot path; the direct kernel is the
+// reference it must match).
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "dsp/correlate.hpp"
 #include "dsp/rng.hpp"
+#include "lte/cell_config.hpp"
+#include "lte/ue_sync.hpp"
 
 namespace {
 
 using namespace lscatter::dsp;
+
+// Largest |fast - naive| relative to the largest naive magnitude. Both
+// kernels accumulate in double and round once to cf32, so they agree to
+// well under the 1e-4 acceptance tolerance.
+float max_relative_error(const cvec& naive, const cvec& fast) {
+  EXPECT_EQ(naive.size(), fast.size());
+  float ref = 0.0f;
+  for (const cf32 v : naive) ref = std::max(ref, std::abs(v));
+  EXPECT_GT(ref, 0.0f);
+  float err = 0.0f;
+  for (std::size_t i = 0; i < naive.size(); ++i) {
+    err = std::max(err, std::abs(naive[i] - fast[i]));
+  }
+  return err / ref;
+}
 
 TEST(Correlate, FindsPatternAtKnownLag) {
   Rng rng(3);
@@ -52,6 +74,121 @@ TEST(Correlate, NoiseOnlyMetricStaysLow) {
   for (auto& v : noise) v = rng.complex_normal();
   const fvec m = normalized_correlation(noise, pattern);
   EXPECT_LT(peak(m).value, 0.35f);  // ~1/sqrt(128) plus fluctuation
+}
+
+TEST(Correlate, FastMatchesNaiveOnRandomInput) {
+  // Spans the direct-fallback region (tiny pattern / few lags) and the
+  // genuine overlap-save region, including non-round sizes that exercise
+  // the final partial block.
+  struct Case {
+    std::size_t signal, pattern;
+  };
+  for (const Case c : {Case{64, 8}, Case{100, 33}, Case{1000, 64},
+                       Case{4096, 128}, Case{7680, 512}, Case{5000, 512},
+                       Case{777, 700}}) {
+    Rng rng(c.signal + c.pattern);
+    cvec sig(c.signal);
+    cvec pat(c.pattern);
+    for (auto& v : sig) v = rng.complex_normal();
+    for (auto& v : pat) v = rng.complex_normal();
+    const cvec naive = cross_correlate(sig, pat);
+    const cvec fast = fast_correlate(sig, pat);
+    EXPECT_LE(max_relative_error(naive, fast), 1e-4f)
+        << "signal=" << c.signal << " pattern=" << c.pattern;
+  }
+}
+
+TEST(Correlate, FastMatchesNaiveOnPssReplica) {
+  // The production input: a PSS Zadoff-Chu replica correlated against an
+  // LTE-bandwidth sample stream. ZC sequences have constant amplitude
+  // and quadratic phase — a structured input that would expose any
+  // chirp/twiddle bookkeeping error the random case averages out.
+  lscatter::lte::CellConfig cell;
+  cell.bandwidth = lscatter::lte::Bandwidth::kMHz5;
+  const lscatter::lte::CellSearcher searcher(cell);
+  for (std::uint8_t id2 = 0; id2 < 3; ++id2) {
+    const cvec& replica = searcher.pss_replica(id2);
+    Rng rng(40 + id2);
+    cvec sig(cell.samples_per_subframe());
+    for (auto& v : sig) v = rng.complex_normal(0.1);
+    // Bury the replica at a known offset so the comparison covers a
+    // realistic detection, not just noise.
+    const std::size_t lag = 1234;
+    for (std::size_t i = 0; i < replica.size(); ++i) sig[lag + i] += replica[i];
+    const cvec naive = cross_correlate(sig, replica);
+    const cvec fast = fast_correlate(sig, replica);
+    EXPECT_LE(max_relative_error(naive, fast), 1e-4f) << "id2=" << int(id2);
+    EXPECT_EQ(peak_abs(fast).index, lag);
+  }
+}
+
+TEST(Correlate, FastNormalizedMatchesDirectNormalized) {
+  Rng rng(11);
+  cvec pat(96);
+  for (auto& v : pat) v = rng.complex_normal();
+  cvec sig(2048);
+  for (auto& v : sig) v = rng.complex_normal(0.05);
+  for (std::size_t i = 0; i < pat.size(); ++i) sig[500 + i] += pat[i];
+  const fvec direct = normalized_correlation(sig, pat);
+  const fvec fast = fast_normalized_correlation(sig, pat);
+  ASSERT_EQ(direct.size(), fast.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], fast[i], 1e-4f) << "lag " << i;
+  }
+  EXPECT_EQ(peak(fast).index, 500u);
+}
+
+TEST(Correlate, IntoVariantsMatchAllocatingVariants) {
+  Rng rng(13);
+  cvec sig(3000);
+  cvec pat(256);
+  for (auto& v : sig) v = rng.complex_normal();
+  for (auto& v : pat) v = rng.complex_normal();
+  const std::size_t lags = sig.size() - pat.size() + 1;
+
+  cvec out(lags);
+  fast_correlate_into(sig, pat, out);
+  const cvec ref = fast_correlate(sig, pat);
+  for (std::size_t i = 0; i < lags; ++i) {
+    EXPECT_EQ(out[i], ref[i]) << "lag " << i;  // same code path: bit-equal
+  }
+
+  fvec nout(lags);
+  fast_normalized_correlation_into(sig, pat, nout);
+  const fvec nref = fast_normalized_correlation(sig, pat);
+  for (std::size_t i = 0; i < lags; ++i) {
+    EXPECT_EQ(nout[i], nref[i]) << "lag " << i;
+  }
+}
+
+// TSan-lane test: the fast kernel shares the process-wide FFT plan cache
+// across threads; each thread has its own scratch, so concurrent searches
+// must race-free and return results identical to a serial run.
+TEST(Correlate, FastCorrelateIsThreadSafeAndDeterministic) {
+  Rng rng(17);
+  cvec sig(4096);
+  cvec pat(512);
+  for (auto& v : sig) v = rng.complex_normal();
+  for (auto& v : pat) v = rng.complex_normal();
+  const cvec expected = fast_correlate(sig, pat);
+
+  constexpr int kThreads = 8;
+  constexpr int kReps = 4;
+  std::vector<cvec> results(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int r = 0; r < kReps; ++r) results[t] = fast_correlate(sig, pat);
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(results[t].size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(results[t][i], expected[i]) << "thread " << t << " lag " << i;
+    }
+  }
 }
 
 TEST(Correlate, PeakAbsOnSingleElement) {

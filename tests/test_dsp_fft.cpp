@@ -122,4 +122,102 @@ TEST(Fft, OneShotHelpersUseCachedPlans) {
   EXPECT_LT(max_error(x, y), 1e-4);
 }
 
+TEST(Fft, CachedPlanStatsCountHitsAndMisses) {
+  const auto before = lscatter::dsp::fft_runtime_stats();
+  // An odd size nothing else in the test binary asks for: first call is a
+  // miss, every later call a hit.
+  const std::size_t n = 4099;
+  lscatter::dsp::cached_fft_plan(n);
+  lscatter::dsp::cached_fft_plan(n);
+  lscatter::dsp::cached_fft_plan(n);
+  const auto after = lscatter::dsp::fft_runtime_stats();
+  EXPECT_EQ(after.plan_cache_misses, before.plan_cache_misses + 1);
+  EXPECT_GE(after.plan_cache_hits, before.plan_cache_hits + 2);
+}
+
+// The workspace transforms must be deterministic: the same input through
+// the same plan gives bit-identical output no matter which Workspace is
+// used, how often it has been used, or what sizes it served before. The
+// sim_pool serial-vs-parallel bit-identity guarantee rests on this.
+class FftWorkspace : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftWorkspace, RepeatedCallsAreBitIdentical) {
+  const std::size_t n = GetParam();
+  FftPlan plan(n);
+  Rng rng(n + 17);
+  cvec x(n);
+  for (auto& v : x) v = rng.complex_normal();
+
+  FftPlan::Workspace ws = plan.make_workspace();
+  cvec first(x);
+  plan.forward_inplace(first, ws);
+  for (int rep = 0; rep < 3; ++rep) {
+    cvec again(x);
+    plan.forward_inplace(again, ws);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(again[i], first[i]) << "n=" << n << " rep=" << rep
+                                    << " i=" << i;
+    }
+  }
+
+  // The thread-local-scratch overload and the allocating overload go
+  // through the same kernel: also bit-identical.
+  cvec tls(x);
+  plan.forward_inplace(tls);
+  const cvec alloc = plan.forward(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(tls[i], first[i]) << "i=" << i;
+    ASSERT_EQ(alloc[i], first[i]) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowTwoAndBluestein, FftWorkspace,
+                         ::testing::Values(128, 512, 1536, 2048, 3000));
+
+TEST(Fft, OneWorkspaceServesMixedSizesBitIdentically) {
+  // One workspace bounced between Bluestein and power-of-two plans of
+  // different lengths: growth and buffer reuse must not leak state
+  // between transforms. Reference outputs come from fresh workspaces.
+  const std::size_t sizes[] = {1536, 128, 3000, 2048, 1536, 512};
+  FftPlan::Workspace shared;
+  bool shared_initialized = false;
+  for (const std::size_t n : sizes) {
+    FftPlan plan(n);
+    if (!shared_initialized) {
+      shared = plan.make_workspace();
+      shared_initialized = true;
+    }
+    Rng rng(n + 29);
+    cvec x(n);
+    for (auto& v : x) v = rng.complex_normal();
+
+    cvec via_shared(x);
+    plan.forward_inplace(via_shared, shared);
+    FftPlan::Workspace fresh = plan.make_workspace();
+    cvec via_fresh(x);
+    plan.forward_inplace(via_fresh, fresh);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(via_shared[i], via_fresh[i]) << "n=" << n << " i=" << i;
+    }
+
+    cvec inv_shared(via_shared);
+    plan.inverse_inplace(inv_shared, shared);
+    EXPECT_LT(max_error(x, inv_shared), 1e-4) << "n=" << n;
+  }
+}
+
+TEST(Fft, WorkspaceBytesAreAccountedAndReleased) {
+  const auto before = lscatter::dsp::fft_runtime_stats();
+  {
+    FftPlan plan(1536);  // Bluestein: needs both the a and u buffers
+    FftPlan::Workspace ws = plan.make_workspace();
+    EXPECT_GT(ws.bytes(), 0u);
+    const auto during = lscatter::dsp::fft_runtime_stats();
+    EXPECT_GE(during.workspace_bytes, before.workspace_bytes + ws.bytes());
+    EXPECT_GE(during.workspace_bytes_peak, during.workspace_bytes);
+  }
+  const auto after = lscatter::dsp::fft_runtime_stats();
+  EXPECT_EQ(after.workspace_bytes, before.workspace_bytes);
+}
+
 }  // namespace

@@ -1,0 +1,127 @@
+// Hot-path memory discipline (DESIGN.md §10): after warm-up, the in-place
+// FFT transforms, the FFT correlator, and the in-place OFDM path must not
+// touch the heap. Verified by counting every global operator new — the
+// hooks below forward to malloc/free, so they compose with ASan's
+// interceptors and the test runs in the sanitizer lanes too.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "dsp/correlate.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/rng.hpp"
+#include "lte/ofdm.hpp"
+#include "lte/resource_grid.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace lscatter;
+using dsp::cf32;
+using dsp::cvec;
+
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+TEST(FftAlloc, ForwardInplaceIsAllocationFreeAfterWarmup) {
+  for (const std::size_t n : {std::size_t{512}, std::size_t{1536},
+                              std::size_t{2048}}) {
+    dsp::FftPlan plan(n);
+    dsp::Rng rng(n);
+    cvec pristine(n);
+    for (auto& v : pristine) v = rng.complex_normal();
+    cvec x(n);
+
+    dsp::FftPlan::Workspace ws = plan.make_workspace();
+    // Warm-up: caller workspace is pre-sized by make_workspace(), the
+    // thread-local scratch grows on first use.
+    x = pristine;
+    plan.forward_inplace(x, ws);
+    x = pristine;
+    plan.forward_inplace(x);
+
+    const std::uint64_t before = allocation_count();
+    for (int rep = 0; rep < 10; ++rep) {
+      std::copy(pristine.begin(), pristine.end(), x.begin());
+      plan.forward_inplace(x, ws);
+      plan.inverse_inplace(x, ws);
+      plan.forward_inplace(x);
+      plan.inverse_inplace(x);
+    }
+    const std::uint64_t after = allocation_count();
+    EXPECT_EQ(after, before) << "n=" << n;
+  }
+}
+
+TEST(FftAlloc, FastCorrelateIntoIsAllocationFreeAfterWarmup) {
+  dsp::Rng rng(23);
+  cvec sig(7680);
+  cvec pat(512);
+  for (auto& v : sig) v = rng.complex_normal();
+  for (auto& v : pat) v = rng.complex_normal();
+  cvec out(sig.size() - pat.size() + 1);
+  std::vector<float> nout(out.size());
+
+  dsp::fast_correlate_into(sig, pat, out);  // warm the thread scratch
+  dsp::fast_normalized_correlation_into(sig, pat, nout);
+
+  const std::uint64_t before = allocation_count();
+  for (int rep = 0; rep < 5; ++rep) {
+    dsp::fast_correlate_into(sig, pat, out);
+    dsp::fast_normalized_correlation_into(sig, pat, nout);
+  }
+  EXPECT_EQ(allocation_count(), before);
+}
+
+TEST(FftAlloc, OfdmIntoPathIsAllocationFreeAfterWarmup) {
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz10;
+  lte::ResourceGrid grid(cell);
+  dsp::Rng rng(31);
+  for (std::size_t l = 0; l < grid.n_symbols(); ++l)
+    for (auto& re : grid.symbol(l)) re = rng.complex_normal();
+  const lte::OfdmModulator mod(cell);
+  const lte::OfdmDemodulator demod(cell);
+  cvec samples(cell.samples_per_subframe());
+  lte::ResourceGrid rx(cell);
+
+  // Warm-up pass registers the obs call-site metrics and grows the
+  // per-thread FFT + demod scratch.
+  mod.modulate_into(grid, samples);
+  demod.demodulate_into(samples, rx);
+
+  const std::uint64_t before = allocation_count();
+  for (int rep = 0; rep < 5; ++rep) {
+    mod.modulate_into(grid, samples);
+    demod.demodulate_into(samples, rx);
+  }
+  EXPECT_EQ(allocation_count(), before);
+}
+
+}  // namespace

@@ -3,10 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "channel/awgn.hpp"
+#include "dsp/rng.hpp"
 #include "lte/enodeb.hpp"
 #include "lte/ofdm.hpp"
 #include "lte/signal_map.hpp"
+#include "lte/ue_sync.hpp"
 #include "tag/analog_frontend.hpp"
 #include "tag/sync_detector.hpp"
 
@@ -134,6 +138,59 @@ TEST(SyncDetector, RefractoryRejectsChatter) {
   tag::SyncDetector det({});
   det.feed_edges(std::vector<double>{0.010, 0.0101, 0.0102, 0.015});
   EXPECT_TRUE(det.locked());
+}
+
+TEST(SyncDetector, FeedIqLocksOnBuriedPssReplicas) {
+  // Digital-tag path: raw IQ in, FFT-based PSS correlation, then the same
+  // cadence tracker as the comparator edges. Three replicas at the 5 ms
+  // cadence buried in noise must lock the detector with a sample-accurate
+  // estimate (no analog latency, so nominal_latency_s = 0).
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz5;
+  const lte::CellSearcher searcher(cell);
+  const dsp::cvec& replica = searcher.pss_replica(1);
+
+  const double fs = cell.sample_rate_hz();
+  const auto period_samples =
+      static_cast<std::size_t>(std::lround(5e-3 * fs));
+  const std::size_t first = 2000;
+  dsp::Rng rng(51);
+  dsp::cvec iq(first + 2 * period_samples + replica.size() + 500);
+  for (auto& v : iq) v = rng.complex_normal(0.05);
+  for (std::size_t p = 0; p < 3; ++p) {
+    const std::size_t off = first + p * period_samples;
+    for (std::size_t i = 0; i < replica.size(); ++i) iq[off + i] += replica[i];
+  }
+
+  tag::SyncDetectorConfig cfg;
+  cfg.nominal_latency_s = 0.0;
+  tag::SyncDetector det(cfg);
+  const double t0 = 1.0;
+  const std::size_t n_detected =
+      det.feed_iq(iq, replica, t0, dsp::Hz(fs), 0.5f);
+  EXPECT_EQ(n_detected, 3u);
+  EXPECT_TRUE(det.locked());
+  ASSERT_TRUE(det.last_pss_estimate_s().has_value());
+  const double expected =
+      t0 + static_cast<double>(first + 2 * period_samples) / fs;
+  EXPECT_NEAR(*det.last_pss_estimate_s(), expected, 1.5 / fs);
+}
+
+TEST(SyncDetector, FeedIqIgnoresNoiseOnlyInput) {
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz5;
+  const lte::CellSearcher searcher(cell);
+  const dsp::cvec& replica = searcher.pss_replica(0);
+  dsp::Rng rng(52);
+  dsp::cvec iq(20000);
+  for (auto& v : iq) v = rng.complex_normal();
+  tag::SyncDetectorConfig cfg;
+  cfg.nominal_latency_s = 0.0;
+  tag::SyncDetector det(cfg);
+  EXPECT_EQ(det.feed_iq(iq, replica, 0.0,
+                        dsp::Hz(cell.sample_rate_hz()), 0.5f),
+            0u);
+  EXPECT_FALSE(det.locked());
 }
 
 TEST(StatisticalSync, DriftAccumulatesWithClockPpm) {

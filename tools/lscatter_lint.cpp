@@ -12,6 +12,10 @@
 //              accumulate in double, cast to float at the boundary.
 //   include    headers start with #pragma once; no <bits/...> includes;
 //              a .cpp's first include is its own header.
+//   into       a cvec-returning function in a src/dsp or src/lte header
+//              must have an allocation-free `<name>_into` counterpart
+//              (DESIGN.md §10) — hot-path callers need a way to reuse
+//              buffers. One-shot helpers carry an inline waiver.
 //
 // A finding can be waived on its line with: // lint-ok: <rule>
 //
@@ -196,6 +200,50 @@ void check_includes(const fs::path& file,
   }
 }
 
+// --- rule: into ----------------------------------------------------------
+// `cvec foo(...)` declared in a src/dsp or src/lte header needs a
+// `foo_into` (or `foo_inplace`) counterpart somewhere in the same header
+// so hot loops can avoid the per-call allocation. Scoped to declarations,
+// not member-initializer lists: the regex keys on the return-type shape.
+const std::regex kCvecReturningFn(
+    R"(^\s*(?:(?:virtual|static|inline|constexpr|\[\[nodiscard\]\])\s+)*(?:dsp::)?cvec\s+([A-Za-z_][A-Za-z0-9_]*)\s*\()");
+
+void check_into(const fs::path& file,
+                const std::vector<std::string>& lines) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    // Declarations often wrap; accept the waiver on the line itself or on
+    // a comment line directly above it.
+    if (waived(lines[i], "into") ||
+        (i > 0 && waived(lines[i - 1], "into"))) {
+      continue;
+    }
+    const std::string code = code_only(lines[i]);
+    std::smatch m;
+    if (!std::regex_search(code, m, kCvecReturningFn)) continue;
+    const std::string name = m[1].str();
+    if (name.size() >= 5 && name.rfind("_into") == name.size() - 5) {
+      continue;  // already the _into variant itself
+    }
+    const std::string into = name + "_into";
+    const std::string inplace = name + "_inplace";
+    bool has_counterpart = false;
+    for (const std::string& l : lines) {
+      if (l.find(into) != std::string::npos ||
+          l.find(inplace) != std::string::npos) {
+        has_counterpart = true;
+        break;
+      }
+    }
+    if (!has_counterpart) {
+      report(file, i + 1, "into",
+             "'" + name +
+                 "' returns cvec with no '" + into +
+                 "' counterpart; add one for buffer reuse (DESIGN.md §10) "
+                 "or waive with // lint-ok: into");
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,6 +273,10 @@ int main(int argc, char** argv) {
     check_rng(f, lines);
     check_float_dsp(f, lines);
     check_includes(f, lines, rel);
+    if (f.extension() == ".hpp" &&
+        (is_under(f, "dsp") || is_under(f, "lte"))) {
+      check_into(f, lines);
+    }
   }
 
   // RNG discipline also matters in tests/ and bench/ (reproducibility),
