@@ -9,6 +9,8 @@
 // wall-clock knob: `--threads=N` on any figure bench, else the
 // LSCATTER_THREADS env var, else hardware concurrency.
 
+#include <ctime>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +24,7 @@
 #include "dsp/stats.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
+#include "obs/run_registry.hpp"
 
 namespace lscatter::benchutil {
 
@@ -31,13 +34,34 @@ inline std::size_t& bench_threads() {
   return threads;
 }
 
-/// Parse `--threads=N` (the only flag the figure benches take) and print
-/// the resolved worker count so runs are self-describing.
+/// Run-registry destination set by `--registry=PATH`; empty = only the
+/// `LSCATTER_OBS_REGISTRY` env var can enable recording.
+inline std::string& bench_registry_flag() {
+  static std::string path;
+  return path;
+}
+
+/// True when this run should append to the run registry: either the
+/// `--registry=` flag or the `LSCATTER_OBS_REGISTRY` env var is set.
+inline bool bench_registry_enabled() {
+  if (!bench_registry_flag().empty()) return true;
+  const char* env = std::getenv("LSCATTER_OBS_REGISTRY");
+  return env != nullptr && env[0] != '\0';
+}
+
+/// Parse `--threads=N` and `--registry[=PATH]` (the flags every figure
+/// bench takes) and print the resolved worker count so runs are
+/// self-describing.
 inline void init_threads(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       const long v = std::strtol(argv[i] + 10, nullptr, 10);
       if (v > 0) bench_threads() = static_cast<std::size_t>(v);
+    } else if (std::strncmp(argv[i], "--registry=", 11) == 0 &&
+               argv[i][11] != '\0') {
+      bench_registry_flag() = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--registry") == 0) {
+      bench_registry_flag() = obs::kDefaultRegistryPath;
     }
   }
   std::printf("threads=%zu (results are thread-count independent)\n",
@@ -102,6 +126,10 @@ class BenchReport {
 
   obs::json::Object& params() { return extra_["params"].make_object(); }
 
+  /// Whole `extra` payload, for attachments beyond rows/params (e.g. a
+  /// SnapshotSeries dump under `extra.snapshot`).
+  obs::json::Value& extra() { return extra_; }
+
   /// Append a row; fill in the returned object.
   obs::json::Object& add_row() {
     obs::json::Array& rows = extra_["rows"].as_array();
@@ -124,16 +152,50 @@ class BenchReport {
     return row;
   }
 
-  /// Write now (idempotent; the destructor is a no-op afterwards).
+  /// Write now (idempotent; the destructor is a no-op afterwards). When
+  /// a run registry is configured (`--registry=` flag or
+  /// `LSCATTER_OBS_REGISTRY`), the same report — compacted — is also
+  /// appended there with provenance.
   void write() {
     if (written_) return;
     written_ = true;
     const auto path =
         obs::write_report_from_env(name_, default_path_, &extra_);
     if (path) std::printf("\nJSON report: %s\n", path->c_str());
+    if (bench_registry_enabled()) record_to_registry();
   }
 
  private:
+  void record_to_registry() {
+    const std::string registry =
+        obs::registry_path_from_env(bench_registry_flag());
+    obs::RunRecord rec;
+    rec.report = obs::compact_report(
+        obs::build_report(name_, obs::report_options_from_env(), &extra_));
+    rec.provenance.bench = name_;
+    // Git state is the driver's business (scripts/bench_gate.sh exports
+    // it); a bench binary must not shell out.
+    if (const char* sha = std::getenv("LSCATTER_GIT_SHA")) {
+      rec.provenance.git_sha = sha;
+    }
+    if (const char* dirty = std::getenv("LSCATTER_GIT_DIRTY")) {
+      rec.provenance.dirty = !(dirty[0] == '0' && dirty[1] == '\0');
+    }
+    rec.provenance.config_hash = obs::config_hash(extra_["params"]);
+    rec.provenance.hostname = obs::local_hostname();
+    rec.provenance.threads = core::resolve_threads(bench_threads());
+    // Caller-side wall-clock stamp: the obs library itself never reads
+    // clocks (DESIGN.md §11); the bench binary is the caller here.
+    rec.provenance.unix_time_s = static_cast<double>(std::time(nullptr));
+    std::string error;
+    if (obs::append_record(registry, rec, &error)) {
+      std::printf("registry: appended %s to %s\n", name_.c_str(),
+                  registry.c_str());
+    } else {
+      std::fprintf(stderr, "registry: %s\n", error.c_str());
+    }
+  }
+
   std::string name_;
   std::string default_path_;
   obs::json::Value extra_;

@@ -9,11 +9,13 @@
 
 #include "baselines/day_study.hpp"
 #include "bench_common.hpp"
+#include "obs/snapshot.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lscatter;
   benchutil::print_header("Figures 16a/16b/17: smart home, 24 hours",
                           "paper §4.3.1");
+  benchutil::init_threads(argc, argv);
 
   baselines::DayStudyConfig cfg;
   cfg.scene = core::Scene::kSmartHome;
@@ -22,6 +24,21 @@ int main() {
   std::printf("seed=%llu, %zu samples/hour\n\n",
               static_cast<unsigned long long>(cfg.seed),
               cfg.samples_per_hour);
+
+  benchutil::BenchReport report("bench_fig16_smarthome_day",
+                                "BENCH_fig16.json");
+  report.params()["seed"] = static_cast<std::uint64_t>(cfg.seed);
+  report.params()["samples_per_hour"] =
+      static_cast<std::uint64_t>(cfg.samples_per_hour);
+
+  // Decode latency over the replayed day: one sample per measurement
+  // run, tagged with the simulated time of day (DESIGN.md §11).
+  obs::SnapshotSeries series({.capacity = 256, .every = 1});
+  series.add_histogram_quantile("core.demod.packet.seconds", 0.50);
+  series.add_histogram_quantile("core.demod.packet.seconds", 0.99);
+  series.add_counter("core.demod.crc_ok");
+  series.add_counter("core.link.subframes");
+  cfg.snapshot = &series;
 
   const auto results = baselines::run_day_study(cfg);
 
@@ -57,5 +74,18 @@ int main() {
               "LScatter %.2f Mbps (paper 13.63 Mbps)\n",
               wifi_avg / 1e3, ls_avg / 1e6);
   std::printf("ratio: %.0fx (paper: 368x)\n", ls_avg / wifi_avg);
+
+  for (const auto& r : results) {
+    obs::json::Object& row = report.add_row();
+    row["hour"] = static_cast<std::uint64_t>(r.hour);
+    row["wifi_median_bps"] = r.wifi_backscatter_bps.median;
+    row["lscatter_median_bps"] = r.lscatter_bps.median;
+    row["wifi_occupancy"] = r.wifi_occupancy_mean;
+    row["lte_occupancy"] = r.lte_occupancy_mean;
+  }
+  report.extra()["snapshot"] = series.to_json();
+  std::printf("snapshot series: %llu sample(s), %zu channel(s)\n",
+              static_cast<unsigned long long>(series.total_samples()),
+              series.channel_count());
   return 0;
 }

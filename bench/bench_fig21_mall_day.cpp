@@ -8,11 +8,13 @@
 
 #include "baselines/day_study.hpp"
 #include "bench_common.hpp"
+#include "obs/snapshot.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lscatter;
   benchutil::print_header("Figures 21a/21b/22: shopping mall, 10am-9pm",
                           "paper §4.4.1");
+  benchutil::init_threads(argc, argv);
 
   baselines::DayStudyConfig cfg;
   cfg.scene = core::Scene::kMall;
@@ -23,6 +25,20 @@ int main() {
   std::printf("seed=%llu, %zu samples/hour, tag geometry %.0f/%.0f ft\n\n",
               static_cast<unsigned long long>(cfg.seed),
               cfg.samples_per_hour, 3.0, 3.0);
+
+  benchutil::BenchReport report("bench_fig21_mall_day", "BENCH_fig21.json");
+  report.params()["seed"] = static_cast<std::uint64_t>(cfg.seed);
+  report.params()["samples_per_hour"] =
+      static_cast<std::uint64_t>(cfg.samples_per_hour);
+
+  // Mall-day decode latency over simulated time, mirroring fig16
+  // (DESIGN.md §11).
+  obs::SnapshotSeries series({.capacity = 256, .every = 1});
+  series.add_histogram_quantile("core.demod.packet.seconds", 0.50);
+  series.add_histogram_quantile("core.demod.packet.seconds", 0.99);
+  series.add_counter("core.demod.crc_ok");
+  series.add_counter("core.link.subframes");
+  cfg.snapshot = &series;
 
   const auto results = baselines::run_day_study(cfg);
 
@@ -62,5 +78,18 @@ int main() {
               best_hour, best_med / 1e3);
   std::printf("LScatter stays flat at %.2f Mbps across the whole day\n",
               baselines::mean_of_medians_lscatter(results) / 1e6);
+
+  for (const auto& r : results) {
+    obs::json::Object& row = report.add_row();
+    row["hour"] = static_cast<std::uint64_t>(r.hour);
+    row["wifi_median_bps"] = r.wifi_backscatter_bps.median;
+    row["lscatter_median_bps"] = r.lscatter_bps.median;
+    row["wifi_occupancy"] = r.wifi_occupancy_mean;
+    row["lte_occupancy"] = r.lte_occupancy_mean;
+  }
+  report.extra()["snapshot"] = series.to_json();
+  std::printf("snapshot series: %llu sample(s), %zu channel(s)\n",
+              static_cast<unsigned long long>(series.total_samples()),
+              series.channel_count());
   return 0;
 }

@@ -1,0 +1,63 @@
+// Fuzz target: the run-registry line parser (obs/run_registry.hpp) must
+// treat arbitrary bytes as at worst a corrupt line — never crash, hang,
+// or accept a record its own writer cannot round-trip. This is the
+// reader's promise in DESIGN.md §11: strict per line, lenient per file,
+// so torn tails and hand edits can't brick a registry.
+// Seed corpus: fuzz/corpus/obs_registry/.
+//
+// Built two ways (fuzz/CMakeLists.txt):
+//   clang: -fsanitize=fuzzer,address  -> a real libFuzzer binary
+//   gcc:   LSCATTER_FUZZ_STANDALONE  -> corpus-replay main() below
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/run_registry.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace obs = lscatter::obs;
+  const std::string_view line(reinterpret_cast<const char*>(data), size);
+  const auto rec = obs::parse_record_line(line);
+  if (!rec.has_value()) return 0;
+
+  // Any line the parser accepts must survive serialize -> parse, and the
+  // re-parsed provenance must match field-for-field.
+  const std::string out = rec->to_json().dump(-1);
+  const auto again = obs::parse_record_line(out);
+  if (!again.has_value()) {
+    __builtin_trap();  // accepted input, but our own output is rejected
+  }
+  const obs::Provenance& a = rec->provenance;
+  const obs::Provenance& b = again->provenance;
+  if (a.bench != b.bench || a.git_sha != b.git_sha || a.dirty != b.dirty ||
+      a.config_hash != b.config_hash || a.hostname != b.hostname ||
+      a.threads != b.threads) {
+    __builtin_trap();  // provenance did not round-trip
+  }
+  return 0;
+}
+
+#ifdef LSCATTER_FUZZ_STANDALONE
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 2;
+    }
+    const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  }
+  std::printf("fuzz_obs_registry: replayed %d input(s), no crash\n",
+              argc - 1);
+  return 0;
+}
+#endif

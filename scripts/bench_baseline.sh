@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
 # Regenerate the committed micro-benchmark reference reports under
-# bench/baselines/: BENCH_micro.json (bench_micro_rx), BENCH_micro_dsp
-# .json (bench_micro_dsp), and BENCH_micro_pool.json (bench_micro_pool).
+# bench/baselines/: BENCH_micro.json (bench_micro_rx) and
+# BENCH_micro_dsp.json (bench_micro_dsp). bench_micro_pool deliberately
+# has no committed baseline — bench_gate.sh gates it against the run
+# registry's per-metric median instead (DESIGN.md §11).
 # The baselines exist for scripts/bench_gate.sh — which diffs metric
 # names and quantiles, not raw span dumps — so they are written with
 # LSCATTER_OBS_SPANS=0 and LSCATTER_OBS_BUCKETS=0 (no span events, no
 # bucket arrays). Timings vary by machine; the gate's schema-drift check
 # is machine-independent, the timing thresholds are only meaningful
 # against a baseline from the same machine.
+#
+# Each regenerated baseline is stamped (`lscatter-obs stamp`) with the
+# git sha, dirty flag, and compiler id that produced it, so a reviewer
+# can always answer "which commit and toolchain is this baseline from?".
+# obs::diff ignores the provenance key — stamping never affects gating.
 #
 # Usage: scripts/bench_baseline.sh [build-dir]   (default: build)
 
@@ -16,10 +23,22 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 
-benches=(bench_micro_rx bench_micro_dsp bench_micro_pool)
+benches=(bench_micro_rx bench_micro_dsp)
 
 cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)" \
-  --target "${benches[@]}"
+  --target "${benches[@]}" lscatter-obs
+
+obs="$build/tools/lscatter-obs"
+git_sha="$(git -C "$repo" rev-parse HEAD 2>/dev/null || echo "")"
+git_dirty=0
+if [[ -n "$git_sha" ]] && \
+   ! git -C "$repo" diff --quiet HEAD -- 2>/dev/null; then
+  git_dirty=1
+fi
+# Compiler id from the CMake cache — the build dir knows what built it.
+compiler="$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' \
+              "$build/CMakeCache.txt" 2>/dev/null | head -n1)"
+compiler="${compiler:-unknown}"
 
 mkdir -p "$repo/bench/baselines"
 for bench in "${benches[@]}"; do
@@ -27,12 +46,9 @@ for bench in "${benches[@]}"; do
     bench_micro_rx) out="$repo/bench/baselines/BENCH_micro.json" ;;
     *) out="$repo/bench/baselines/BENCH_${bench#bench_}.json" ;;
   esac
-  bench_args=()
-  case "$bench" in
-    bench_micro_pool) bench_args=(--drops=4 --subframes=2) ;;
-    *) bench_args=(--benchmark_min_time=0.05) ;;
-  esac
   LSCATTER_OBS_JSON="$out" LSCATTER_OBS_SPANS=0 LSCATTER_OBS_BUCKETS=0 \
-    "$build/bench/$bench" "${bench_args[@]}"
+    "$build/bench/$bench" --benchmark_min_time=0.05
+  "$obs" stamp "$out" --sha "$git_sha" --dirty "$git_dirty" \
+    --compiler "$compiler"
   echo "wrote $out"
 done

@@ -8,18 +8,29 @@
 # that is the mode scripts/check.sh and CI run, so committed baselines
 # from one machine never fail another machine on timing.
 #
-# A bench without a committed baseline yet (bench_micro_pool until
-# scripts/bench_baseline.sh regenerates) is schema-checked on its own:
-# the fresh report must parse as lscatter.obs/1 (`lscatter-obs
-# summarize`), but nothing is diffed.
+# A bench without a committed baseline (bench_micro_pool, deliberately
+# — its thread-scaling numbers are too machine-shaped to commit) falls
+# back to the run registry:
+# `lscatter-obs regress` synthesizes a per-metric median baseline from
+# the bench's prior recorded runs and gates against that. A young
+# registry (< 2 prior runs) passes with a note — it never blocks.
+#
+# Every gated run is then recorded to the registry (regress BEFORE
+# record, so a fresh run never biases its own baseline), stamped with
+# the git sha/dirty flag computed here — bench binaries and the CLI
+# never shell out to git themselves.
 #
 # Usage: scripts/bench_gate.sh [--smoke] [--threshold PCT]
-#                               [--tail-threshold PCT] [build-dir]
+#                               [--tail-threshold PCT] [--no-record]
+#                               [build-dir]
 #   --smoke               schema-drift check only (no timing thresholds)
 #   --threshold PCT       allowed relative p50 growth (default 25)
 #   --tail-threshold PCT  allowed relative p90/p99 growth (default 150)
+#   --no-record           gate only; do not append to the run registry
 # Env: BENCH_GATE_KEEP_DIR=<dir> keeps the fresh reports and Chrome
 # traces there instead of a temp dir — CI uploads it on failure.
+# LSCATTER_OBS_REGISTRY overrides the registry path (default:
+# .lscatter/registry.jsonl at the repo root).
 # Exits non-zero if any bench drifts or regresses.
 
 set -euo pipefail
@@ -29,6 +40,7 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 smoke=0
 threshold=25
 tail_threshold=150
+record=1
 build="$repo/build"
 
 while [[ $# -gt 0 ]]; do
@@ -42,6 +54,7 @@ while [[ $# -gt 0 ]]; do
       tail_threshold="$2"
       shift
       ;;
+    --no-record) record=0 ;;
     *) build="$1" ;;
   esac
   shift
@@ -50,6 +63,20 @@ done
 benches=(bench_micro_rx bench_micro_dsp bench_micro_pool)
 
 cmake --build "$build" -j "$jobs" --target "${benches[@]}" lscatter-obs
+
+obs="$build/tools/lscatter-obs"
+registry="${LSCATTER_OBS_REGISTRY:-$repo/.lscatter/registry.jsonl}"
+
+# Provenance for the registry: computed once here, passed down. Benches
+# see it via env (bench_common.hpp reads LSCATTER_GIT_SHA/_DIRTY).
+git_sha="$(git -C "$repo" rev-parse HEAD 2>/dev/null || echo "")"
+git_dirty=0
+if [[ -n "$git_sha" ]] && \
+   ! git -C "$repo" diff --quiet HEAD -- 2>/dev/null; then
+  git_dirty=1
+fi
+export LSCATTER_GIT_SHA="$git_sha"
+export LSCATTER_GIT_DIRTY="$git_dirty"
 
 if [[ -n "${BENCH_GATE_KEEP_DIR:-}" ]]; then
   tmp="$BENCH_GATE_KEEP_DIR"
@@ -79,27 +106,31 @@ for bench in "${benches[@]}"; do
   # Baselines carry metric names + quantiles only, so export the fresh
   # run the same way (no span dump, no bucket arrays). The Chrome trace
   # rides along for failure triage when the keep dir is set.
+  # LSCATTER_OBS_REGISTRY is blanked so a BenchReport bench can't
+  # self-record before this script's regress — the fresh run must never
+  # feed its own median baseline.
   LSCATTER_OBS_JSON="$fresh" LSCATTER_OBS_SPANS=0 LSCATTER_OBS_BUCKETS=0 \
-    LSCATTER_OBS_TRACE="$tmp/$bench.trace.json" \
+    LSCATTER_OBS_TRACE="$tmp/$bench.trace.json" LSCATTER_OBS_REGISTRY= \
     "$build/bench/$bench" "${bench_args[@]}" > /dev/null
 
-  if [[ ! -f "$baseline" ]]; then
-    echo "== bench_gate: $bench has no committed baseline;" \
-         "schema-checking the fresh report only =="
-    if ! "$build/tools/lscatter-obs" summarize "$fresh" > /dev/null; then
-      echo "bench_gate: $bench fresh report is not valid lscatter.obs/1" >&2
+  if [[ -f "$baseline" ]]; then
+    echo "== bench_gate: $bench vs ${baseline#"$repo"/} =="
+    if ! "$obs" diff "$baseline" "$fresh" "${gate_args[@]}"; then
       fail=1
-    else
-      echo "   ok — regenerate baselines with scripts/bench_baseline.sh" \
-           "to start diffing"
     fi
-    continue
+  else
+    echo "== bench_gate: $bench has no committed baseline;" \
+         "gating against the run-registry median =="
+    if ! "$obs" regress "$fresh" --registry "$registry" \
+         "${gate_args[@]}"; then
+      fail=1
+    fi
   fi
 
-  echo "== bench_gate: $bench vs ${baseline#"$repo"/} =="
-  if ! "$build/tools/lscatter-obs" diff "$baseline" "$fresh" \
-       "${gate_args[@]}"; then
-    fail=1
+  # Record after gating so this run never feeds its own median baseline.
+  if [[ "$record" == 1 ]]; then
+    "$obs" record "$fresh" --registry "$registry" \
+      --sha "$git_sha" --dirty "$git_dirty" --threads "$jobs"
   fi
 done
 

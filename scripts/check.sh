@@ -35,6 +35,29 @@ ctest --test-dir "$repo/build" "${ctest_args[@]}"
 echo "== tier-1: bench gate (schema-drift smoke) =="
 "$repo/scripts/bench_gate.sh" --smoke "$repo/build"
 
+echo "== tier-1: run-registry smoke (record / trend / regress) =="
+cmake --build "$repo/build" -j "$jobs" --target lscatter-obs \
+  bench_micro_dsp
+obs="$repo/build/tools/lscatter-obs"
+reg="$repo/build/registry-smoke"
+rm -rf "$reg" && mkdir -p "$reg"
+for i in 1 2 3; do
+  LSCATTER_OBS_JSON="$reg/run$i.json" LSCATTER_OBS_SPANS=0 \
+    LSCATTER_OBS_BUCKETS=0 LSCATTER_OBS_REGISTRY= \
+    "$repo/build/bench/bench_micro_dsp" --benchmark_min_time=0.02 \
+    > /dev/null
+  "$obs" record "$reg/run$i.json" --registry "$reg/registry.jsonl" \
+    --time "$i"
+done
+"$obs" trend --registry "$reg/registry.jsonl" --bench bench_micro_dsp
+# Timings vary by machine, so the smoke regress gates schema only.
+"$obs" regress "$reg/run3.json" --registry "$reg/registry.jsonl" \
+  --schema-only
+# The reader must skip (and count) a torn/corrupt line, never fail.
+printf 'garbage not a record\n' >> "$reg/registry.jsonl"
+"$obs" query --registry "$reg/registry.jsonl" --bench bench_micro_dsp \
+  | grep -q '3 record(s)'
+
 echo "== static: lscatter-lint =="
 cmake --build "$repo/build" -j "$jobs" --target lscatter-lint
 "$repo/build/tools/lscatter-lint" "$repo"

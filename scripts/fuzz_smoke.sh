@@ -24,7 +24,8 @@ if command -v clang++ >/dev/null 2>&1; then
 fi
 
 cmake -B "$build" -S "$repo" "${cmake_args[@]}"
-cmake --build "$build" -j "$jobs" --target fuzz_obs_json fuzz_framing
+cmake --build "$build" -j "$jobs" \
+  --target fuzz_obs_json fuzz_obs_registry fuzz_framing
 
 run_target() {
   local bin="$build/fuzz/$1" corpus="$repo/fuzz/corpus/$2"
@@ -39,6 +40,7 @@ run_target() {
 }
 
 run_target fuzz_obs_json obs_json
+run_target fuzz_obs_registry obs_registry
 run_target fuzz_framing framing
 
 echo "== fuzz_smoke.sh: no crashes =="

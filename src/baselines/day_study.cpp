@@ -63,6 +63,15 @@ std::vector<HourResult> run_day_study(const DayStudyConfig& config) {
           wifi_config_for(link, sample_seed ^ 0xF00D));
       wifi_bps.push_back(
           wifi.hourly_throughput_bps(occ, config.wifi_probe_bits));
+
+      if (config.snapshot != nullptr) {
+        const double sim_time_s =
+            (static_cast<double>(hour) +
+             static_cast<double>(s) /
+                 static_cast<double>(config.samples_per_hour)) *
+            3600.0;
+        config.snapshot->tick(sim_time_s);
+      }
     }
     hr.wifi_backscatter_bps = dsp::box_stats(wifi_bps);
     hr.lscatter_bps = dsp::box_stats(ls_bps);

@@ -9,6 +9,7 @@
 
 #include "core/scenario.hpp"
 #include "dsp/stats.hpp"
+#include "obs/snapshot.hpp"
 
 namespace lscatter::baselines {
 
@@ -20,6 +21,12 @@ struct DayStudyConfig {
   std::size_t lscatter_subframes_per_sample = 10;
   std::size_t wifi_probe_bits = 1500;
   std::uint64_t seed = 1234;
+
+  /// When set, ticked once per measurement sample with the simulated
+  /// time of day in seconds (hour*3600 + intra-hour offset), so the
+  /// day benches emit metric-over-simulated-time series (DESIGN.md §11)
+  /// instead of only terminal aggregates. Not owned.
+  obs::SnapshotSeries* snapshot = nullptr;
 };
 
 struct HourResult {

@@ -116,14 +116,31 @@ void diff_quantiles(DiffResult& result, const json::Value& base,
       const double b = bq->as_number();
       const double c = cq->as_number();
       // Below the noise floor (or empty histogram: quantile 0) a ratio
-      // is meaningless.
-      if (!(b > 0.0) || b < options.min_base_quantile) continue;
+      // is meaningless; same for a non-finite base (a 1e999 literal in a
+      // hand-edited baseline parses to inf) — nothing can regress
+      // against it.
+      if (!(b > 0.0) || b < options.min_base_quantile ||
+          !std::isfinite(b)) {
+        continue;
+      }
       const double threshold = std::strcmp(q, "p50") == 0
                                    ? options.regression_threshold
                                    : options.tail_regression_threshold;
       const double ratio = c / b;
       const std::string qualified = name + "." + q;
       char line[256];
+      // A non-finite current quantile against a comparable base is a
+      // regression, never noise: NaN would otherwise fail every ratio
+      // comparison silently and slip through the gate.
+      if (!std::isfinite(c)) {
+        std::snprintf(line, sizeof(line),
+                      "%s %s: %.3e -> non-finite (%f)", name.c_str(), q,
+                      b, c);
+        add_finding(result, DiffSeverity::kRegression,
+                    "quantile_non_finite", "histograms", qualified, b, c,
+                    line);
+        continue;
+      }
       if (ratio > 1.0 + threshold) {
         std::snprintf(line, sizeof(line),
                       "%s %s: %.3e -> %.3e (%.2fx > %.2fx allowed)",

@@ -29,7 +29,7 @@ struct DiffFinding {
   DiffSeverity severity = DiffSeverity::kInfo;
   std::string kind;     // schema_mismatch | metric_added | metric_removed
                         // | counter_delta | quantile_regression
-                        // | quantile_improvement
+                        // | quantile_improvement | quantile_non_finite
   std::string section;  // counters | gauges | histograms | (schema: "")
   std::string name;     // metric name, ".p50"-suffixed for quantiles
   double base = 0.0;
@@ -57,6 +57,13 @@ struct DiffOptions {
   /// clock-resolution / bucket-granularity noise — a 200 ns stage p50
   /// moves a whole 1.33x log-bucket on scheduler jitter alone. Skip the
   /// ratio test for them rather than flake.
+  ///
+  /// Non-finite values (the parser accepts 1e999 -> inf; in-memory
+  /// reports can carry NaN): a non-finite *base* quantile is skipped —
+  /// no ratio is meaningful against it — while a non-finite *current*
+  /// quantile over a comparable base is always a regression
+  /// (quantile_non_finite); NaN must not slip through the gate by
+  /// failing every comparison. Locked by tests/test_obs_diff.cpp.
   double min_base_quantile = 1e-6;
 };
 

@@ -68,6 +68,12 @@ double Histogram::max() const {
 }
 
 double Histogram::quantile(double p) const {
+  std::vector<dsp::BucketSpan> spans;
+  return quantile(p, spans);
+}
+
+double Histogram::quantile(double p,
+                           std::vector<dsp::BucketSpan>& spans) const {
   const std::uint64_t n = count();
   if (n == 0) return 0.0;
   if (p <= 0.0) return min();
@@ -76,7 +82,7 @@ double Histogram::quantile(double p) const {
   // Build the non-empty bucket list, clamping the outermost edges to the
   // observed extrema so single-bucket histograms interpolate tightly,
   // then defer to the shared estimator in dsp/stats.
-  std::vector<dsp::BucketSpan> spans;
+  spans.clear();
   const std::uint64_t uf = underflow();
   if (uf > 0) {
     spans.push_back({std::min(0.0, min()), 0.0, uf});

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "dsp/stats.hpp"
+
 namespace lscatter::obs {
 
 class Counter {
@@ -91,6 +93,12 @@ class Histogram {
   /// Approximate quantile (p in [0, 1]) from the bucket counts with
   /// geometric interpolation; 0 when empty. Exact for min/max endpoints.
   double quantile(double p) const;
+
+  /// Same estimate through a caller-owned scratch buffer, so repeated
+  /// sampling (obs/snapshot.hpp ticks every N drops for a whole replayed
+  /// day) stays allocation-free once the scratch has grown to the
+  /// non-empty-bucket count (<= kNumBuckets + 1).
+  double quantile(double p, std::vector<dsp::BucketSpan>& scratch) const;
 
   void reset();
 

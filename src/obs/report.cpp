@@ -1,8 +1,11 @@
 #include "obs/report.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 
 #include "dsp/fft.hpp"
 #include "obs/trace_export.hpp"
@@ -10,6 +13,18 @@
 namespace lscatter::obs {
 
 namespace {
+
+// An exporter destination like LSCATTER_OBS_JSON=results/day1/report.json
+// must work without the caller pre-creating results/day1/ — a silently
+// dropped report is the worst observability failure mode. Directory
+// creation failure falls through to fopen, whose errno names the cause.
+void create_parent_dirs(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (parent.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+}
 
 // dsp sits below obs and cannot register metrics itself, so the FFT plan
 // cache and workspace accounting live as plain atomics in dsp and get
@@ -190,8 +205,13 @@ std::string format_text_report(const std::string& report_name) {
 }
 
 bool write_json_file(const json::Value& report, const std::string& path) {
+  create_parent_dirs(path);
   std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot open %s for writing: %s\n",
+                 path.c_str(), std::strerror(errno));
+    return false;
+  }
   const std::string text = report.dump(2);
   const bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
                       text.size() &&
@@ -205,7 +225,10 @@ std::optional<std::string> write_report_from_env(
     const json::Value* extra) {
   if (const char* trace = std::getenv("LSCATTER_OBS_TRACE")) {
     if (trace[0] != '\0' && !write_trace_file(trace)) {
-      std::fprintf(stderr, "obs: failed to write trace to %s\n", trace);
+      std::fprintf(stderr,
+                   "obs: failed to write Chrome trace to %s "
+                   "(LSCATTER_OBS_TRACE)\n",
+                   trace);
     }
   }
   const char* env = std::getenv("LSCATTER_OBS_JSON");

@@ -1,0 +1,119 @@
+#include "obs/snapshot.hpp"
+
+#include <cstdio>
+
+namespace lscatter::obs {
+
+SnapshotSeries::SnapshotSeries() : SnapshotSeries(Options{}) {}
+
+SnapshotSeries::SnapshotSeries(Options options)
+    : every_(options.every == 0 ? 1 : options.every),
+      capacity_(options.capacity == 0 ? 1 : options.capacity) {}
+
+void SnapshotSeries::add_counter(const std::string& name) {
+  Channel ch;
+  ch.kind = Channel::Kind::kCounter;
+  ch.label = name;
+  ch.counter = &Registry::instance().counter(name);
+  channels_.push_back(std::move(ch));
+}
+
+void SnapshotSeries::add_gauge(const std::string& name) {
+  Channel ch;
+  ch.kind = Channel::Kind::kGauge;
+  ch.label = name;
+  ch.gauge = &Registry::instance().gauge(name);
+  channels_.push_back(std::move(ch));
+}
+
+void SnapshotSeries::add_histogram_quantile(const std::string& name,
+                                            double q) {
+  Channel ch;
+  ch.kind = Channel::Kind::kHistQuantile;
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), ".p%g", q * 100.0);
+  ch.label = name + suffix;
+  ch.histogram = &Registry::instance().histogram(name);
+  ch.q = q;
+  channels_.push_back(std::move(ch));
+}
+
+void SnapshotSeries::add_histogram_count(const std::string& name) {
+  Channel ch;
+  ch.kind = Channel::Kind::kHistCount;
+  ch.label = name + ".count";
+  ch.histogram = &Registry::instance().histogram(name);
+  channels_.push_back(std::move(ch));
+}
+
+double SnapshotSeries::read_channel(const Channel& ch) {
+  switch (ch.kind) {
+    case Channel::Kind::kCounter:
+      return static_cast<double>(ch.counter->value());
+    case Channel::Kind::kGauge:
+      return ch.gauge->value();
+    case Channel::Kind::kHistQuantile:
+      return ch.histogram->quantile(ch.q, quantile_scratch_);
+    case Channel::Kind::kHistCount:
+      return static_cast<double>(ch.histogram->count());
+  }
+  return 0.0;
+}
+
+void SnapshotSeries::sample(double sim_time) {
+  const std::size_t row_width = 1 + channels_.size();
+  if (ring_.empty()) {
+    // Warm-up: size the ring and quantile scratch once. Channels must
+    // not be added after this point (rows would misalign).
+    ring_.resize(capacity_ * row_width);
+    quantile_scratch_.reserve(Histogram::kNumBuckets + 1);
+  }
+  double* row = ring_.data() + head_ * row_width;
+  row[0] = sim_time;
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    row[1 + c] = read_channel(channels_[c]);
+  }
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+  ++total_samples_;
+}
+
+json::Value SnapshotSeries::to_json() const {
+  json::Value root;
+  root["schema"] = json::Value("lscatter.obs-series/1");
+  root["every"] = json::Value(static_cast<std::uint64_t>(every_));
+  root["capacity"] = json::Value(static_cast<std::uint64_t>(capacity_));
+  root["total_samples"] = json::Value(total_samples_);
+  root["dropped"] = json::Value(dropped());
+
+  json::Array channels;
+  channels.reserve(channels_.size());
+  for (const Channel& ch : channels_) {
+    channels.push_back(json::Value(ch.label));
+  }
+  root["channels"] = json::Value(std::move(channels));
+
+  const std::size_t row_width = 1 + channels_.size();
+  const std::size_t oldest =
+      size_ < capacity_ ? 0 : head_;  // ring start once wrapped
+  json::Array times;
+  times.reserve(size_);
+  std::vector<json::Array> series(channels_.size());
+  for (auto& s : series) s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::size_t r = (oldest + i) % capacity_;
+    const double* row = ring_.data() + r * row_width;
+    times.push_back(json::Value(row[0]));
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+      series[c].push_back(json::Value(row[1 + c]));
+    }
+  }
+  root["t"] = json::Value(std::move(times));
+  json::Array cols;
+  cols.reserve(series.size());
+  for (auto& s : series) cols.push_back(json::Value(std::move(s)));
+  root["series"] = json::Value(std::move(cols));
+  return root;
+}
+
+}  // namespace lscatter::obs

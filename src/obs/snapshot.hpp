@@ -1,0 +1,117 @@
+#pragma once
+// Time-resolved telemetry: a SnapshotSeries periodically samples selected
+// counters / gauges / histogram quantiles from the live registry into a
+// bounded ring, so long replays (bench_fig16/21 whole-day studies, the
+// streaming-daemon soak of ROADMAP item 3) emit latency-over-simulated-
+// time curves instead of one terminal aggregate (DESIGN.md §11).
+//
+// Cost discipline matches the rest of obs:
+//   * channel registration resolves each metric to its stable registry
+//     pointer once, up front;
+//   * the ring and the quantile scratch are sized on the first tick
+//     (warm-up); after that a sample is pointer-chasing plus relaxed
+//     atomic loads — ZERO heap allocations (tests/test_obs_snapshot.cpp
+//     proves it with the operator-new hook from the PR 5 alloc tests);
+//   * when the ring is full the oldest sample is overwritten and counted
+//     as dropped — a day-long replay can tick millions of times without
+//     growing;
+//   * under -DLSCATTER_OBS=OFF tick() compiles to nothing and to_json()
+//     reports an empty series, like every other obs surface.
+//
+// Driving convention: the owner calls tick(sim_time) once per unit of
+// simulated progress (a drop, a subframe, an hour sample); `every` picks
+// each Nth tick as a sample. Simulated time is supplied by the caller —
+// the library never reads a wall clock.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/registry.hpp"
+
+namespace lscatter::obs {
+
+class SnapshotSeries {
+ public:
+  struct Options {
+    /// Ring capacity in samples; oldest overwritten past this.
+    std::size_t capacity = 1024;
+    /// Take a sample every Nth tick (1 = every tick).
+    std::size_t every = 1;
+  };
+
+  // Two constructors instead of one defaulted-argument constructor:
+  // gcc rejects `Options options = {}` here because the nested class's
+  // member initializers are not usable until SnapshotSeries is complete.
+  SnapshotSeries();
+  explicit SnapshotSeries(Options options);
+
+  /// Channel registration — call before the first tick. Each channel
+  /// resolves its registry metric once (creating it if absent, so a
+  /// series can be declared ahead of the instrumented code running).
+  void add_counter(const std::string& name);
+  void add_gauge(const std::string& name);
+  /// Samples histogram `name` at quantile q; the channel is labelled
+  /// `<name>.p<q*100>` (e.g. "core.link.run.seconds.p99").
+  void add_histogram_quantile(const std::string& name, double q);
+  /// Samples histogram `name`'s cumulative count ("<name>.count").
+  void add_histogram_count(const std::string& name);
+
+  /// Advance simulated time; samples on every Nth call. No-op when the
+  /// obs layer is compiled out.
+  void tick(double sim_time) {
+#if LSCATTER_OBS_ENABLED
+    if (++ticks_ % every_ == 0) sample(sim_time);
+#else
+    (void)sim_time;
+#endif
+  }
+
+  std::size_t channel_count() const { return channels_.size(); }
+  /// Samples currently retained (<= capacity).
+  std::size_t size() const { return size_; }
+  std::uint64_t total_samples() const { return total_samples_; }
+  /// Samples overwritten because the ring was full.
+  std::uint64_t dropped() const {
+    return total_samples_ - static_cast<std::uint64_t>(size_);
+  }
+
+  /// Retained samples, oldest first:
+  ///   { schema: "lscatter.obs-series/1", every, capacity,
+  ///     total_samples, dropped, channels: [names...],
+  ///     t: [...], series: [[per-channel values...], ...] }
+  /// `series` is columnar (one array per channel, parallel to `t`) so a
+  /// plotting script slices a metric without touching the others.
+  json::Value to_json() const;
+
+ private:
+  struct Channel {
+    enum class Kind { kCounter, kGauge, kHistQuantile, kHistCount };
+    Kind kind = Kind::kCounter;
+    std::string label;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+    double q = 0.0;
+  };
+
+  void sample(double sim_time);
+  double read_channel(const Channel& ch);
+
+  std::size_t every_ = 1;
+  std::size_t capacity_ = 0;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t total_samples_ = 0;
+
+  std::vector<Channel> channels_;
+  /// Row-major ring: row i holds [t, ch0, ch1, ...] — one flat
+  /// preallocated block, no per-sample node allocations.
+  std::vector<double> ring_;
+  std::size_t head_ = 0;  // next row to write
+  std::size_t size_ = 0;  // valid rows
+  std::vector<dsp::BucketSpan> quantile_scratch_;
+};
+
+}  // namespace lscatter::obs

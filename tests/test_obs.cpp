@@ -254,8 +254,10 @@ TEST(ObsReport, JsonReportRoundTripsThroughParser) {
 }
 
 TEST(ObsReport, WriteFromEnvFailsSoftlyOnUnwritablePath) {
+  // The writer creates missing parent directories, so "unwritable" must
+  // route through a non-directory: /dev/null can never become a parent.
   ASSERT_EQ(setenv("LSCATTER_OBS_JSON",
-                   "/nonexistent-dir/lscatter/report.json", 1),
+                   "/dev/null/lscatter/report.json", 1),
             0);
   const auto path = obs::write_report_from_env("env-fail");
   unsetenv("LSCATTER_OBS_JSON");

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 
 #include "obs/diff.hpp"
@@ -190,6 +191,87 @@ TEST(ObsDiff, VerdictJsonAndTextRoundTrip) {
   const std::string text = d.format_text();
   EXPECT_NE(text.find("[drift]"), std::string::npos);
   EXPECT_NE(text.find("verdict: FAIL"), std::string::npos);
+}
+
+TEST(ObsDiff, EmptyVsEmptyIsClean) {
+  // Two reports with empty metric sections (not just missing ones).
+  obs::json::Value a;
+  a["schema"] = "lscatter.obs/1";
+  a["report"] = "empty";
+  a["counters"].make_object();
+  a["gauges"].make_object();
+  a["histograms"].make_object();
+  const obs::json::Value b = a;
+  const obs::DiffResult d = obs::diff_reports(a, b);
+  EXPECT_TRUE(d.ok());
+  EXPECT_TRUE(d.findings.empty());
+}
+
+TEST(ObsDiff, ZeroCountHistogramsCompareClean) {
+  // A histogram that never recorded (count 0, all quantiles 0) must not
+  // produce regression findings in either direction: base quantile 0 is
+  // below the noise floor, so the comparison is skipped.
+  auto zero = make_report("test.diff.idle.seconds", 0.0);
+  zero["histograms"]["test.diff.idle.seconds"]["count"] = 0.0;
+  EXPECT_TRUE(obs::diff_reports(zero, zero).ok());
+
+  // Zero base, live current: still clean — you can't compute growth
+  // against nothing. The count delta is visible to humans via trend,
+  // not a gate failure.
+  const auto live = make_report("test.diff.idle.seconds", 1e-3);
+  EXPECT_TRUE(obs::diff_reports(zero, live).ok());
+}
+
+TEST(ObsDiff, NonFiniteCurrentQuantileIsRegression) {
+  // Policy (locked here, documented in obs/diff.hpp): a NaN or inf
+  // current quantile over a comparable finite base is always a
+  // regression — NaN must not slip through just because every ratio
+  // comparison on it is false.
+  const auto base = make_report("test.diff.demod.seconds", 1e-4);
+  for (const double bad :
+       {std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity()}) {
+    auto cur = make_report("test.diff.demod.seconds", 1e-4);
+    cur["histograms"]["test.diff.demod.seconds"]["p50"] = bad;
+    const obs::DiffResult d = obs::diff_reports(base, cur);
+    EXPECT_FALSE(d.ok());
+    EXPECT_TRUE(d.has_regression());
+    bool non_finite = false;
+    for (const auto& f : d.findings) {
+      if (f.kind == "quantile_non_finite") {
+        non_finite = true;
+        EXPECT_EQ(f.name, "test.diff.demod.seconds.p50");
+      }
+    }
+    EXPECT_TRUE(non_finite);
+  }
+}
+
+TEST(ObsDiff, NonFiniteBaseQuantileIsSkipped) {
+  // A corrupted baseline must not wedge the gate: non-finite base
+  // quantiles are skipped (the fresh run can't be blamed for them).
+  auto base = make_report("test.diff.demod.seconds", 1e-4);
+  base["histograms"]["test.diff.demod.seconds"]["p50"] =
+      std::numeric_limits<double>::quiet_NaN();
+  const auto cur = make_report("test.diff.demod.seconds", 5e-4);
+  const obs::DiffResult d = obs::diff_reports(base, cur);
+  for (const auto& f : d.findings) {
+    EXPECT_NE(f.name, "test.diff.demod.seconds.p50") << f.kind;
+  }
+}
+
+TEST(ObsDiff, InfSurvivesJsonParseAsOverflow) {
+  // The strict parser still yields inf for an overflowing literal
+  // (strtod semantics), so a registry line edited to 1e999 exercises
+  // the same non-finite path end to end.
+  const auto parsed = obs::json::parse(
+      R"({"schema":"lscatter.obs/1","report":"x","histograms":)"
+      R"({"test.diff.demod.seconds":{"count":10,"mean":1e999,)"
+      R"("p50":1e999,"p90":1e999,"p99":1e999}}})");
+  ASSERT_TRUE(parsed.has_value());
+  const auto base = make_report("test.diff.demod.seconds", 1e-4);
+  const obs::DiffResult d = obs::diff_reports(base, *parsed);
+  EXPECT_TRUE(d.has_regression());
 }
 
 TEST(ObsDiff, LiveReportDiffsCleanAgainstItself) {

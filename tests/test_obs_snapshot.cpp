@@ -1,0 +1,172 @@
+// SnapshotSeries (obs/snapshot.hpp): every-Nth-tick sampling, bounded
+// ring overwrite with drop accounting, the columnar obs-series/1 JSON
+// shape, and — the cost contract — zero heap allocations per sample
+// after the first (warm-up) sample, proven with the same global
+// operator-new hook as the DSP hot-path tests (DESIGN.md §10/§11).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/snapshot.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace lscatter;
+
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+TEST(ObsSnapshot, SamplesEveryNthTick) {
+  obs::Registry::instance().counter("test.snap.nth.events").add(1);
+  obs::SnapshotSeries series({.capacity = 16, .every = 3});
+  series.add_counter("test.snap.nth.events");
+
+  for (int t = 1; t <= 10; ++t) series.tick(static_cast<double>(t));
+  EXPECT_EQ(series.total_samples(), 3u);  // ticks 3, 6, 9
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_EQ(series.dropped(), 0u);
+
+  const obs::json::Value j = series.to_json();
+  const obs::json::Array& t = j.find("t")->as_array();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t[0].as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(t[2].as_number(), 9.0);
+}
+
+TEST(ObsSnapshot, RingOverwritesOldestAndCountsDropped) {
+  obs::Registry::instance().gauge("test.snap.ring.level").set(1.0);
+  obs::SnapshotSeries series({.capacity = 4, .every = 1});
+  series.add_gauge("test.snap.ring.level");
+
+  for (int t = 0; t < 10; ++t) series.tick(static_cast<double>(t));
+  EXPECT_EQ(series.total_samples(), 10u);
+  EXPECT_EQ(series.size(), 4u);
+  EXPECT_EQ(series.dropped(), 6u);
+
+  // Retained window is the newest 4 samples, oldest first.
+  const obs::json::Value j = series.to_json();
+  const obs::json::Array& t = j.find("t")->as_array();
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_DOUBLE_EQ(t[0].as_number(), 6.0);
+  EXPECT_DOUBLE_EQ(t[3].as_number(), 9.0);
+  EXPECT_DOUBLE_EQ(j.find("dropped")->as_number(), 6.0);
+}
+
+TEST(ObsSnapshot, ColumnarJsonShapeAndChannelLabels) {
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter("test.snap.shape.frames").add(5);
+  reg.gauge("test.snap.shape.hwm").set(2.5);
+  reg.histogram("test.snap.shape.lat.seconds").record(1e-3);
+
+  obs::SnapshotSeries series({.capacity = 8, .every = 1});
+  series.add_counter("test.snap.shape.frames");
+  series.add_gauge("test.snap.shape.hwm");
+  series.add_histogram_quantile("test.snap.shape.lat.seconds", 0.50);
+  series.add_histogram_quantile("test.snap.shape.lat.seconds", 0.99);
+  series.add_histogram_count("test.snap.shape.lat.seconds");
+  ASSERT_EQ(series.channel_count(), 5u);
+
+  series.tick(1.0);
+  reg.counter("test.snap.shape.frames").add(3);
+  series.tick(2.0);
+
+  const obs::json::Value j = series.to_json();
+  EXPECT_EQ(j.find("schema")->as_string(), "lscatter.obs-series/1");
+  EXPECT_DOUBLE_EQ(j.find("every")->as_number(), 1.0);
+
+  const obs::json::Array& channels = j.find("channels")->as_array();
+  ASSERT_EQ(channels.size(), 5u);
+  EXPECT_EQ(channels[0].as_string(), "test.snap.shape.frames");
+  EXPECT_EQ(channels[1].as_string(), "test.snap.shape.hwm");
+  EXPECT_EQ(channels[2].as_string(), "test.snap.shape.lat.seconds.p50");
+  EXPECT_EQ(channels[3].as_string(), "test.snap.shape.lat.seconds.p99");
+  EXPECT_EQ(channels[4].as_string(), "test.snap.shape.lat.seconds.count");
+
+  // Columnar: one array per channel, each parallel to t.
+  const obs::json::Array& series_cols = j.find("series")->as_array();
+  ASSERT_EQ(series_cols.size(), 5u);
+  for (const auto& col : series_cols) {
+    ASSERT_EQ(col.as_array().size(), 2u);
+  }
+  EXPECT_DOUBLE_EQ(series_cols[0].as_array()[0].as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(series_cols[0].as_array()[1].as_number(), 8.0);
+  EXPECT_DOUBLE_EQ(series_cols[1].as_array()[0].as_number(), 2.5);
+  // Log-bucket quantiles are approximate; the sampled p50 of a single
+  // 1 ms recording lands in its bucket's neighborhood.
+  const double p50 = series_cols[2].as_array()[0].as_number();
+  EXPECT_GT(p50, 1e-4);
+  EXPECT_LT(p50, 1e-2);
+  EXPECT_DOUBLE_EQ(series_cols[4].as_array()[0].as_number(), 1.0);
+
+  // The dump must re-parse (it's embedded into bench reports verbatim).
+  EXPECT_TRUE(obs::json::parse(j.dump(-1)).has_value());
+}
+
+TEST(ObsSnapshot, SamplingIsAllocationFreeAfterWarmup) {
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Histogram& hist =
+      reg.histogram("test.snap.alloc.lat.seconds");
+  reg.counter("test.snap.alloc.events").add(1);
+  reg.gauge("test.snap.alloc.hwm").set(1.0);
+  for (int i = 0; i < 64; ++i) hist.record(1e-4 * (i + 1));
+
+  obs::SnapshotSeries series({.capacity = 128, .every = 1});
+  series.add_counter("test.snap.alloc.events");
+  series.add_gauge("test.snap.alloc.hwm");
+  series.add_histogram_quantile("test.snap.alloc.lat.seconds", 0.50);
+  series.add_histogram_quantile("test.snap.alloc.lat.seconds", 0.99);
+  series.add_histogram_count("test.snap.alloc.lat.seconds");
+
+  // Warm-up: the first sample sizes the ring and the quantile scratch.
+  series.tick(0.0);
+
+  const std::uint64_t before = allocation_count();
+  for (int t = 1; t <= 100; ++t) {
+    hist.record(1e-4);  // keep the quantile path non-trivial
+    series.tick(static_cast<double>(t));
+  }
+  EXPECT_EQ(allocation_count(), before);
+  EXPECT_EQ(series.total_samples(), 101u);
+}
+
+TEST(ObsSnapshot, WrappedRingStaysAllocationFree) {
+  obs::Registry::instance().counter("test.snap.wrap.events").add(1);
+  obs::SnapshotSeries series({.capacity = 4, .every = 1});
+  series.add_counter("test.snap.wrap.events");
+  series.tick(0.0);  // warm-up
+
+  const std::uint64_t before = allocation_count();
+  for (int t = 1; t <= 50; ++t) series.tick(static_cast<double>(t));
+  EXPECT_EQ(allocation_count(), before);
+  EXPECT_EQ(series.dropped(), 47u);
+}
+
+}  // namespace

@@ -161,7 +161,7 @@ TEST(ObsTrace, EnvHookWritesParsableTraceFile) {
 
 TEST(ObsTrace, UnwritableTracePathDoesNotCrash) {
   ASSERT_EQ(
-      setenv("LSCATTER_OBS_TRACE", "/nonexistent-dir/lscatter/t.json", 1),
+      setenv("LSCATTER_OBS_TRACE", "/dev/null/lscatter/t.json", 1),
       0);
   obs::write_report_from_env("trace-env-fail");  // must not throw/abort
   unsetenv("LSCATTER_OBS_TRACE");

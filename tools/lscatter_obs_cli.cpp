@@ -1,5 +1,6 @@
 // lscatter-obs: command-line consumer of `lscatter.obs/1` run reports
-// (the JSON every bench/example writes via LSCATTER_OBS_JSON).
+// (the JSON every bench/example writes via LSCATTER_OBS_JSON) and of the
+// append-only run registry (`lscatter.obs-run/1` JSONL, DESIGN.md §11).
 //
 //   lscatter-obs summarize <report.json>
 //       Text table of counters, gauges, and histogram quantiles —
@@ -19,18 +20,62 @@
 //       Convert the report's span events to Chrome trace-event JSON for
 //       ui.perfetto.dev / chrome://tracing (obs/trace_export.hpp).
 //
+//   lscatter-obs record <report.json> [--registry PATH] [--bench NAME]
+//                       [--sha SHA] [--dirty 0|1] [--threads N]
+//                       [--time SECONDS]
+//       Compact the report (drop spans + bucket arrays), stamp
+//       provenance — bench name (default: the report's own name), git
+//       sha/dirty (callers pass them; the CLI never shells out),
+//       SplitMix64 hash of the canonicalized `extra.params` config,
+//       hostname, wall-clock time (stamped HERE: the library never
+//       reads clocks) — and append one JSONL line to the registry.
+//
+//   lscatter-obs query [--registry PATH] [--bench NAME] [--sha PREFIX]
+//                      [--metric PATH] [--last K] [--json]
+//       List matching records, oldest first. --metric adds one flattened
+//       metric column (e.g. histograms.lte.ofdm.modulate.seconds.p50).
+//
+//   lscatter-obs trend [--registry PATH] [--bench NAME]
+//                      [--metric SUBSTR] [--last K] [--threshold PCT]
+//                      [--tail-threshold PCT] [--json]
+//       Per-metric first/last/p50/p90/p99 across the matching records,
+//       with histogram-quantile metrics flagged REGRESSED when the
+//       newest value grew past the obs::diff thresholds relative to the
+//       median of the prior records.
+//
+//   lscatter-obs regress <fresh.json> [--registry PATH] [--bench NAME]
+//                        [--last K] [--min-records N] [--threshold PCT]
+//                        [--tail-threshold PCT] [--schema-only] [--json]
+//       Gate a fresh report against the registry: synthesize the
+//       per-metric median baseline (obs::median_report) from the
+//       matching records and diff the fresh report against it. Exit 0 =
+//       clean (including "fewer than --min-records [default 2] prior
+//       runs" — a young registry must not block the gate; the fresh
+//       report is still schema-validated), 1 = drift or regression,
+//       2 = usage/input error.
+//
+//   lscatter-obs stamp <report.json> [--sha SHA] [--dirty 0|1]
+//                      [--compiler ID] [--time SECONDS]
+//       Rewrite the report in place with a `provenance` object, so
+//       committed baselines (scripts/bench_baseline.sh) carry the
+//       commit/compiler that produced them. obs::diff ignores the key.
+//
 // Works identically on reports from -DLSCATTER_OBS=OFF builds — those
 // just have empty metric sections.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "obs/diff.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
+#include "obs/run_registry.hpp"
 #include "obs/trace_export.hpp"
 
 namespace {
@@ -44,7 +89,18 @@ int usage() {
       "  summarize <report.json>\n"
       "  diff <base.json> <new.json> [--threshold PCT]"
       " [--tail-threshold PCT] [--schema-only] [--json]\n"
-      "  trace <report.json> -o <out.json>\n");
+      "  trace <report.json> -o <out.json>\n"
+      "  record <report.json> [--registry PATH] [--bench NAME]"
+      " [--sha SHA] [--dirty 0|1] [--threads N] [--time S]\n"
+      "  query [--registry PATH] [--bench NAME] [--sha PREFIX]"
+      " [--metric PATH] [--last K] [--json]\n"
+      "  trend [--registry PATH] [--bench NAME] [--metric SUBSTR]"
+      " [--last K] [--threshold PCT] [--tail-threshold PCT] [--json]\n"
+      "  regress <fresh.json> [--registry PATH] [--bench NAME]"
+      " [--last K] [--min-records N] [--threshold PCT]"
+      " [--tail-threshold PCT] [--schema-only] [--json]\n"
+      "  stamp <report.json> [--sha SHA] [--dirty 0|1] [--compiler ID]"
+      " [--time S]\n");
   return 2;
 }
 
@@ -68,10 +124,133 @@ std::optional<obs::json::Value> load_report(const char* path) {
   return parsed;
 }
 
+bool is_obs_report(const obs::json::Value& report) {
+  const obs::json::Value* s = report.find("schema");
+  return s != nullptr && s->is_string() &&
+         s->as_string() == "lscatter.obs/1";
+}
+
 double field_or(const obs::json::Value& obj, const char* key,
                 double fallback) {
   const obs::json::Value* v = obj.find(key);
   return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string report_name_of(const obs::json::Value& report) {
+  const obs::json::Value* v = report.find("report");
+  return v != nullptr && v->is_string() ? v->as_string() : std::string{};
+}
+
+/// Registry-command flag state shared by record/query/trend/regress.
+struct RegistryArgs {
+  std::string registry;   // resolved path
+  std::string bench;
+  std::string sha;
+  bool dirty = false;
+  std::uint64_t threads = 0;
+  double time_s = -1.0;   // < 0 = stamp now
+  std::string metric;
+  std::size_t last = 0;
+  std::size_t min_records = 2;
+  std::string compiler;
+  obs::DiffOptions diff;
+  bool as_json = false;
+  std::vector<const char*> positional;
+};
+
+/// Parse the shared flags; returns false (after a message) on bad input.
+bool parse_registry_args(int argc, char** argv, RegistryArgs& out) {
+  std::string registry_flag;
+  const auto value = [&](int& i) -> const char* {
+    return i + 1 < argc ? argv[++i] : nullptr;
+  };
+  const auto parse_pct = [&](int& i, double& pct_out) {
+    const char* s = value(i);
+    if (s == nullptr) return false;
+    char* end = nullptr;
+    const double pct = std::strtod(s, &end);
+    if (end == s || *end != '\0' || pct < 0.0) {
+      std::fprintf(stderr, "lscatter-obs: bad threshold %s\n", s);
+      return false;
+    }
+    pct_out = pct / 100.0;
+    return true;
+  };
+  for (int i = 0; i < argc; ++i) {
+    const char* a = argv[i];
+    const char* v = nullptr;
+    if (std::strcmp(a, "--registry") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      registry_flag = v;
+    } else if (std::strcmp(a, "--bench") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      out.bench = v;
+    } else if (std::strcmp(a, "--sha") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      out.sha = v;
+    } else if (std::strcmp(a, "--dirty") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      out.dirty = !(v[0] == '0' && v[1] == '\0');
+    } else if (std::strcmp(a, "--threads") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      out.threads = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(a, "--time") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      out.time_s = std::strtod(v, nullptr);
+    } else if (std::strcmp(a, "--metric") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      out.metric = v;
+    } else if (std::strcmp(a, "--last") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      out.last = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(a, "--min-records") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      out.min_records = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(a, "--compiler") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      out.compiler = v;
+    } else if (std::strcmp(a, "--threshold") == 0) {
+      if (!parse_pct(i, out.diff.regression_threshold)) return false;
+    } else if (std::strcmp(a, "--tail-threshold") == 0) {
+      if (!parse_pct(i, out.diff.tail_regression_threshold)) return false;
+    } else if (std::strcmp(a, "--schema-only") == 0) {
+      out.diff.compare_quantiles = false;
+    } else if (std::strcmp(a, "--json") == 0) {
+      out.as_json = true;
+    } else if (a[0] == '-' && a[1] == '-') {
+      std::fprintf(stderr, "lscatter-obs: unknown flag %s\n", a);
+      return false;
+    } else {
+      out.positional.push_back(a);
+    }
+  }
+  out.registry = obs::registry_path_from_env(registry_flag);
+  return true;
+}
+
+/// The one place the CLI reads a wall clock: provenance time stamps.
+double stamp_time(const RegistryArgs& args) {
+  if (args.time_s >= 0.0) return args.time_s;
+  return static_cast<double>(std::time(nullptr));
+}
+
+std::vector<obs::RunRecord> load_filtered(const RegistryArgs& args,
+                                          obs::ReadStats* stats) {
+  obs::RecordFilter filter;
+  filter.bench = args.bench;
+  filter.git_sha = args.sha;
+  filter.last = args.last;
+  return obs::filter_records(obs::read_records(args.registry, stats),
+                             filter);
+}
+
+void warn_corrupt(const RegistryArgs& args, const obs::ReadStats& stats) {
+  if (stats.corrupt_lines > 0) {
+    std::fprintf(stderr,
+                 "lscatter-obs: %s: skipped %zu corrupt line(s) of %zu\n",
+                 args.registry.c_str(), stats.corrupt_lines,
+                 stats.total_lines);
+  }
 }
 
 void print_section_scalars(const obs::json::Value& report,
@@ -129,48 +308,17 @@ int cmd_summarize(int argc, char** argv) {
 }
 
 int cmd_diff(int argc, char** argv) {
-  const char* base_path = nullptr;
-  const char* new_path = nullptr;
-  obs::DiffOptions options;
-  bool as_json = false;
+  RegistryArgs args;
+  if (!parse_registry_args(argc, argv, args)) return 2;
+  if (args.positional.size() != 2) return usage();
 
-  const auto parse_pct = [&](int& i, double& out) {
-    if (i + 1 >= argc) return false;
-    char* end = nullptr;
-    const double pct = std::strtod(argv[++i], &end);
-    if (end == argv[i] || *end != '\0' || pct < 0.0) {
-      std::fprintf(stderr, "lscatter-obs: bad threshold %s\n", argv[i]);
-      return false;
-    }
-    out = pct / 100.0;
-    return true;
-  };
-
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threshold") == 0) {
-      if (!parse_pct(i, options.regression_threshold)) return 2;
-    } else if (std::strcmp(argv[i], "--tail-threshold") == 0) {
-      if (!parse_pct(i, options.tail_regression_threshold)) return 2;
-    } else if (std::strcmp(argv[i], "--schema-only") == 0) {
-      options.compare_quantiles = false;
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      as_json = true;
-    } else if (base_path == nullptr) {
-      base_path = argv[i];
-    } else if (new_path == nullptr) {
-      new_path = argv[i];
-    } else {
-      return usage();
-    }
-  }
-  if (base_path == nullptr || new_path == nullptr) return usage();
-
-  const auto base = load_report(base_path);
-  const auto current = load_report(new_path);
+  const auto base = load_report(args.positional[0]);
+  const auto current = load_report(args.positional[1]);
   if (!base || !current) return 2;
 
-  const obs::DiffResult result = obs::diff_reports(*base, *current, options);
-  if (as_json) {
+  const obs::DiffResult result =
+      obs::diff_reports(*base, *current, args.diff);
+  if (args.as_json) {
     std::printf("%s\n", result.to_json().dump(2).c_str());
   } else {
     std::printf("%s", result.format_text().c_str());
@@ -213,6 +361,227 @@ int cmd_trace(int argc, char** argv) {
   return 0;
 }
 
+int cmd_record(int argc, char** argv) {
+  RegistryArgs args;
+  if (!parse_registry_args(argc, argv, args)) return 2;
+  if (args.positional.size() != 1) return usage();
+
+  const auto report = load_report(args.positional[0]);
+  if (!report) return 2;
+  if (!is_obs_report(*report)) {
+    std::fprintf(stderr, "lscatter-obs: %s is not an lscatter.obs/1 report\n",
+                 args.positional[0]);
+    return 2;
+  }
+
+  obs::RunRecord rec;
+  rec.report = obs::compact_report(*report);
+  rec.provenance.bench =
+      !args.bench.empty() ? args.bench : report_name_of(*report);
+  rec.provenance.git_sha = args.sha;
+  rec.provenance.dirty = args.dirty;
+  rec.provenance.hostname = obs::local_hostname();
+  rec.provenance.threads = args.threads;
+  rec.provenance.unix_time_s = stamp_time(args);
+  // The bench's own parameters (seed, drops, sizes) are the config; the
+  // hash keys longitudinal queries, so insertion-order differences must
+  // not split a trajectory — hence the canonicalized hash.
+  const obs::json::Value* extra = report->find("extra");
+  const obs::json::Value* params =
+      extra != nullptr ? extra->find("params") : nullptr;
+  rec.provenance.config_hash =
+      obs::config_hash(params != nullptr ? *params : obs::json::Value{});
+
+  std::string error;
+  if (!obs::append_record(args.registry, rec, &error)) {
+    std::fprintf(stderr, "lscatter-obs: %s\n", error.c_str());
+    return 2;
+  }
+  obs::ReadStats stats;
+  const auto all = obs::read_records(args.registry, &stats);
+  std::printf("recorded %s (config %016llx) -> %s (%zu records)\n",
+              rec.provenance.bench.c_str(),
+              static_cast<unsigned long long>(rec.provenance.config_hash),
+              args.registry.c_str(), all.size());
+  warn_corrupt(args, stats);
+  return 0;
+}
+
+int cmd_query(int argc, char** argv) {
+  RegistryArgs args;
+  if (!parse_registry_args(argc, argv, args)) return 2;
+  if (!args.positional.empty()) return usage();
+
+  obs::ReadStats stats;
+  const auto records = load_filtered(args, &stats);
+  warn_corrupt(args, stats);
+
+  if (args.as_json) {
+    obs::json::Array arr;
+    arr.reserve(records.size());
+    for (const auto& rec : records) {
+      obs::json::Value v = rec.to_json();
+      if (!args.metric.empty()) {
+        const auto m = obs::metric_value(rec.report, args.metric);
+        v["metric"] = obs::json::Value(args.metric);
+        v["value"] = m ? obs::json::Value(*m) : obs::json::Value(nullptr);
+      }
+      arr.push_back(std::move(v));
+    }
+    std::printf("%s\n", obs::json::Value(std::move(arr)).dump(2).c_str());
+    return 0;
+  }
+
+  std::printf("%-4s %-12s %-24s %-10s %-5s %-16s %-8s", "#", "time",
+              "bench", "sha", "dirty", "config", "threads");
+  if (!args.metric.empty()) std::printf(" %s", args.metric.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const obs::Provenance& p = records[i].provenance;
+    std::printf("%-4zu %-12.0f %-24s %-10.10s %-5s %016llx %-8llu", i,
+                p.unix_time_s, p.bench.c_str(),
+                p.git_sha.empty() ? "-" : p.git_sha.c_str(),
+                p.dirty ? "yes" : "no",
+                static_cast<unsigned long long>(p.config_hash),
+                static_cast<unsigned long long>(p.threads));
+    if (!args.metric.empty()) {
+      const auto m = obs::metric_value(records[i].report, args.metric);
+      if (m) {
+        std::printf(" %.6g", *m);
+      } else {
+        std::printf(" -");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("%zu record(s) in %s\n", records.size(),
+              args.registry.c_str());
+  return 0;
+}
+
+int cmd_trend(int argc, char** argv) {
+  RegistryArgs args;
+  if (!parse_registry_args(argc, argv, args)) return 2;
+  if (!args.positional.empty()) return usage();
+
+  obs::ReadStats stats;
+  const auto records = load_filtered(args, &stats);
+  warn_corrupt(args, stats);
+  if (records.empty()) {
+    std::fprintf(stderr, "lscatter-obs: no matching records in %s\n",
+                 args.registry.c_str());
+    return 2;
+  }
+
+  const auto rows = obs::trend_rows(records, args.metric, args.diff);
+  if (args.as_json) {
+    obs::json::Array arr;
+    arr.reserve(rows.size());
+    for (const auto& row : rows) {
+      obs::json::Value v;
+      v["metric"] = obs::json::Value(row.metric);
+      v["n"] = obs::json::Value(static_cast<std::uint64_t>(row.n));
+      v["first"] = obs::json::Value(row.first);
+      v["last"] = obs::json::Value(row.last);
+      v["p50"] = obs::json::Value(row.p50);
+      v["p90"] = obs::json::Value(row.p90);
+      v["p99"] = obs::json::Value(row.p99);
+      v["last_over_median"] = obs::json::Value(row.last_over_median);
+      v["regressed"] = obs::json::Value(row.regressed);
+      arr.push_back(std::move(v));
+    }
+    std::printf("%s\n", obs::json::Value(std::move(arr)).dump(2).c_str());
+    return 0;
+  }
+
+  std::printf("== trend over %zu record(s)%s%s ==\n", records.size(),
+              args.bench.empty() ? "" : ", bench=",
+              args.bench.c_str());
+  std::printf("%-52s %4s %10s %10s %10s %10s %10s %s\n", "metric", "n",
+              "first", "last", "p50", "p90", "p99", "flag");
+  std::size_t regressed = 0;
+  for (const auto& row : rows) {
+    std::printf("%-52s %4zu %10.4g %10.4g %10.4g %10.4g %10.4g %s\n",
+                row.metric.c_str(), row.n, row.first, row.last, row.p50,
+                row.p90, row.p99,
+                row.regressed ? "REGRESSED" : "");
+    if (row.regressed) ++regressed;
+  }
+  std::printf("%zu metric(s), %zu regressed\n", rows.size(), regressed);
+  return 0;
+}
+
+int cmd_regress(int argc, char** argv) {
+  RegistryArgs args;
+  if (!parse_registry_args(argc, argv, args)) return 2;
+  if (args.positional.size() != 1) return usage();
+
+  const auto fresh = load_report(args.positional[0]);
+  if (!fresh) return 2;
+  if (!is_obs_report(*fresh)) {
+    std::fprintf(stderr, "lscatter-obs: %s is not an lscatter.obs/1 report\n",
+                 args.positional[0]);
+    return 2;
+  }
+  if (args.bench.empty()) args.bench = report_name_of(*fresh);
+
+  obs::ReadStats stats;
+  const auto records = load_filtered(args, &stats);
+  warn_corrupt(args, stats);
+  if (records.size() < args.min_records) {
+    std::printf(
+        "regress: %zu prior record(s) for %s in %s (< %zu); nothing to "
+        "gate against — pass\n",
+        records.size(), args.bench.c_str(), args.registry.c_str(),
+        args.min_records);
+    return 0;
+  }
+
+  const obs::json::Value base = obs::median_report(records);
+  const obs::DiffResult result =
+      obs::diff_reports(base, *fresh, args.diff);
+  if (args.as_json) {
+    std::printf("%s\n", result.to_json().dump(2).c_str());
+  } else {
+    std::printf("== regress vs median of %zu record(s) for %s ==\n%s",
+                records.size(), args.bench.c_str(),
+                result.format_text().c_str());
+  }
+  return result.ok() ? 0 : 1;
+}
+
+int cmd_stamp(int argc, char** argv) {
+  RegistryArgs args;
+  if (!parse_registry_args(argc, argv, args)) return 2;
+  if (args.positional.size() != 1) return usage();
+  const char* path = args.positional[0];
+
+  auto report = load_report(path);
+  if (!report) return 2;
+  if (!is_obs_report(*report)) {
+    std::fprintf(stderr, "lscatter-obs: %s is not an lscatter.obs/1 report\n",
+                 path);
+    return 2;
+  }
+
+  obs::json::Value prov;
+  prov["git_sha"] = obs::json::Value(args.sha);
+  prov["dirty"] = obs::json::Value(args.dirty);
+  prov["compiler"] = obs::json::Value(args.compiler);
+  prov["hostname"] = obs::json::Value(obs::local_hostname());
+  prov["unix_time_s"] = obs::json::Value(stamp_time(args));
+  (*report)["provenance"] = std::move(prov);
+
+  if (!obs::write_json_file(*report, path)) {
+    std::fprintf(stderr, "lscatter-obs: cannot rewrite %s\n", path);
+    return 2;
+  }
+  std::printf("stamped %s (sha %s%s)\n", path,
+              args.sha.empty() ? "<none>" : args.sha.c_str(),
+              args.dirty ? ", dirty" : "");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -223,5 +592,14 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(cmd, "diff") == 0) return cmd_diff(argc - 2, argv + 2);
   if (std::strcmp(cmd, "trace") == 0) return cmd_trace(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "record") == 0) {
+    return cmd_record(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "query") == 0) return cmd_query(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "trend") == 0) return cmd_trend(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "regress") == 0) {
+    return cmd_regress(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "stamp") == 0) return cmd_stamp(argc - 2, argv + 2);
   return usage();
 }
