@@ -192,7 +192,16 @@ class BenchReport {
       std::printf("registry: appended %s to %s\n", name_.c_str(),
                   registry.c_str());
     } else {
-      std::fprintf(stderr, "registry: %s\n", error.c_str());
+      // Non-fatal by design: a missing registry record only weakens the
+      // trend baseline, it must not fail the bench. But it has to be
+      // loud — CI artifacts need to show exactly which path refused the
+      // record and why, or a silently thinning registry looks like a
+      // healthy one.
+      std::fprintf(stderr,
+                   "registry: FAILED to append %s to %s: %s "
+                   "(non-fatal; run not recorded)\n",
+                   name_.c_str(), registry.c_str(),
+                   error.empty() ? "unknown error" : error.c_str());
     }
   }
 

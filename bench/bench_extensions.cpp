@@ -17,6 +17,13 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = 888;
   std::printf("seed=%llu\n\n", static_cast<unsigned long long>(seed));
 
+  // The multi-tag sections populate the per-tag labeled counters
+  // (core.multi_tag.packets_ok{tag=N} etc., DESIGN.md §12), so this
+  // bench's report is the reference artifact for the label surface.
+  benchutil::BenchReport report("bench_extensions",
+                                "BENCH_extensions.json");
+  report.params()["seed"] = seed;
+
   std::printf("--- A. multi-tag TDMA (smart home, tags at 3-6 ft) ---\n");
   std::printf("%7s %7s %16s %16s\n", "slots", "tags", "per-tag (Mbps)",
               "aggregate (Mbps)");

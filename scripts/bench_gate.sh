@@ -8,9 +8,10 @@
 # that is the mode scripts/check.sh and CI run, so committed baselines
 # from one machine never fail another machine on timing.
 #
-# A bench without a committed baseline (bench_micro_pool, deliberately
-# — its thread-scaling numbers are too machine-shaped to commit) falls
-# back to the run registry:
+# A bench without a committed baseline (bench_micro_pool and
+# bench_micro_obs, deliberately — their thread-scaling and contention
+# numbers are too machine-shaped to commit) falls back to the run
+# registry:
 # `lscatter-obs regress` synthesizes a per-metric median baseline from
 # the bench's prior recorded runs and gates against that. A young
 # registry (< 2 prior runs) passes with a note — it never blocks.
@@ -60,7 +61,7 @@ while [[ $# -gt 0 ]]; do
   shift
 done
 
-benches=(bench_micro_rx bench_micro_dsp bench_micro_pool)
+benches=(bench_micro_rx bench_micro_dsp bench_micro_pool bench_micro_obs)
 
 cmake --build "$build" -j "$jobs" --target "${benches[@]}" lscatter-obs
 
@@ -99,6 +100,7 @@ for bench in "${benches[@]}"; do
   bench_args=()
   case "$bench" in
     bench_micro_pool) bench_args=(--drops=4 --subframes=2) ;;
+    bench_micro_obs) bench_args=(--iters=200000) ;;
     *) bench_args=(--benchmark_min_time=0.05) ;;
   esac
 

@@ -2,6 +2,7 @@
 
 #include "baselines/wifi_backscatter.hpp"
 #include "core/link_simulator.hpp"
+#include "core/sim_pool.hpp"
 #include "traffic/occupancy_model.hpp"
 
 namespace lscatter::baselines {
@@ -43,35 +44,58 @@ std::vector<HourResult> run_day_study(const DayStudyConfig& config) {
     hr.lte_occupancy_mean = lte_occ.mean_occupancy(hour);
     hr.lora_occupancy_mean = lora_occ.mean_occupancy(hour);
 
-    std::vector<double> wifi_bps;
+    // Draw this hour's per-sample randomness up front, in the exact
+    // interleaved order the serial loop used (sample seed, then that
+    // sample's wifi occupancy), so the rng stream — and every number
+    // below — is unchanged by the pooled execution.
+    struct SampleDraw {
+      std::uint64_t seed = 0;
+      double wifi_occupancy = 0.0;
+    };
+    std::vector<SampleDraw> draws(config.samples_per_hour);
+    for (SampleDraw& d : draws) {
+      d.seed = rng.next_u64();
+      d.wifi_occupancy = wifi_occ.sample_occupancy(hour, rng);
+    }
+
+    // LScatter: LTE is always there; throughput varies only with the
+    // channel drop. Samples fan out across the drop pool (each is an
+    // independent LinkSimulator run); delivery is in sample order, so
+    // the box stats and snapshot ticks see the serial sequence.
     std::vector<double> ls_bps;
+    ls_bps.reserve(config.samples_per_hour);
+    core::for_each_drop(
+        config.samples_per_hour, config.lscatter_subframes_per_sample,
+        core::PoolOptions{},
+        [&config, &draws](std::size_t s) {
+          core::ScenarioOptions opt;
+          opt.seed = draws[s].seed;
+          return core::make_scenario(config.scene, opt);
+        },
+        [&config, &ls_bps, hour](const core::DropOutcome& outcome) {
+          ls_bps.push_back(outcome.metrics.throughput_bps());
+          if (config.snapshot != nullptr) {
+            const double sim_time_s =
+                (static_cast<double>(hour) +
+                 static_cast<double>(outcome.drop_index) /
+                     static_cast<double>(config.samples_per_hour)) *
+                3600.0;
+            config.snapshot->tick(sim_time_s);
+          }
+        });
+
+    // WiFi backscatter: gated by each sample's drawn occupancy. Pure in
+    // (seed, occupancy), so it runs after the pool without changing any
+    // value.
+    std::vector<double> wifi_bps;
+    wifi_bps.reserve(config.samples_per_hour);
     for (std::size_t s = 0; s < config.samples_per_hour; ++s) {
-      const std::uint64_t sample_seed = rng.next_u64();
-
-      // LScatter: LTE is always there; throughput varies only with the
-      // channel drop.
       core::ScenarioOptions opt;
-      opt.seed = sample_seed;
-      core::LinkConfig link = core::make_scenario(config.scene, opt);
-      core::LinkSimulator sim(link);
-      ls_bps.push_back(
-          sim.run(config.lscatter_subframes_per_sample).throughput_bps());
-
-      // WiFi backscatter: gated by this hour's sampled occupancy.
-      const double occ = wifi_occ.sample_occupancy(hour, rng);
-      WifiBackscatterLink wifi(
-          wifi_config_for(link, sample_seed ^ 0xF00D));
-      wifi_bps.push_back(
-          wifi.hourly_throughput_bps(occ, config.wifi_probe_bits));
-
-      if (config.snapshot != nullptr) {
-        const double sim_time_s =
-            (static_cast<double>(hour) +
-             static_cast<double>(s) /
-                 static_cast<double>(config.samples_per_hour)) *
-            3600.0;
-        config.snapshot->tick(sim_time_s);
-      }
+      opt.seed = draws[s].seed;
+      const core::LinkConfig link = core::make_scenario(config.scene, opt);
+      WifiBackscatterLink wifi(wifi_config_for(link, draws[s].seed ^ 0xF00D));
+      wifi_bps.push_back(wifi.hourly_throughput_bps(
+          draws[s].wifi_occupancy, config.wifi_probe_bits));
     }
     hr.wifi_backscatter_bps = dsp::box_stats(wifi_bps);
     hr.lscatter_bps = dsp::box_stats(ls_bps);

@@ -25,7 +25,11 @@ struct DayStudyConfig {
   /// When set, ticked once per measurement sample with the simulated
   /// time of day in seconds (hour*3600 + intra-hour offset), so the
   /// day benches emit metric-over-simulated-time series (DESIGN.md §11)
-  /// instead of only terminal aggregates. Not owned.
+  /// instead of only terminal aggregates. Not owned. Ticks fire at
+  /// in-order sample delivery from the drop pool; the throughput stats
+  /// are bit-identical at any thread count, but with >1 pool worker a
+  /// tick can observe live metrics from samples executing ahead, so the
+  /// sampled series is exact only at LSCATTER_THREADS=1.
   obs::SnapshotSeries* snapshot = nullptr;
 };
 

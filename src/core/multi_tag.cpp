@@ -6,6 +6,9 @@
 #include "core/contracts.hpp"
 #include "dsp/db.hpp"
 #include "obs/obs.hpp"
+#if LSCATTER_OBS_ENABLED
+#include "obs/family.hpp"
+#endif
 #include "tag/modulator.hpp"
 
 namespace lscatter::core {
@@ -92,6 +95,32 @@ MultiTagResult run_multi_tag(const MultiTagConfig& config,
         static_cast<double>(n_subframes) * 1e-3;
   }
 
+#if LSCATTER_OBS_ENABLED
+  // Per-entity accounting as labeled families (DESIGN.md §12): decode
+  // outcomes broken out per tag, collisions per TDMA slot. Cells are
+  // resolved here, once, before the subframe loop — cell() takes the
+  // family mutex, so per-iteration lookups are banned (lscatter-lint
+  // obs-loop) — and hit through the cached pointers below. Beyond the
+  // family's cardinality cap, extra tags share the {tag=__other__}
+  // overflow cell and obs.labels.dropped counts them.
+  static obs::CounterFamily mt_ok("core.multi_tag.packets_ok", "tag");
+  static obs::CounterFamily mt_err("core.multi_tag.bit_errors", "tag");
+  static obs::CounterFamily mt_coll("core.multi_tag.collisions", "slot");
+  std::vector<obs::Counter*> tag_ok_cells;
+  std::vector<obs::Counter*> tag_err_cells;
+  tag_ok_cells.reserve(config.tags.size());
+  tag_err_cells.reserve(config.tags.size());
+  for (std::size_t i = 0; i < config.tags.size(); ++i) {
+    tag_ok_cells.push_back(&mt_ok.cell(std::uint64_t{i}));
+    tag_err_cells.push_back(&mt_err.cell(std::uint64_t{i}));
+  }
+  std::vector<obs::Counter*> slot_cells;
+  slot_cells.reserve(config.n_slots);
+  for (std::size_t s = 0; s < config.n_slots; ++s) {
+    slot_cells.push_back(&mt_coll.cell(std::uint64_t{s}));
+  }
+#endif
+
   const std::size_t sf_samples = cell.samples_per_subframe();
   for (std::size_t sf = 0; sf < n_subframes; ++sf) {
     const lte::SubframeTx tx = enodeb.next_subframe();
@@ -128,6 +157,9 @@ MultiTagResult run_multi_tag(const MultiTagConfig& config,
     }
     if (active.size() > 1) {
       LSCATTER_OBS_COUNTER_INC("core.multi_tag.collision_subframes");
+#if LSCATTER_OBS_ENABLED
+      slot_cells[slot]->add(1);
+#endif
     }
     channel::add_awgn(rx, worst_noise_mw, noise_rng);
 
@@ -141,6 +173,9 @@ MultiTagResult run_multi_tag(const MultiTagConfig& config,
       const auto res = demod.demodulate_packet(rx, tx.samples, sf);
       if (!res.preamble_found) {
         m.bit_errors += st.payload.size() / 2;
+#if LSCATTER_OBS_ENABLED
+        tag_err_cells[i]->add(st.payload.size() / 2);
+#endif
         continue;
       }
       m.packets_detected += 1;
@@ -153,9 +188,15 @@ MultiTagResult run_multi_tag(const MultiTagConfig& config,
       m.bit_errors += errors;
       const std::size_t correct = st.payload.size() - errors;
       m.bits_delivered += correct > errors ? correct - errors : 0;
+#if LSCATTER_OBS_ENABLED
+      if (errors > 0) tag_err_cells[i]->add(errors);
+#endif
       if (res.payload && *res.payload == st.payload) {
         m.packets_ok += 1;
         m.bits_crc_ok += st.payload.size();
+#if LSCATTER_OBS_ENABLED
+        tag_ok_cells[i]->add(1);
+#endif
       }
     }
   }

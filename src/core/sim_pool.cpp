@@ -1,7 +1,9 @@
 #include "core/sim_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <map>
@@ -36,18 +38,33 @@ struct PoolState {
   std::size_t next_emit = 0;             // next index the consumer wants
   std::size_t window = 1;                // reorder-window capacity
   std::size_t drops = 0;
+  std::uint64_t flow_base = 0;           // drop d's trace flow id is
+                                         // flow_base + d (see below)
   std::map<std::size_t, Slot> ready;     // finished, awaiting emission
   bool stop = false;                     // failure seen: drain and exit
 };
 
-LinkMetrics run_one_drop(const LinkConfig& base, std::size_t drop_index,
-                         std::size_t subframes) {
-  LSCATTER_OBS_SPAN("core.pool.drop");
-  LinkSimulator sim(config_for_drop(base, drop_index));
+// Process-unique flow-id block for a sweep of `drops` drops: drop d gets
+// flow id base + d, so the claim/execute/deliver spans of one drop share
+// one id and trace_export links them into a connected Perfetto arc,
+// while concurrent or repeated sweeps never collide. Starts at 1 — flow
+// id 0 means "no flow".
+std::uint64_t claim_flow_block(std::size_t drops) {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(drops, std::memory_order_relaxed);
+}
+
+using DropConfigFn = std::function<LinkConfig(std::size_t)>;
+
+LinkMetrics run_one_drop(const DropConfigFn& make_config,
+                         std::size_t drop_index, std::size_t subframes,
+                         std::uint64_t flow) {
+  LSCATTER_OBS_SPAN_FLOW("core.pool.drop", flow);
+  LinkSimulator sim(make_config(drop_index));
   return sim.run(subframes);
 }
 
-void worker_loop(PoolState& state, const LinkConfig& base,
+void worker_loop(PoolState& state, const DropConfigFn& make_config,
                  std::size_t subframes) {
   for (;;) {
     std::size_t index = 0;
@@ -55,6 +72,11 @@ void worker_loop(PoolState& state, const LinkConfig& base,
       std::unique_lock<std::mutex> lock(state.mutex);
       if (state.stop || state.next_claim >= state.drops) return;
       index = state.next_claim++;
+      // Flow leg 1: the claim-to-admission wait. Its duration is the
+      // backpressure stall (core.pool.enqueue.seconds), and the span's
+      // flow id ties it to this drop's execute and deliver legs.
+      LSCATTER_OBS_SPAN_FLOW("core.pool.enqueue",
+                             state.flow_base + index);
       // Backpressure: never run more than `window` drops ahead of the
       // consumer. Indices below ours are claimed (the cursor is
       // contiguous), so the window is guaranteed to advance.
@@ -66,11 +88,12 @@ void worker_loop(PoolState& state, const LinkConfig& base,
 
     Slot slot;
     try {
-      slot.metrics = run_one_drop(base, index, subframes);
-      LSCATTER_OBS_COUNTER_INC("core.pool.drops_completed");
+      slot.metrics = run_one_drop(make_config, index, subframes,
+                                  state.flow_base + index);
+      LSCATTER_OBS_SHARDED_COUNTER_INC("core.pool.drops_completed");
     } catch (...) {
       slot.error = std::current_exception();
-      LSCATTER_OBS_COUNTER_INC("core.pool.drops_failed");
+      LSCATTER_OBS_SHARDED_COUNTER_INC("core.pool.drops_failed");
     }
 
     {
@@ -83,15 +106,19 @@ void worker_loop(PoolState& state, const LinkConfig& base,
   }
 }
 
-void run_serial(const LinkConfig& base, std::size_t drops,
+void run_serial(const DropConfigFn& make_config, std::size_t drops,
                 std::size_t subframes,
                 const std::function<void(const DropOutcome&)>& consume) {
+  const std::uint64_t flow_base = claim_flow_block(drops);
   for (std::size_t d = 0; d < drops; ++d) {
     DropOutcome outcome;
     outcome.drop_index = d;
-    outcome.metrics = run_one_drop(base, d, subframes);
-    LSCATTER_OBS_COUNTER_INC("core.pool.drops_completed");
-    consume(outcome);
+    outcome.metrics = run_one_drop(make_config, d, subframes, flow_base + d);
+    LSCATTER_OBS_SHARDED_COUNTER_INC("core.pool.drops_completed");
+    {
+      LSCATTER_OBS_SPAN_FLOW("core.pool.deliver", flow_base + d);
+      consume(outcome);
+    }
   }
 }
 
@@ -117,6 +144,17 @@ LinkConfig config_for_drop(const LinkConfig& base, std::size_t drop_index) {
 void for_each_drop(const LinkConfig& base, std::size_t drops,
                    std::size_t subframes, const PoolOptions& options,
                    const std::function<void(const DropOutcome&)>& consume) {
+  for_each_drop(
+      drops, subframes, options,
+      [&base](std::size_t d) { return config_for_drop(base, d); }, consume);
+}
+
+void for_each_drop(std::size_t drops, std::size_t subframes,
+                   const PoolOptions& options,
+                   const std::function<LinkConfig(std::size_t)>& make_config,
+                   const std::function<void(const DropOutcome&)>& consume) {
+  LSCATTER_EXPECT(static_cast<bool>(make_config),
+                  "for_each_drop needs a per-drop config");
   LSCATTER_EXPECT(static_cast<bool>(consume),
                   "for_each_drop needs a consumer");
   if (drops == 0) return;
@@ -126,20 +164,22 @@ void for_each_drop(const LinkConfig& base, std::size_t drops,
   LSCATTER_OBS_GAUGE_SET("core.pool.workers", threads);
 
   if (threads <= 1) {
-    run_serial(base, drops, subframes, consume);
+    run_serial(make_config, drops, subframes, consume);
     return;
   }
 
   PoolState state;
   state.drops = drops;
+  state.flow_base = claim_flow_block(drops);
   state.window =
       options.window > 0 ? options.window : std::max<std::size_t>(2 * threads, 8);
 
   std::vector<std::thread> team;
   team.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
-    team.emplace_back(
-        [&state, &base, subframes] { worker_loop(state, base, subframes); });
+    team.emplace_back([&state, &make_config, subframes] {
+      worker_loop(state, make_config, subframes);
+    });
   }
 
   std::exception_ptr failure;
@@ -163,6 +203,9 @@ void for_each_drop(const LinkConfig& base, std::size_t drops,
       outcome.metrics = slot.metrics;
       lock.unlock();
       try {
+        // Flow leg 3: in-order delivery on the consumer thread.
+        LSCATTER_OBS_SPAN_FLOW("core.pool.deliver",
+                               state.flow_base + outcome.drop_index);
         consume(outcome);
       } catch (...) {
         failure = std::current_exception();

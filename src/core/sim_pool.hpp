@@ -19,11 +19,15 @@
 //
 // threads <= 1 (or unknown hardware concurrency) degrades gracefully to
 // an inline serial loop over the same seed derivation and delivery
-// order. Observability: gauge `core.pool.workers`, counters
-// `core.pool.drops_completed` / `core.pool.drops_failed`, histogram
-// `core.pool.drop.seconds`, gauge `core.pool.window_high_water`; each
-// drop runs inside a `core.pool.drop` span whose SpanEvent thread_id is
-// the worker's dense thread ordinal.
+// order. Observability: gauge `core.pool.workers`, thread-sharded
+// counters `core.pool.drops_completed` / `core.pool.drops_failed`
+// (uncontended per-worker cells, merged in reports), gauge
+// `core.pool.window_high_water`, and per-drop flow tracing — each drop
+// carries a process-unique flow id through its three legs,
+// `core.pool.enqueue` (claim + backpressure wait, worker thread),
+// `core.pool.drop` (execute, worker thread) and `core.pool.deliver`
+// (in-order consume, caller thread), each with a `.seconds` histogram;
+// trace_export links the legs into one connected arc in Perfetto.
 
 #include <cstddef>
 #include <cstdint>
@@ -67,6 +71,17 @@ struct DropOutcome {
 /// propagate to the caller.
 void for_each_drop(const LinkConfig& base, std::size_t drops,
                    std::size_t subframes, const PoolOptions& options,
+                   const std::function<void(const DropOutcome&)>& consume);
+
+/// As above, but drop `d` simulates `make_config(d)` instead of
+/// `config_for_drop(base, d)` — for sweeps whose per-drop seeds are not
+/// derivable from one base seed (the day studies draw each sample's
+/// seed from a shared rng stream). `make_config` is called from worker
+/// threads, possibly concurrently and in any index order: it must be a
+/// pure function of the index.
+void for_each_drop(std::size_t drops, std::size_t subframes,
+                   const PoolOptions& options,
+                   const std::function<LinkConfig(std::size_t)>& make_config,
                    const std::function<void(const DropOutcome&)>& consume);
 
 /// Pooled result of a sweep: metrics summed in drop order plus the

@@ -4,8 +4,27 @@
 #include <cassert>
 
 #include "obs/obs.hpp"
+#if LSCATTER_OBS_ENABLED
+#include "obs/family.hpp"
+#include "obs/span.hpp"
+#endif
 
 namespace lscatter::core {
+
+#if LSCATTER_OBS_ENABLED
+namespace {
+
+// Per-stage latency breakdown as one labeled histogram family
+// (DESIGN.md §12): core.stream.stage.seconds{stage=acquire|demod|feed}.
+// Cells are resolved once at first use and cached — the feed loop below
+// must never take the family mutex per packet (lscatter-lint obs-loop).
+obs::Histogram& stream_stage_cell(const char* stage) {
+  static obs::HistogramFamily family("core.stream.stage.seconds", "stage");
+  return family.cell(std::string_view(stage));
+}
+
+}  // namespace
+#endif
 
 StreamingReceiver::StreamingReceiver(const Config& config)
     : config_(config),
@@ -20,6 +39,10 @@ StreamingReceiver::StreamingReceiver(const Config& config)
 }
 
 bool StreamingReceiver::try_acquire() {
+#if LSCATTER_OBS_ENABLED
+  static obs::Histogram& acquire_latency = stream_stage_cell("acquire");
+  obs::ScopedTimer stage_timer(acquire_latency);
+#endif
   const std::size_t frame_len = config_.cell.samples_per_frame();
   const std::size_t min_needed =
       config_.acquire_min_samples != 0
@@ -51,6 +74,11 @@ bool StreamingReceiver::try_acquire() {
 
 std::vector<StreamingReceiver::PacketEvent> StreamingReceiver::feed(
     std::span<const dsp::cf32> rx, std::span<const dsp::cf32> ambient) {
+#if LSCATTER_OBS_ENABLED
+  static obs::Histogram& feed_latency = stream_stage_cell("feed");
+  static obs::Histogram& demod_latency = stream_stage_cell("demod");
+  obs::ScopedTimer stage_timer(feed_latency);
+#endif
   LSCATTER_OBS_COUNTER_INC("core.stream.feeds");
   assert(rx.size() == ambient.size());
   // Release builds tolerate a mismatched call by truncating to the
@@ -87,7 +115,13 @@ std::vector<StreamingReceiver::PacketEvent> StreamingReceiver::feed(
     if (capacity > 32) {
       PacketEvent ev;
       ev.first_subframe_index = next_subframe_;
-      ev.result = demodulator_.demodulate_packet(prx, pam, next_subframe_);
+      {
+#if LSCATTER_OBS_ENABLED
+        obs::ScopedTimer demod_timer(demod_latency);
+#endif
+        ev.result =
+            demodulator_.demodulate_packet(prx, pam, next_subframe_);
+      }
       ++packets_;
       LSCATTER_OBS_COUNTER_INC("core.stream.packets");
       events.push_back(std::move(ev));

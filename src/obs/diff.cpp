@@ -59,7 +59,8 @@ void add_finding(DiffResult& result, DiffSeverity severity,
 
 void diff_metric_names(DiffResult& result, const json::Value& base,
                        const json::Value& current,
-                       const std::string& section) {
+                       const std::string& section,
+                       const DiffOptions& options) {
   const auto base_keys = section_keys(base, section);
   const auto cur_keys = section_keys(current, section);
   for (const auto& name : base_keys) {
@@ -69,9 +70,12 @@ void diff_metric_names(DiffResult& result, const json::Value& base,
                   section + "." + name + " present in base, missing in new");
     }
   }
+  const DiffSeverity added_severity = options.ignore_added_metrics
+                                          ? DiffSeverity::kInfo
+                                          : DiffSeverity::kDrift;
   for (const auto& name : cur_keys) {
     if (!std::binary_search(base_keys.begin(), base_keys.end(), name)) {
-      add_finding(result, DiffSeverity::kDrift, "metric_added", section,
+      add_finding(result, added_severity, "metric_added", section,
                   name, 0.0, 0.0,
                   section + "." + name + " missing in base, present in new");
     }
@@ -231,7 +235,7 @@ DiffResult diff_reports(const json::Value& base, const json::Value& current,
   }
 
   for (const char* section : {"counters", "gauges", "histograms"}) {
-    diff_metric_names(result, base, current, section);
+    diff_metric_names(result, base, current, section, options);
   }
   diff_counters(result, base, current);
   if (options.compare_quantiles) {

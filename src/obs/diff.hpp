@@ -65,6 +65,16 @@ struct DiffOptions {
   /// (quantile_non_finite); NaN must not slip through the gate by
   /// failing every comparison. Locked by tests/test_obs_diff.cpp.
   double min_base_quantile = 1e-6;
+
+  /// Demote metric_added from drift to info. For curated committed
+  /// baselines (default off) a new metric means the baseline needs
+  /// regenerating, so it must fail. Against a *historical* baseline —
+  /// `lscatter-obs regress` gating a fresh run on the registry median —
+  /// a freshly instrumented metric would otherwise fail every nightly
+  /// until the median catches up (majority vote), so regress turns this
+  /// on. metric_removed stays drift in both modes: a metric vanishing
+  /// breaks downstream consumers no matter which baseline it came from.
+  bool ignore_added_metrics = false;
 };
 
 struct DiffResult {

@@ -1,0 +1,22 @@
+#include "obs/family.hpp"
+
+namespace lscatter::obs::detail {
+
+std::string flatten_label(const std::string& name, const std::string& key,
+                          std::string_view value) {
+  std::string flat;
+  flat.reserve(name.size() + key.size() + value.size() + 3);
+  flat += name;
+  flat += '{';
+  flat += key;
+  flat += '=';
+  for (const char c : value) {
+    const bool unsafe = c == '{' || c == '}' || c == '=' || c == ',' ||
+                        c == '"' || static_cast<unsigned char>(c) < 0x20;
+    flat += unsafe ? '_' : c;
+  }
+  flat += '}';
+  return flat;
+}
+
+}  // namespace lscatter::obs::detail

@@ -133,6 +133,13 @@ Histogram& Registry::histogram(const std::string& name) {
   return *slot;
 }
 
+ShardedCounter& Registry::sharded_counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = sharded_counters_[name];
+  if (!slot) slot = std::make_unique<ShardedCounter>();
+  return *slot;
+}
+
 namespace {
 template <typename Map>
 std::vector<std::string> keys_of(const Map& m) {
@@ -152,7 +159,25 @@ auto find_in(const Map& m, const std::string& name) ->
 
 std::vector<std::string> Registry::counter_names() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return keys_of(counters_);
+  if (sharded_counters_.empty()) return keys_of(counters_);
+  // Sorted union: both maps iterate in order, so a merge keeps the
+  // deterministic-report contract without a post-sort.
+  std::vector<std::string> out;
+  out.reserve(counters_.size() + sharded_counters_.size());
+  auto a = counters_.begin();
+  auto b = sharded_counters_.begin();
+  while (a != counters_.end() || b != sharded_counters_.end()) {
+    if (b == sharded_counters_.end() ||
+        (a != counters_.end() && a->first < b->first)) {
+      out.push_back((a++)->first);
+    } else if (a == counters_.end() || b->first < a->first) {
+      out.push_back((b++)->first);
+    } else {  // same name registered both ways: one row, summed on read
+      out.push_back((a++)->first);
+      ++b;
+    }
+  }
+  return out;
 }
 
 std::vector<std::string> Registry::gauge_names() const {
@@ -180,11 +205,28 @@ const Histogram* Registry::find_histogram(const std::string& name) const {
   return find_in(histograms_, name);
 }
 
+const ShardedCounter* Registry::find_sharded_counter(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_in(sharded_counters_, name);
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t v = 0;
+  if (const Counter* c = find_in(counters_, name)) v += c->value();
+  if (const ShardedCounter* s = find_in(sharded_counters_, name)) {
+    v += s->value();
+  }
+  return v;
+}
+
 void Registry::reset_all() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [k, c] : counters_) c->reset();
   for (auto& [k, g] : gauges_) g->reset();
   for (auto& [k, h] : histograms_) h->reset();
+  for (auto& [k, s] : sharded_counters_) s->reset();
 }
 
 }  // namespace lscatter::obs

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "dsp/stats.hpp"
+#include "obs/sharded.hpp"
 
 namespace lscatter::obs {
 
@@ -59,7 +60,12 @@ class Gauge {
 /// per power of ten between 1e-10 and 1e11; values at or below zero land
 /// in a dedicated underflow bucket. Records are a handful of relaxed
 /// atomics; summaries (quantiles) are computed lazily by the exporter.
-class Histogram {
+///
+/// The header atomics and the bucket array are cacheline-aligned (and
+/// the class alignment rounds the allocation to a 64-byte multiple), so
+/// a hammered histogram never false-shares with whatever metric the
+/// allocator placed next to it.
+class alignas(64) Histogram {
  public:
   static constexpr int kBucketsPerDecade = 8;
   static constexpr int kMinDecade = -10;
@@ -105,13 +111,17 @@ class Histogram {
  private:
   static std::size_t bucket_index(double v);
 
-  std::atomic<std::uint64_t> count_{0};
+  // Hot atomics on their own cache line, bucket array on the next:
+  // every record() touches the header block plus one bucket, and
+  // keeping both 64-byte aligned stops the legacy unsharded path from
+  // false-sharing with neighboring heap allocations.
+  alignas(64) std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
   std::atomic<bool> has_minmax_{false};
   std::atomic<std::uint64_t> underflow_{0};
-  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  alignas(64) std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
 };
 
 /// Name -> metric map. Metric objects live for the process lifetime and
@@ -124,15 +134,29 @@ class Registry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
+  /// Thread-sharded counter (obs/sharded.hpp) for call sites hit
+  /// concurrently by many workers. Reported under the same namespace as
+  /// plain counters, pre-merged; a name should be sharded or plain, not
+  /// both (if both exist, reports show their sum).
+  ShardedCounter& sharded_counter(const std::string& name);
+
   /// Snapshot of registered names, sorted (for deterministic reports).
+  /// counter_names() is the union of plain and sharded counters.
   std::vector<std::string> counter_names() const;
   std::vector<std::string> gauge_names() const;
   std::vector<std::string> histogram_names() const;
 
-  /// Lookup without creating; nullptr when absent.
+  /// Lookup without creating; nullptr when absent. find_counter sees
+  /// only plain counters — exporters read counter_value(), which merges
+  /// the sharded cells.
   const Counter* find_counter(const std::string& name) const;
   const Gauge* find_gauge(const std::string& name) const;
   const Histogram* find_histogram(const std::string& name) const;
+  const ShardedCounter* find_sharded_counter(const std::string& name) const;
+
+  /// Report-side counter read: plain value plus the merged sharded sum
+  /// under the same name (0 when neither exists).
+  std::uint64_t counter_value(const std::string& name) const;
 
   /// Zero every metric (tests / multi-phase benches). Does not
   /// unregister: cached call-site references stay valid.
@@ -145,6 +169,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<ShardedCounter>> sharded_counters_;
 };
 
 }  // namespace lscatter::obs

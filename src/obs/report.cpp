@@ -108,7 +108,9 @@ json::Value build_report(const std::string& report_name,
   json::Value counters;
   counters.make_object();
   for (const auto& name : reg.counter_names()) {
-    counters[name] = json::Value(reg.find_counter(name)->value());
+    // counter_value merges thread-sharded cells under the same name, so
+    // sharding is invisible to every report consumer.
+    counters[name] = json::Value(reg.counter_value(name));
   }
   root["counters"] = std::move(counters);
 
@@ -151,6 +153,7 @@ json::Value build_report(const std::string& report_name,
       e["parent_seq"] = ev.parent_seq == SpanEvent::kNoParent
                             ? json::Value(nullptr)
                             : json::Value(ev.parent_seq);
+      if (ev.flow_id != 0) e["flow"] = json::Value(ev.flow_id);
       arr.push_back(std::move(e));
     }
     spans["events"] = json::Value(std::move(arr));
@@ -175,7 +178,7 @@ std::string format_text_report(const std::string& report_name) {
     for (const auto& name : counter_names) {
       std::snprintf(line, sizeof(line), "%-44s %12llu\n", name.c_str(),
                     static_cast<unsigned long long>(
-                        reg.find_counter(name)->value()));
+                        reg.counter_value(name)));
       out += line;
     }
   }

@@ -15,6 +15,7 @@ void SnapshotSeries::add_counter(const std::string& name) {
   ch.kind = Channel::Kind::kCounter;
   ch.label = name;
   ch.counter = &Registry::instance().counter(name);
+  ch.sharded = &Registry::instance().sharded_counter(name);
   channels_.push_back(std::move(ch));
 }
 
@@ -49,7 +50,8 @@ void SnapshotSeries::add_histogram_count(const std::string& name) {
 double SnapshotSeries::read_channel(const Channel& ch) {
   switch (ch.kind) {
     case Channel::Kind::kCounter:
-      return static_cast<double>(ch.counter->value());
+      return static_cast<double>(ch.counter->value() +
+                                 ch.sharded->value());
     case Channel::Kind::kGauge:
       return ch.gauge->value();
     case Channel::Kind::kHistQuantile:

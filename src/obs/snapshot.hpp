@@ -92,6 +92,10 @@ class SnapshotSeries {
     Kind kind = Kind::kCounter;
     std::string label;
     const Counter* counter = nullptr;
+    // Counter channels read plain + sharded cells under the same name
+    // (both resolved up front), mirroring Registry::counter_value —
+    // sampling stays a pointer chase, no registry lock per tick.
+    const ShardedCounter* sharded = nullptr;
     const Gauge* gauge = nullptr;
     const Histogram* histogram = nullptr;
     double q = 0.0;

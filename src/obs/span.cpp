@@ -88,14 +88,21 @@ std::uint64_t next_seq() {
 
 }  // namespace
 
-ScopedSpan::ScopedSpan(const char* name, Histogram* latency)
+// Declared in obs/sharded.hpp: the sharded-counter cells reuse the span
+// layer's dense thread ordinal, so a worker's shard index and its trace
+// track (SpanEvent::thread_id) agree.
+std::uint32_t thread_ordinal() { return thread_state().thread_id; }
+
+ScopedSpan::ScopedSpan(const char* name, Histogram* latency,
+                       std::uint64_t flow_id)
     : name_(name),
       latency_(latency),
       start_ns_(now_ns()),
       seq_(next_seq()),
       parent_seq_(thread_state().open_seq),
       depth_(thread_state().depth),
-      thread_id_(thread_state().thread_id) {
+      thread_id_(thread_state().thread_id),
+      flow_id_(flow_id) {
   ThreadSpanState& st = thread_state();
   ++st.depth;
   st.open_seq = seq_;
@@ -115,6 +122,7 @@ ScopedSpan::~ScopedSpan() {
   ev.thread_id = thread_id_;
   ev.seq = seq_;
   ev.parent_seq = parent_seq_;
+  ev.flow_id = flow_id_;
   SpanSink::instance().record(ev);
 
   if (latency_ != nullptr) {

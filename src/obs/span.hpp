@@ -22,6 +22,10 @@ std::uint64_t now_ns();
 /// One finished span. `parent_seq` is the per-thread sequence number of
 /// the enclosing span (kNoParent at top level); `seq` numbers spans per
 /// thread in *start* order so exporters can rebuild the nesting.
+/// `flow_id` (0 = none) is a cross-thread correlation key: spans sharing
+/// a non-zero flow id describe one logical operation hopping between
+/// threads (a drop's enqueue → worker execute → in-order delivery), and
+/// trace_export links them with Chrome flow events.
 struct SpanEvent {
   static constexpr std::uint64_t kNoParent = ~0ull;
 
@@ -32,6 +36,7 @@ struct SpanEvent {
   std::uint32_t thread_id = 0;  // dense per-process thread ordinal
   std::uint64_t seq = 0;
   std::uint64_t parent_seq = kNoParent;
+  std::uint64_t flow_id = 0;  // 0 = not part of any flow
 };
 
 /// Bounded global sink. When full, the oldest events are overwritten and
@@ -73,7 +78,8 @@ class SpanSink {
 /// `name` must be a string literal (stored by pointer).
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char* name, Histogram* latency = nullptr);
+  explicit ScopedSpan(const char* name, Histogram* latency = nullptr,
+                      std::uint64_t flow_id = 0);
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -90,6 +96,7 @@ class ScopedSpan {
   std::uint64_t parent_seq_;
   std::uint32_t depth_;
   std::uint32_t thread_id_;
+  std::uint64_t flow_id_;
 };
 
 /// RAII timer: histogram only (no ring-buffer event) — the cheaper choice

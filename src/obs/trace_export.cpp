@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <set>
 
 #include "obs/report.hpp"
@@ -21,6 +22,7 @@ struct TraceRow {
   std::uint32_t thread = 0;
   std::uint64_t seq = 0;
   std::uint64_t parent_seq = SpanEvent::kNoParent;
+  std::uint64_t flow = 0;  // 0 = not part of any flow
 };
 
 json::Value build_trace(std::vector<TraceRow> rows) {
@@ -64,7 +66,38 @@ json::Value build_trace(std::vector<TraceRow> rows) {
                                   ? json::Value(nullptr)
                                   : json::Value(r.parent_seq);
     e["args"]["depth"] = json::Value(static_cast<std::uint64_t>(r.depth));
+    if (r.flow != 0) e["args"]["flow"] = json::Value(r.flow);
     events.push_back(std::move(e));
+  }
+
+  // Flow events: spans sharing a non-zero flow id become one connected
+  // arc (`ph:"s"` on the first slice, `"t"` on each middle slice, `"f"`
+  // with `bp:"e"` on the last). Each event's ts/tid sit at the start of
+  // the slice it binds to, so Perfetto attaches the arrowheads to the
+  // slices themselves. Flows with a single slice get no arc — there is
+  // nothing to connect.
+  std::map<std::uint64_t, std::vector<const TraceRow*>> flows;
+  for (const TraceRow& r : rows) {
+    if (r.flow != 0) flows[r.flow].push_back(&r);
+  }
+  for (const auto& [flow_id, slices] : flows) {
+    if (slices.size() < 2) continue;
+    // `rows` is already sorted by (start_ns, seq), so slices are too.
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+      const TraceRow& r = *slices[i];
+      json::Value e;
+      e["name"] = json::Value(slices.front()->name);
+      e["cat"] = json::Value("flow");
+      e["ph"] = json::Value(i == 0 ? "s"
+                            : i + 1 == slices.size() ? "f"
+                                                     : "t");
+      if (i + 1 == slices.size()) e["bp"] = json::Value("e");
+      e["id"] = json::Value(flow_id);
+      e["pid"] = json::Value(std::uint64_t{1});
+      e["tid"] = json::Value(static_cast<std::uint64_t>(r.thread));
+      e["ts"] = json::Value(static_cast<double>(r.start_ns) * 1e-3);
+      events.push_back(std::move(e));
+    }
   }
 
   root["traceEvents"] = json::Value(std::move(events));
@@ -92,6 +125,7 @@ json::Value trace_from_events(const std::vector<SpanEvent>& events) {
     r.thread = ev.thread_id;
     r.seq = ev.seq;
     r.parent_seq = ev.parent_seq;
+    r.flow = ev.flow_id;
     rows.push_back(std::move(r));
   }
   return build_trace(std::move(rows));
@@ -119,6 +153,7 @@ std::optional<json::Value> trace_from_report(const json::Value& report) {
     r.parent_seq = parent != nullptr && parent->is_number()
                        ? static_cast<std::uint64_t>(parent->as_number())
                        : SpanEvent::kNoParent;
+    r.flow = u64_field(e, "flow");  // optional; absent -> 0 (no flow)
     rows.push_back(std::move(r));
   }
   return build_trace(std::move(rows));

@@ -7,11 +7,14 @@
 // the `spans.events` array of an already-written `lscatter.obs/1` report
 // (used by `lscatter-obs trace`).
 //
-// Mapping (DESIGN.md §7): trace `ts`/`dur` are microseconds (doubles, so
-// ns precision survives), `pid` is always 1, `tid` is the dense span
-// thread ordinal, and `seq`/`parent_seq`/`depth` ride along under `args`
-// so the nesting can be rebuilt from the trace alone. A `"ph":"M"`
-// thread_name metadata record labels each track.
+// Mapping (DESIGN.md §7/§12): trace `ts`/`dur` are microseconds
+// (doubles, so ns precision survives), `pid` is always 1, `tid` is the
+// dense span thread ordinal, and `seq`/`parent_seq`/`depth` ride along
+// under `args` so the nesting can be rebuilt from the trace alone. A
+// `"ph":"M"` thread_name metadata record labels each track. Spans that
+// share a non-zero SpanEvent::flow_id additionally get Chrome flow
+// events (`ph:"s"/"t"/"f"`, `cat:"flow"`, `id` = the flow id) so one
+// cross-thread operation renders as a connected arc in Perfetto.
 
 #include <optional>
 #include <string>

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <thread>
@@ -71,6 +72,89 @@ TEST(ObsStress, ConcurrentSpansAndSnapshots) {
   EXPECT_EQ(sink.snapshot().size(), 256u);
 
   sink.set_capacity(obs::SpanSink::kDefaultCapacity);
+}
+
+// Sharded-vs-unsharded merge equivalence under contention: 8 threads
+// drive the same increment stream into a plain shared-atomic Counter and
+// a ShardedCounter, with a reader thread concurrently merging the
+// sharded cells mid-flight (the report-export race). Run under TSan in
+// the nightly deep-tsan lane (--gtest_filter='ObsStress.Sharded*') to
+// prove the relaxed-atomic cell discipline; in plain builds it locks the
+// end-state equivalence.
+TEST(ObsStress, ShardedMergeMatchesSharedCounterAtEightThreads) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kItersPerThread = 50000;
+
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Counter& shared = reg.counter("test.stress.merge.shared");
+  obs::ShardedCounter& sharded =
+      reg.sharded_counter("test.stress.merge.sharded");
+  shared.reset();
+  sharded.reset();
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    // Mid-flight merges must be monotonic and never torn past the total.
+    std::uint64_t last = 0;
+    constexpr std::uint64_t kTotal =
+        static_cast<std::uint64_t>(kThreads) * kItersPerThread;
+    while (!done.load(std::memory_order_acquire)) {
+      const std::uint64_t v = sharded.value();
+      EXPECT_GE(v, last);
+      EXPECT_LE(v, kTotal);
+      last = v;
+      (void)reg.counter_value("test.stress.merge.sharded");
+    }
+  });
+
+  std::vector<std::thread> team;
+  team.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    team.emplace_back([&] {
+      // Cache the cell once per thread, as the macro does; every hit is
+      // then an uncontended relaxed RMW on this thread's own line.
+      std::atomic<std::uint64_t>& cell = sharded.cell();
+      for (std::uint64_t i = 0; i < kItersPerThread; ++i) {
+        shared.add(1);
+        cell.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : team) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  // Quiescent merge equals the shared-atomic ground truth exactly.
+  EXPECT_EQ(sharded.value(), shared.value());
+  EXPECT_EQ(sharded.value(),
+            static_cast<std::uint64_t>(kThreads) * kItersPerThread);
+  EXPECT_EQ(reg.counter_value("test.stress.merge.sharded"),
+            shared.value());
+
+  shared.reset();
+  sharded.reset();
+}
+
+// Shard cells are claimed by dense thread ordinal: within a <=kShards
+// team every thread must land on its own cacheline-aligned cell, or the
+// "uncontended" claim is a lie.
+TEST(ObsStress, ShardedCellsAreDistinctPerThread) {
+  obs::ShardedCounter counter;
+  constexpr int kThreads = 8;
+  std::vector<std::atomic<std::uint64_t>*> cells(kThreads);
+  std::vector<std::thread> team;
+  team.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    team.emplace_back([&counter, &cells, t] {
+      cells[static_cast<std::size_t>(t)] = &counter.cell();
+    });
+  }
+  for (auto& t : team) t.join();
+  std::sort(cells.begin(), cells.end());
+  EXPECT_EQ(std::unique(cells.begin(), cells.end()), cells.end());
+  for (const auto* cell : cells) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(cell) % 64, 0u);
+  }
 }
 
 TEST(ObsStress, SnapshotDuringCapacityChanges) {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -112,6 +113,127 @@ TEST(ObsTrace, TwoThreadRoundTripThroughParser) {
     ++metadata;
   }
   EXPECT_EQ(metadata, 2);
+}
+
+// All flow events (`cat:"flow"`) from a parsed trace document.
+std::vector<const obs::json::Value*> flow_events(
+    const obs::json::Value& trace) {
+  std::vector<const obs::json::Value*> out;
+  const obs::json::Value* events = trace.find("traceEvents");
+  if (events == nullptr) return out;
+  for (const obs::json::Value& e : events->as_array()) {
+    const obs::json::Value* cat = e.find("cat");
+    if (cat != nullptr && cat->as_string() == "flow") out.push_back(&e);
+  }
+  return out;
+}
+
+TEST(ObsTrace, FlowAcrossThreeThreadsLinksIntoOneArc) {
+  obs::SpanSink& sink = obs::SpanSink::instance();
+  sink.clear();
+
+  // One logical operation hopping across three threads — the sim_pool
+  // shape: claim on a worker, execute on a worker, deliver on the
+  // consumer. Joining between legs gives strictly ordered start times.
+  constexpr std::uint64_t kFlow = 77;
+  std::thread t1([] {
+    obs::ScopedSpan s("test.flow.enqueue", nullptr, kFlow);
+  });
+  t1.join();
+  std::thread t2([] {
+    obs::ScopedSpan s("test.flow.execute", nullptr, kFlow);
+  });
+  t2.join();
+  std::thread t3([] {
+    obs::ScopedSpan s("test.flow.deliver", nullptr, kFlow);
+  });
+  t3.join();
+  {  // unrelated span, no flow — must not join the arc
+    obs::ScopedSpan s("test.flow.bystander");
+  }
+
+  const obs::json::Value trace = obs::trace_from_events(sink.snapshot());
+  const auto parsed = obs::json::parse(trace.dump(2));
+  ASSERT_TRUE(parsed.has_value());
+
+  const auto flows = flow_events(*parsed);
+  ASSERT_EQ(flows.size(), 3u);
+
+  // Begin/end pairing: exactly one "s" and one "f" (binding point "e"),
+  // with the middle leg a "t" step, all under the same flow id.
+  int begins = 0, steps = 0, finishes = 0;
+  for (const auto* e : flows) {
+    EXPECT_EQ(e->find("id")->as_number(), static_cast<double>(kFlow));
+    const std::string ph = e->find("ph")->as_string();
+    if (ph == "s") {
+      ++begins;
+    } else if (ph == "t") {
+      ++steps;
+    } else if (ph == "f") {
+      ++finishes;
+      ASSERT_NE(e->find("bp"), nullptr);
+      EXPECT_EQ(e->find("bp")->as_string(), "e");
+    }
+  }
+  EXPECT_EQ(begins, 1);
+  EXPECT_EQ(steps, 1);
+  EXPECT_EQ(finishes, 1);
+
+  // Each flow event binds to its slice: same tid and ts as the X event
+  // of the leg it decorates, and the three legs sit on three distinct,
+  // stable tracks (s on the first leg's track, f on the last leg's).
+  const auto events = complete_events(*parsed);
+  const auto* enq = event_named(events, "test.flow.enqueue");
+  const auto* exe = event_named(events, "test.flow.execute");
+  const auto* del = event_named(events, "test.flow.deliver");
+  ASSERT_NE(enq, nullptr);
+  ASSERT_NE(exe, nullptr);
+  ASSERT_NE(del, nullptr);
+  EXPECT_NE(enq->find("tid")->as_number(), exe->find("tid")->as_number());
+  EXPECT_NE(exe->find("tid")->as_number(), del->find("tid")->as_number());
+  for (const auto* e : flows) {
+    const std::string ph = e->find("ph")->as_string();
+    const auto* leg = ph == "s" ? enq : ph == "t" ? exe : del;
+    EXPECT_EQ(e->find("tid")->as_number(), leg->find("tid")->as_number());
+    EXPECT_EQ(e->find("ts")->as_number(), leg->find("ts")->as_number());
+  }
+
+  // The X slices themselves carry the flow id in args; the bystander
+  // does not.
+  EXPECT_EQ(enq->find("args")->find("flow")->as_number(),
+            static_cast<double>(kFlow));
+  const auto* bystander = event_named(events, "test.flow.bystander");
+  ASSERT_NE(bystander, nullptr);
+  EXPECT_EQ(bystander->find("args")->find("flow"), nullptr);
+}
+
+TEST(ObsTrace, SingleSpanFlowGetsNoDanglingArc) {
+  obs::SpanSink& sink = obs::SpanSink::instance();
+  sink.clear();
+  {
+    obs::ScopedSpan s("test.flow.lonely", nullptr, 123);
+  }
+  const obs::json::Value trace = obs::trace_from_events(sink.snapshot());
+  // One slice, zero flow events: an s without an f would render as a
+  // dangling arrow in Perfetto.
+  EXPECT_EQ(complete_events(trace).size(), 1u);
+  EXPECT_TRUE(flow_events(trace).empty());
+}
+
+TEST(ObsTrace, FlowSurvivesReportRoundTrip) {
+  obs::SpanSink& sink = obs::SpanSink::instance();
+  sink.clear();
+  std::thread a([] { obs::ScopedSpan s("test.flow.rt_a", nullptr, 9); });
+  a.join();
+  std::thread b([] { obs::ScopedSpan s("test.flow.rt_b", nullptr, 9); });
+  b.join();
+
+  const obs::json::Value live = obs::trace_from_events(sink.snapshot());
+  const obs::json::Value report = obs::build_report("flow-trace-test");
+  const auto from_report = obs::trace_from_report(report);
+  ASSERT_TRUE(from_report.has_value());
+  EXPECT_EQ(from_report->dump(2), live.dump(2));
+  EXPECT_EQ(flow_events(*from_report).size(), 2u);
 }
 
 TEST(ObsTrace, ReportAndLiveSinkProduceSameTrace) {

@@ -16,6 +16,11 @@
 //              must have an allocation-free `<name>_into` counterpart
 //              (DESIGN.md §10) — hot-path callers need a way to reuse
 //              buffers. One-shot helpers carry an inline waiver.
+//   obs-loop   no registry name lookups (`Registry::instance().counter(…)`
+//              et al.) inside loop bodies in src/: each lookup takes the
+//              registry mutex plus a map walk, so loops must hit a
+//              cached handle (function-local static, obs.hpp macro) or a
+//              pre-resolved family cell (obs/family.hpp) instead.
 //
 // A finding can be waived on its line with: // lint-ok: <rule>
 //
@@ -244,6 +249,64 @@ void check_into(const fs::path& file,
   }
 }
 
+// --- rule: obs-loop ------------------------------------------------------
+// A registry name lookup costs the registry mutex plus a map walk; in a
+// loop body that lands per iteration and (worse) serializes concurrent
+// workers on the registry lock. The obs.hpp macros and function-local
+// `static Metric& m = Registry::instance()...` initializers resolve the
+// name exactly once, so any line carrying `static` (or continuing a
+// `static` initializer from the previous line) is exempt.
+const std::regex kRegistryLookup(
+    R"((?:Registry::instance\s*\(\s*\)|\bregistry\s*\(\s*\))\s*\.\s*(counter|gauge|histogram|sharded_counter)\s*\()");
+const std::regex kLoopKeyword(R"(\b(?:for|while|do)\b)");
+
+void check_obs_loop(const fs::path& file,
+                    const std::vector<std::string>& lines) {
+  int depth = 0;
+  int parens = 0;
+  bool pending_loop = false;       // saw a loop keyword, body not yet open
+  std::vector<int> loop_depths;    // brace depths that are loop bodies
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string code = code_only(lines[i]);
+    const bool exempt =
+        waived(lines[i], "obs-loop") ||
+        code.find("static") != std::string::npos ||
+        (i > 0 &&
+         code_only(lines[i - 1]).find("static") != std::string::npos);
+    if (!loop_depths.empty() && !exempt) {
+      std::smatch m;
+      if (std::regex_search(code, m, kRegistryLookup)) {
+        report(file, i + 1, "obs-loop",
+               "registry ." + m[1].str() +
+                   "() name lookup inside a loop body; resolve once "
+                   "before the loop (cached static handle or family "
+                   "cell) or waive with // lint-ok: obs-loop");
+      }
+    }
+    if (std::regex_search(code, kLoopKeyword)) pending_loop = true;
+    for (const char c : code) {
+      if (c == '{') {
+        ++depth;
+        if (pending_loop) {
+          loop_depths.push_back(depth);
+          pending_loop = false;
+        }
+      } else if (c == '}') {
+        if (!loop_depths.empty() && loop_depths.back() == depth) {
+          loop_depths.pop_back();
+        }
+        --depth;
+      } else if (c == '(') {
+        ++parens;
+      } else if (c == ')') {
+        if (parens > 0) --parens;
+      } else if (c == ';' && parens == 0) {
+        pending_loop = false;  // brace-less loop body ended
+      }
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -273,6 +336,7 @@ int main(int argc, char** argv) {
     check_rng(f, lines);
     check_float_dsp(f, lines);
     check_includes(f, lines, rel);
+    check_obs_loop(f, lines);
     if (f.extension() == ".hpp" &&
         (is_under(f, "dsp") || is_under(f, "lte"))) {
       check_into(f, lines);

@@ -537,9 +537,13 @@ int cmd_regress(int argc, char** argv) {
     return 0;
   }
 
+  // The median baseline is historical, not curated: metrics added by a
+  // newer build would fail as drift until the registry majority catches
+  // up, so regress reports them as info only. Removals still gate.
+  obs::DiffOptions diff = args.diff;
+  diff.ignore_added_metrics = true;
   const obs::json::Value base = obs::median_report(records);
-  const obs::DiffResult result =
-      obs::diff_reports(base, *fresh, args.diff);
+  const obs::DiffResult result = obs::diff_reports(base, *fresh, diff);
   if (args.as_json) {
     std::printf("%s\n", result.to_json().dump(2).c_str());
   } else {
