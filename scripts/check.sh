@@ -11,8 +11,12 @@
 # that CI uploads on failure.
 # After the default build it runs the static layer: tools/lscatter-lint
 # (project rules: unit suffixes, RNG discipline, float-in-DSP, include
-# hygiene) always, and clang-tidy when installed (the CI lint job installs
-# it; a gcc-only box skips it).
+# hygiene, raw-mutex/guarded-mutex lock discipline) always, clang-tidy
+# when installed, and a clang -Wthread-safety build
+# (-DLSCATTER_THREAD_SAFETY=ON) when clang++ is installed. Locally a
+# gcc-only box soft-skips the clang lanes; under CI (the CI env var) a
+# missing clang-tidy fails loudly so the lint lane can never become a
+# silent no-op.
 #
 # Usage: scripts/check.sh [--no-sanitize]
 # Exits non-zero on the first failure.
@@ -64,16 +68,37 @@ cmake --build "$repo/build" -j "$jobs" --target lscatter-lint
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== static: clang-tidy =="
-  cmake -B "$repo/build" -S "$repo" \
-    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  # compile_commands.json is exported by the default configure
+  # (CMAKE_EXPORT_COMPILE_COMMANDS ON in CMakeLists.txt).
   if command -v run-clang-tidy >/dev/null 2>&1; then
     run-clang-tidy -quiet -p "$repo/build" "$repo/src/.*\.cpp$"
   else
     find "$repo/src" -name '*.cpp' -print0 |
       xargs -0 clang-tidy -quiet -p "$repo/build"
   fi
+elif [[ -n "${CI:-}" ]]; then
+  # In CI a missing clang-tidy means the lint lane is silently checking
+  # nothing — fail loudly instead of shipping a green no-op.
+  echo "== static: clang-tidy requested in CI but not installed ==" >&2
+  exit 1
 else
   echo "== static: clang-tidy not installed; skipped (CI runs it) =="
+fi
+
+# Clang thread-safety analysis lane: build-only, promotes the capability
+# annotations (core/thread_safety.hpp) to errors. Requires clang — the
+# annotations are no-ops under gcc, so there is nothing to check there.
+# CI runs this as its own job; locally it runs whenever clang is around.
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== static: clang -Wthread-safety build =="
+  cmake -B "$repo/build-tsa" -S "$repo" \
+    -DCMAKE_CXX_COMPILER=clang++ -DLSCATTER_THREAD_SAFETY=ON
+  cmake --build "$repo/build-tsa" -j "$jobs"
+elif [[ -n "${CI:-}" && -n "${LSCATTER_REQUIRE_TSA:-}" ]]; then
+  echo "== static: thread-safety lane requires clang++ ==" >&2
+  exit 1
+else
+  echo "== static: clang++ not installed; thread-safety lane skipped (CI runs it) =="
 fi
 
 if [[ "$run_sanitized" == 1 ]]; then

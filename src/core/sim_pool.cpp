@@ -2,18 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "core/contracts.hpp"
+#include "core/thread_safety.hpp"
 #include "dsp/rng.hpp"
 #include "obs/obs.hpp"
 
@@ -29,20 +28,41 @@ struct Slot {
 
 // Shared pool state. A single mutex is deliberate: drops cost
 // milliseconds to seconds each, so claim/deliver contention is noise
-// next to the simulation work.
+// next to the simulation work. The cursor/window/stop fields are
+// GUARDED_BY the pool mutex (checked on the clang thread-safety lane);
+// window/drops/flow_base are set before the team starts and never
+// mutated after, so workers may read them unlocked.
 struct PoolState {
-  std::mutex mutex;
-  std::condition_variable window_open;   // workers: window advanced
-  std::condition_variable result_ready;  // consumer: in-order slot landed
-  std::size_t next_claim = 0;            // next drop index to hand out
-  std::size_t next_emit = 0;             // next index the consumer wants
-  std::size_t window = 1;                // reorder-window capacity
-  std::size_t drops = 0;
-  std::uint64_t flow_base = 0;           // drop d's trace flow id is
-                                         // flow_base + d (see below)
-  std::map<std::size_t, Slot> ready;     // finished, awaiting emission
-  bool stop = false;                     // failure seen: drain and exit
+  lscatter::Mutex mutex{"core.pool.state"};
+  lscatter::CondVar window_open;   // workers: window advanced
+  lscatter::CondVar result_ready;  // consumer: in-order slot landed
+  std::size_t next_claim LSCATTER_GUARDED_BY(mutex) = 0;  // next handout
+  std::size_t next_emit LSCATTER_GUARDED_BY(mutex) = 0;   // consumer wants
+  std::size_t window = 1;       // immutable after team start
+  std::size_t drops = 0;        // immutable after team start
+  std::uint64_t flow_base = 0;  // immutable; drop d's trace flow id is
+                                // flow_base + d (see below)
+  std::map<std::size_t, Slot> ready
+      LSCATTER_GUARDED_BY(mutex);  // finished, awaiting emission
+  bool stop LSCATTER_GUARDED_BY(mutex) = false;  // failure: drain + exit
 };
+
+// Condition-variable wait predicates, named and annotated REQUIRES so
+// the thread-safety analysis checks the guarded reads (a lambda body
+// would be analyzed without the lock context and rejected).
+
+/// Worker admission: drop `index` may run once it is inside the reorder
+/// window, i.e. fewer than `window` drops ahead of the consumer cursor.
+bool admission_open(const PoolState& state, std::size_t index)
+    LSCATTER_REQUIRES(state.mutex) {
+  return state.stop || index < state.next_emit + state.window;
+}
+
+/// Consumer wake: the next in-order slot has landed in the window.
+bool next_slot_ready(const PoolState& state)
+    LSCATTER_REQUIRES(state.mutex) {
+  return state.ready.count(state.next_emit) != 0;
+}
 
 // Process-unique flow-id block for a sweep of `drops` drops: drop d gets
 // flow id base + d, so the claim/execute/deliver spans of one drop share
@@ -69,7 +89,7 @@ void worker_loop(PoolState& state, const DropConfigFn& make_config,
   for (;;) {
     std::size_t index = 0;
     {
-      std::unique_lock<std::mutex> lock(state.mutex);
+      lscatter::UniqueLock lock(state.mutex);
       if (state.stop || state.next_claim >= state.drops) return;
       index = state.next_claim++;
       // Flow leg 1: the claim-to-admission wait. Its duration is the
@@ -80,9 +100,7 @@ void worker_loop(PoolState& state, const DropConfigFn& make_config,
       // Backpressure: never run more than `window` drops ahead of the
       // consumer. Indices below ours are claimed (the cursor is
       // contiguous), so the window is guaranteed to advance.
-      state.window_open.wait(lock, [&] {
-        return state.stop || index < state.next_emit + state.window;
-      });
+      while (!admission_open(state, index)) state.window_open.wait(lock);
       if (state.stop) return;
     }
 
@@ -97,7 +115,7 @@ void worker_loop(PoolState& state, const DropConfigFn& make_config,
     }
 
     {
-      std::lock_guard<std::mutex> lock(state.mutex);
+      lscatter::LockGuard lock(state.mutex);
       state.ready.emplace(index, std::move(slot));
       LSCATTER_OBS_GAUGE_MAX("core.pool.window_high_water",
                              state.ready.size());
@@ -184,10 +202,9 @@ void for_each_drop(std::size_t drops, std::size_t subframes,
 
   std::exception_ptr failure;
   {
-    std::unique_lock<std::mutex> lock(state.mutex);
+    lscatter::UniqueLock lock(state.mutex);
     while (state.next_emit < drops) {
-      state.result_ready.wait(
-          lock, [&] { return state.ready.count(state.next_emit) != 0; });
+      while (!next_slot_ready(state)) state.result_ready.wait(lock);
       auto node = state.ready.extract(state.next_emit);
       DropOutcome outcome;
       outcome.drop_index = state.next_emit;

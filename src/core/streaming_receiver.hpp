@@ -18,8 +18,10 @@
 // — CellSearcher — provides that alignment; see tests).
 
 #include <optional>
+#include <thread>
 #include <vector>
 
+#include "core/contracts.hpp"
 #include "core/lscatter_rx.hpp"
 #include "lte/ue_sync.hpp"
 
@@ -100,6 +102,12 @@ class StreamingReceiver {
   std::size_t buffered_hwm_ = 0;
   dsp::cvec rx_buffer_;
   dsp::cvec ambient_buffer_;
+#if LSCATTER_CHECKS_ENABLED
+  // Single-owner contract: the receiver holds unguarded stream state, so
+  // all feed() calls must come from one thread (whichever calls first).
+  // Checked in debug builds; compiled out under -DLSCATTER_CHECKS=OFF.
+  std::thread::id owner_thread_{};
+#endif
 };
 
 }  // namespace lscatter::core

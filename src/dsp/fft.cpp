@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
+#include <utility>
 
 #include "core/contracts.hpp"
+#include "core/thread_safety.hpp"
 
 namespace lscatter::dsp {
 namespace {
@@ -323,35 +323,49 @@ void FftPlan::inverse_inplace64(std::span<cf64> data) const {
 // ---- plan cache ---------------------------------------------------------
 
 namespace {
-std::unordered_map<std::size_t, std::unique_ptr<FftPlan>>& plan_cache() {
-  static std::unordered_map<std::size_t, std::unique_ptr<FftPlan>> cache;
-  return cache;
+
+// Read-mostly plan cache behind a reader-writer capability: the steady
+// state is concurrent shared-mode lookups; the first request for a new
+// size upgrades to exclusive by RELEASING the shared lock and
+// re-acquiring exclusive (never while still holding shared — an in-place
+// upgrade attempt is the textbook reader/reader deadlock, and the
+// lock-order validator would flag the same-thread re-acquisition). The
+// double-checked find under the exclusive lock covers the window between
+// the two acquisitions. Plans are immutable once constructed and never
+// destroyed, so references returned from under the lock stay valid.
+struct PlanCache {
+  lscatter::SharedMutex mutex{"dsp.fft.plan_cache"};
+  std::unordered_map<std::size_t, std::unique_ptr<FftPlan>> plans
+      LSCATTER_GUARDED_BY(mutex);
+};
+
+PlanCache& plan_cache() {
+  static PlanCache* const cache = new PlanCache();  // never destroyed:
+  // fft() may be called from static destructors of client code.
+  return *cache;
 }
-std::shared_mutex& plan_mutex() {
-  static std::shared_mutex m;
-  return m;
-}
+
 }  // namespace
 
 const FftPlan& cached_fft_plan(std::size_t n) {
-  auto& cache = plan_cache();
+  PlanCache& cache = plan_cache();
   {
-    std::shared_lock<std::shared_mutex> lock(plan_mutex());
-    const auto it = cache.find(n);
-    if (it != cache.end()) {
+    lscatter::SharedLockGuard lock(cache.mutex);
+    const auto it = std::as_const(cache.plans).find(n);
+    if (it != std::as_const(cache.plans).cend()) {
       g_plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
       return *it->second;
     }
   }
-  std::unique_lock<std::shared_mutex> lock(plan_mutex());
-  auto it = cache.find(n);
-  if (it != cache.end()) {
+  lscatter::ExclusiveLockGuard lock(cache.mutex);
+  auto it = cache.plans.find(n);
+  if (it != cache.plans.end()) {
     // Another thread built it between our two lock acquisitions.
     g_plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
     return *it->second;
   }
   g_plan_cache_misses.fetch_add(1, std::memory_order_relaxed);
-  it = cache.emplace(n, std::make_unique<FftPlan>(n)).first;
+  it = cache.plans.emplace(n, std::make_unique<FftPlan>(n)).first;
   return *it->second;
 }
 

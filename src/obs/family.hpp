@@ -27,12 +27,12 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/thread_safety.hpp"
 #include "obs/registry.hpp"
 
 namespace lscatter::obs {
@@ -92,8 +92,11 @@ class Family {
   /// Cell for `label_value`, creating (and registering) it on first
   /// use. Past the cardinality cap, returns the shared overflow cell
   /// and bumps `obs.labels.dropped` once per rejected value.
-  Metric& cell(std::string_view label_value) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  /// Lock rank: the family mutex is acquired BEFORE the registry mutex
+  /// (cell registration calls into Registry under our lock); nothing in
+  /// the registry ever calls back into a family, so the order is acyclic.
+  Metric& cell(std::string_view label_value) LSCATTER_EXCLUDES(mutex_) {
+    lscatter::LockGuard lock(mutex_);
     const auto it = cells_.find(label_value);
     if (it != cells_.end()) return *it->second;
     if (cells_.size() >= max_cells_) {
@@ -116,8 +119,8 @@ class Family {
   }
 
   /// Distinct label values currently held (overflow cell excluded).
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const LSCATTER_EXCLUDES(mutex_) {
+    lscatter::LockGuard lock(mutex_);
     return cells_.size();
   }
 
@@ -141,7 +144,8 @@ class Family {
     }
   };
 
-  Metric& overflow_locked(std::string_view rejected_value) {
+  Metric& overflow_locked(std::string_view rejected_value)
+      LSCATTER_REQUIRES(mutex_) {
     // Each *distinct* rejected value counts once; repeat hits on an
     // already-collapsed value route straight to the overflow cell.
     if (dropped_.insert(std::string(rejected_value)).second) {
@@ -159,11 +163,13 @@ class Family {
   std::string name_;
   std::string label_key_;
   std::size_t max_cells_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Metric*, Hash, Eq> cells_;
+  mutable lscatter::Mutex mutex_{"obs.family"};
+  std::unordered_map<std::string, Metric*, Hash, Eq> cells_
+      LSCATTER_GUARDED_BY(mutex_);
   // Rejected values already counted in obs.labels.dropped.
-  std::unordered_set<std::string, Hash, Eq> dropped_;
-  Metric* overflow_ = nullptr;
+  std::unordered_set<std::string, Hash, Eq> dropped_
+      LSCATTER_GUARDED_BY(mutex_);
+  Metric* overflow_ LSCATTER_GUARDED_BY(mutex_) = nullptr;
 };
 
 using CounterFamily = Family<Counter>;

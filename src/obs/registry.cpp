@@ -113,28 +113,28 @@ Registry& Registry::instance() {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& Registry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 ShardedCounter& Registry::sharded_counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   auto& slot = sharded_counters_[name];
   if (!slot) slot = std::make_unique<ShardedCounter>();
   return *slot;
@@ -158,7 +158,7 @@ auto find_in(const Map& m, const std::string& name) ->
 }  // namespace
 
 std::vector<std::string> Registry::counter_names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   if (sharded_counters_.empty()) return keys_of(counters_);
   // Sorted union: both maps iterate in order, so a merge keeps the
   // deterministic-report contract without a post-sort.
@@ -181,38 +181,38 @@ std::vector<std::string> Registry::counter_names() const {
 }
 
 std::vector<std::string> Registry::gauge_names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   return keys_of(gauges_);
 }
 
 std::vector<std::string> Registry::histogram_names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   return keys_of(histograms_);
 }
 
 const Counter* Registry::find_counter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   return find_in(counters_, name);
 }
 
 const Gauge* Registry::find_gauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   return find_in(gauges_, name);
 }
 
 const Histogram* Registry::find_histogram(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   return find_in(histograms_, name);
 }
 
 const ShardedCounter* Registry::find_sharded_counter(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   return find_in(sharded_counters_, name);
 }
 
 std::uint64_t Registry::counter_value(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   std::uint64_t v = 0;
   if (const Counter* c = find_in(counters_, name)) v += c->value();
   if (const ShardedCounter* s = find_in(sharded_counters_, name)) {
@@ -222,7 +222,7 @@ std::uint64_t Registry::counter_value(const std::string& name) const {
 }
 
 void Registry::reset_all() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   for (auto& [k, c] : counters_) c->reset();
   for (auto& [k, g] : gauges_) g->reset();
   for (auto& [k, h] : histograms_) h->reset();

@@ -12,10 +12,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/thread_safety.hpp"
 #include "dsp/stats.hpp"
 #include "obs/sharded.hpp"
 
@@ -126,50 +126,67 @@ class alignas(64) Histogram {
 
 /// Name -> metric map. Metric objects live for the process lifetime and
 /// their addresses are stable, so call sites may cache references.
+/// Every public method takes the registry mutex itself, so all are
+/// annotated LSCATTER_EXCLUDES(mutex_): calling one while already
+/// holding the registry lock is a self-deadlock, rejected at compile
+/// time on the clang thread-safety lane. The returned metric references
+/// outlive the lock on purpose — metric objects are never destroyed and
+/// are internally atomic, so caching them is the intended hot-path use.
 class Registry {
  public:
   static Registry& instance();
 
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name);
+  Counter& counter(const std::string& name) LSCATTER_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name) LSCATTER_EXCLUDES(mutex_);
+  Histogram& histogram(const std::string& name) LSCATTER_EXCLUDES(mutex_);
 
   /// Thread-sharded counter (obs/sharded.hpp) for call sites hit
   /// concurrently by many workers. Reported under the same namespace as
   /// plain counters, pre-merged; a name should be sharded or plain, not
   /// both (if both exist, reports show their sum).
-  ShardedCounter& sharded_counter(const std::string& name);
+  ShardedCounter& sharded_counter(const std::string& name)
+      LSCATTER_EXCLUDES(mutex_);
 
   /// Snapshot of registered names, sorted (for deterministic reports).
   /// counter_names() is the union of plain and sharded counters.
-  std::vector<std::string> counter_names() const;
-  std::vector<std::string> gauge_names() const;
-  std::vector<std::string> histogram_names() const;
+  std::vector<std::string> counter_names() const LSCATTER_EXCLUDES(mutex_);
+  std::vector<std::string> gauge_names() const LSCATTER_EXCLUDES(mutex_);
+  std::vector<std::string> histogram_names() const
+      LSCATTER_EXCLUDES(mutex_);
 
   /// Lookup without creating; nullptr when absent. find_counter sees
   /// only plain counters — exporters read counter_value(), which merges
   /// the sharded cells.
-  const Counter* find_counter(const std::string& name) const;
-  const Gauge* find_gauge(const std::string& name) const;
-  const Histogram* find_histogram(const std::string& name) const;
-  const ShardedCounter* find_sharded_counter(const std::string& name) const;
+  const Counter* find_counter(const std::string& name) const
+      LSCATTER_EXCLUDES(mutex_);
+  const Gauge* find_gauge(const std::string& name) const
+      LSCATTER_EXCLUDES(mutex_);
+  const Histogram* find_histogram(const std::string& name) const
+      LSCATTER_EXCLUDES(mutex_);
+  const ShardedCounter* find_sharded_counter(const std::string& name) const
+      LSCATTER_EXCLUDES(mutex_);
 
   /// Report-side counter read: plain value plus the merged sharded sum
   /// under the same name (0 when neither exists).
-  std::uint64_t counter_value(const std::string& name) const;
+  std::uint64_t counter_value(const std::string& name) const
+      LSCATTER_EXCLUDES(mutex_);
 
   /// Zero every metric (tests / multi-phase benches). Does not
   /// unregister: cached call-site references stay valid.
-  void reset_all();
+  void reset_all() LSCATTER_EXCLUDES(mutex_);
 
  private:
   Registry() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::unique_ptr<ShardedCounter>> sharded_counters_;
+  mutable lscatter::Mutex mutex_{"obs.registry"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      LSCATTER_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      LSCATTER_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      LSCATTER_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<ShardedCounter>> sharded_counters_
+      LSCATTER_GUARDED_BY(mutex_);
 };
 
 }  // namespace lscatter::obs

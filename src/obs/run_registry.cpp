@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/thread_safety.hpp"
 #include "dsp/stats.hpp"
 
 namespace lscatter::obs {
@@ -218,8 +219,25 @@ std::optional<RunRecord> parse_record_line(std::string_view line) {
   return RunRecord::from_json(*parsed);
 }
 
+namespace {
+
+// Serializes in-process appenders (a bench self-recording while the gate
+// records the same run, or concurrent sweeps sharing one registry). The
+// kernel's O_APPEND already serializes cross-process writers; this mutex
+// keeps same-process writers from interleaving open/write/close errno
+// handling, and gives the append path a capability the thread-safety
+// lane can reason about. It guards an IO critical section, not a data
+// member, hence the guarded-mutex waiver.
+lscatter::Mutex& append_mutex() {
+  static lscatter::Mutex m{"obs.run_registry.append"};  // lint-ok: guarded-mutex
+  return m;
+}
+
+}  // namespace
+
 bool append_record(const std::string& path, const RunRecord& record,
                    std::string* error) {
+  lscatter::LockGuard lock(append_mutex());
   if (!ensure_parent_dirs(path, error)) return false;
   std::string line = record.to_json().dump(-1);
   if (line.find('\n') != std::string::npos) {

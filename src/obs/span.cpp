@@ -17,7 +17,7 @@ SpanSink& SpanSink::instance() {
 }
 
 void SpanSink::record(const SpanEvent& ev) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   ++total_;
   if (ring_.empty()) return;
   ring_[head_] = ev;
@@ -26,7 +26,7 @@ void SpanSink::record(const SpanEvent& ev) {
 }
 
 std::vector<SpanEvent> SpanSink::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   std::vector<SpanEvent> out;
   out.reserve(size_);
   const std::size_t cap = ring_.size();
@@ -38,24 +38,24 @@ std::vector<SpanEvent> SpanSink::snapshot() const {
 }
 
 std::uint64_t SpanSink::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   return total_;
 }
 
 std::uint64_t SpanSink::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   return total_ - size_;
 }
 
 void SpanSink::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   head_ = 0;
   size_ = 0;
   total_ = 0;
 }
 
 void SpanSink::set_capacity(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  lscatter::LockGuard lock(mutex_);
   ring_.assign(capacity, SpanEvent{});
   head_ = 0;
   size_ = 0;

@@ -8,10 +8,10 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/thread_safety.hpp"
 #include "obs/registry.hpp"
 
 namespace lscatter::obs {
@@ -48,28 +48,28 @@ class SpanSink {
 
   static SpanSink& instance();
 
-  void record(const SpanEvent& ev);
+  void record(const SpanEvent& ev) LSCATTER_EXCLUDES(mutex_);
 
   /// Events currently retained, in record order (oldest first).
-  std::vector<SpanEvent> snapshot() const;
+  std::vector<SpanEvent> snapshot() const LSCATTER_EXCLUDES(mutex_);
 
-  std::uint64_t total_recorded() const;
-  std::uint64_t dropped() const;
+  std::uint64_t total_recorded() const LSCATTER_EXCLUDES(mutex_);
+  std::uint64_t dropped() const LSCATTER_EXCLUDES(mutex_);
 
-  void clear();
+  void clear() LSCATTER_EXCLUDES(mutex_);
 
   /// Resize (drops current contents). Capacity 0 disables retention but
   /// keeps counting.
-  void set_capacity(std::size_t capacity);
+  void set_capacity(std::size_t capacity) LSCATTER_EXCLUDES(mutex_);
 
  private:
   explicit SpanSink(std::size_t capacity) : ring_(capacity) {}
 
-  mutable std::mutex mutex_;
-  std::vector<SpanEvent> ring_;
-  std::size_t head_ = 0;   // next write position
-  std::size_t size_ = 0;   // valid entries
-  std::uint64_t total_ = 0;
+  mutable lscatter::Mutex mutex_{"obs.span_sink"};
+  std::vector<SpanEvent> ring_ LSCATTER_GUARDED_BY(mutex_);
+  std::size_t head_ LSCATTER_GUARDED_BY(mutex_) = 0;   // next write slot
+  std::size_t size_ LSCATTER_GUARDED_BY(mutex_) = 0;   // valid entries
+  std::uint64_t total_ LSCATTER_GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII span: times the enclosed scope, records a SpanEvent and (when a

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/family.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 
@@ -155,6 +156,62 @@ TEST(ObsStress, ShardedCellsAreDistinctPerThread) {
   for (const auto* cell : cells) {
     EXPECT_EQ(reinterpret_cast<std::uintptr_t>(cell) % 64, 0u);
   }
+}
+
+// Registry reads racing sharded increments AND family cell registration:
+// counter_value() walks the registry under its mutex while writer threads
+// hammer their sharded cells and keep registering new family cells —
+// which nests the registry mutex under the family mutex (the declared
+// family -> registry lock rank, DESIGN.md §13). Run under TSan in the
+// nightly deep-tsan lane (--gtest_filter='ObsStress.Sharded*'); in the
+// default build the lock-order validator checks the rank stays acyclic
+// on every nested acquisition.
+TEST(ObsStress, ShardedIncrementsRaceRegistryReadsAndFamilyCells) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kItersPerThread = 20000;
+  // 96 distinct labels against the 64-cell default cap: the overflow
+  // path (which bumps a registry counter under the family lock) runs too.
+  constexpr std::uint64_t kLabels = 96;
+
+  obs::Registry& reg = obs::Registry::instance();
+  obs::ShardedCounter& sharded =
+      reg.sharded_counter("test.stress.race.sharded");
+  sharded.reset();
+  obs::CounterFamily family("test.stress.race.family", "slot");
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)reg.counter_value("test.stress.race.sharded");
+      (void)family.size();
+    }
+  });
+
+  std::vector<std::thread> team;
+  team.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    team.emplace_back([&] {
+      std::atomic<std::uint64_t>& cell = sharded.cell();
+      for (std::uint64_t i = 0; i < kItersPerThread; ++i) {
+        cell.fetch_add(1, std::memory_order_relaxed);
+        if (i % 64 == 0) {
+          // family mutex -> registry mutex on a miss; cached-cell add on
+          // a hit. Both paths race the reader's registry walk.
+          family.cell((i / 64) % kLabels).add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : team) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(sharded.value(),
+            static_cast<std::uint64_t>(kThreads) * kItersPerThread);
+  EXPECT_EQ(reg.counter_value("test.stress.race.sharded"),
+            sharded.value());
+  EXPECT_EQ(family.size(), obs::kDefaultMaxCells);
+  sharded.reset();
 }
 
 TEST(ObsStress, SnapshotDuringCapacityChanges) {

@@ -21,6 +21,16 @@
 //              registry mutex plus a map walk, so loops must hit a
 //              cached handle (function-local static, obs.hpp macro) or a
 //              pre-resolved family cell (obs/family.hpp) instead.
+//   raw-mutex  no raw std synchronization primitives (std::mutex,
+//              std::shared_mutex, std::lock_guard, ...) in src/ outside
+//              core/thread_safety.hpp: every lock must go through the
+//              annotated lscatter:: wrappers so it participates in both
+//              the clang thread-safety analysis and the runtime
+//              lock-order validator (DESIGN.md §13).
+//   guarded-mutex  a lscatter::Mutex / SharedMutex member or field needs
+//              at least one sibling LSCATTER_GUARDED_BY(<name>) in the
+//              same file — a mutex protecting nothing the analysis can
+//              see is usually an annotation gap, not a design choice.
 //
 // A finding can be waived on its line with: // lint-ok: <rule>
 //
@@ -307,6 +317,66 @@ void check_obs_loop(const fs::path& file,
   }
 }
 
+// --- rule: raw-mutex -----------------------------------------------------
+// Every lock in src/ must be a core/thread_safety.hpp wrapper: raw std
+// primitives are invisible to both the clang -Wthread-safety lane and the
+// debug lock-order validator, so a deadlock they participate in is only
+// found the hard way. thread_safety.hpp itself is the one legitimate home
+// of the raw types (it wraps them).
+const std::regex kRawSyncPrimitive(
+    R"(\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|shared_timed_mutex|lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable(?:_any)?)\b)");
+
+void check_raw_mutex(const fs::path& file,
+                     const std::vector<std::string>& lines) {
+  if (file.filename() == "thread_safety.hpp") return;  // the wrapper home
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (waived(lines[i], "raw-mutex")) continue;
+    const std::string code = code_only(lines[i]);
+    std::smatch m;
+    if (std::regex_search(code, m, kRawSyncPrimitive)) {
+      report(file, i + 1, "raw-mutex",
+             "raw std::" + m[1].str() +
+                 "; use the annotated wrapper from core/thread_safety.hpp "
+                 "(lscatter::Mutex / LockGuard / CondVar ...) so the "
+                 "thread-safety analysis and the lock-order validator see "
+                 "it, or waive with // lint-ok: raw-mutex");
+    }
+  }
+}
+
+// --- rule: guarded-mutex -------------------------------------------------
+// A declared lscatter::Mutex / lscatter::SharedMutex should guard
+// something: require at least one LSCATTER_GUARDED_BY(<that name>) in the
+// same file. A mutex that serializes a code path rather than protecting
+// data (e.g. an append-file critical section) is legitimate but rare
+// enough to deserve an explicit waiver explaining itself.
+const std::regex kWrapperMutexDecl(
+    R"(\blscatter::(?:Shared)?Mutex\s+([A-Za-z_][A-Za-z0-9_]*)\s*[{;=])");
+
+void check_guarded_mutex(const fs::path& file,
+                         const std::vector<std::string>& lines) {
+  if (file.filename() == "thread_safety.hpp") return;
+  std::string all;
+  for (const std::string& l : lines) {
+    all += code_only(l);
+    all += '\n';
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (waived(lines[i], "guarded-mutex")) continue;
+    const std::string code = code_only(lines[i]);
+    std::smatch m;
+    if (!std::regex_search(code, m, kWrapperMutexDecl)) continue;
+    const std::string guarded = "LSCATTER_GUARDED_BY(" + m[1].str() + ")";
+    if (all.find(guarded) == std::string::npos) {
+      report(file, i + 1, "guarded-mutex",
+             "mutex '" + m[1].str() + "' has no sibling " + guarded +
+                 " in this file; annotate the data it protects or waive "
+                 "with // lint-ok: guarded-mutex (with a comment saying "
+                 "what it serializes)");
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -337,6 +407,8 @@ int main(int argc, char** argv) {
     check_float_dsp(f, lines);
     check_includes(f, lines, rel);
     check_obs_loop(f, lines);
+    check_raw_mutex(f, lines);
+    check_guarded_mutex(f, lines);
     if (f.extension() == ".hpp" &&
         (is_under(f, "dsp") || is_under(f, "lte"))) {
       check_into(f, lines);
