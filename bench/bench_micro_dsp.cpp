@@ -7,15 +7,21 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "dsp/correlate.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/rng.hpp"
+#include "dsp/simd.hpp"
 #include "lte/enodeb.hpp"
 #include "lte/ofdm.hpp"
+#include "lte/qam.hpp"
 #include "lte/resource_grid.hpp"
 #include "lte/ue_sync.hpp"
+#include "obs/obs.hpp"
 #include "obs/report.hpp"
 
 namespace {
@@ -147,13 +153,235 @@ void BM_OfdmRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_OfdmRoundTrip);
 
+// The batched demodulation path: N subframes through one
+// demodulate_batch_into call sharing a single FFT workspace. The gap to
+// N separate demodulate_into calls is the per-call scratch/plan overhead
+// the batch API removes.
+void BM_OfdmDemodBatch(benchmark::State& state) {
+  const auto nbatch = static_cast<std::size_t>(state.range(0));
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz10;
+  lte::Enodeb::Config ecfg;
+  ecfg.cell = cell;
+  lte::Enodeb enb(ecfg);
+  dsp::cvec samples;
+  for (std::size_t b = 0; b < nbatch; ++b) {
+    const auto tx = enb.next_subframe();
+    samples.insert(samples.end(), tx.samples.begin(), tx.samples.end());
+  }
+  lte::OfdmDemodulator demod(cell);
+  dsp::FftPlan::Workspace ws = demod.plan().make_workspace();
+  std::vector<lte::ResourceGrid> grids(nbatch, lte::ResourceGrid(cell));
+  for (auto _ : state) {
+    demod.demodulate_batch_into(samples, grids, ws);
+    benchmark::DoNotOptimize(grids.front().symbol(0).data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(samples.size()));
+}
+BENCHMARK(BM_OfdmDemodBatch)->Arg(1)->Arg(8);
+
+// ---------------------------------------------------------------------
+// Scalar-vs-SIMD speedups (DESIGN.md §14). Each workload is timed
+// best-of-N at the scalar tier and at the best tier the host supports;
+// the ratios land in fixed-name gauges so the run registry can trend
+// them and `lscatter-obs regress` can gate them:
+//
+//   dsp.simd.tier                      best tier (0 scalar, 1 sse2, 2 avx2)
+//   dsp.simd.speedup.fft1024           1024-pt forward FFT (workspace path)
+//   dsp.simd.speedup.corr_mac512       direct correlation, 512-tap pattern
+//   dsp.simd.speedup.qam_demap64       64-QAM hard-decision demap
+//   dsp.simd.speedup.ofdm_round_trip   10 MHz subframe mod + batch demod
+//
+// On a scalar-only host every ratio is 1.0 by construction, so the
+// gauges stay comparable across machines.
+
+template <typename F>
+double best_seconds(F&& body, int reps) {
+  using clock = std::chrono::steady_clock;
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = clock::now();
+    body();
+    const std::chrono::duration<double> dt = clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+template <typename F>
+double tier_speedup(F&& body, int reps) {
+  dsp::set_simd_tier(dsp::SimdTier::kScalar);
+  body();  // warm caches and thread-local scratch before timing
+  const double scalar_s = best_seconds(body, reps);
+  dsp::set_simd_tier(dsp::simd_best_supported());
+  body();
+  const double simd_s = best_seconds(body, reps);
+  return simd_s > 0.0 ? scalar_s / simd_s : 1.0;
+}
+
+void record_simd_speedups() {
+  const dsp::SimdTier best = dsp::simd_best_supported();
+  const dsp::SimdTier prev = dsp::simd_tier();
+  dsp::Rng rng(11);
+
+  // 1024-pt forward FFT through the allocation-free workspace path.
+  dsp::FftPlan plan(1024);
+  dsp::FftPlan::Workspace ws = plan.make_workspace();
+  dsp::cvec fft_src(1024), fft_buf(1024);
+  for (auto& v : fft_src) v = rng.complex_normal();
+  const double fft_speedup = tier_speedup(
+      [&] {
+        for (int k = 0; k < 200; ++k) {
+          std::copy(fft_src.begin(), fft_src.end(), fft_buf.begin());
+          plan.forward_inplace(fft_buf, ws);
+          benchmark::DoNotOptimize(fft_buf.data());
+        }
+      },
+      5);
+
+  // Direct correlation MACs: 512-tap pattern over a 5 MHz subframe.
+  dsp::cvec sig(7680), pat(512);
+  for (auto& v : sig) v = rng.complex_normal();
+  for (auto& v : pat) v = rng.complex_normal();
+  dsp::cvec corr_out(sig.size() - pat.size() + 1);
+  const double corr_speedup = tier_speedup(
+      [&] {
+        dsp::cross_correlate_into(sig, pat, corr_out);
+        benchmark::DoNotOptimize(corr_out.data());
+      },
+      5);
+
+  // 64-QAM hard decisions over ~100k symbols.
+  const std::size_t nsym = 100000;
+  std::vector<std::uint8_t> bits(nsym * 6);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_u32() & 1);
+  dsp::cvec sym(nsym);
+  lte::qam_modulate_into(bits, lte::Modulation::kQam64, sym);
+  for (auto& v : sym) v += rng.complex_normal(0.03);
+  const double qam_speedup = tier_speedup(
+      [&] {
+        lte::qam_demodulate_into(sym, lte::Modulation::kQam64, bits);
+        benchmark::DoNotOptimize(bits.data());
+      },
+      5);
+
+  // Full 10 MHz subframe round trip: modulate + batch demodulate.
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz10;
+  lte::ResourceGrid grid(cell);
+  for (std::size_t l = 0; l < grid.n_symbols(); ++l)
+    for (auto& re : grid.symbol(l)) re = rng.complex_normal();
+  lte::OfdmModulator mod(cell);
+  lte::OfdmDemodulator demod(cell);
+  dsp::FftPlan::Workspace dws = demod.plan().make_workspace();
+  dsp::cvec samples(cell.samples_per_subframe());
+  std::vector<lte::ResourceGrid> rx(1, lte::ResourceGrid(cell));
+  const double rt_speedup = tier_speedup(
+      [&] {
+        for (int k = 0; k < 20; ++k) {
+          mod.modulate_into(grid, samples);
+          demod.demodulate_batch_into(samples, rx, dws);
+          benchmark::DoNotOptimize(rx.front().symbol(0).data());
+        }
+      },
+      5);
+
+  dsp::set_simd_tier(prev);
+
+  LSCATTER_OBS_GAUGE_SET("dsp.simd.tier", static_cast<double>(best));
+  LSCATTER_OBS_GAUGE_SET("dsp.simd.speedup.fft1024", fft_speedup);
+  LSCATTER_OBS_GAUGE_SET("dsp.simd.speedup.corr_mac512", corr_speedup);
+  LSCATTER_OBS_GAUGE_SET("dsp.simd.speedup.qam_demap64", qam_speedup);
+  LSCATTER_OBS_GAUGE_SET("dsp.simd.speedup.ofdm_round_trip", rt_speedup);
+
+  std::printf("\nSIMD speedups (scalar -> %s):\n",
+              dsp::to_string(best));
+  std::printf("  fft1024         %6.2fx\n", fft_speedup);
+  std::printf("  corr_mac512     %6.2fx\n", corr_speedup);
+  std::printf("  qam_demap64     %6.2fx\n", qam_speedup);
+  std::printf("  ofdm_round_trip %6.2fx\n", rt_speedup);
+}
+
+// Per-tier google-benchmark rows for the dispatch-sensitive kernels —
+// registered only for tiers the host supports, so the row set is exactly
+// the tiers that can run (a forced-scalar CI lane gets scalar-only rows).
+void register_tier_benchmarks() {
+  for (const dsp::SimdTier t :
+       {dsp::SimdTier::kScalar, dsp::SimdTier::kSse2,
+        dsp::SimdTier::kAvx2}) {
+    if (!dsp::simd_tier_supported(t)) continue;
+    const std::string suffix = dsp::to_string(t);
+
+    benchmark::RegisterBenchmark(
+        ("BM_FftForwardWorkspace1024/" + suffix).c_str(),
+        [t](benchmark::State& state) {
+          const dsp::SimdTier prev = dsp::simd_tier();
+          dsp::set_simd_tier(t);
+          dsp::FftPlan plan(1024);
+          dsp::FftPlan::Workspace ws = plan.make_workspace();
+          dsp::Rng rng(1);
+          dsp::cvec src(1024), buf(1024);
+          for (auto& v : src) v = rng.complex_normal();
+          for (auto _ : state) {
+            std::copy(src.begin(), src.end(), buf.begin());
+            plan.forward_inplace(buf, ws);
+            benchmark::DoNotOptimize(buf.data());
+            benchmark::ClobberMemory();
+          }
+          dsp::set_simd_tier(prev);
+        });
+
+    benchmark::RegisterBenchmark(
+        ("BM_CrossCorrelate512/" + suffix).c_str(),
+        [t](benchmark::State& state) {
+          const dsp::SimdTier prev = dsp::simd_tier();
+          dsp::set_simd_tier(t);
+          dsp::Rng rng(2);
+          dsp::cvec sig(7680), pat(512);
+          for (auto& v : sig) v = rng.complex_normal();
+          for (auto& v : pat) v = rng.complex_normal();
+          dsp::cvec out(sig.size() - pat.size() + 1);
+          for (auto _ : state) {
+            dsp::cross_correlate_into(sig, pat, out);
+            benchmark::DoNotOptimize(out.data());
+            benchmark::ClobberMemory();
+          }
+          dsp::set_simd_tier(prev);
+        });
+
+    benchmark::RegisterBenchmark(
+        ("BM_QamDemap64/" + suffix).c_str(),
+        [t](benchmark::State& state) {
+          const dsp::SimdTier prev = dsp::simd_tier();
+          dsp::set_simd_tier(t);
+          dsp::Rng rng(4);
+          const std::size_t nsym = 10000;
+          std::vector<std::uint8_t> bits(nsym * 6);
+          for (auto& b : bits)
+            b = static_cast<std::uint8_t>(rng.next_u32() & 1);
+          dsp::cvec sym(nsym);
+          lte::qam_modulate_into(bits, lte::Modulation::kQam64, sym);
+          for (auto _ : state) {
+            lte::qam_demodulate_into(sym, lte::Modulation::kQam64, bits);
+            benchmark::DoNotOptimize(bits.data());
+            benchmark::ClobberMemory();
+          }
+          dsp::set_simd_tier(prev);
+        });
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  register_tier_benchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  record_simd_speedups();
   const auto path = lscatter::obs::write_report_from_env(
       "bench_micro_dsp", "BENCH_micro_dsp.json");
   if (path) std::printf("JSON report: %s\n", path->c_str());

@@ -13,6 +13,7 @@
 
 #include "core/link_simulator.hpp"
 #include "core/scenario.hpp"
+#include "core/streaming_receiver.hpp"
 #include "obs/report.hpp"
 #include "tag/analog_frontend.hpp"
 #include "tag/modulator.hpp"
@@ -94,6 +95,36 @@ void BM_SyncDetectorFeed(benchmark::State& state) {
                           static_cast<int64_t>(edges.size()));
 }
 BENCHMARK(BM_SyncDetectorFeed);
+
+// Cold-start frame acquisition on an unaligned stream: the PSS/SSS cell
+// search (the fast_normalized_correlation_batch_into matched-filter bank
+// over all three PSS replicas) plus the buffered carve-up. One iteration
+// feeds a full frame + slack with a half-subframe misalignment, so the
+// searcher must actually find the boundary each time.
+void BM_StreamingAcquire(benchmark::State& state) {
+  core::StreamingReceiver::Config cfg;
+  cfg.cell.bandwidth = lte::Bandwidth::kMHz5;
+  cfg.acquire_alignment = true;
+  lte::Enodeb::Config ecfg;
+  ecfg.cell = cfg.cell;
+  lte::Enodeb enb(ecfg);
+  dsp::cvec stream;
+  for (int sf = 0; sf < 12; ++sf) {
+    const auto tx = enb.next_subframe();
+    stream.insert(stream.end(), tx.samples.begin(), tx.samples.end());
+  }
+  // Misalign by half a subframe so acquisition has real work to do.
+  const std::size_t skew = cfg.cell.samples_per_subframe() / 2;
+  const std::span<const dsp::cf32> rx(stream.data() + skew,
+                                      stream.size() - skew);
+  for (auto _ : state) {
+    core::StreamingReceiver receiver(cfg);
+    benchmark::DoNotOptimize(receiver.feed(rx, rx));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rx.size()));
+}
+BENCHMARK(BM_StreamingAcquire);
 
 void BM_LinkSimulatorSubframe(benchmark::State& state) {
   core::LinkConfig cfg = core::make_scenario(core::Scene::kSmartHome);

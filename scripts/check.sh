@@ -28,6 +28,25 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 run_sanitized=1
 [[ "${1:-}" == "--no-sanitize" ]] && run_sanitized=0
 
+# Required tools up front: a missing cmake must fail here with one clear
+# line, not as a bare "command not found" halfway through the pipeline
+# (set -o pipefail above makes any later stage's nonzero exit fatal, but
+# the message would point at the wrong place).
+for tool in cmake ctest; do
+  if ! command -v "$tool" >/dev/null 2>&1; then
+    echo "check.sh: required tool '$tool' not found in PATH —" \
+         "install CMake (provides cmake and ctest) and re-run" >&2
+    exit 1
+  fi
+done
+
+# The SIMD dispatch honors LSCATTER_SIMD in every child process (tests,
+# benches, the gate). Announce a forced tier so a scalar-lane log is
+# self-describing.
+if [[ -n "${LSCATTER_SIMD:-}" ]]; then
+  echo "== SIMD tier forced: LSCATTER_SIMD=$LSCATTER_SIMD =="
+fi
+
 ctest_args=(--output-on-failure -j "$jobs" --timeout 300
             --output-junit ctest-junit.xml)
 

@@ -16,6 +16,15 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 budget="${1:-15}"
 build="$repo/build-fuzz"
 
+# Fail with one clear line when cmake is absent instead of a bare
+# "command not found" from the configure step below. clang is optional
+# (gcc falls back to corpus replay), so only cmake is load-bearing.
+if ! command -v cmake >/dev/null 2>&1; then
+  echo "fuzz_smoke.sh: required tool 'cmake' not found in PATH —" \
+       "install CMake and re-run" >&2
+  exit 1
+fi
+
 cmake_args=(-DLSCATTER_FUZZ=ON)
 have_libfuzzer=0
 if command -v clang++ >/dev/null 2>&1; then

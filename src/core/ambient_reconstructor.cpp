@@ -32,6 +32,11 @@ ReconstructionResult AmbientReconstructor::reconstruct(
       truth.grid.at(lte::kPssSymbolIndex,
                     cell_.n_subcarriers() / 2));  // boost used by the eNB
 
+  // Slice each data RE through the _into demap/map pair on a stack
+  // buffer — the allocating qam_demodulate/qam_modulate forms cost two
+  // heap vectors per resource element here.
+  const std::size_t bps = lte::bits_per_symbol(modulation);
+  std::uint8_t re_bits[6];
   for (std::size_t l = 0; l < lte::kSymbolsPerSubframe; ++l) {
     for (std::size_t k = 0; k < cell_.n_subcarriers(); ++k) {
       const lte::ReType type = truth.grid.type_at(l, k);
@@ -52,10 +57,11 @@ ReconstructionResult AmbientReconstructor::reconstruct(
           const float p = std::norm(h);
           const cf32 y = rx_grid.at(l, k);
           const cf32 eq = p > 1e-12f ? y * std::conj(h) / p : y;
-          const auto bits = lte::qam_demodulate(
-              std::span<const cf32>(&eq, 1), modulation);
-          const cf32 decided =
-              lte::qam_modulate(bits, modulation)[0];
+          lte::qam_demodulate_into(std::span<const cf32>(&eq, 1), modulation,
+                                   std::span<std::uint8_t>(re_bits, bps));
+          cf32 decided;
+          lte::qam_modulate_into(std::span<const std::uint8_t>(re_bits, bps),
+                                 modulation, std::span<cf32>(&decided, 1));
           rebuilt.at(l, k) = decided;
           ++out.re_total;
           if (std::abs(decided - truth.grid.at(l, k)) > 1e-3f) {
@@ -116,15 +122,21 @@ std::optional<ReconstructionResult> AmbientReconstructor::reconstruct_blind(
   }
   lte::map_pdcch(cell_, *dci, rebuilt);
 
-  // Data REs: hard decisions at the announced MCS.
+  // Data REs: hard decisions at the announced MCS, sliced through the
+  // _into demap/map pair on a stack buffer (no per-RE heap traffic).
   ReconstructionResult out;
+  const std::size_t bps = lte::bits_per_symbol(dci->mcs);
+  std::uint8_t re_bits[6];
   for (std::size_t l = 0; l < lte::kSymbolsPerSubframe; ++l) {
     for (std::size_t k = 0; k < n_sc; ++k) {
       if (types[l * n_sc + k] != lte::ReType::kData) continue;
       const cf32 eq = equalize(l, k);
-      const auto bits =
-          lte::qam_demodulate(std::span<const cf32>(&eq, 1), dci->mcs);
-      rebuilt.at(l, k) = lte::qam_modulate(bits, dci->mcs)[0];
+      lte::qam_demodulate_into(std::span<const cf32>(&eq, 1), dci->mcs,
+                               std::span<std::uint8_t>(re_bits, bps));
+      cf32 decided;
+      lte::qam_modulate_into(std::span<const std::uint8_t>(re_bits, bps),
+                             dci->mcs, std::span<cf32>(&decided, 1));
+      rebuilt.at(l, k) = decided;
       ++out.re_total;
     }
   }

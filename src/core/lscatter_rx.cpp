@@ -5,6 +5,7 @@
 
 #include "core/phase_offset.hpp"
 #include "dsp/linalg.hpp"
+#include "dsp/simd.hpp"
 #include "lte/signal_map.hpp"
 #include "obs/obs.hpp"
 
@@ -100,17 +101,17 @@ cvec LscatterDemodulator::symbol_products(
   assert(useful + k <= rx.size());
   assert(useful + k <= ambient.size());
 
+  // z[n] = r[n] · conj(ambient[n]) through the dispatched kernel — the
+  // per-unit product is the §3.2 demodulation front end and dominates the
+  // data-symbol path.
   cvec z(k);
+  const dsp::SimdKernels& kern = dsp::simd_kernels();
   if (h.empty()) {
-    for (std::size_t n = 0; n < k; ++n) {
-      z[n] = rx[useful + n] * std::conj(ambient[useful + n]);
-    }
+    kern.conj_mul(rx.data() + useful, ambient.data() + useful, z.data(), k);
   } else {
     const cvec r_eq =
         equalize_window(std::span<const cf32>(rx.data() + useful, k), h);
-    for (std::size_t n = 0; n < k; ++n) {
-      z[n] = r_eq[n] * std::conj(ambient[useful + n]);
-    }
+    kern.conj_mul(r_eq.data(), ambient.data() + useful, z.data(), k);
   }
   return z;
 }
@@ -124,22 +125,33 @@ cf32 LscatterDemodulator::estimate_symbol_gain(std::span<const cf32> z,
       offset_units;
   const std::ptrdiff_t stop = start + static_cast<std::ptrdiff_t>(n_sc);
 
-  // A few guard units around the window absorb edge uncertainty.
+  // A few guard units around the window absorb edge uncertainty. The
+  // kept filler is the two contiguous runs outside the guarded window,
+  // each summed by the dispatched sum_abs kernel.
   constexpr std::ptrdiff_t kGuard = 4;
-  dsp::cf64 acc{};
+  const auto size = static_cast<std::ptrdiff_t>(z.size());
+  const auto clamp = [size](std::ptrdiff_t v) {
+    return v < 0 ? std::ptrdiff_t{0} : (v > size ? size : v);
+  };
+  const std::ptrdiff_t head_end = clamp(start - kGuard);
+  const std::ptrdiff_t tail_begin = clamp(stop + kGuard);
+  double ar = 0.0;
+  double ai = 0.0;
   double abs_sum = 0.0;
-  std::size_t count = 0;
-  for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(z.size());
-       ++n) {
-    if (n >= start - kGuard && n < stop + kGuard) continue;
-    const cf32 v = z[static_cast<std::size_t>(n)];
-    acc += dsp::cf64{v.real(), v.imag()};
-    abs_sum += std::abs(v);
-    ++count;
+  const dsp::SimdKernels& kern = dsp::simd_kernels();
+  if (head_end > 0) {
+    kern.sum_abs(z.data(), static_cast<std::size_t>(head_end), &ar, &ai,
+                 &abs_sum);
   }
+  if (tail_begin < size) {
+    kern.sum_abs(z.data() + tail_begin,
+                 static_cast<std::size_t>(size - tail_begin), &ar, &ai,
+                 &abs_sum);
+  }
+  const std::size_t count =
+      static_cast<std::size_t>(head_end + (size - tail_begin));
   if (count < 16 || abs_sum <= 0.0) return fallback;
-  const cf32 g{static_cast<float>(acc.real()),
-               static_cast<float>(acc.imag())};
+  const cf32 g{static_cast<float>(ar), static_cast<float>(ai)};
   // Very incoherent filler (magnitude far below what its energy allows)
   // means the estimate is noise-dominated; trust the preamble instead.
   if (std::abs(g) < 0.1 * abs_sum) return fallback;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/contracts.hpp"
+#include "dsp/simd.hpp"
 
 namespace lscatter::core {
 
@@ -21,6 +22,7 @@ std::optional<OffsetResult> find_modulation_offset(
 
   OffsetResult best;
   bool found = false;
+  const dsp::SimdKernels& k = dsp::simd_kernels();
   for (std::ptrdiff_t d = lo; d <= hi; ++d) {
     const std::ptrdiff_t start = nominal_start + d;
     if (start < 0 ||
@@ -28,22 +30,24 @@ std::optional<OffsetResult> find_modulation_offset(
             static_cast<std::ptrdiff_t>(z.size())) {
       continue;
     }
-    dsp::cf64 acc{};
+    // The ±1-signed Eq. 7 correlation Σ sgn(pattern)·v rewrites as
+    // 2·(sum over pattern==1) − (sum over all), which the pattern_sums
+    // kernel computes in one pass along with Σ|v|.
+    double sel_r = 0.0, sel_i = 0.0;
+    double all_r = 0.0, all_i = 0.0;
     double abs_sum = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const cf32 v = z[static_cast<std::size_t>(start) + i];
-      const double sgn = pattern[i] ? 1.0 : -1.0;
-      acc += dsp::cf64{v.real() * sgn, v.imag() * sgn};
-      abs_sum += std::abs(v);
-    }
+    k.pattern_sums(z.data() + start, pattern.data(), n, &sel_r, &sel_i,
+                   &all_r, &all_i, &abs_sum);
+    const double acc_r = 2.0 * sel_r - all_r;
+    const double acc_i = 2.0 * sel_i - all_i;
     if (abs_sum <= 0.0) continue;
-    const float metric = static_cast<float>(std::abs(acc) / abs_sum);
+    const float metric =
+        static_cast<float>(std::hypot(acc_r, acc_i) / abs_sum);
     if (!found || metric > best.metric) {
       found = true;
       best.metric = metric;
       best.offset_units = d;
-      best.gain = cf32{static_cast<float>(acc.real()),
-                       static_cast<float>(acc.imag())};
+      best.gain = cf32{static_cast<float>(acc_r), static_cast<float>(acc_i)};
     }
   }
   if (!found || best.metric < search.detect_threshold) return std::nullopt;

@@ -5,6 +5,7 @@
 
 #include "core/contracts.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/simd.hpp"
 
 namespace lscatter::dsp {
 
@@ -15,12 +16,14 @@ namespace {
 constexpr std::size_t kFastMinPattern = 32;
 constexpr std::size_t kFastMinLags = 32;
 
-/// Per-thread overlap-save scratch: the frequency-domain kernel and one
-/// segment buffer, grown to the largest FFT length seen and then reused
-/// (zero heap allocations after warm-up).
+/// Per-thread overlap-save scratch: the frequency-domain kernel(s), one
+/// segment buffer, and (batch path only) one product buffer, grown to
+/// the largest FFT length / pattern bank seen and then reused (zero heap
+/// allocations after warm-up).
 struct CorrScratch {
   std::vector<cf64> kernel_fft;
   std::vector<cf64> seg;
+  std::vector<cf64> prod;
 };
 
 CorrScratch& corr_scratch() {
@@ -49,20 +52,14 @@ void cross_correlate_into(std::span<const cf32> signal,
   const std::size_t lags = signal.size() - pattern.size() + 1;
   LSCATTER_EXPECT(out.size() == lags,
                   "output must hold exactly signal - pattern + 1 lags");
-  // s * conj(p), accumulated in double and spelled out in real
-  // arithmetic (std::complex operator* would call the __muldc3 rescue
-  // path per sample; inputs are finite by construction).
+  // s * conj(p) per lag through the dispatched MAC kernel (double
+  // accumulation in every tier; the scalar tier keeps the real-arithmetic
+  // form that avoids __muldc3).
+  const SimdKernels& k = simd_kernels();
   for (std::size_t d = 0; d < lags; ++d) {
     double ar = 0.0;
     double ai = 0.0;
-    for (std::size_t n = 0; n < pattern.size(); ++n) {
-      const cf32 s = signal[d + n];
-      const cf32 p = pattern[n];
-      const double sr = s.real(), si = s.imag();
-      const double pr = p.real(), pi = p.imag();
-      ar += sr * pr + si * pi;
-      ai += si * pr - sr * pi;
-    }
+    k.corr_mac(signal.data() + d, pattern.data(), pattern.size(), &ar, &ai);
     out[d] = cf32{static_cast<float>(ar), static_cast<float>(ai)};
   }
 }
@@ -129,20 +126,96 @@ void fast_correlate_into(std::span<const cf32> signal,
     std::fill(seg.begin() + static_cast<std::ptrdiff_t>(fill), seg.end(),
               cf64{});
     plan.forward_inplace64(seg);
-    // Spectral product spelled out in real arithmetic — std::complex
-    // operator* would emit a __muldc3 call per bin.
-    for (std::size_t i = 0; i < f; ++i) {
-      const cf64 x = seg[i];
-      const cf64 h = kfft[i];
-      seg[i] = cf64{x.real() * h.real() - x.imag() * h.imag(),
-                    x.real() * h.imag() + x.imag() * h.real()};
-    }
+    simd_kernels().cmul64(seg.data(), kfft.data(), f);
     plan.inverse_inplace64(seg);
     const std::size_t count = step < lags - d0 ? step : lags - d0;
     for (std::size_t i = 0; i < count; ++i) {
       const cf64 v = seg[m - 1 + i];
       out[d0 + i] = cf32{static_cast<float>(v.real()),
                          static_cast<float>(v.imag())};
+    }
+  }
+}
+
+void fast_correlate_batch_into(std::span<const cf32> signal,
+                               std::span<const std::span<const cf32>> patterns,
+                               std::span<const std::span<cf32>> outs) {
+  LSCATTER_EXPECT(patterns.size() == outs.size(),
+                  "one output span per pattern");
+  if (patterns.empty()) return;
+  const std::size_t m = patterns[0].size();
+  LSCATTER_EXPECT(m > 0, "correlation needs non-empty patterns");
+  for (const auto& p : patterns) {
+    LSCATTER_EXPECT(p.size() == m, "batched patterns must share one length");
+  }
+  LSCATTER_EXPECT(signal.size() >= m,
+                  "signal must be at least as long as the pattern");
+  const std::size_t n = signal.size();
+  const std::size_t lags = n - m + 1;
+  for (const auto& o : outs) {
+    LSCATTER_EXPECT(o.size() == lags,
+                    "output must hold exactly signal - pattern + 1 lags");
+  }
+  if (m < kFastMinPattern || lags < kFastMinLags) {
+    for (std::size_t b = 0; b < patterns.size(); ++b) {
+      cross_correlate_into(signal, patterns[b], outs[b]);
+    }
+    return;
+  }
+
+  // Matched-filter bank over one signal: the overlap-save segment FFT is
+  // shared across the bank, so each block costs 1 + P transforms instead
+  // of the 2P of P independent fast_correlate_into calls (the kernel
+  // FFTs are per-pattern either way).
+  const std::size_t f = next_power_of_two(4 * m);
+  const std::size_t step = f - m + 1;
+  const FftPlan& plan = cached_fft_plan(f);
+  const std::size_t nbatch = patterns.size();
+
+  CorrScratch& scratch = corr_scratch();
+  if (scratch.kernel_fft.size() < f * nbatch) {
+    scratch.kernel_fft.resize(f * nbatch);
+  }
+  if (scratch.seg.size() < f) scratch.seg.resize(f);
+  if (scratch.prod.size() < f) scratch.prod.resize(f);
+  const std::span<cf64> seg(scratch.seg.data(), f);
+  const std::span<cf64> prod(scratch.prod.data(), f);
+
+  for (std::size_t b = 0; b < nbatch; ++b) {
+    const std::span<cf64> kfft(scratch.kernel_fft.data() + b * f, f);
+    const std::span<const cf32> pattern = patterns[b];
+    for (std::size_t j = 0; j < m; ++j) {
+      const cf32 p = pattern[m - 1 - j];
+      kfft[j] = cf64{p.real(), -p.imag()};
+    }
+    std::fill(kfft.begin() + static_cast<std::ptrdiff_t>(m), kfft.end(),
+              cf64{});
+    plan.forward_inplace64(kfft);
+  }
+
+  const SimdKernels& k = simd_kernels();
+  for (std::size_t d0 = 0; d0 < lags; d0 += step) {
+    const std::size_t avail = n - d0;
+    const std::size_t fill = f < avail ? f : avail;
+    for (std::size_t i = 0; i < fill; ++i) {
+      const cf32 s = signal[d0 + i];
+      seg[i] = cf64{s.real(), s.imag()};
+    }
+    std::fill(seg.begin() + static_cast<std::ptrdiff_t>(fill), seg.end(),
+              cf64{});
+    plan.forward_inplace64(seg);
+    const std::size_t count = step < lags - d0 ? step : lags - d0;
+    for (std::size_t b = 0; b < nbatch; ++b) {
+      const cf64* kfft = scratch.kernel_fft.data() + b * f;
+      std::copy(seg.begin(), seg.end(), prod.begin());
+      k.cmul64(prod.data(), kfft, f);
+      plan.inverse_inplace64(prod);
+      const std::span<cf32> out = outs[b];
+      for (std::size_t i = 0; i < count; ++i) {
+        const cf64 v = prod[m - 1 + i];
+        out[d0 + i] = cf32{static_cast<float>(v.real()),
+                           static_cast<float>(v.imag())};
+      }
     }
   }
 }
@@ -180,17 +253,11 @@ fvec normalized_correlation(std::span<const cf32> signal,
                   "signal must be at least as long as the pattern");
   const std::size_t lags = signal.size() - pattern.size() + 1;
   fvec out(lags);
+  const SimdKernels& k = simd_kernels();
   normalized_from_numerator(signal, pattern, out, [&](std::size_t d) {
     double ar = 0.0;
     double ai = 0.0;
-    for (std::size_t n = 0; n < pattern.size(); ++n) {
-      const cf32 s = signal[d + n];
-      const cf32 p = pattern[n];
-      const double sr = s.real(), si = s.imag();
-      const double pr = p.real(), pi = p.imag();
-      ar += sr * pr + si * pi;
-      ai += si * pr - sr * pi;
-    }
+    k.corr_mac(signal.data() + d, pattern.data(), pattern.size(), &ar, &ai);
     return std::hypot(ar, ai);
   });
   return out;
@@ -226,6 +293,41 @@ void fast_normalized_correlation_into(std::span<const cf32> signal,
       signal, pattern, out, [&](std::size_t d) {
         return static_cast<double>(std::abs(numerator[d]));
       });
+}
+
+void fast_normalized_correlation_batch_into(
+    std::span<const cf32> signal,
+    std::span<const std::span<const cf32>> patterns,
+    std::span<const std::span<float>> outs) {
+  LSCATTER_EXPECT(patterns.size() == outs.size(),
+                  "one output span per pattern");
+  if (patterns.empty()) return;
+  const std::size_t m = patterns[0].size();
+  LSCATTER_EXPECT(m > 0, "correlation needs non-empty patterns");
+  LSCATTER_EXPECT(signal.size() >= m,
+                  "signal must be at least as long as the pattern");
+  const std::size_t lags = signal.size() - m + 1;
+  // Numerators for the whole bank share each segment's forward FFT; the
+  // running-energy denominator walk is per-pattern (pattern energies
+  // differ) but O(N) next to the transforms.
+  thread_local cvec numerators;
+  thread_local std::vector<std::span<cf32>> num_spans;
+  if (numerators.size() < lags * patterns.size()) {
+    numerators.resize(lags * patterns.size());
+  }
+  num_spans.clear();
+  for (std::size_t b = 0; b < patterns.size(); ++b) {
+    num_spans.emplace_back(numerators.data() + b * lags, lags);
+  }
+  fast_correlate_batch_into(signal, patterns,
+                            std::span<const std::span<cf32>>(num_spans));
+  for (std::size_t b = 0; b < patterns.size(); ++b) {
+    const std::span<const cf32> num = num_spans[b];
+    normalized_from_numerator(
+        signal, patterns[b], outs[b], [&](std::size_t d) {
+          return static_cast<double>(std::abs(num[d]));
+        });
+  }
 }
 
 Peak peak_abs(std::span<const cf32> x) {

@@ -39,6 +39,16 @@ void fast_correlate_into(std::span<const cf32> signal,
                          std::span<const cf32> pattern,
                          std::span<cf32> out);
 
+/// Matched-filter bank: correlate one signal against several same-length
+/// patterns, sharing each overlap-save segment's forward FFT across the
+/// bank (1 + P transforms per block instead of 2P). Exactly equivalent
+/// to P independent fast_correlate_into calls; falls back to the direct
+/// kernel per pattern below the fast-path thresholds. outs[b] must hold
+/// signal.size() - pattern.size() + 1 lags.
+void fast_correlate_batch_into(std::span<const cf32> signal,
+                               std::span<const std::span<const cf32>> patterns,
+                               std::span<const std::span<cf32>> outs);
+
 /// Normalized correlation magnitude in [0, 1]:
 ///   |corr[d]| / (||signal window|| * ||pattern||)
 /// Direct numerator.
@@ -52,6 +62,15 @@ fvec fast_normalized_correlation(std::span<const cf32> signal,
 void fast_normalized_correlation_into(std::span<const cf32> signal,
                                       std::span<const cf32> pattern,
                                       std::span<float> out);
+
+/// Banked variant of fast_normalized_correlation_into over same-length
+/// patterns (the PSS search correlates all three NID2 replicas against
+/// one window): numerators come from fast_correlate_batch_into, so the
+/// per-segment signal FFT is computed once for the whole bank.
+void fast_normalized_correlation_batch_into(
+    std::span<const cf32> signal,
+    std::span<const std::span<const cf32>> patterns,
+    std::span<const std::span<float>> outs);
 
 struct Peak {
   std::size_t index = 0;

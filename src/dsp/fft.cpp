@@ -8,6 +8,7 @@
 
 #include "core/contracts.hpp"
 #include "core/thread_safety.hpp"
+#include "dsp/simd.hpp"
 
 namespace lscatter::dsp {
 namespace {
@@ -27,44 +28,14 @@ void raise_workspace_peak(std::uint64_t v) {
   }
 }
 
-// Iterative radix-2 DIT on double-precision working buffers.
-//
-// The butterflies spell out the complex multiply in real arithmetic:
-// std::complex<double> operator* otherwise goes through the IEEE-pedantic
-// inf/NaN rescue path (__muldc3); inputs here are finite by construction,
-// so the four-multiply formula is safe. The buffers are __restrict
-// pointers, not spans: without the no-alias guarantee the compiler must
-// reload the twiddle after every butterfly store, which measures ~5x
-// slower than this form at n = 1024.
-void radix2(cf64* __restrict a, std::size_t n,
-            const cf64* __restrict twiddle,
-            const std::uint32_t* __restrict rev, bool invert) {
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t j = rev[i];
-    if (i < j) std::swap(a[i], a[j]);
-  }
-  // Twiddles are stored for the forward transform; the inverse conjugates
-  // them. Folding the conjugation into a sign keeps the inner loop
-  // branch-free (multiplying by ±1.0 is exact, so this cannot perturb
-  // the forward path's bits).
-  const double s = invert ? -1.0 : 1.0;
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t half = len / 2;
-    const std::size_t step = n / len;
-    for (std::size_t i = 0; i < n; i += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        const cf64 w = twiddle[k * step];
-        const double wr = w.real();
-        const double wi = s * w.imag();
-        const cf64 y = a[i + k + half];
-        const double vr = y.real() * wr - y.imag() * wi;
-        const double vi = y.real() * wi + y.imag() * wr;
-        const cf64 x = a[i + k];
-        a[i + k] = cf64{x.real() + vr, x.imag() + vi};
-        a[i + k + half] = cf64{x.real() - vr, x.imag() - vi};
-      }
-    }
-  }
+// Iterative radix-2 DIT on double-precision working buffers, dispatched
+// through the SIMD kernel table (dsp/simd.hpp): the scalar reference
+// lives in kernels_scalar.cpp, the vector tiers in kernels_{sse2,avx2}
+// .cpp. The indirect call costs one relaxed atomic load per transform —
+// noise next to n·log n butterflies.
+inline void radix2(cf64* a, std::size_t n, const cf64* twiddle,
+                   const std::uint32_t* rev, bool invert) {
+  simd_kernels().fft_radix2(a, n, twiddle, rev, invert);
 }
 
 std::vector<std::uint32_t> make_bitrev(std::size_t n) {
@@ -191,12 +162,7 @@ struct FftPlan::Impl {
     }
     std::fill(u.begin() + static_cast<std::ptrdiff_t>(n), u.end(), cf64{});
     radix2(u.data(), m, m_twiddle.data(), m_bitrev.data(), false);
-    for (std::size_t i = 0; i < m; ++i) {
-      const cf64 x = u[i];
-      const cf64 h = chirp_fft[i];
-      u[i] = cf64{x.real() * h.real() - x.imag() * h.imag(),
-                  x.real() * h.imag() + x.imag() * h.real()};
-    }
+    simd_kernels().cmul64(u.data(), chirp_fft.data(), m);
     radix2(u.data(), m, m_twiddle.data(), m_bitrev.data(), true);
     const double inv_m = 1.0 / static_cast<double>(m);
     for (std::size_t k = 0; k < n; ++k) {

@@ -125,6 +125,30 @@ void OfdmDemodulator::demodulate_into(std::span<const cf32> samples,
   }
 }
 
+void OfdmDemodulator::demodulate_into(std::span<const cf32> samples,
+                                      ResourceGrid& grid,
+                                      dsp::FftPlan::Workspace& ws) const {
+  LSCATTER_OBS_TIMER("lte.ofdm.demodulate");
+  LSCATTER_EXPECT(samples.size() >= cfg_.samples_per_subframe(),
+                  "need at least one full subframe of samples");
+  LSCATTER_EXPECT(grid.n_subcarriers() == cfg_.n_subcarriers(),
+                  "grid must be built for the demodulator's CellConfig");
+  for (std::size_t l = 0; l < kSymbolsPerSubframe; ++l) {
+    demod_symbol_with(samples, l, grid.symbol(l), &ws);
+  }
+}
+
+void OfdmDemodulator::demodulate_batch_into(
+    std::span<const cf32> samples, std::span<ResourceGrid> grids,
+    dsp::FftPlan::Workspace& ws) const {
+  const std::size_t spf = cfg_.samples_per_subframe();
+  LSCATTER_EXPECT(samples.size() >= grids.size() * spf,
+                  "need grids.size() full subframes of samples");
+  for (std::size_t b = 0; b < grids.size(); ++b) {
+    demodulate_into(samples.subspan(b * spf), grids[b], ws);
+  }
+}
+
 cvec OfdmDemodulator::demodulate_symbol(std::span<const cf32> samples,
                                         std::size_t l) const {
   cvec out(cfg_.n_subcarriers());
@@ -135,6 +159,18 @@ cvec OfdmDemodulator::demodulate_symbol(std::span<const cf32> samples,
 void OfdmDemodulator::demodulate_symbol_into(std::span<const cf32> samples,
                                              std::size_t l,
                                              std::span<cf32> out) const {
+  demod_symbol_with(samples, l, out, nullptr);
+}
+
+void OfdmDemodulator::demodulate_symbol_into(
+    std::span<const cf32> samples, std::size_t l, std::span<cf32> out,
+    dsp::FftPlan::Workspace& ws) const {
+  demod_symbol_with(samples, l, out, &ws);
+}
+
+void OfdmDemodulator::demod_symbol_with(std::span<const cf32> samples,
+                                        std::size_t l, std::span<cf32> out,
+                                        dsp::FftPlan::Workspace* ws) const {
   const std::size_t k = cfg_.fft_size();
   const std::size_t start = useful_start(l);
   LSCATTER_EXPECT(samples.size() >= start + k,
@@ -147,7 +183,12 @@ void OfdmDemodulator::demodulate_symbol_into(std::span<const cf32> samples,
   std::copy(samples.begin() + static_cast<std::ptrdiff_t>(start),
             samples.begin() + static_cast<std::ptrdiff_t>(start + k),
             bins.begin());
-  plan_.forward_inplace(bins);
+  // ws == nullptr falls back to the per-thread FFT scratch.
+  if (ws != nullptr) {
+    plan_.forward_inplace(bins, *ws);
+  } else {
+    plan_.forward_inplace(bins);
+  }
 
   // Gather subcarriers, applying the inverse scaling at the gather so the
   // full K-bin pass is skipped.

@@ -58,6 +58,21 @@ class OfdmDemodulator {
   void demodulate_into(std::span<const dsp::cf32> samples,
                        ResourceGrid& grid) const;
 
+  /// Same, with caller-owned FFT scratch instead of the per-thread
+  /// workspace — for tight loops that want deterministic memory
+  /// ownership (DESIGN.md §10).
+  void demodulate_into(std::span<const dsp::cf32> samples, ResourceGrid& grid,
+                       dsp::FftPlan::Workspace& ws) const;
+
+  /// Demodulate grids.size() back-to-back subframes (samples must hold at
+  /// least grids.size() * samples_per_subframe() samples starting at the
+  /// first subframe boundary) through ONE caller-owned workspace: all
+  /// 14 * N transforms reuse the same scratch, so long captures stream
+  /// through the FFT with zero allocation and warm caches.
+  void demodulate_batch_into(std::span<const dsp::cf32> samples,
+                             std::span<ResourceGrid> grids,
+                             dsp::FftPlan::Workspace& ws) const;
+
   /// FFT of the useful part of symbol `l` (0..13) of a subframe that starts
   /// at `samples[0]`, returned in subcarrier order.
   dsp::cvec demodulate_symbol(std::span<const dsp::cf32> samples,
@@ -67,10 +82,23 @@ class OfdmDemodulator {
   void demodulate_symbol_into(std::span<const dsp::cf32> samples,
                               std::size_t l, std::span<dsp::cf32> out) const;
 
+  /// Same, with caller-owned FFT scratch.
+  void demodulate_symbol_into(std::span<const dsp::cf32> samples,
+                              std::size_t l, std::span<dsp::cf32> out,
+                              dsp::FftPlan::Workspace& ws) const;
+
   /// Sample offset of the *useful part* (after CP) of subframe symbol `l`.
   std::size_t useful_start(std::size_t l) const;
 
+  /// The demodulator's FFT plan — callers make_workspace() from it to
+  /// feed the workspace overloads above.
+  const dsp::FftPlan& plan() const { return plan_; }
+
  private:
+  void demod_symbol_with(std::span<const dsp::cf32> samples, std::size_t l,
+                         std::span<dsp::cf32> out,
+                         dsp::FftPlan::Workspace* ws) const;
+
   CellConfig cfg_;
   dsp::FftPlan plan_;
   float scale_;

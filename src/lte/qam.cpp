@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "dsp/simd.hpp"
+
 namespace lscatter::lte {
 
 using dsp::cf32;
@@ -45,73 +47,101 @@ inline float axis64(std::uint8_t b_hi, std::uint8_t b_mid,
   return static_cast<float>((1.0 - 2.0 * b_hi) * mag / kSqrt42);
 }
 
+/// Per-axis constellation LUTs, built once with the exact axis16/axis64
+/// formulas so LUT mapping is bit-identical to the closed forms. Indexed
+/// by the axis bits packed MSB-first ((b_hi<<1)|b_lo etc.).
+struct QamLuts {
+  float qpsk[2];
+  float ax16[4];
+  float ax64[8];
+};
+
+const QamLuts& qam_luts() {
+  static const QamLuts t = [] {
+    QamLuts l{};
+    for (std::uint8_t b = 0; b < 2; ++b) {
+      l.qpsk[b] = static_cast<float>((1.0 - 2.0 * b) / kSqrt2);
+    }
+    for (std::uint8_t hi = 0; hi < 2; ++hi) {
+      for (std::uint8_t lo = 0; lo < 2; ++lo) {
+        l.ax16[(hi << 1) | lo] = axis16(hi, lo);
+        for (std::uint8_t mid = 0; mid < 2; ++mid) {
+          l.ax64[(hi << 2) | (mid << 1) | lo] = axis64(hi, mid, lo);
+        }
+      }
+    }
+    return l;
+  }();
+  return t;
+}
+
 }  // namespace
 
 cvec qam_modulate(std::span<const std::uint8_t> bits, Modulation m) {
-  const std::size_t bps = bits_per_symbol(m);
-  assert(bits.size() % bps == 0);
-  const std::size_t n = bits.size() / bps;
-  cvec out(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint8_t* b = &bits[i * bps];
-    switch (m) {
-      case Modulation::kQpsk:
-        out[i] = cf32{static_cast<float>((1.0 - 2.0 * b[0]) / kSqrt2),
-                      static_cast<float>((1.0 - 2.0 * b[1]) / kSqrt2)};
-        break;
-      case Modulation::kQam16:
-        out[i] = cf32{axis16(b[0], b[2]), axis16(b[1], b[3])};
-        break;
-      case Modulation::kQam64:
-        out[i] = cf32{axis64(b[0], b[2], b[4]), axis64(b[1], b[3], b[5])};
-        break;
-    }
-  }
+  cvec out(bits.size() / bits_per_symbol(m));
+  qam_modulate_into(bits, m, out);
   return out;
 }
 
-namespace {
-
-inline void demap_axis16(float v, std::uint8_t& b_hi, std::uint8_t& b_lo) {
-  b_hi = v < 0.0f ? 1 : 0;
-  b_lo = std::abs(v) > static_cast<float>(2.0 / kSqrt10) ? 1 : 0;
+void qam_modulate_into(std::span<const std::uint8_t> bits, Modulation m,
+                       std::span<cf32> out) {
+  const std::size_t bps = bits_per_symbol(m);
+  assert(bits.size() % bps == 0);
+  assert(out.size() == bits.size() / bps);
+  const std::size_t n = out.size();
+  const QamLuts& lut = qam_luts();
+  // Bits are 0/1 by contract; the & 1 below makes a stray byte select a
+  // wrong constellation point instead of reading past the table.
+  switch (m) {
+    case Modulation::kQpsk:
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t* b = &bits[i * 2];
+        out[i] = cf32{lut.qpsk[b[0] & 1], lut.qpsk[b[1] & 1]};
+      }
+      break;
+    case Modulation::kQam16:
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t* b = &bits[i * 4];
+        out[i] = cf32{lut.ax16[((b[0] & 1) << 1) | (b[2] & 1)],
+                      lut.ax16[((b[1] & 1) << 1) | (b[3] & 1)]};
+      }
+      break;
+    case Modulation::kQam64:
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t* b = &bits[i * 6];
+        out[i] = cf32{
+            lut.ax64[((b[0] & 1) << 2) | ((b[2] & 1) << 1) | (b[4] & 1)],
+            lut.ax64[((b[1] & 1) << 2) | ((b[3] & 1) << 1) | (b[5] & 1)]};
+      }
+      break;
+  }
 }
-
-inline void demap_axis64(float v, std::uint8_t& b_hi, std::uint8_t& b_mid,
-                         std::uint8_t& b_lo) {
-  b_hi = v < 0.0f ? 1 : 0;
-  const float a = std::abs(v);
-  b_mid = a > static_cast<float>(4.0 / kSqrt42) ? 1 : 0;
-  // Inner pair {1,3}: b_lo=1 selects the outer of the pair on each side of 4.
-  const float dist_from_4 = std::abs(a - static_cast<float>(4.0 / kSqrt42));
-  b_lo = dist_from_4 > static_cast<float>(2.0 / kSqrt42) ? 1 : 0;
-}
-
-}  // namespace
 
 std::vector<std::uint8_t> qam_demodulate(std::span<const cf32> symbols,
                                          Modulation m) {
-  const std::size_t bps = bits_per_symbol(m);
-  std::vector<std::uint8_t> bits(symbols.size() * bps);
-  for (std::size_t i = 0; i < symbols.size(); ++i) {
-    std::uint8_t* b = &bits[i * bps];
-    const cf32 s = symbols[i];
-    switch (m) {
-      case Modulation::kQpsk:
-        b[0] = s.real() < 0.0f ? 1 : 0;
-        b[1] = s.imag() < 0.0f ? 1 : 0;
-        break;
-      case Modulation::kQam16:
-        demap_axis16(s.real(), b[0], b[2]);
-        demap_axis16(s.imag(), b[1], b[3]);
-        break;
-      case Modulation::kQam64:
-        demap_axis64(s.real(), b[0], b[2], b[4]);
-        demap_axis64(s.imag(), b[1], b[3], b[5]);
-        break;
-    }
-  }
+  std::vector<std::uint8_t> bits(symbols.size() * bits_per_symbol(m));
+  qam_demodulate_into(symbols, m, bits);
   return bits;
+}
+
+void qam_demodulate_into(std::span<const cf32> symbols, Modulation m,
+                         std::span<std::uint8_t> bits) {
+  assert(bits.size() == symbols.size() * bits_per_symbol(m));
+  // The demap thresholds live beside the kernels (dsp/simd_tables.hpp)
+  // and mirror the constellation constants above; every tier is
+  // bit-exact, so which one runs is unobservable here.
+  const dsp::SimdKernels& k = dsp::simd_kernels();
+  switch (m) {
+    case Modulation::kQpsk:
+      k.qam_demap_qpsk(symbols.data(), symbols.size(), bits.data());
+      break;
+    case Modulation::kQam16:
+      k.qam_demap16(symbols.data(), symbols.size(), bits.data());
+      break;
+    case Modulation::kQam64:
+      k.qam_demap64(symbols.data(), symbols.size(), bits.data());
+      break;
+  }
 }
 
 double evm_rms(std::span<const cf32> received,

@@ -18,11 +18,22 @@ const char* to_string(Modulation m);
 
 /// Map bits (one per byte, values 0/1) to symbols. bits.size() must be a
 /// multiple of bits_per_symbol(m).
-dsp::cvec qam_modulate(std::span<const std::uint8_t> bits, Modulation m);  // lint-ok: into — per-subframe, output feeds the grid mapper
+dsp::cvec qam_modulate(std::span<const std::uint8_t> bits, Modulation m);
+
+/// Same, into a caller buffer of exactly bits.size() / bits_per_symbol(m)
+/// symbols — constellation-LUT mapping, allocation-free (DESIGN.md §10).
+void qam_modulate_into(std::span<const std::uint8_t> bits, Modulation m,
+                       std::span<dsp::cf32> out);
 
 /// Hard-decision demap back to bits.
 std::vector<std::uint8_t> qam_demodulate(std::span<const dsp::cf32> symbols,
                                          Modulation m);
+
+/// Same, into a caller buffer of exactly symbols.size() *
+/// bits_per_symbol(m) bytes (one bit per byte) — runs the dispatched
+/// SIMD demap kernels (dsp/simd.hpp), allocation-free.
+void qam_demodulate_into(std::span<const dsp::cf32> symbols, Modulation m,
+                         std::span<std::uint8_t> bits);
 
 /// Error vector magnitude (RMS, relative to unit-power reference grid) —
 /// used by the Fig. 32 impact study to quantify distortion.

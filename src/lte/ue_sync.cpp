@@ -1,5 +1,6 @@
 #include "lte/ue_sync.hpp"
 
+#include <array>
 #include <cassert>
 #include <cmath>
 
@@ -52,12 +53,24 @@ std::optional<CellSearchResult> CellSearcher::search(
   if (samples.size() < k + 1) return std::nullopt;
 
   CellSearchResult best;
+  // Overlap-save FFT correlation of all three PSS replicas as one
+  // matched-filter bank: each segment's forward FFT is shared across the
+  // bank (the replica is FFT-size long, so the direct kernel's O(N·K)
+  // dominated the whole search before — DESIGN.md §10).
+  const std::size_t lags = samples.size() - k + 1;
+  thread_local dsp::fvec metrics;
+  if (metrics.size() < 3 * lags) metrics.resize(3 * lags);
+  const std::array<std::span<const cf32>, 3> patterns{
+      std::span<const cf32>(replicas_[0]),
+      std::span<const cf32>(replicas_[1]),
+      std::span<const cf32>(replicas_[2])};
+  const std::array<std::span<float>, 3> outs{
+      std::span<float>(metrics.data(), lags),
+      std::span<float>(metrics.data() + lags, lags),
+      std::span<float>(metrics.data() + 2 * lags, lags)};
+  dsp::fast_normalized_correlation_batch_into(samples, patterns, outs);
   for (std::uint8_t id2 = 0; id2 < 3; ++id2) {
-    // Overlap-save FFT correlation: the replica is FFT-size long, so the
-    // direct kernel's O(N·K) dominated the whole search (DESIGN.md §10).
-    const auto metric =
-        dsp::fast_normalized_correlation(samples, replicas_[id2]);
-    const auto pk = dsp::peak(metric);
+    const auto pk = dsp::peak(outs[id2]);
     if (pk.value > best.pss_metric) {
       best.pss_metric = pk.value;
       best.n_id_2 = id2;
