@@ -21,6 +21,7 @@
 #include "core/link_simulator.hpp"
 #include "core/scenario.hpp"
 #include "core/sim_pool.hpp"
+#include "dsp/simd.hpp"
 #include "dsp/stats.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
@@ -184,6 +185,7 @@ class BenchReport {
     rec.provenance.config_hash = obs::config_hash(extra_["params"]);
     rec.provenance.hostname = obs::local_hostname();
     rec.provenance.threads = core::resolve_threads(bench_threads());
+    rec.provenance.simd_tier = dsp::to_string(dsp::simd_tier());
     // Caller-side wall-clock stamp: the obs library itself never reads
     // clocks (DESIGN.md §11); the bench binary is the caller here.
     rec.provenance.unix_time_s = static_cast<double>(std::time(nullptr));

@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
 # Regenerate the committed micro-benchmark reference reports under
-# bench/baselines/: BENCH_micro.json (bench_micro_rx) and
-# BENCH_micro_dsp.json (bench_micro_dsp). bench_micro_pool deliberately
-# has no committed baseline — bench_gate.sh gates it against the run
-# registry's per-metric median instead (DESIGN.md §11).
+# bench/baselines/: each bench_<name> writes BENCH_<name>.json (so
+# bench_micro_rx -> BENCH_micro_rx.json, bench_micro_dsp ->
+# BENCH_micro_dsp.json — no per-bench filename exceptions; bench_gate.sh
+# derives the same path). bench_micro_pool and bench_soak_day
+# deliberately have no committed baseline — bench_gate.sh gates them
+# against the run registry's per-metric median instead (DESIGN.md §11).
+#
+# Re-run this script whenever a bench gains or loses a benchmark case —
+# e.g. bench_micro_rx's BM_StreamingAcquire — otherwise the gate's
+# schema-drift check fails on the name mismatch. Commit the regenerated
+# JSON together with the bench change.
 # The baselines exist for scripts/bench_gate.sh — which diffs metric
 # names and quantiles, not raw span dumps — so they are written with
 # LSCATTER_OBS_SPANS=0 and LSCATTER_OBS_BUCKETS=0 (no span events, no
@@ -42,10 +49,7 @@ compiler="${compiler:-unknown}"
 
 mkdir -p "$repo/bench/baselines"
 for bench in "${benches[@]}"; do
-  case "$bench" in
-    bench_micro_rx) out="$repo/bench/baselines/BENCH_micro.json" ;;
-    *) out="$repo/bench/baselines/BENCH_${bench#bench_}.json" ;;
-  esac
+  out="$repo/bench/baselines/BENCH_${bench#bench_}.json"
   LSCATTER_OBS_JSON="$out" LSCATTER_OBS_SPANS=0 LSCATTER_OBS_BUCKETS=0 \
     "$build/bench/$bench" --benchmark_min_time=0.05
   "$obs" stamp "$out" --sha "$git_sha" --dirty "$git_dirty" \

@@ -130,12 +130,18 @@ if [[ "$run_sanitized" == 1 ]]; then
   echo "== tier-1: TSan span + sim-pool stress + shared FFT plan cache =="
   cmake -B "$repo/build-tsan" -S "$repo" -DLSCATTER_SANITIZE=thread
   cmake --build "$repo/build-tsan" -j "$jobs" \
-    --target test_obs_stress test_core_pool_stress test_dsp_correlate
+    --target test_obs_stress test_core_pool_stress test_dsp_correlate \
+      test_core_stream_ring test_core_pipeline
   "$repo/build-tsan/tests/test_obs_stress"
   "$repo/build-tsan/tests/test_core_pool_stress"
   # test_dsp_correlate carries the 8-thread fast_correlate determinism
   # test: concurrent readers of the shared_mutex FFT plan cache.
   "$repo/build-tsan/tests/test_dsp_correlate"
+  # The streaming lane: the StreamRing SPSC producer/consumer stress and
+  # the multi-worker DecodePipeline determinism suite (DESIGN.md §15) —
+  # the two places a memory-ordering bug in the ring protocol would show.
+  "$repo/build-tsan/tests/test_core_stream_ring"
+  "$repo/build-tsan/tests/test_core_pipeline"
 fi
 
 echo "== check.sh: all green =="

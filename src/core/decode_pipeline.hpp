@@ -1,0 +1,133 @@
+#pragma once
+// Pipelined multi-cell streaming decode (DESIGN.md §15).
+//
+// The chassis of the always-on receiver (ROADMAP item 3): one lock-free
+// StreamRing plus one StreamingReceiver per monitored carrier, decoded by
+// a pool of worker threads. Carriers are statically sharded — worker
+// w owns every carrier c with c % threads == w — so each carrier's
+// decode stays strictly serial and the emitted packet stream is
+// bit-identical to feeding the same IQ through a lone StreamingReceiver,
+// at any thread count (the sim_pool determinism guarantee, extended to
+// streaming).
+//
+//   core::DecodePipeline::Config cfg;
+//   cfg.carriers.push_back(receiver_config);   // one per carrier
+//   cfg.on_packet = [](std::size_t carrier, const auto& ev) { ... };
+//   core::DecodePipeline pipe(cfg);
+//   pipe.start();
+//   pipe.push(carrier, rx, ambient);           // SDR thread, never blocks
+//   ...
+//   pipe.stop();                               // drains rings, joins
+//
+// Backpressure is the ring's oldest-first drop policy: a producer never
+// blocks, a slow consumer loses the oldest chunks, and the receiver is
+// told about the hole via notify_gap() so it re-phases (or re-acquires)
+// instead of decoding across the discontinuity.
+//
+// The hot path takes no locks: rings are SPSC atomics, receivers are
+// worker-owned, and workers poll with a yield/short-sleep backoff that
+// bounds wake latency without burning an idle core. The FFT plan cache
+// (dsp::cached_fft_plan) is the only shared read path, behind its
+// shared_mutex. on_packet is invoked from worker threads — it must be
+// thread-safe if it shares state across carriers.
+//
+// Latency accounting: each chunk carries its push() timestamp; when a
+// packet completes, now - push_time of the chunk that completed it is
+// recorded into `core.pipeline.e2e.seconds`, and push/decode spans share
+// a flow id (carrier, stream position) so Perfetto renders the
+// cross-thread hop as a connected arc.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/stream_ring.hpp"
+#include "core/streaming_receiver.hpp"
+
+namespace lscatter::core {
+
+class DecodePipeline {
+ public:
+  /// Called from a worker thread for every demodulated packet.
+  using PacketSink = std::function<void(
+      std::size_t carrier, const StreamingReceiver::PacketEvent& event)>;
+
+  struct Config {
+    /// One receiver configuration per carrier (>= 1).
+    std::vector<StreamingReceiver::Config> carriers;
+
+    /// Ring slot granularity in samples. 0 = one subframe of the first
+    /// carrier's numerology.
+    std::size_t ring_chunk_samples = 0;
+
+    /// Ring capacity in chunks (per carrier).
+    std::size_t ring_chunks = 64;
+
+    /// Worker count. 0 = auto (LSCATTER_THREADS / hardware concurrency,
+    /// via core::resolve_threads); always capped at the carrier count.
+    std::size_t threads = 0;
+
+    PacketSink on_packet;
+  };
+
+  explicit DecodePipeline(const Config& config);
+  ~DecodePipeline();
+
+  DecodePipeline(const DecodePipeline&) = delete;
+  DecodePipeline& operator=(const DecodePipeline&) = delete;
+
+  /// Launch the worker threads. Idempotent.
+  void start();
+
+  /// Drain every ring, then stop and join the workers. Idempotent.
+  void stop();
+
+  /// Producer entry (one producer thread per carrier): append IQ to the
+  /// carrier's ring. Never blocks; under backpressure the oldest chunks
+  /// are dropped and surface as a decode gap. Returns samples accepted.
+  std::size_t push(std::size_t carrier, std::span<const dsp::cf32> rx,
+                   std::span<const dsp::cf32> ambient);
+
+  std::size_t carriers() const { return rings_.size(); }
+  std::size_t threads() const { return threads_; }
+
+  const StreamRing& ring(std::size_t carrier) const {
+    return *rings_[carrier];
+  }
+
+  /// The carrier's receiver. Safe to inspect after stop() (or before
+  /// start()); while workers run it is worker-owned.
+  const StreamingReceiver& receiver(std::size_t carrier) const {
+    return *receivers_[carrier];
+  }
+
+  /// Packets demodulated across all carriers (relaxed running count).
+  std::uint64_t packets_decoded() const {
+    return packets_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_loop(std::size_t worker_index);
+  /// Drain + decode whatever is available on one carrier's ring.
+  /// Returns the number of chunks consumed.
+  std::size_t service_carrier(std::size_t carrier);
+
+  Config config_;
+  std::size_t threads_;
+  std::vector<std::unique_ptr<StreamRing>> rings_;
+  std::vector<std::unique_ptr<StreamingReceiver>> receivers_;
+  /// Per-carrier decode cursor: the absolute stream position the next
+  /// popped chunk should start at; a jump past it is a drop gap.
+  std::vector<std::uint64_t> expected_pos_;
+  /// Per-carrier reused pop target (worker-owned).
+  std::vector<StreamRing::Chunk> chunks_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+  bool running_ = false;
+  std::atomic<std::uint64_t> packets_{0};
+};
+
+}  // namespace lscatter::core

@@ -82,6 +82,30 @@ std::optional<std::vector<std::uint8_t>> PacketCodec::decode(
   return std::nullopt;
 }
 
+bool PacketCodec::decode_hard_into(std::span<const std::uint8_t> coded,
+                                   std::vector<std::uint8_t>& scratch,
+                                   std::vector<std::uint8_t>& payload_out)
+    const {
+  LSCATTER_EXPECT(coded.size() == coded_bits_,
+                  "coded length must match the on-air size");
+  if (fec_ != Fec::kNone) {
+    auto decoded = decode(coded);
+    if (!decoded) return false;
+    payload_out.assign(decoded->begin(), decoded->end());
+    return true;
+  }
+  const std::size_t n_info = payload_bits_ + 32;
+  scratch.resize(n_info);  // grow-only across calls: capacity is retained
+  for (std::size_t i = 0; i < n_info; ++i) {
+    scratch[i] = static_cast<std::uint8_t>(coded[i] ^ whitening_[i]);
+  }
+  if (!dsp::check_crc32(scratch)) return false;
+  payload_out.assign(scratch.begin(),
+                     scratch.begin() + static_cast<std::ptrdiff_t>(
+                                           payload_bits_));
+  return true;
+}
+
 std::vector<std::uint8_t> PacketCodec::decode_soft_bits(
     std::span<const float> soft) const {
   LSCATTER_EXPECT(soft.size() == coded_bits_,

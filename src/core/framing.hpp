@@ -42,6 +42,16 @@ class PacketCodec {
   std::optional<std::vector<std::uint8_t>> decode(
       std::span<const std::uint8_t> coded) const;
 
+  /// Allocation-free hard decode for the streaming hot path: de-whitens
+  /// `coded` through `scratch` (resized once, reused across calls) and,
+  /// on CRC pass, assigns the payload into `payload_out` (likewise
+  /// reused). Returns false on CRC failure (payload_out untouched).
+  /// kNone only — kConvolutional falls back to the allocating path
+  /// internally.
+  bool decode_hard_into(std::span<const std::uint8_t> coded,
+                        std::vector<std::uint8_t>& scratch,
+                        std::vector<std::uint8_t>& payload_out) const;
+
   /// Soft-decision decode from per-unit metrics (positive = bit 1, the
   /// slicer convention). Only meaningful with FEC; falls back to hard
   /// slicing for kNone.

@@ -21,7 +21,7 @@ LscatterDemodulator::LscatterDemodulator(
       controller_(cell, schedule),
       search_(search),
       fec_(fec),
-      plan_(cell.fft_size()) {}
+      plan_(&dsp::cached_fft_plan(cell.fft_size())) {}
 
 std::vector<dsp::cf64> LscatterDemodulator::estimate_channel_fir(
     std::span<const cf32> rx, std::span<const cf32> ambient,
@@ -73,10 +73,10 @@ dsp::cvec LscatterDemodulator::equalize_window(
     h_pad[idx] = cf32{static_cast<float>(h[t].real()),
                       static_cast<float>(h[t].imag())};
   }
-  plan_.forward_inplace(h_pad);
+  plan_->forward_inplace(h_pad);
 
   cvec r(rx_window.begin(), rx_window.end());
-  plan_.forward_inplace(r);
+  plan_->forward_inplace(r);
   // Regularized zero-forcing: divide by H, flooring |H|^2.
   double mean_h2 = 0.0;
   for (const cf32 v : h_pad) mean_h2 += std::norm(v);
@@ -86,13 +86,13 @@ dsp::cvec LscatterDemodulator::equalize_window(
     const float p = std::norm(h_pad[i]) + eps;
     r[i] = r[i] * std::conj(h_pad[i]) / p;
   }
-  plan_.inverse_inplace(r);
+  plan_->inverse_inplace(r);
   return r;
 }
 
-cvec LscatterDemodulator::symbol_products(
+void LscatterDemodulator::symbol_products_into(
     std::span<const cf32> rx, std::span<const cf32> ambient,
-    std::size_t subframe_offset_samples, std::size_t l,
+    std::size_t subframe_offset_samples, std::size_t l, cvec& z_out,
     std::span<const dsp::cf64> h) const {
   const std::size_t k = cell_.fft_size();
   const std::size_t useful =
@@ -104,16 +104,16 @@ cvec LscatterDemodulator::symbol_products(
   // z[n] = r[n] · conj(ambient[n]) through the dispatched kernel — the
   // per-unit product is the §3.2 demodulation front end and dominates the
   // data-symbol path.
-  cvec z(k);
+  if (z_out.size() != k) z_out.resize(k);
   const dsp::SimdKernels& kern = dsp::simd_kernels();
   if (h.empty()) {
-    kern.conj_mul(rx.data() + useful, ambient.data() + useful, z.data(), k);
+    kern.conj_mul(rx.data() + useful, ambient.data() + useful, z_out.data(),
+                  k);
   } else {
     const cvec r_eq =
         equalize_window(std::span<const cf32>(rx.data() + useful, k), h);
-    kern.conj_mul(r_eq.data(), ambient.data() + useful, z.data(), k);
+    kern.conj_mul(r_eq.data(), ambient.data() + useful, z_out.data(), k);
   }
-  return z;
 }
 
 cf32 LscatterDemodulator::estimate_symbol_gain(std::span<const cf32> z,
@@ -189,12 +189,12 @@ void LscatterDemodulator::slice_symbol(std::span<const cf32> z,
   }
 }
 
-PacketDemodResult LscatterDemodulator::demodulate_packet(
+PacketDemodStatus LscatterDemodulator::demodulate_packet_into(
     std::span<const cf32> rx, std::span<const cf32> ambient,
-    std::size_t first_subframe_index) const {
+    std::size_t first_subframe_index, DemodWorkspace& ws) const {
   LSCATTER_OBS_SPAN("core.demod.packet");
   LSCATTER_OBS_COUNTER_INC("core.demod.packets");
-  PacketDemodResult result;
+  PacketDemodStatus status;
   const auto& sched = controller_.schedule();
   const std::size_t sf_samples = cell_.samples_per_subframe();
   assert(rx.size() >= sched.packet_subframes * sf_samples);
@@ -211,23 +211,24 @@ PacketDemodResult LscatterDemodulator::demodulate_packet(
       controller_.bits_per_symbol();
   std::optional<OffsetResult> offset;
   cf32 gain{};
-  std::vector<std::uint8_t> coded;
-  std::vector<float> soft;
+  ws.coded.clear();  // capacity retained: no allocation once warm
+  ws.soft.clear();
   std::pair<std::size_t, std::size_t> best_preamble{0, 0};  // (sf_off, l)
-  std::vector<dsp::cf64> h;  // equalizer FIR, estimated lazily
+  std::vector<dsp::cf64> h;  // equalizer FIR, estimated lazily (taps > 0)
 
   for (std::size_t s = 0; s < sched.packet_subframes; ++s) {
     const std::size_t sf = first_subframe_index + s;
     if (controller_.is_listening_subframe(sf)) continue;
     const std::size_t sf_off = s * sf_samples;
 
-    for (const std::size_t l : controller_.modulatable_symbols(sf)) {
+    for (std::size_t l = 0; l < lte::kSymbolsPerSubframe; ++l) {
+      if (!controller_.symbol_modulatable(sf, l)) continue;
       if (preambles_expected > 0) {
         --preambles_expected;
         LSCATTER_OBS_TIMER("core.demod.offset_search");
-        const cvec z = symbol_products(rx, ambient, sf_off, l);
+        symbol_products_into(rx, ambient, sf_off, l, ws.z);
         auto found =
-            find_modulation_offset(z, preamble, nominal, search_);
+            find_modulation_offset(ws.z, preamble, nominal, search_);
         if (found && (!offset || found->metric > offset->metric)) {
           offset = *found;
           gain = found->gain;
@@ -238,7 +239,7 @@ PacketDemodResult LscatterDemodulator::demodulate_packet(
       if (!offset) {
         // Preamble missed: the packet is lost; stop early.
         LSCATTER_OBS_COUNTER_INC("core.demod.preamble_missed");
-        return result;
+        return status;
       }
       if (search_.equalizer_taps > 0 && h.empty()) {
         LSCATTER_OBS_TIMER("core.demod.equalizer_fit");
@@ -247,8 +248,7 @@ PacketDemodResult LscatterDemodulator::demodulate_packet(
         // expressible as an LTI channel (they shift independently), so
         // refine the offset jointly with the channel fit: pick the
         // candidate whose least-squares residual is smallest.
-        const cvec zp = symbol_products(rx, ambient, best_preamble.first,
-                                        best_preamble.second);
+        cvec zd;
         double best_residual = 0.0;
         for (std::ptrdiff_t d = offset->offset_units - 2;
              d <= offset->offset_units + 2; ++d) {
@@ -257,9 +257,8 @@ PacketDemodResult LscatterDemodulator::demodulate_packet(
           if (cand.empty()) continue;
           // Residual via the equalized preamble: slice against the known
           // pattern and count soft disagreement energy.
-          const cvec zd = symbol_products(rx, ambient,
-                                          best_preamble.first,
-                                          best_preamble.second, cand);
+          symbol_products_into(rx, ambient, best_preamble.first,
+                               best_preamble.second, zd, cand);
           double agree = 0.0;
           const std::ptrdiff_t start =
               controller_.modulation_start_unit() + d;
@@ -278,53 +277,82 @@ PacketDemodResult LscatterDemodulator::demodulate_packet(
             offset->offset_units = d;
           }
         }
-        (void)zp;
       }
       if (data_symbols_expected == 0) break;
       --data_symbols_expected;
-      cvec z;
       {
         // Conjugate products (and equalization when fitted) + slicing
         // together are the paper's unit-level demodulation (§3.2/§3.3).
         LSCATTER_OBS_TIMER("core.demod.unit_demod");
-        z = symbol_products(rx, ambient, sf_off, l, h);
+        symbol_products_into(rx, ambient, sf_off, l, ws.z, h);
       }
       cf32 g;
       {
         // Per-symbol gain re-estimate = the §3.3.1 phase-offset
         // elimination step.
         LSCATTER_OBS_TIMER("core.demod.phase_offset");
-        g = estimate_symbol_gain(z, offset->offset_units, gain);
+        g = estimate_symbol_gain(ws.z, offset->offset_units, gain);
       }
       {
         LSCATTER_OBS_TIMER("core.demod.unit_demod");
-        slice_symbol(z, offset->offset_units, g, coded, soft);
+        slice_symbol(ws.z, offset->offset_units, g, ws.coded, ws.soft);
       }
     }
   }
 
   if (!offset) {
     LSCATTER_OBS_COUNTER_INC("core.demod.preamble_missed");
-    return result;
+    return status;
   }
   LSCATTER_OBS_COUNTER_INC("core.demod.preamble_found");
-  result.preamble_found = true;
-  result.offset_units = offset->offset_units;
-  result.preamble_metric = offset->metric;
-  result.coded_bits = std::move(coded);
-  result.soft_bits = std::move(soft);
-  if (result.coded_bits.size() > 32) {
+  status.preamble_found = true;
+  status.offset_units = offset->offset_units;
+  status.preamble_metric = offset->metric;
+  if (ws.coded.size() > 32) {
     LSCATTER_OBS_TIMER("core.demod.fec_crc");
-    const PacketCodec codec(result.coded_bits.size(), fec_);
-    result.payload = fec_ == Fec::kNone
-                         ? codec.decode(result.coded_bits)
-                         : codec.decode_soft(result.soft_bits);
-    if (result.payload) {
+    // Codec cached per on-air size: the whitening sequence is derived
+    // from the size alone, so a handful of entries covers the stream.
+    const PacketCodec* codec = nullptr;
+    for (const auto& [size, c] : ws.codecs) {
+      if (size == ws.coded.size()) {
+        codec = &c;
+        break;
+      }
+    }
+    if (codec == nullptr) {
+      ws.codecs.emplace_back(ws.coded.size(),
+                             PacketCodec(ws.coded.size(), fec_));
+      codec = &ws.codecs.back().second;
+    }
+    if (fec_ == Fec::kNone) {
+      status.crc_ok =
+          codec->decode_hard_into(ws.coded, ws.crc_scratch, ws.payload);
+    } else if (auto decoded = codec->decode_soft(ws.soft)) {
+      ws.payload.assign(decoded->begin(), decoded->end());
+      status.crc_ok = true;
+    }
+    if (status.crc_ok) {
       LSCATTER_OBS_COUNTER_INC("core.demod.crc_ok");
     } else {
       LSCATTER_OBS_COUNTER_INC("core.demod.crc_fail");
     }
   }
+  return status;
+}
+
+PacketDemodResult LscatterDemodulator::demodulate_packet(
+    std::span<const cf32> rx, std::span<const cf32> ambient,
+    std::size_t first_subframe_index) const {
+  DemodWorkspace ws;
+  const PacketDemodStatus status =
+      demodulate_packet_into(rx, ambient, first_subframe_index, ws);
+  PacketDemodResult result;
+  result.preamble_found = status.preamble_found;
+  result.offset_units = status.offset_units;
+  result.preamble_metric = status.preamble_metric;
+  result.coded_bits = std::move(ws.coded);
+  result.soft_bits = std::move(ws.soft);
+  if (status.crc_ok) result.payload = std::move(ws.payload);
   return result;
 }
 

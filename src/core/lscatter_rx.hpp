@@ -9,6 +9,7 @@
 // collected bits are de-whitened and CRC-checked by the PacketCodec.
 
 #include <optional>
+#include <utility>
 
 #include "core/framing.hpp"
 #include "core/modulation_offset.hpp"
@@ -27,6 +28,31 @@ struct PacketDemodResult {
   std::optional<std::vector<std::uint8_t>> payload;  // CRC-clean payload
 };
 
+/// Reusable scratch for demodulate_packet_into(). All buffers grow to
+/// their steady-state size on the first few packets and are then reused,
+/// so the streaming hot path performs zero heap allocations (DESIGN.md
+/// §15). One workspace per decoding thread; never shared concurrently.
+struct DemodWorkspace {
+  dsp::cvec z;                        // symbol-product scratch (K samples)
+  std::vector<std::uint8_t> coded;    // on-air bits of the current packet
+  std::vector<float> soft;            // per-unit soft metrics
+  std::vector<std::uint8_t> payload;  // CRC-clean payload (crc_ok only)
+  std::vector<std::uint8_t> crc_scratch;
+  /// Codecs cached per on-air size (listening slots change packet
+  /// capacity, so a stream sees a small set of sizes — each is built
+  /// once, during warmup).
+  std::vector<std::pair<std::size_t, PacketCodec>> codecs;
+};
+
+/// Result of the allocation-free demod path; the bit/payload buffers
+/// live in the DemodWorkspace that produced it.
+struct PacketDemodStatus {
+  bool preamble_found = false;
+  bool crc_ok = false;
+  std::ptrdiff_t offset_units = 0;
+  float preamble_metric = 0.0f;
+};
+
 class LscatterDemodulator {
  public:
   LscatterDemodulator(const lte::CellConfig& cell,
@@ -42,16 +68,27 @@ class LscatterDemodulator {
                                       std::span<const dsp::cf32> ambient,
                                       std::size_t first_subframe_index) const;
 
+  /// Allocation-free variant for the streaming pipeline: identical
+  /// decode (bit-for-bit) but all intermediates live in `ws`. On return
+  /// ws.coded/ws.soft hold the sliced bits and, when the status reports
+  /// crc_ok, ws.payload holds the CRC-clean payload. With the default
+  /// Fec::kNone and equalizer_taps == 0 this path performs no heap
+  /// allocation once ws is warm.
+  PacketDemodStatus demodulate_packet_into(
+      std::span<const dsp::cf32> rx, std::span<const dsp::cf32> ambient,
+      std::size_t first_subframe_index, DemodWorkspace& ws) const;
+
   const tag::TagController& controller() const { return controller_; }
   const OffsetSearch& search() const { return search_; }
 
  private:
-  /// z products over the useful window of subframe symbol `l`; when `h`
-  /// is non-empty the window is channel-equalized first.
-  dsp::cvec symbol_products(std::span<const dsp::cf32> rx,
+  /// z products over the useful window of subframe symbol `l`, written
+  /// into `z_out` (resized to the FFT size, reused across calls); when
+  /// `h` is non-empty the window is channel-equalized first.
+  void symbol_products_into(std::span<const dsp::cf32> rx,
                             std::span<const dsp::cf32> ambient,
                             std::size_t subframe_offset_samples,
-                            std::size_t l,
+                            std::size_t l, dsp::cvec& z_out,
                             std::span<const dsp::cf64> h = {}) const;
 
   /// Slice the symbol's info bits (and their soft metrics) given offset
@@ -82,7 +119,10 @@ class LscatterDemodulator {
   tag::TagController controller_;
   OffsetSearch search_;
   Fec fec_;
-  dsp::FftPlan plan_;
+  /// Shared process-wide plan (dsp::cached_fft_plan): multi-cell
+  /// receivers on the same numerology reuse one set of twiddles behind
+  /// the cache's shared_mutex read path instead of building one each.
+  const dsp::FftPlan* plan_;
 };
 
 }  // namespace lscatter::core

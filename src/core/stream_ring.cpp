@@ -1,0 +1,130 @@
+#include "core/stream_ring.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/contracts.hpp"
+#include "obs/obs.hpp"
+
+namespace lscatter::core {
+
+StreamRing::StreamRing(std::size_t chunk_samples, std::size_t chunks)
+    : chunk_samples_(chunk_samples), n_(chunks) {
+  LSCATTER_EXPECT(chunk_samples_ > 0, "stream_ring: chunk_samples must be > 0");
+  LSCATTER_EXPECT(n_ >= 2, "stream_ring: need at least 2 chunks");
+  slots_.resize(n_);
+  rx_store_.resize(n_ * chunk_samples_);
+  ambient_store_.resize(n_ * chunk_samples_);
+}
+
+std::size_t StreamRing::push(std::span<const dsp::cf32> rx,
+                             std::span<const dsp::cf32> ambient,
+                             double push_time_s) {
+  LSCATTER_EXPECT(rx.size() == ambient.size(),
+                  "stream_ring: rx/ambient length mismatch");
+  std::size_t accepted = 0;
+  std::size_t off = 0;
+  while (off < rx.size()) {
+    const std::size_t n = std::min(chunk_samples_, rx.size() - off);
+    accepted += push_slot(rx.data() + off, ambient.data() + off, n,
+                          push_time_s);
+    off += n;
+  }
+  return accepted;
+}
+
+std::size_t StreamRing::push_slot(const dsp::cf32* rx,
+                                  const dsp::cf32* ambient, std::size_t n,
+                                  double push_time_s) {
+  const std::uint64_t h = head_.load(std::memory_order_relaxed);
+
+  // Backpressure: ring full -> drop the oldest chunk ourselves. The CAS
+  // races with the consumer's claim; whoever wins advances tail_, so on
+  // failure the ring is no longer full and we proceed.
+  std::uint64_t t = tail_.load(std::memory_order_seq_cst);
+  if (h - t == n_) {
+    const std::uint32_t lost = slots_[t % n_].size;
+    if (tail_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst)) {
+      dropped_samples_.fetch_add(lost, std::memory_order_relaxed);
+      LSCATTER_OBS_COUNTER_ADD("core.stream.dropped", lost);
+    }
+  }
+
+  // The consumer may still be copying the slot we are about to reuse (it
+  // claimed it, then we lapped the entire ring). Writing would tear its
+  // read, blocking would break the real-time producer — so drop the
+  // *incoming* chunk. reading_ is published seq_cst before the
+  // consumer's claim-CAS, so either we see it here or the consumer's
+  // claim already advanced tail_ past the full condition above.
+  const std::uint64_t r = reading_.load(std::memory_order_seq_cst);
+  if (r != kIdle && r % n_ == h % n_) {
+    dropped_samples_.fetch_add(n, std::memory_order_relaxed);
+    push_rejected_.fetch_add(1, std::memory_order_relaxed);
+    LSCATTER_OBS_COUNTER_ADD("core.stream.dropped", n);
+    LSCATTER_OBS_COUNTER_INC("core.stream.push_rejected");
+    // The stream position still advances: the samples existed, the
+    // consumer will see them as a gap.
+    stream_pos_ += n;
+    return 0;
+  }
+
+  Slot& slot = slots_[h % n_];
+  slot.stream_pos = stream_pos_;
+  slot.push_time_s = push_time_s;
+  slot.size = static_cast<std::uint32_t>(n);
+  std::memcpy(rx_store_.data() + (h % n_) * chunk_samples_, rx,
+              n * sizeof(dsp::cf32));
+  std::memcpy(ambient_store_.data() + (h % n_) * chunk_samples_, ambient,
+              n * sizeof(dsp::cf32));
+  head_.store(h + 1, std::memory_order_release);
+
+  stream_pos_ += n;
+  pushed_samples_.fetch_add(n, std::memory_order_relaxed);
+
+  const std::size_t fill_now =
+      static_cast<std::size_t>(h + 1 - tail_.load(std::memory_order_relaxed));
+  std::size_t hw = high_water_.load(std::memory_order_relaxed);
+  while (fill_now > hw &&
+         !high_water_.compare_exchange_weak(hw, fill_now,
+                                            std::memory_order_relaxed)) {
+  }
+  LSCATTER_OBS_GAUGE_MAX("core.stream.ring_high_water",
+                         static_cast<double>(fill_now));
+  return n;
+}
+
+bool StreamRing::pop(Chunk& out) {
+  for (;;) {
+    std::uint64_t t = tail_.load(std::memory_order_seq_cst);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    if (t == h) return false;  // empty
+
+    // Announce the slot we are about to copy BEFORE claiming it, so a
+    // producer lapping onto this slot sees the announcement and backs
+    // off (push_slot's reading_ check).
+    reading_.store(t, std::memory_order_seq_cst);
+    if (!tail_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst)) {
+      // Producer dropped this chunk first; retry with the new tail.
+      reading_.store(kIdle, std::memory_order_seq_cst);
+      continue;
+    }
+
+    const Slot& slot = slots_[t % n_];
+    out.stream_pos = slot.stream_pos;
+    out.push_time_s = slot.push_time_s;
+    out.size = slot.size;
+    if (out.rx.size() != chunk_samples_) out.rx.resize(chunk_samples_);
+    if (out.ambient.size() != chunk_samples_)
+      out.ambient.resize(chunk_samples_);
+    std::memcpy(out.rx.data(),
+                rx_store_.data() + (t % n_) * chunk_samples_,
+                slot.size * sizeof(dsp::cf32));
+    std::memcpy(out.ambient.data(),
+                ambient_store_.data() + (t % n_) * chunk_samples_,
+                slot.size * sizeof(dsp::cf32));
+    reading_.store(kIdle, std::memory_order_release);
+    return true;
+  }
+}
+
+}  // namespace lscatter::core

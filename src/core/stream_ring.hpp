@@ -1,0 +1,159 @@
+#pragma once
+// Lock-free SPSC ring buffer for IQ sample ingestion (DESIGN.md §15).
+//
+// A real-time producer (the SDR read thread) must never block and never
+// allocate, yet a decode worker that falls behind must not corrupt the
+// stream — it must lose the *oldest* samples, explicitly counted. The
+// ring therefore holds fixed-size chunks of (rx, ambient) sample pairs,
+// each tagged with its absolute stream position, and implements
+// overwrite-oldest backpressure:
+//
+//   * the producer owns `head_` (a monotonically increasing chunk
+//     sequence number, release-published after the slot is written);
+//   * the consumer claims the oldest chunk by CAS on `tail_` and copies
+//     it out; `head_ - tail_` is the current fill;
+//   * when the ring is full the producer CASes `tail_` forward itself,
+//     dropping the oldest chunk (drop-oldest policy) and counting its
+//     samples into dropped_samples();
+//   * the consumer announces the slot it is copying through `reading_`
+//     *before* its claim-CAS; in the pathological case where the
+//     producer laps the whole ring onto the very slot being copied, the
+//     producer drops the *incoming* chunk instead (push_rejected) rather
+//     than tearing the read or blocking. This is the only deviation from
+//     strict drop-oldest and it requires the consumer to be a full ring
+//     behind mid-copy.
+//
+// Memory ordering: slot payloads are plain arrays, synchronized solely by
+// the release-store of `head_` (producer) and acquire-loads of it
+// (consumer) — a consumer that claimed chunk `t` has observed
+// `head_ > t` and therefore the slot write. The claim/drop CASes on
+// `tail_` and the `reading_` announcements use seq_cst so the producer's
+// "is the consumer inside my write target" check and the consumer's
+// announcement cannot reorder past each other. head_/tail_ live on
+// separate cache lines so the producer and consumer do not false-share.
+//
+// Gap detection is the consumer's job: chunks carry `stream_pos` (the
+// absolute index of their first sample), so a jump past the expected
+// position is exactly the number of samples dropped between two pops.
+//
+// Counters/gauges (through obs): `core.stream.dropped` (samples lost to
+// drop-oldest or a rejected push), `core.stream.ring_high_water` (max
+// observed fill in chunks).
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "dsp/types.hpp"
+
+namespace lscatter::core {
+
+class StreamRing {
+ public:
+  /// One popped chunk, copied into consumer-owned storage. rx/ambient
+  /// are parallel and `size` samples long (<= chunk_samples()).
+  struct Chunk {
+    std::uint64_t stream_pos = 0;  // absolute index of rx[0]
+    double push_time_s = 0.0;      // producer's monotonic timestamp
+    std::size_t size = 0;
+    dsp::cvec rx;
+    dsp::cvec ambient;
+  };
+
+  /// `chunk_samples` is the slot granularity (pushes are split across
+  /// slots); `chunks` is the ring capacity in slots. All slot storage is
+  /// allocated here — push/pop never touch the heap.
+  StreamRing(std::size_t chunk_samples, std::size_t chunks);
+
+  StreamRing(const StreamRing&) = delete;
+  StreamRing& operator=(const StreamRing&) = delete;
+
+  std::size_t chunk_samples() const { return chunk_samples_; }
+  std::size_t capacity_chunks() const { return n_; }
+
+  /// Producer side (exactly one thread). Appends `rx`/`ambient` (equal
+  /// length) at `push_time_s` (monotonic seconds, caller-supplied so the
+  /// ring itself reads no clocks), splitting across as many slots as
+  /// needed. Never blocks: a full ring drops the oldest chunk per slot
+  /// written; a slot the consumer is mid-copying rejects the incoming
+  /// chunk instead. Returns the number of samples accepted.
+  std::size_t push(std::span<const dsp::cf32> rx,
+                   std::span<const dsp::cf32> ambient, double push_time_s);
+
+  /// Consumer side (exactly one thread). Copies the oldest available
+  /// chunk into `out` (rx/ambient are resized once to chunk_samples()
+  /// and reused). Returns false when the ring is empty.
+  bool pop(Chunk& out);
+
+  /// Chunks currently buffered (producer + consumer callable; racy by
+  /// nature, exact when quiescent).
+  std::size_t fill() const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(h - t);
+  }
+
+  /// Total samples accepted by push().
+  std::uint64_t pushed_samples() const {
+    return pushed_samples_.load(std::memory_order_relaxed);
+  }
+  /// Samples lost: drop-oldest laps plus rejected pushes.
+  std::uint64_t dropped_samples() const {
+    return dropped_samples_.load(std::memory_order_relaxed);
+  }
+  /// Incoming chunks rejected because the consumer was mid-copy of the
+  /// producer's write target (the pathological full-lap case).
+  std::uint64_t push_rejected() const {
+    return push_rejected_.load(std::memory_order_relaxed);
+  }
+  /// Highest fill (in chunks) ever observed by the producer.
+  std::size_t high_water_chunks() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+  /// Absolute stream position of the next pushed sample. Producer-thread
+  /// only (plain read of producer-owned state).
+  std::uint64_t producer_position() const { return stream_pos_; }
+
+ private:
+  struct Slot {
+    std::uint64_t stream_pos = 0;
+    double push_time_s = 0.0;
+    std::uint32_t size = 0;
+  };
+
+  /// Write one slot's worth (n <= chunk_samples_). Returns samples
+  /// accepted (0 when the push was rejected).
+  std::size_t push_slot(const dsp::cf32* rx, const dsp::cf32* ambient,
+                        std::size_t n, double push_time_s);
+
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  const std::size_t chunk_samples_;
+  const std::size_t n_;
+
+  // Slot metadata + payload, indexed by sequence % n_. Payload lives in
+  // two flat arrays so a slot copy is two contiguous memcpys.
+  std::vector<Slot> slots_;
+  dsp::cvec rx_store_;
+  dsp::cvec ambient_store_;
+
+  /// Producer-owned running stream position (samples).
+  std::uint64_t stream_pos_ = 0;
+
+  // head_: next sequence the producer will write (producer-owned,
+  // release-published). tail_: oldest unconsumed sequence (CAS-shared:
+  // consumer claims, producer drops). reading_: sequence the consumer is
+  // currently copying, kIdle otherwise. Cache-line padding keeps the
+  // producer's head_ writes off the consumer's tail_ line.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::atomic<std::uint64_t> reading_{kIdle};
+
+  alignas(64) std::atomic<std::uint64_t> pushed_samples_{0};
+  std::atomic<std::uint64_t> dropped_samples_{0};
+  std::atomic<std::uint64_t> push_rejected_{0};
+  std::atomic<std::size_t> high_water_{0};
+};
+
+}  // namespace lscatter::core

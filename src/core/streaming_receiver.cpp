@@ -72,7 +72,39 @@ bool StreamingReceiver::try_acquire() {
   return false;
 }
 
-std::vector<StreamingReceiver::PacketEvent> StreamingReceiver::feed(
+void StreamingReceiver::notify_gap(std::uint64_t gap_samples) {
+  if (gap_samples == 0) return;
+  ++gaps_;
+  LSCATTER_OBS_COUNTER_INC("core.stream.gaps");
+  LSCATTER_OBS_COUNTER_ADD("core.stream.gap_samples", gap_samples);
+  // Buffered pre-gap samples can no longer complete a packet: the
+  // continuation they were waiting for is the hole. clear() keeps the
+  // vectors' capacity, so this path stays allocation-free.
+  rx_buffer_.clear();
+  ambient_buffer_.clear();
+  consumed_ = 0;
+  stream_pos_ += gap_samples;
+
+  if (config_.acquire_alignment) {
+    // Real SDR timing is lost with the samples — go back to cold PSS
+    // reacquisition from the post-gap stream.
+    aligned_ = false;
+    skip_ = 0;
+    return;
+  }
+
+  // Aligned mode: the stream's frame phase is positional (sample 0 =
+  // start of first_subframe_index), so advance deterministically to the
+  // next packet boundary after the gap and resume carving there.
+  const std::uint64_t spp = samples_per_packet_;
+  skip_ = (spp - stream_pos_ % spp) % spp;
+  const std::uint64_t sps = config_.cell.samples_per_subframe();
+  next_subframe_ =
+      config_.first_subframe_index +
+      static_cast<std::size_t>((stream_pos_ + skip_) / sps);
+}
+
+std::span<const StreamingReceiver::PacketEvent> StreamingReceiver::feed(
     std::span<const dsp::cf32> rx, std::span<const dsp::cf32> ambient) {
 #if LSCATTER_OBS_ENABLED
   static obs::Histogram& feed_latency = stream_stage_cell("feed");
@@ -102,18 +134,30 @@ std::vector<StreamingReceiver::PacketEvent> StreamingReceiver::feed(
   if (n == 0) {
     LSCATTER_OBS_COUNTER_INC("core.stream.empty_feeds");
   }
-  rx_buffer_.insert(rx_buffer_.end(), rx.begin(), rx.begin() + n);
-  ambient_buffer_.insert(ambient_buffer_.end(), ambient.begin(),
+  stream_pos_ += n;
+
+  // Post-gap phase restore: discard up to the next packet boundary.
+  std::size_t off = 0;
+  if (skip_ > 0) {
+    off = static_cast<std::size_t>(
+        std::min<std::uint64_t>(skip_, static_cast<std::uint64_t>(n)));
+    skip_ -= off;
+  }
+  rx_buffer_.insert(rx_buffer_.end(), rx.begin() + off, rx.begin() + n);
+  ambient_buffer_.insert(ambient_buffer_.end(), ambient.begin() + off,
                          ambient.begin() + n);
 
   buffered_hwm_ = std::max(buffered_hwm_, buffered_samples());
   LSCATTER_OBS_GAUGE_MAX("core.stream.buffered_hwm_samples",
                          buffered_hwm_);
 
-  std::vector<PacketEvent> events;
+  // Event slots are reused across feeds (grow-only; never clear(), which
+  // would free the inner payload vectors) — steady state allocates
+  // nothing.
+  std::size_t events_used = 0;
   // Fall through to the compaction below even when unaligned: a failed
   // acquisition may have consumed (trimmed) old samples.
-  const bool ready = aligned_ || try_acquire();
+  const bool ready = skip_ == 0 && (aligned_ || try_acquire());
   while (ready && buffered_samples() >= samples_per_packet_) {
     const std::span<const dsp::cf32> prx(rx_buffer_.data() + consumed_,
                                          samples_per_packet_);
@@ -124,18 +168,40 @@ std::vector<StreamingReceiver::PacketEvent> StreamingReceiver::feed(
     const std::size_t capacity =
         demodulator_.controller().packet_raw_bits(next_subframe_);
     if (capacity > 32) {
-      PacketEvent ev;
+      if (events_used == events_.size()) {
+        events_.emplace_back();
+        payload_spares_.emplace_back();
+      }
+      PacketEvent& ev = events_[events_used];
+      std::vector<std::uint8_t>& spare = payload_spares_[events_used];
+      ++events_used;
       ev.first_subframe_index = next_subframe_;
+      PacketDemodStatus status;
       {
 #if LSCATTER_OBS_ENABLED
         obs::ScopedTimer demod_timer(demod_latency);
 #endif
-        ev.result =
-            demodulator_.demodulate_packet(prx, pam, next_subframe_);
+        status = demodulator_.demodulate_packet_into(prx, pam,
+                                                     next_subframe_, ws_);
+      }
+      ev.result.preamble_found = status.preamble_found;
+      ev.result.offset_units = status.offset_units;
+      ev.result.preamble_metric = status.preamble_metric;
+      ev.result.coded_bits.assign(ws_.coded.begin(), ws_.coded.end());
+      ev.result.soft_bits.assign(ws_.soft.begin(), ws_.soft.end());
+      if (status.crc_ok) {
+        // Re-engage the optional with the slot's parked buffer so its
+        // capacity survives crc-fail gaps between clean packets.
+        if (!ev.result.payload) {
+          ev.result.payload.emplace(std::move(spare));
+        }
+        ev.result.payload->assign(ws_.payload.begin(), ws_.payload.end());
+      } else {
+        if (ev.result.payload) spare = std::move(*ev.result.payload);
+        ev.result.payload.reset();
       }
       ++packets_;
       LSCATTER_OBS_COUNTER_INC("core.stream.packets");
-      events.push_back(std::move(ev));
     } else {
       LSCATTER_OBS_COUNTER_INC("core.stream.idle_slots");
     }
@@ -156,7 +222,7 @@ std::vector<StreamingReceiver::PacketEvent> StreamingReceiver::feed(
         ambient_buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
     consumed_ = 0;
   }
-  return events;
+  return std::span<const PacketEvent>(events_.data(), events_used);
 }
 
 }  // namespace lscatter::core

@@ -16,7 +16,15 @@
 //
 // The stream is assumed subframe-aligned at sample 0 (the UE's LTE sync
 // — CellSearcher — provides that alignment; see tests).
+//
+// Hot-path memory discipline (DESIGN.md §15): feed() returns a span over
+// an internal event buffer whose slots (including their payload vectors)
+// are reused across calls, and demodulation runs through a persistent
+// DemodWorkspace — after a warmup of a few packets the steady-state feed
+// path performs zero heap allocations. The returned span is valid until
+// the next feed() call.
 
+#include <cstdint>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -64,9 +72,20 @@ class StreamingReceiver {
   /// Feed the next chunk of the aligned streams (any length, including
   /// zero; rx and ambient must be the same length — mismatched calls are
   /// truncated to the common prefix and counted). Returns the packets
-  /// completed within this chunk, in order.
-  std::vector<PacketEvent> feed(std::span<const dsp::cf32> rx,
-                                std::span<const dsp::cf32> ambient);
+  /// completed within this chunk, in order. The span points into an
+  /// internal buffer reused by the next feed() call — copy events that
+  /// must outlive it.
+  std::span<const PacketEvent> feed(std::span<const dsp::cf32> rx,
+                                    std::span<const dsp::cf32> ambient);
+
+  /// Declare a hole in the stream (e.g. the ingestion ring dropped
+  /// chunks under backpressure): `gap_samples` samples that will never
+  /// arrive. Buffered samples before the gap are discarded — they can no
+  /// longer complete a packet. In aligned mode the receiver advances the
+  /// stream phase deterministically and resumes carving at the next
+  /// packet boundary; in acquire_alignment mode it goes back to a cold
+  /// PSS reacquisition (a real gap invalidates the frame timing).
+  void notify_gap(std::uint64_t gap_samples);
 
   /// Samples currently buffered (always < one packet's worth after
   /// feed() returns).
@@ -82,8 +101,15 @@ class StreamingReceiver {
   std::size_t packets_demodulated() const { return packets_; }
   std::size_t next_subframe_index() const { return next_subframe_; }
 
+  /// Absolute stream position (samples) of the next sample to be fed —
+  /// advances through both feed() and notify_gap().
+  std::uint64_t stream_position() const { return stream_pos_; }
+
+  /// Gaps declared via notify_gap() so far.
+  std::uint64_t gaps_notified() const { return gaps_; }
+
   /// False only while acquire_alignment is set and no frame boundary has
-  /// been found yet.
+  /// been found yet (or a gap forced reacquisition).
   bool aligned() const { return aligned_; }
 
  private:
@@ -100,8 +126,22 @@ class StreamingReceiver {
   std::size_t packets_ = 0;
   std::size_t consumed_ = 0;  // read offset into the buffers
   std::size_t buffered_hwm_ = 0;
+  std::uint64_t stream_pos_ = 0;
+  std::uint64_t gaps_ = 0;
+  /// Samples still to discard after a gap before carving resumes (the
+  /// distance to the next packet boundary in aligned mode).
+  std::uint64_t skip_ = 0;
   dsp::cvec rx_buffer_;
   dsp::cvec ambient_buffer_;
+  /// Reused demod scratch + event slots (grow-only; inner vectors keep
+  /// their capacity across feeds).
+  DemodWorkspace ws_;
+  std::vector<PacketEvent> events_;
+  /// Parking lot for the payload vectors of CRC-failed slots: resetting
+  /// the optional would free the vector's capacity and force a fresh
+  /// allocation on the next clean packet, so the buffer is moved here
+  /// first and moved back on the next crc_ok (one spare per event slot).
+  std::vector<std::vector<std::uint8_t>> payload_spares_;
 #if LSCATTER_CHECKS_ENABLED
   // Single-owner contract: the receiver holds unguarded stream state, so
   // all feed() calls must come from one thread (whichever calls first).

@@ -5,9 +5,8 @@
 
 namespace lscatter::dsp {
 
-std::vector<std::uint8_t> crc_bits(std::span<const std::uint8_t> bits,
-                                   std::uint32_t poly,
-                                   std::size_t n_crc_bits) {
+std::uint32_t crc_value(std::span<const std::uint8_t> bits,
+                        std::uint32_t poly, std::size_t n_crc_bits) {
   assert(n_crc_bits > 0 && n_crc_bits <= 32);
   // Bit-serial long division over GF(2) with zero-padded message.
   std::uint32_t reg = 0;
@@ -21,7 +20,13 @@ std::vector<std::uint8_t> crc_bits(std::span<const std::uint8_t> bits,
   };
   for (const std::uint8_t b : bits) shift_in(b & 1u);
   for (std::size_t i = 0; i < n_crc_bits; ++i) shift_in(0);
+  return reg;
+}
 
+std::vector<std::uint8_t> crc_bits(std::span<const std::uint8_t> bits,
+                                   std::uint32_t poly,
+                                   std::size_t n_crc_bits) {
+  const std::uint32_t reg = crc_value(bits, poly, n_crc_bits);
   std::vector<std::uint8_t> out(n_crc_bits);
   for (std::size_t i = 0; i < n_crc_bits; ++i) {
     out[i] = static_cast<std::uint8_t>((reg >> (n_crc_bits - 1 - i)) & 1u);
@@ -51,13 +56,21 @@ std::vector<std::uint8_t> attach(
   return out;
 }
 
+// Allocation-free: compare the register value bit-by-bit against the
+// trailing check bits so the streaming hot path (check_crc32 per packet)
+// never touches the heap.
 bool check(std::span<const std::uint8_t> bits_with_crc, std::size_t n_crc,
-           std::vector<std::uint8_t> (*fn)(std::span<const std::uint8_t>)) {
+           std::uint32_t poly) {
   if (bits_with_crc.size() < n_crc) return false;
   const auto payload = bits_with_crc.first(bits_with_crc.size() - n_crc);
-  const auto expect = fn(payload);
-  return std::equal(expect.begin(), expect.end(),
-                    bits_with_crc.end() - static_cast<std::ptrdiff_t>(n_crc));
+  const std::uint32_t reg = crc_value(payload, poly, n_crc);
+  const auto tail = bits_with_crc.last(n_crc);
+  for (std::size_t i = 0; i < n_crc; ++i) {
+    const std::uint8_t expect =
+        static_cast<std::uint8_t>((reg >> (n_crc - 1 - i)) & 1u);
+    if ((tail[i] & 1u) != expect) return false;
+  }
+  return true;
 }
 }  // namespace
 
@@ -72,13 +85,13 @@ std::vector<std::uint8_t> attach_crc32(std::span<const std::uint8_t> bits) {
 }
 
 bool check_crc24a(std::span<const std::uint8_t> bits_with_crc) {
-  return check(bits_with_crc, 24, crc24a);
+  return check(bits_with_crc, 24, 0x864CFBu);
 }
 bool check_crc16(std::span<const std::uint8_t> bits_with_crc) {
-  return check(bits_with_crc, 16, crc16);
+  return check(bits_with_crc, 16, 0x1021u);
 }
 bool check_crc32(std::span<const std::uint8_t> bits_with_crc) {
-  return check(bits_with_crc, 32, crc32);
+  return check(bits_with_crc, 32, 0x04C11DB7u);
 }
 
 }  // namespace lscatter::dsp

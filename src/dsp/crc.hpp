@@ -12,6 +12,13 @@
 
 namespace lscatter::dsp {
 
+/// CRC register value over a bit sequence with the given generator
+/// polynomial (implicit leading 1): the `n_crc_bits` check bits packed
+/// MSB-first into the low bits of the result. Allocation-free — the core
+/// of crc_bits()/check_*() and the form hot paths should call.
+std::uint32_t crc_value(std::span<const std::uint8_t> bits,
+                        std::uint32_t poly, std::size_t n_crc_bits);
+
 /// CRC over a bit sequence with the given generator polynomial (implicit
 /// leading 1), producing `crc_bits` check bits, MSB first.
 std::vector<std::uint8_t> crc_bits(std::span<const std::uint8_t> bits,

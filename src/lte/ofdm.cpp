@@ -34,7 +34,7 @@ std::size_t symbol_offset_in_subframe(const CellConfig& cfg, std::size_t l) {
 
 OfdmModulator::OfdmModulator(const CellConfig& cfg)
     : cfg_(cfg),
-      plan_(cfg.fft_size()),
+      plan_(&dsp::cached_fft_plan(cfg.fft_size())),
       scale_(static_cast<float>(
           std::sqrt(static_cast<double>(cfg.fft_size()) /
                     static_cast<double>(cfg.n_subcarriers())))),
@@ -83,7 +83,7 @@ void OfdmModulator::modulate_symbol_into(const ResourceGrid& grid,
   // vector and copied twice).
   const std::span<cf32> useful = out.subspan(cp, k);
   grid.to_fft_bins_into(l, useful);
-  plan_.inverse_inplace(useful);
+  plan_->inverse_inplace(useful);
   // The IFFT divides by K; time_scale_ undoes part of it so time samples
   // have comparable power to the grid.
   for (cf32& v : useful) v *= time_scale_;
@@ -93,7 +93,7 @@ void OfdmModulator::modulate_symbol_into(const ResourceGrid& grid,
 
 OfdmDemodulator::OfdmDemodulator(const CellConfig& cfg)
     : cfg_(cfg),
-      plan_(cfg.fft_size()),
+      plan_(&dsp::cached_fft_plan(cfg.fft_size())),
       scale_(static_cast<float>(
           std::sqrt(static_cast<double>(cfg.fft_size()) /
                     static_cast<double>(cfg.n_subcarriers())))),
@@ -185,9 +185,9 @@ void OfdmDemodulator::demod_symbol_with(std::span<const cf32> samples,
             bins.begin());
   // ws == nullptr falls back to the per-thread FFT scratch.
   if (ws != nullptr) {
-    plan_.forward_inplace(bins, *ws);
+    plan_->forward_inplace(bins, *ws);
   } else {
-    plan_.forward_inplace(bins);
+    plan_->forward_inplace(bins);
   }
 
   // Gather subcarriers, applying the inverse scaling at the gather so the

@@ -39,7 +39,10 @@ class OfdmModulator {
 
  private:
   CellConfig cfg_;
-  dsp::FftPlan plan_;
+  /// Shared process-wide plan (dsp::cached_fft_plan): every modulator /
+  /// demodulator on the same numerology reuses one immutable twiddle set
+  /// behind the cache's shared_mutex read path.
+  const dsp::FftPlan* plan_;
   float scale_;
   /// Post-IFFT gain applied per sample: scale_ · K / sqrt(K). Hoisted to
   /// construction time so the per-symbol loop is a bare multiply.
@@ -92,7 +95,7 @@ class OfdmDemodulator {
 
   /// The demodulator's FFT plan — callers make_workspace() from it to
   /// feed the workspace overloads above.
-  const dsp::FftPlan& plan() const { return plan_; }
+  const dsp::FftPlan& plan() const { return *plan_; }
 
  private:
   void demod_symbol_with(std::span<const dsp::cf32> samples, std::size_t l,
@@ -100,7 +103,7 @@ class OfdmDemodulator {
                          dsp::FftPlan::Workspace* ws) const;
 
   CellConfig cfg_;
-  dsp::FftPlan plan_;
+  const dsp::FftPlan* plan_;
   float scale_;
   /// Post-FFT gain applied per bin: 1 / (scale_ · sqrt(K)), hoisted to
   /// construction time.

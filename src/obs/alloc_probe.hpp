@@ -1,0 +1,56 @@
+#pragma once
+// Counting-allocator hook for zero-allocation enforcement (DESIGN.md
+// §15). Including this header DEFINES the global operator new/delete for
+// the including binary, so it must appear in exactly ONE translation
+// unit of a test or bench executable — never in a library TU. The hooks
+// forward to malloc/free, so they compose with the sanitizer
+// interceptors and run unchanged in the ASan/TSan lanes.
+//
+// Usage (bench_soak_day, test_core_stream_alloc):
+//
+//   #include "obs/alloc_probe.hpp"
+//   ...
+//   const auto before = lscatter::obs::alloc_probe_count();
+//   hot_path();
+//   const auto delta = lscatter::obs::alloc_probe_count() - before;
+//   // delta must be 0 for a warm hot path
+//
+// The count is process-global and includes every thread's allocations —
+// exactly what a steady-state soak needs: any allocation anywhere in the
+// pipeline after warmup is a regression.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace lscatter::obs {
+namespace alloc_probe_detail {
+inline std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace alloc_probe_detail
+
+/// Number of global operator new / new[] calls since process start.
+inline std::uint64_t alloc_probe_count() {
+  return alloc_probe_detail::g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace lscatter::obs
+
+void* operator new(std::size_t size) {
+  lscatter::obs::alloc_probe_detail::g_allocations.fetch_add(
+      1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  lscatter::obs::alloc_probe_detail::g_allocations.fetch_add(
+      1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }

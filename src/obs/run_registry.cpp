@@ -168,6 +168,7 @@ json::Value RunRecord::to_json() const {
   prov["config_hash"] = json::Value(hash_to_hex(provenance.config_hash));
   prov["hostname"] = json::Value(provenance.hostname);
   prov["threads"] = json::Value(provenance.threads);
+  prov["simd_tier"] = json::Value(provenance.simd_tier);
   prov["unix_time_s"] = json::Value(provenance.unix_time_s);
   v["provenance"] = std::move(prov);
   v["report"] = report;
@@ -202,6 +203,7 @@ std::optional<RunRecord> RunRecord::from_json(const json::Value& v) {
       std::isfinite(threads) && threads > 0.0 && threads <= 9.0e18
           ? static_cast<std::uint64_t>(threads)
           : 0;
+  rec.provenance.simd_tier = string_field(*prov, "simd_tier");
   rec.provenance.unix_time_s = number_field(*prov, "unix_time_s");
   rec.report = *report;
   return rec;
@@ -299,6 +301,17 @@ std::vector<RunRecord> filter_records(std::vector<RunRecord> records,
     }
     if (!filter.git_sha.empty() &&
         r.provenance.git_sha.rfind(filter.git_sha, 0) != 0) {
+      return true;
+    }
+    // Like-for-like gating: a record that predates the field (empty
+    // tier / zero threads) matches any filter, so old registries keep
+    // working; a record that *does* carry the field must match exactly.
+    if (!filter.simd_tier.empty() && !r.provenance.simd_tier.empty() &&
+        r.provenance.simd_tier != filter.simd_tier) {
+      return true;
+    }
+    if (filter.threads != 0 && r.provenance.threads != 0 &&
+        r.provenance.threads != filter.threads) {
       return true;
     }
     return false;

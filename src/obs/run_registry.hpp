@@ -57,6 +57,12 @@ struct Provenance {
   std::uint64_t config_hash = 0;  // config_hash() of the bench config
   std::string hostname;    // local_hostname() or caller-supplied
   std::uint64_t threads = 0;
+  /// Resolved SIMD dispatch tier at record time (dsp::to_string of
+  /// dsp::simd_tier(), e.g. "avx2" / "sse2" / "scalar"); empty when
+  /// unknown (records predating the field). Lets trend/regress compare
+  /// like-for-like: a scalar-forced CI row must not poison the median
+  /// for AVX2 boxes.
+  std::string simd_tier;
   double unix_time_s = 0.0;
 };
 
@@ -114,6 +120,13 @@ std::vector<RunRecord> read_records(const std::string& path,
 struct RecordFilter {
   std::string bench;    // exact match on provenance.bench; empty = any
   std::string git_sha;  // prefix match on provenance.git_sha; empty = any
+  /// Exact match on provenance.simd_tier; empty = any. Records with no
+  /// recorded tier (pre-field registries) match any requested tier, so
+  /// an upgraded CLI keeps reading old registries.
+  std::string simd_tier;
+  /// Exact match on provenance.threads; 0 = any. Like simd_tier,
+  /// records with no recorded thread count (0) always match.
+  std::uint64_t threads = 0;
   std::size_t last = 0;  // after filtering keep the newest K; 0 = all
 };
 

@@ -53,11 +53,16 @@ std::vector<std::size_t> TagController::modulatable_symbols(
 }
 
 std::size_t TagController::packet_raw_bits(std::size_t subframe_index) const {
+  // Counts via symbol_modulatable directly (not modulatable_symbols):
+  // this sits on the streaming receiver's per-packet hot path, which must
+  // stay heap-allocation-free (DESIGN.md §15).
   std::size_t n_symbols = 0;
   for (std::size_t s = 0; s < cfg_.packet_subframes; ++s) {
     const std::size_t sf = subframe_index + s;
     if (is_listening_subframe(sf)) continue;
-    n_symbols += modulatable_symbols(sf).size();
+    for (std::size_t l = 0; l < lte::kSymbolsPerSubframe; ++l) {
+      if (symbol_modulatable(sf, l)) ++n_symbols;
+    }
   }
   if (n_symbols <= cfg_.preamble_symbols) return 0;
   std::size_t data_symbols = n_symbols - cfg_.preamble_symbols;

@@ -313,6 +313,178 @@ TEST(StreamingReceiver, BufferedHighWaterMarkTracksWorstBacklog) {
   }
 }
 
+TEST(StreamingReceiver, NotifyGapRestoresSubframePhase) {
+  // An aligned receiver told about a whole-subframe hole must resume at
+  // the correct absolute subframe index — listening-slot schedule and
+  // sync-subframe capacities included.
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz1_4;
+  tag::TagScheduleConfig sched;
+  const Stream s = make_stream(cell, sched, 20, 55);
+  const std::size_t spsf = cell.samples_per_subframe();
+
+  core::StreamingReceiver::Config cfg;
+  cfg.cell = cell;
+  cfg.schedule = sched;
+  core::StreamingReceiver ue(cfg);
+
+  // Subframes 0..6, then a 5-subframe hole, then 12..19.
+  std::vector<core::StreamingReceiver::PacketEvent> events;
+  for (const auto& e :
+       ue.feed(std::span<const cf32>(s.rx).subspan(0, 7 * spsf),
+               std::span<const cf32>(s.ambient).subspan(0, 7 * spsf))) {
+    events.push_back(e);
+  }
+  ue.notify_gap(5 * spsf);
+  EXPECT_EQ(ue.gaps_notified(), 1u);
+  for (const auto& e : ue.feed(
+           std::span<const cf32>(s.rx).subspan(12 * spsf),
+           std::span<const cf32>(s.ambient).subspan(12 * spsf))) {
+    events.push_back(e);
+  }
+  EXPECT_EQ(ue.next_subframe_index(), 20u);
+
+  // Data subframes 0..6 and 12..19, minus listening slots 9/19 (only 19
+  // is inside the fed ranges).
+  std::vector<std::uint64_t> expect_sf;
+  for (std::size_t sf = 0; sf < 7; ++sf) expect_sf.push_back(sf);
+  for (std::size_t sf = 12; sf < 20; ++sf) {
+    if (sf % 10 != 9) expect_sf.push_back(sf);
+  }
+  ASSERT_EQ(events.size(), expect_sf.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].first_subframe_index, expect_sf[i]) << i;
+    EXPECT_TRUE(events[i].result.preamble_found) << i;
+    // Sync subframes lose two symbols to PSS/SSS and decode marginally
+    // at this SNR; phase tracking is what this test pins down.
+    if (expect_sf[i] % 5 != 0) {
+      EXPECT_TRUE(events[i].result.payload.has_value()) << i;
+    }
+  }
+}
+
+TEST(StreamingReceiver, NotifyGapMidSubframeSkipsToNextBoundary) {
+  // A hole that ends mid-subframe: the receiver must discard the partial
+  // subframe after the hole and resume clean at the next boundary.
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz1_4;
+  tag::TagScheduleConfig sched;
+  const Stream s = make_stream(cell, sched, 12, 56);
+  const std::size_t spsf = cell.samples_per_subframe();
+
+  core::StreamingReceiver::Config cfg;
+  cfg.cell = cell;
+  cfg.schedule = sched;
+  core::StreamingReceiver ue(cfg);
+
+  ue.feed(std::span<const cf32>(s.rx).subspan(0, 3 * spsf),
+          std::span<const cf32>(s.ambient).subspan(0, 3 * spsf));
+  // Gap of 2.5 subframes: stream resumes at position 5.5 subframes;
+  // the half subframe up to boundary 6 must be skipped.
+  ue.notify_gap(2 * spsf + spsf / 2);
+  std::vector<core::StreamingReceiver::PacketEvent> events;
+  for (const auto& e : ue.feed(
+           std::span<const cf32>(s.rx).subspan(5 * spsf + spsf / 2),
+           std::span<const cf32>(s.ambient).subspan(5 * spsf + spsf / 2))) {
+    events.push_back(e);
+  }
+  EXPECT_EQ(ue.next_subframe_index(), 12u);
+  // Data subframes 6..11 minus listening slot 9.
+  std::vector<std::uint64_t> expect_sf = {6, 7, 8, 10, 11};
+  ASSERT_EQ(events.size(), expect_sf.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].first_subframe_index, expect_sf[i]) << i;
+    EXPECT_TRUE(events[i].result.preamble_found) << i;
+    if (expect_sf[i] % 5 != 0) {
+      EXPECT_TRUE(events[i].result.payload.has_value()) << i;
+    }
+  }
+}
+
+TEST(StreamingReceiver, NotifyGapInAcquireModeForcesColdReacquisition) {
+  // In acquisition mode a gap invalidates the frame alignment: the
+  // receiver must drop to unaligned, re-run the PSS/SSS search on
+  // post-gap samples, and come back decoding.
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz1_4;
+  tag::TagScheduleConfig sched;
+  const Stream s = make_stream(cell, sched, 45, 57);
+  const std::size_t spsf = cell.samples_per_subframe();
+
+  core::StreamingReceiver::Config cfg;
+  cfg.cell = cell;
+  cfg.schedule = sched;
+  cfg.acquire_alignment = true;
+  core::StreamingReceiver ue(cfg);
+
+  // Acquire on the first two frames.
+  std::size_t events_before_gap = 0;
+  for (std::size_t sf = 0; sf < 20; ++sf) {
+    events_before_gap +=
+        ue.feed(std::span<const cf32>(s.rx).subspan(sf * spsf, spsf),
+                std::span<const cf32>(s.ambient).subspan(sf * spsf, spsf))
+            .size();
+  }
+  EXPECT_TRUE(ue.aligned());
+  EXPECT_GT(events_before_gap, 0u);
+
+  // Drop 7.3 subframes of stream (not an integer number of subframes —
+  // alignment is genuinely lost).
+  const std::size_t gap = 7 * spsf + 3 * spsf / 10;
+  ue.notify_gap(gap);
+  EXPECT_FALSE(ue.aligned());
+  EXPECT_EQ(ue.gaps_notified(), 1u);
+
+  // Feed the rest of the stream from the post-gap position; the searcher
+  // needs at least a frame to lock again, then packets resume.
+  std::size_t events_after_gap = 0;
+  std::size_t pos = 20 * spsf + gap;
+  while (pos < s.rx.size()) {
+    const std::size_t n = std::min<std::size_t>(30000, s.rx.size() - pos);
+    events_after_gap +=
+        ue.feed(std::span<const cf32>(s.rx).subspan(pos, n),
+                std::span<const cf32>(s.ambient).subspan(pos, n))
+            .size();
+    pos += n;
+  }
+  EXPECT_TRUE(ue.aligned());
+  EXPECT_GT(events_after_gap, 0u);
+}
+
+TEST(StreamingReceiver, FeedSpanStaysValidUntilNextFeed) {
+  // The feed() return is a view into receiver-owned storage: its
+  // contents must be stable and deep-copyable until the next feed call,
+  // and slot reuse across calls must not leak stale payloads.
+  lte::CellConfig cell;
+  cell.bandwidth = lte::Bandwidth::kMHz1_4;
+  tag::TagScheduleConfig sched;
+  const Stream s = make_stream(cell, sched, 12, 58);
+  const std::size_t spsf = cell.samples_per_subframe();
+
+  core::StreamingReceiver::Config cfg;
+  cfg.cell = cell;
+  cfg.schedule = sched;
+  core::StreamingReceiver ue(cfg);
+
+  std::size_t idx = 0;
+  for (std::size_t sf = 0; sf < 12; ++sf) {
+    const auto out =
+        ue.feed(std::span<const cf32>(s.rx).subspan(sf * spsf, spsf),
+                std::span<const cf32>(s.ambient).subspan(sf * spsf, spsf));
+    // Read through the span only (no copies) before the next feed.
+    for (const auto& e : out) {
+      if (e.first_subframe_index % 5 != 0) {
+        ASSERT_TRUE(e.result.payload.has_value());
+      }
+      if (e.result.payload.has_value()) {
+        EXPECT_EQ(*e.result.payload, s.payloads[idx]) << idx;
+      }
+      ++idx;
+    }
+  }
+  EXPECT_EQ(idx, s.payloads.size());
+}
+
 TEST(StreamingReceiver, MismatchedFeedTruncatesToCommonPrefix) {
   // Release-mode contract: a mismatched (rx, ambient) call keeps the
   // common prefix so the streams stay aligned.

@@ -72,6 +72,7 @@
 #include <string>
 #include <vector>
 
+#include "dsp/simd.hpp"
 #include "obs/diff.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
@@ -91,12 +92,16 @@ int usage() {
       " [--tail-threshold PCT] [--schema-only] [--json]\n"
       "  trace <report.json> -o <out.json>\n"
       "  record <report.json> [--registry PATH] [--bench NAME]"
-      " [--sha SHA] [--dirty 0|1] [--threads N] [--time S]\n"
+      " [--sha SHA] [--dirty 0|1] [--threads N] [--simd TIER]"
+      " [--time S]\n"
       "  query [--registry PATH] [--bench NAME] [--sha PREFIX]"
-      " [--metric PATH] [--last K] [--json]\n"
+      " [--simd TIER|any] [--threads N] [--metric PATH] [--last K]"
+      " [--json]\n"
       "  trend [--registry PATH] [--bench NAME] [--metric SUBSTR]"
-      " [--last K] [--threshold PCT] [--tail-threshold PCT] [--json]\n"
+      " [--simd TIER|any] [--threads N] [--last K] [--threshold PCT]"
+      " [--tail-threshold PCT] [--json]\n"
       "  regress <fresh.json> [--registry PATH] [--bench NAME]"
+      " [--simd TIER|any (default: current tier)] [--threads N]"
       " [--last K] [--min-records N] [--threshold PCT]"
       " [--tail-threshold PCT] [--schema-only] [--json]\n"
       "  stamp <report.json> [--sha SHA] [--dirty 0|1] [--compiler ID]"
@@ -146,6 +151,7 @@ struct RegistryArgs {
   std::string registry;   // resolved path
   std::string bench;
   std::string sha;
+  std::string simd;  // tier name, "any", or empty (per-command default)
   bool dirty = false;
   std::uint64_t threads = 0;
   double time_s = -1.0;   // < 0 = stamp now
@@ -194,6 +200,9 @@ bool parse_registry_args(int argc, char** argv, RegistryArgs& out) {
     } else if (std::strcmp(a, "--threads") == 0) {
       if ((v = value(i)) == nullptr) return false;
       out.threads = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(a, "--simd") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      out.simd = v;
     } else if (std::strcmp(a, "--time") == 0) {
       if ((v = value(i)) == nullptr) return false;
       out.time_s = std::strtod(v, nullptr);
@@ -239,6 +248,12 @@ std::vector<obs::RunRecord> load_filtered(const RegistryArgs& args,
   obs::RecordFilter filter;
   filter.bench = args.bench;
   filter.git_sha = args.sha;
+  // "any" (or empty) disables the like-for-like tier gate; a concrete
+  // tier name matches exactly (records without the field still pass).
+  if (!args.simd.empty() && args.simd != "any") {
+    filter.simd_tier = args.simd;
+  }
+  filter.threads = args.threads;
   filter.last = args.last;
   return obs::filter_records(obs::read_records(args.registry, stats),
                              filter);
@@ -381,7 +396,18 @@ int cmd_record(int argc, char** argv) {
   rec.provenance.git_sha = args.sha;
   rec.provenance.dirty = args.dirty;
   rec.provenance.hostname = obs::local_hostname();
+  // Defaults mirror what the bench child resolved: the CLI shares
+  // LSCATTER_SIMD / LSCATTER_THREADS with the bench it is recording, so
+  // dsp::simd_tier() here matches the tier the bench dispatched to.
   rec.provenance.threads = args.threads;
+  if (rec.provenance.threads == 0) {
+    if (const char* env = std::getenv("LSCATTER_THREADS")) {
+      rec.provenance.threads = std::strtoull(env, nullptr, 10);
+    }
+  }
+  rec.provenance.simd_tier = !args.simd.empty() && args.simd != "any"
+                                 ? args.simd
+                                 : dsp::to_string(dsp::simd_tier());
   rec.provenance.unix_time_s = stamp_time(args);
   // The bench's own parameters (seed, drops, sizes) are the config; the
   // hash keys longitudinal queries, so insertion-order differences must
@@ -432,18 +458,19 @@ int cmd_query(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("%-4s %-12s %-24s %-10s %-5s %-16s %-8s", "#", "time",
-              "bench", "sha", "dirty", "config", "threads");
+  std::printf("%-4s %-12s %-24s %-10s %-5s %-16s %-8s %-7s", "#", "time",
+              "bench", "sha", "dirty", "config", "threads", "simd");
   if (!args.metric.empty()) std::printf(" %s", args.metric.c_str());
   std::printf("\n");
   for (std::size_t i = 0; i < records.size(); ++i) {
     const obs::Provenance& p = records[i].provenance;
-    std::printf("%-4zu %-12.0f %-24s %-10.10s %-5s %016llx %-8llu", i,
-                p.unix_time_s, p.bench.c_str(),
+    std::printf("%-4zu %-12.0f %-24s %-10.10s %-5s %016llx %-8llu %-7s",
+                i, p.unix_time_s, p.bench.c_str(),
                 p.git_sha.empty() ? "-" : p.git_sha.c_str(),
                 p.dirty ? "yes" : "no",
                 static_cast<unsigned long long>(p.config_hash),
-                static_cast<unsigned long long>(p.threads));
+                static_cast<unsigned long long>(p.threads),
+                p.simd_tier.empty() ? "-" : p.simd_tier.c_str());
     if (!args.metric.empty()) {
       const auto m = obs::metric_value(records[i].report, args.metric);
       if (m) {
@@ -524,6 +551,10 @@ int cmd_regress(int argc, char** argv) {
     return 2;
   }
   if (args.bench.empty()) args.bench = report_name_of(*fresh);
+  // Like-for-like by default: gate a fresh run only against prior runs
+  // of the same SIMD tier (a scalar-forced CI row must not poison the
+  // median for an AVX2 box). --simd any restores the old behavior.
+  if (args.simd.empty()) args.simd = dsp::to_string(dsp::simd_tier());
 
   obs::ReadStats stats;
   const auto records = load_filtered(args, &stats);
